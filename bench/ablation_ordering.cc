@@ -1,0 +1,113 @@
+// Ablation: the §4.4 node-ranking choices. Compares AH built with
+//   (a) vertex-cover ordering + downgrading (paper default),
+//   (b) vertex-cover ordering without downgrading,
+//   (c) random within-level ordering,
+// and CH's edge-difference ordering as the reference point, on build cost,
+// shortcut count, and query performance over the mixed workload.
+#include "bench_common.h"
+#include "ch/ch_index.h"
+#include "core/ah_query.h"
+#include "routing/dijkstra.h"
+
+int main() {
+  using namespace ah;
+  using namespace ah::bench;
+  PrintHeader("Ablation — AH Node Ordering (§4.4)",
+              "vertex-cover + downgrade vs. variants, CH as reference");
+
+  const std::size_t count = BenchDatasetCountFromEnv(2);
+  const std::size_t pairs = EnvSizeT("AH_BENCH_PAIRS", 60);
+
+  for (const PreparedDataset& d : PrepareDatasets(count)) {
+    const Graph& g = d.graph;
+    const Workload workload = BenchWorkload(g, pairs);
+    std::vector<std::pair<NodeId, NodeId>> mixed;
+    for (const QuerySet& qs : workload.sets) {
+      mixed.insert(mixed.end(), qs.pairs.begin(), qs.pairs.end());
+    }
+    Dijkstra dijkstra(g);
+    const auto [dij_us, ref_sum] = TimeQueries(
+        mixed, [&](NodeId s, NodeId t) { return dijkstra.Distance(s, t); });
+
+    struct Variant {
+      std::string name;
+      AhParams params;
+    };
+    std::vector<Variant> variants;
+    variants.push_back({"AH (greedy-in-level)", {}});
+    {
+      AhParams p;
+      p.ordering.within_level = WithinLevelOrder::kVertexCover;
+      variants.push_back({"AH (vertex cover, §4.4)", p});
+    }
+    {
+      AhParams p;
+      p.ordering.within_level = WithinLevelOrder::kRandom;
+      p.ordering.downgrade = false;
+      variants.push_back({"AH (random order)", p});
+    }
+    {
+      AhParams p;
+      p.ordering.downgrade = false;
+      variants.push_back({"AH (greedy, no downgrade)", p});
+    }
+
+    std::printf("\n--- %s (n = %s, %zu mixed queries) ---\n",
+                d.spec.name.c_str(),
+                TextTable::Int(static_cast<long long>(g.NumNodes())).c_str(),
+                mixed.size());
+    TextTable table({"variant", "build s", "shortcuts/n", "levels",
+                     "query us", "settled/query", "ok"});
+    for (const Variant& variant : variants) {
+      Timer timer;
+      AhIndex index = AhIndex::Build(g, variant.params);
+      const double build_s = timer.Seconds();
+      AhQuery query(index);
+      std::size_t settled = 0;
+      const auto [us, sum] = TimeQueries(mixed, [&](NodeId s, NodeId t) {
+        const Dist dd = query.Distance(s, t);
+        settled += query.LastStats().settled;
+        return dd;
+      });
+      table.AddRow(
+          {variant.name, TextTable::Num(build_s, 2),
+           TextTable::Num(static_cast<double>(index.build_stats().shortcuts) /
+                              static_cast<double>(g.NumNodes()),
+                          2),
+           std::to_string(index.build_stats().max_level + 1),
+           TextTable::Num(us, 2),
+           TextTable::Num(static_cast<double>(settled) /
+                              std::max<std::size_t>(mixed.size(), 1),
+                          1),
+           sum == ref_sum ? "yes" : "MISMATCH"});
+      std::fflush(stdout);
+    }
+    {
+      Timer timer;
+      ChIndex ch = ChIndex::Build(g);
+      const double build_s = timer.Seconds();
+      ChQuery query(ch);
+      std::size_t settled = 0;
+      const auto [us, sum] = TimeQueries(mixed, [&](NodeId s, NodeId t) {
+        const Dist dd = query.Distance(s, t);
+        settled += query.LastStats().settled;
+        return dd;
+      });
+      table.AddRow(
+          {"CH (edge difference)", TextTable::Num(build_s, 2),
+           TextTable::Num(static_cast<double>(ch.build_stats().shortcuts) /
+                              static_cast<double>(g.NumNodes()),
+                          2),
+           "-", TextTable::Num(us, 2),
+           TextTable::Num(static_cast<double>(settled) /
+                              std::max<std::size_t>(mixed.size(), 1),
+                          1),
+           sum == ref_sum ? "yes" : "MISMATCH"});
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nShape check: cover+downgrade beats random ordering on query time;\n"
+      "all variants remain exact (ok = yes).\n");
+  return 0;
+}

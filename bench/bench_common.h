@@ -1,0 +1,88 @@
+// Shared plumbing for the figure/table benches: dataset preparation at the
+// configured scale, query timing, and result verification.
+//
+// Every bench prints the rows/series of one table or figure of the paper.
+// Scale knobs (environment):
+//   AH_BENCH_SCALE    — tiny | small | default (1/16) | large | full | <frac>
+//   AH_BENCH_DATASETS — how many catalog datasets to cover (default varies).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gen/catalog.h"
+#include "graph/graph.h"
+#include "util/table.h"
+#include "util/timer.h"
+#include "util/types.h"
+#include "workload/workload.h"
+
+namespace ah::bench {
+
+inline void PrintHeader(const std::string& title, const std::string& what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n%s\n", title.c_str(), what.c_str());
+  std::printf("scale=%.5f (AH_BENCH_SCALE), datasets=%zu (AH_BENCH_DATASETS)\n",
+              BenchScaleFromEnv(), BenchDatasetCountFromEnv(0));
+  std::printf("================================================================\n");
+}
+
+struct PreparedDataset {
+  DatasetSpec spec;
+  Graph graph;
+};
+
+/// Generates the first `count` catalog datasets at the env-configured scale.
+inline std::vector<PreparedDataset> PrepareDatasets(std::size_t count) {
+  const double scale = BenchScaleFromEnv();
+  std::vector<PreparedDataset> out;
+  const auto& catalog = PaperDatasets();
+  for (std::size_t i = 0; i < count && i < catalog.size(); ++i) {
+    Timer timer;
+    PreparedDataset d{catalog[i], MakeScaledDataset(catalog[i], scale)};
+    std::printf("[prep] %-5s n=%-9zu m=%-9zu (%.1fs)\n", d.spec.name.c_str(),
+                d.graph.NumNodes(), d.graph.NumArcs(), timer.Seconds());
+    std::fflush(stdout);
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+/// Times `query(s, t)` over all pairs; returns (avg microseconds, checksum).
+/// The checksum (sum of distances) lets callers assert that two methods
+/// computed identical results without storing every answer.
+template <typename QueryFn>
+std::pair<double, Dist> TimeQueries(
+    const std::vector<std::pair<NodeId, NodeId>>& pairs, QueryFn&& query) {
+  if (pairs.empty()) return {0.0, 0};
+  Dist checksum = 0;
+  Timer timer;
+  for (const auto& [s, t] : pairs) {
+    const Dist d = query(s, t);
+    if (d != kInfDist) checksum += d;
+  }
+  const double avg_us = timer.Micros() / static_cast<double>(pairs.size());
+  return {avg_us, checksum};
+}
+
+/// Workload sized for bench runs (paper: 10000 pairs/set; scaled down so
+/// the Dijkstra baseline stays affordable).
+inline Workload BenchWorkload(const Graph& g, std::size_t pairs_per_set) {
+  WorkloadParams params;
+  params.pairs_per_set = pairs_per_set;
+  params.seed = 20130624;  // SIGMOD'13.
+  return GenerateWorkload(g, params);
+}
+
+inline std::size_t EnvSizeT(const char* name, std::size_t fallback) {
+  if (const char* raw = std::getenv(name)) {
+    char* end = nullptr;
+    const long v = std::strtol(raw, &end, 10);
+    if (end != raw && v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+}  // namespace ah::bench

@@ -1,0 +1,68 @@
+// Extension bench (beyond the paper's evaluated set): ALT — A* with
+// landmarks ([12] in the paper's related work) — against Dijkstra, CH and
+// AH on one dataset. Shows where goal-directed search lands between the
+// baseline and the hierarchy methods.
+#include "alt/alt_index.h"
+#include "bench_common.h"
+#include "ch/ch_index.h"
+#include "core/ah_query.h"
+#include "routing/dijkstra.h"
+
+int main() {
+  using namespace ah;
+  using namespace ah::bench;
+  PrintHeader("Extension — ALT (A*, Landmarks, Triangle inequality)",
+              "goal-directed search vs. the paper's methods");
+
+  const std::size_t count = BenchDatasetCountFromEnv(2);
+  const std::size_t pairs = EnvSizeT("AH_BENCH_PAIRS", 80);
+  const std::size_t landmarks = EnvSizeT("AH_BENCH_LANDMARKS", 8);
+
+  for (const PreparedDataset& d : PrepareDatasets(count)) {
+    const Graph& g = d.graph;
+    const Workload workload = BenchWorkload(g, pairs);
+
+    Timer timer;
+    AltParams alt_params;
+    alt_params.num_landmarks = landmarks;
+    AltIndex alt = AltIndex::Build(g, alt_params);
+    std::printf("[build] ALT %.1fs (%zu landmarks, %.1f MB)\n",
+                timer.Seconds(), alt.NumLandmarks(),
+                static_cast<double>(alt.SizeBytes()) / (1024.0 * 1024.0));
+    ChIndex ch = ChIndex::Build(g);
+    AhIndex ah = AhIndex::Build(g);
+
+    Dijkstra dijkstra(g);
+    AltQuery alt_query(g, alt);
+    ChQuery ch_query(ch);
+    AhQuery ah_query(ah);
+
+    std::printf("\n--- %s (n = %s) — distance queries ---\n",
+                d.spec.name.c_str(),
+                TextTable::Int(static_cast<long long>(g.NumNodes())).c_str());
+    TextTable table({"set", "pairs", "AH (us)", "CH (us)", "ALT (us)",
+                     "Dijkstra (us)", "ok"});
+    for (const QuerySet& qs : workload.sets) {
+      const auto [ah_us, ah_sum] = TimeQueries(
+          qs.pairs, [&](NodeId s, NodeId t) { return ah_query.Distance(s, t); });
+      const auto [ch_us, ch_sum] = TimeQueries(
+          qs.pairs, [&](NodeId s, NodeId t) { return ch_query.Distance(s, t); });
+      const auto [alt_us, alt_sum] = TimeQueries(
+          qs.pairs, [&](NodeId s, NodeId t) { return alt_query.Distance(s, t); });
+      const auto [dij_us, dij_sum] = TimeQueries(
+          qs.pairs, [&](NodeId s, NodeId t) { return dijkstra.Distance(s, t); });
+      const bool ok =
+          ah_sum == dij_sum && ch_sum == dij_sum && alt_sum == dij_sum;
+      table.AddRow({"Q" + std::to_string(qs.index),
+                    std::to_string(qs.pairs.size()), TextTable::Num(ah_us, 2),
+                    TextTable::Num(ch_us, 2), TextTable::Num(alt_us, 2),
+                    TextTable::Num(dij_us, 2), ok ? "yes" : "MISMATCH"});
+    }
+    table.Print();
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nShape check: ALT sits between Dijkstra and the hierarchy methods —\n"
+      "goal direction prunes, but far queries still scan the corridor.\n");
+  return 0;
+}

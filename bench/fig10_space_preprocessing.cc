@@ -1,0 +1,60 @@
+// Figure 10: index space (MB) and preprocessing time (seconds) vs. the
+// number of nodes n, for SILC / CH / AH.
+//
+// Expected shape (paper): SILC super-linear in both space and time (dropped
+// beyond a size cutoff); AH linear space, near-linear preprocessing; CH the
+// cheapest on both axes.
+#include "bench_common.h"
+#include "ch/ch_index.h"
+#include "core/ah_index.h"
+#include "silc/silc_index.h"
+
+int main() {
+  using namespace ah;
+  using namespace ah::bench;
+  PrintHeader("Figure 10 — Space Overhead and Preprocessing Time vs. n",
+              "index size (MB) and build time (s) per method and dataset");
+
+  const std::size_t count = BenchDatasetCountFromEnv(5);
+  const std::size_t silc_max = EnvSizeT("AH_BENCH_SILC_MAX", 12000);
+  constexpr double kMb = 1024.0 * 1024.0;
+
+  TextTable table({"dataset", "n", "AH MB", "CH MB", "SILC MB", "AH s",
+                   "CH s", "SILC s", "AH shortcuts/n"});
+  for (const PreparedDataset& d : PrepareDatasets(count)) {
+    const Graph& g = d.graph;
+    Timer timer;
+    ChIndex ch = ChIndex::Build(g);
+    const double ch_s = timer.Seconds();
+    timer.Restart();
+    AhIndex ah = AhIndex::Build(g);
+    const double ah_s = timer.Seconds();
+
+    std::string silc_mb = "-";
+    std::string silc_s = "-";
+    if (g.NumNodes() <= silc_max) {
+      timer.Restart();
+      SilcIndex silc = SilcIndex::Build(g);
+      silc_s = TextTable::Num(timer.Seconds(), 2);
+      silc_mb = TextTable::Num(static_cast<double>(silc.SizeBytes()) / kMb, 2);
+    }
+
+    table.AddRow(
+        {d.spec.name,
+         TextTable::Int(static_cast<long long>(g.NumNodes())),
+         TextTable::Num(static_cast<double>(ah.SizeBytes()) / kMb, 2),
+         TextTable::Num(static_cast<double>(ch.SizeBytes()) / kMb, 2),
+         silc_mb, TextTable::Num(ah_s, 2), TextTable::Num(ch_s, 2), silc_s,
+         TextTable::Num(static_cast<double>(ah.build_stats().shortcuts) /
+                            static_cast<double>(g.NumNodes()),
+                        2)});
+    std::printf("[done] %s\n", d.spec.name.c_str());
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  table.Print();
+  std::printf(
+      "\nPaper shape check: SILC MB/n and s/n grow with n (super-linear);\n"
+      "AH MB/n roughly constant (linear space); CH smallest and fastest.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 8: average distance-query time (microseconds) per query set
+// Q1..Q10, per dataset, for Dijkstra / SILC / CH / AH.
+//
+// Expected shape (paper): AH fastest everywhere and by >50% on far queries
+// (Q8-Q10); CH close behind; SILC competitive on small inputs only (and
+// dropped on large ones — here: skipped when n exceeds AH_BENCH_SILC_MAX);
+// Dijkstra slowest, degrading steeply with query distance.
+#include "bench_common.h"
+#include "ch/ch_index.h"
+#include "core/ah_query.h"
+#include "routing/dijkstra.h"
+#include "silc/silc_index.h"
+
+int main() {
+  using namespace ah;
+  using namespace ah::bench;
+  PrintHeader("Figure 8 — Efficiency of Distance Queries vs. Query Set",
+              "avg running time (microsec) per query set Q1..Q10");
+
+  const std::size_t count = BenchDatasetCountFromEnv(4);
+  const std::size_t pairs = EnvSizeT("AH_BENCH_PAIRS", 100);
+  const std::size_t silc_max = EnvSizeT("AH_BENCH_SILC_MAX", 8000);
+
+  for (const PreparedDataset& d : PrepareDatasets(count)) {
+    const Graph& g = d.graph;
+    const Workload workload = BenchWorkload(g, pairs);
+
+    Timer build_timer;
+    ChIndex ch = ChIndex::Build(g);
+    std::printf("[build] CH   %.1fs\n", build_timer.Seconds());
+    build_timer.Restart();
+    AhIndex ah = AhIndex::Build(g);
+    std::printf("[build] AH   %.1fs\n", build_timer.Seconds());
+    const bool run_silc = g.NumNodes() <= silc_max;
+    SilcIndex silc;
+    if (run_silc) {
+      build_timer.Restart();
+      silc = SilcIndex::Build(g);
+      std::printf("[build] SILC %.1fs\n", build_timer.Seconds());
+    } else {
+      std::printf("[build] SILC skipped (n > %zu; cf. paper §6.4)\n",
+                  silc_max);
+    }
+    std::fflush(stdout);
+
+    Dijkstra dijkstra(g);
+    ChQuery ch_query(ch);
+    AhQuery ah_query(ah);
+
+    std::printf("\n--- %s (n = %s) — distance queries ---\n",
+                d.spec.name.c_str(),
+                TextTable::Int(static_cast<long long>(g.NumNodes())).c_str());
+    TextTable table({"set", "pairs", "AH (us)", "CH (us)", "SILC (us)",
+                     "Dijkstra (us)", "AH/CH speedup"});
+    for (const QuerySet& qs : workload.sets) {
+      const auto [ah_us, ah_sum] = TimeQueries(
+          qs.pairs, [&](NodeId s, NodeId t) { return ah_query.Distance(s, t); });
+      const auto [ch_us, ch_sum] = TimeQueries(
+          qs.pairs, [&](NodeId s, NodeId t) { return ch_query.Distance(s, t); });
+      const auto [dij_us, dij_sum] = TimeQueries(
+          qs.pairs, [&](NodeId s, NodeId t) { return dijkstra.Distance(s, t); });
+      std::string silc_cell = "-";
+      if (run_silc) {
+        const auto [silc_us, silc_sum] = TimeQueries(
+            qs.pairs, [&](NodeId s, NodeId t) { return silc.Distance(s, t); });
+        silc_cell = TextTable::Num(silc_us, 2);
+        if (silc_sum != dij_sum) {
+          std::printf("!! SILC checksum mismatch on Q%d\n", qs.index);
+        }
+      }
+      if (ah_sum != dij_sum || ch_sum != dij_sum) {
+        std::printf("!! checksum mismatch on Q%d (ah=%llu ch=%llu dij=%llu)\n",
+                    qs.index, static_cast<unsigned long long>(ah_sum),
+                    static_cast<unsigned long long>(ch_sum),
+                    static_cast<unsigned long long>(dij_sum));
+      }
+      table.AddRow({"Q" + std::to_string(qs.index),
+                    std::to_string(qs.pairs.size()), TextTable::Num(ah_us, 2),
+                    TextTable::Num(ch_us, 2), silc_cell,
+                    TextTable::Num(dij_us, 2),
+                    ch_us > 0 ? TextTable::Num(ch_us / std::max(ah_us, 1e-9), 2)
+                              : "-"});
+    }
+    table.Print();
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nPaper shape check: AH <= CH on all sets and well below CH on\n"
+      "Q8-Q10; Dijkstra worst and growing with the set index.\n");
+  return 0;
+}

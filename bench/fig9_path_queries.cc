@@ -1,0 +1,91 @@
+// Figure 9: average shortest-path-query time (microseconds) per query set
+// Q1..Q10, per dataset, for Dijkstra / SILC / CH / AH.
+//
+// Expected shape (paper): AH fastest; path queries strictly more expensive
+// than distance queries for AH and CH (distance search + O(k) unpacking);
+// SILC and Dijkstra cost the same as their distance queries (they compute
+// the path anyway).
+#include "bench_common.h"
+#include "ch/ch_index.h"
+#include "core/ah_query.h"
+#include "routing/dijkstra.h"
+#include "silc/silc_index.h"
+
+int main() {
+  using namespace ah;
+  using namespace ah::bench;
+  PrintHeader("Figure 9 — Efficiency of Shortest Path Queries vs. Query Set",
+              "avg running time (microsec) per query set Q1..Q10");
+
+  const std::size_t count = BenchDatasetCountFromEnv(4);
+  const std::size_t pairs = EnvSizeT("AH_BENCH_PAIRS", 100);
+  const std::size_t silc_max = EnvSizeT("AH_BENCH_SILC_MAX", 8000);
+
+  for (const PreparedDataset& d : PrepareDatasets(count)) {
+    const Graph& g = d.graph;
+    const Workload workload = BenchWorkload(g, pairs);
+
+    ChIndex ch = ChIndex::Build(g);
+    AhIndex ah = AhIndex::Build(g);
+    const bool run_silc = g.NumNodes() <= silc_max;
+    SilcIndex silc;
+    if (run_silc) silc = SilcIndex::Build(g);
+
+    Dijkstra dijkstra(g);
+    ChQuery ch_query(ch);
+    AhQuery ah_query(ah);
+
+    std::printf("\n--- %s (n = %s) — shortest path queries ---\n",
+                d.spec.name.c_str(),
+                TextTable::Int(static_cast<long long>(g.NumNodes())).c_str());
+    TextTable table({"set", "pairs", "AH (us)", "CH (us)", "SILC (us)",
+                     "Dijkstra (us)", "avg path edges"});
+    for (const QuerySet& qs : workload.sets) {
+      std::size_t edge_total = 0;
+      const auto [ah_us, ah_sum] =
+          TimeQueries(qs.pairs, [&](NodeId s, NodeId t) {
+            const PathResult p = ah_query.Path(s, t);
+            edge_total += p.NumEdges();
+            return p.length;
+          });
+      const auto [ch_us, ch_sum] =
+          TimeQueries(qs.pairs, [&](NodeId s, NodeId t) {
+            return ch_query.Path(s, t).length;
+          });
+      const auto [dij_us, dij_sum] =
+          TimeQueries(qs.pairs, [&](NodeId s, NodeId t) {
+            const auto nodes = dijkstra.Path(s, t);
+            return nodes.empty() ? kInfDist : dijkstra.DistTo(t);
+          });
+      std::string silc_cell = "-";
+      if (run_silc) {
+        const auto [silc_us, silc_sum] =
+            TimeQueries(qs.pairs, [&](NodeId s, NodeId t) {
+              return silc.Path(s, t).length;
+            });
+        silc_cell = TextTable::Num(silc_us, 2);
+        if (silc_sum != dij_sum) {
+          std::printf("!! SILC checksum mismatch on Q%d\n", qs.index);
+        }
+      }
+      if (ah_sum != dij_sum || ch_sum != dij_sum) {
+        std::printf("!! checksum mismatch on Q%d\n", qs.index);
+      }
+      const double avg_edges =
+          qs.pairs.empty() ? 0.0
+                           : static_cast<double>(edge_total) /
+                                 static_cast<double>(qs.pairs.size());
+      table.AddRow({"Q" + std::to_string(qs.index),
+                    std::to_string(qs.pairs.size()), TextTable::Num(ah_us, 2),
+                    TextTable::Num(ch_us, 2), silc_cell,
+                    TextTable::Num(dij_us, 2), TextTable::Num(avg_edges, 0)});
+    }
+    table.Print();
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nPaper shape check: AH fastest; AH/CH path queries cost more than\n"
+      "their Figure-8 distance counterparts (distance + O(k) unpacking),\n"
+      "while Dijkstra/SILC cost the same as in Figure 8.\n");
+  return 0;
+}

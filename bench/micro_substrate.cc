@@ -1,0 +1,138 @@
+// Micro-benchmarks (google-benchmark) for the substrate data structures the
+// indexes are built from: heap operations, CSR scans, grid math, Morton
+// codes, local Dijkstra, and contraction.
+#include <benchmark/benchmark.h>
+
+#include "gen/road_gen.h"
+#include "geo/grid.h"
+#include "hier/contraction.h"
+#include "routing/dijkstra.h"
+#include "silc/quadtree.h"
+#include "util/indexed_heap.h"
+#include "util/rng.h"
+
+namespace ah {
+namespace {
+
+const Graph& BenchGraph() {
+  static const Graph* graph = [] {
+    RoadGenParams p;
+    p.cols = p.rows = 48;
+    p.seed = 7;
+    return new Graph(GenerateRoadNetwork(p));
+  }();
+  return *graph;
+}
+
+void BM_IndexedHeapPushPop(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  IndexedHeap heap(n);
+  Rng rng(1);
+  std::vector<Dist> keys(n);
+  for (std::size_t i = 0; i < n; ++i) keys[i] = rng.Uniform(1 << 20);
+  for (auto _ : state) {
+    heap.Clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      heap.PushOrDecrease(static_cast<std::uint32_t>(i), keys[i]);
+    }
+    while (!heap.Empty()) benchmark::DoNotOptimize(heap.PopMin());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_IndexedHeapPushPop)->Arg(1024)->Arg(16384);
+
+void BM_IndexedHeapDecreaseKey(benchmark::State& state) {
+  const std::size_t n = 4096;
+  IndexedHeap heap(n);
+  Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    heap.Clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      heap.PushOrDecrease(static_cast<std::uint32_t>(i),
+                          1000000 + rng.Uniform(1000000));
+    }
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < n; ++i) {
+      heap.PushOrDecrease(static_cast<std::uint32_t>(i), rng.Uniform(1000000));
+    }
+  }
+}
+BENCHMARK(BM_IndexedHeapDecreaseKey);
+
+void BM_CsrOutArcScan(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      for (const Arc& a : g.OutArcs(v)) acc += a.weight;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.NumArcs()));
+}
+BENCHMARK(BM_CsrOutArcScan);
+
+void BM_GridCellOf(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  const SquareGrid grid = SquareGrid::Covering(g.BoundingBox(), 1024);
+  for (auto _ : state) {
+    std::int64_t acc = 0;
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      const Cell c = grid.CellOf(g.Coord(v));
+      acc += c.cx + c.cy;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.NumNodes()));
+}
+BENCHMARK(BM_GridCellOf);
+
+void BM_MortonEncode(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> points(4096);
+  for (auto& p : points) {
+    p = {static_cast<std::uint32_t>(rng.Next()),
+         static_cast<std::uint32_t>(rng.Next())};
+  }
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (const auto& [x, y] : points) acc ^= MortonInterleave32(x, y);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK(BM_MortonEncode);
+
+void BM_DijkstraFull(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  Dijkstra dijkstra(g);
+  Rng rng(4);
+  for (auto _ : state) {
+    dijkstra.Run(static_cast<NodeId>(rng.Uniform(g.NumNodes())));
+    benchmark::DoNotOptimize(dijkstra.SettledNodes().size());
+  }
+}
+BENCHMARK(BM_DijkstraFull);
+
+void BM_ContractGraph(benchmark::State& state) {
+  RoadGenParams p;
+  p.cols = p.rows = 16;
+  p.seed = 9;
+  const Graph g = GenerateRoadNetwork(p);
+  const auto arcs = ArcsOf(g);
+  for (auto _ : state) {
+    ContractionEngine engine(g.NumNodes(), arcs);
+    for (NodeId v = 0; v < g.NumNodes(); ++v) engine.Contract(v);
+    benchmark::DoNotOptimize(engine.EmittedArcs().size());
+  }
+}
+BENCHMARK(BM_ContractGraph);
+
+}  // namespace
+}  // namespace ah
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Navigation: a shortest-path query rendered as driving directions — the
+// second half of the paper's motivating scenario (§1): once the user picks a
+// restaurant, the service computes the actual route.
+//
+// The route comes from AhQuery::Path (distance query + O(k) shortcut
+// unpacking); instructions are derived from the node coordinates.
+//
+// Build & run:  ./build/examples/navigation
+#include <cmath>
+#include <cstdio>
+
+#include "core/ah_query.h"
+#include "gen/road_gen.h"
+#include "util/rng.h"
+
+namespace {
+
+const char* Heading(const ah::Point& from, const ah::Point& to) {
+  const double dx = to.x - from.x;
+  const double dy = to.y - from.y;
+  const double angle = std::atan2(dy, dx) * 180.0 / 3.14159265358979;
+  if (angle >= -22.5 && angle < 22.5) return "east";
+  if (angle >= 22.5 && angle < 67.5) return "northeast";
+  if (angle >= 67.5 && angle < 112.5) return "north";
+  if (angle >= 112.5 && angle < 157.5) return "northwest";
+  if (angle >= -67.5 && angle < -22.5) return "southeast";
+  if (angle >= -112.5 && angle < -67.5) return "south";
+  if (angle >= -157.5 && angle < -112.5) return "southwest";
+  return "west";
+}
+
+}  // namespace
+
+int main() {
+  using namespace ah;
+
+  RoadGenParams gen;
+  gen.cols = gen.rows = 90;
+  gen.seed = 4;
+  const Graph graph = GenerateRoadNetwork(gen);
+  const AhIndex index = AhIndex::Build(graph);
+  AhQuery query(index);
+
+  // A long trip: opposite corners of the map.
+  Rng rng(12);
+  NodeId s = 0, t = 0;
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    auto corner_score = [&](NodeId x, bool far) {
+      const Point& p = graph.Coord(x);
+      return far ? static_cast<long long>(p.x) + p.y
+                 : -(static_cast<long long>(p.x) + p.y);
+    };
+    if (corner_score(v, false) > corner_score(s, false)) s = v;
+    if (corner_score(v, true) > corner_score(t, true)) t = v;
+  }
+
+  const PathResult route = query.Path(s, t);
+  if (!route.Found()) {
+    std::printf("no route from %u to %u\n", s, t);
+    return 1;
+  }
+  std::printf("route %u -> %u: %zu road segments, total travel time %llu\n\n",
+              s, t, route.NumEdges(),
+              static_cast<unsigned long long>(route.length));
+
+  // Merge consecutive segments with the same heading into one instruction.
+  std::printf("directions:\n");
+  std::size_t step = 1;
+  std::size_t i = 0;
+  Dist leg_time = 0;
+  while (i + 1 < route.nodes.size()) {
+    const char* heading =
+        Heading(graph.Coord(route.nodes[i]), graph.Coord(route.nodes[i + 1]));
+    std::size_t j = i;
+    leg_time = 0;
+    while (j + 1 < route.nodes.size() &&
+           Heading(graph.Coord(route.nodes[j]),
+                   graph.Coord(route.nodes[j + 1])) == heading) {
+      leg_time += graph.ArcWeight(route.nodes[j], route.nodes[j + 1]);
+      ++j;
+    }
+    if (step <= 12 || j + 1 >= route.nodes.size()) {
+      std::printf("  %2zu. head %-9s for %zu segment%s (time %llu)\n", step,
+                  heading, j - i, j - i == 1 ? "" : "s",
+                  static_cast<unsigned long long>(leg_time));
+    } else if (step == 13) {
+      std::printf("      ...\n");
+    }
+    ++step;
+    i = j;
+  }
+  std::printf("\narrived at node %u. (%zu instructions)\n", t, step - 1);
+  return 0;
+}

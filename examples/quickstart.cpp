@@ -1,0 +1,56 @@
+// Quickstart: the minimal end-to-end use of the library.
+//   1. Obtain a road network (here: the synthetic generator; DIMACS files
+//      work the same way via ReadDimacsFiles).
+//   2. Build the Arterial Hierarchy index.
+//   3. Answer distance and shortest-path queries.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/ah_query.h"
+#include "gen/road_gen.h"
+#include "workload/workload.h"
+
+int main() {
+  using namespace ah;
+
+  // 1. A ~10k-node road network with local streets, arterials and highways.
+  RoadGenParams gen;
+  gen.cols = gen.rows = 100;
+  gen.seed = 2013;
+  const Graph graph = GenerateRoadNetwork(gen);
+  std::printf("road network: %zu nodes, %zu arcs\n", graph.NumNodes(),
+              graph.NumArcs());
+
+  // 2. Build the AH index. AhParams exposes every knob from the paper
+  //    (grid depth, ordering, elevating-edge band, ...); defaults are fine.
+  const AhIndex index = AhIndex::Build(graph);
+  const AhBuildStats& stats = index.build_stats();
+  std::printf(
+      "AH index: built in %.2fs (levels %d..0, %zu shortcuts, %.1f MB)\n",
+      stats.total_seconds, stats.max_level, stats.shortcuts,
+      static_cast<double>(index.SizeBytes()) / (1024.0 * 1024.0));
+
+  // 3. Queries. One AhQuery per thread; it holds reusable search state.
+  AhQuery query(index);
+  const NodeId s = 0;
+  const NodeId t = static_cast<NodeId>(graph.NumNodes() - 1);
+
+  const Dist d = query.Distance(s, t);
+  std::printf("distance(%u -> %u) = %llu (travel-time units)\n", s, t,
+              static_cast<unsigned long long>(d));
+
+  const PathResult path = query.Path(s, t);
+  std::printf("shortest path has %zu edges; first hops:", path.NumEdges());
+  for (std::size_t i = 0; i < path.nodes.size() && i < 8; ++i) {
+    std::printf(" %u", path.nodes[i]);
+  }
+  std::printf(" ...\n");
+
+  // The paper's Q1..Q10 workload generator is available too:
+  const Workload workload = GenerateWorkload(graph, {.pairs_per_set = 5});
+  std::printf("workload: lmax=%llu, Q10 holds %zu far pairs\n",
+              static_cast<unsigned long long>(workload.lmax),
+              workload.sets.back().pairs.size());
+  return 0;
+}

@@ -1,0 +1,109 @@
+// route_server: a minimal interactive query service over an AH index —
+// reads queries from stdin, one per line, and answers immediately:
+//
+//   d <s> <t>   distance query
+//   p <s> <t>   shortest path query (prints the node sequence, truncated)
+//   k <s> <k>   k nearest POIs (a fixed random POI set, bucket one-to-many)
+//   q           quit
+//
+// Usage:  route_server [dimacs-base]     (synthetic network if omitted)
+// Demo:   printf 'd 0 500\np 0 500\nk 0 3\nq\n' | ./build/examples/route_server
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/ah_query.h"
+#include "gen/road_gen.h"
+#include "graph/dimacs.h"
+#include "hier/one_to_many.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace ah;
+
+  Graph graph;
+  if (argc > 1) {
+    std::printf("loading DIMACS network %s ...\n", argv[1]);
+    graph = ReadDimacsFiles(argv[1]);
+  } else {
+    RoadGenParams gen;
+    gen.cols = gen.rows = 70;
+    gen.seed = 8;
+    graph = GenerateRoadNetwork(gen);
+  }
+  std::printf("network: %zu nodes, %zu arcs\n", graph.NumNodes(),
+              graph.NumArcs());
+
+  Timer build;
+  const AhIndex index = AhIndex::Build(graph);
+  std::printf("AH index ready in %.2fs (%.1f MB). Commands: d|p|k|q\n",
+              build.Seconds(),
+              static_cast<double>(index.SizeBytes()) / (1024.0 * 1024.0));
+  AhQuery query(index);
+
+  // A fixed POI set for the k-nearest command.
+  Rng rng(4);
+  std::vector<NodeId> pois;
+  for (int i = 0; i < 50; ++i) {
+    pois.push_back(static_cast<NodeId>(rng.Uniform(graph.NumNodes())));
+  }
+  OneToMany poi_oracle(index.search_graph(), pois);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream ls(line);
+    char cmd = 0;
+    ls >> cmd;
+    if (cmd == 0) continue;
+    if (cmd == 'q') break;
+    NodeId a = 0;
+    std::uint64_t b = 0;
+    ls >> a >> b;
+    if (!ls || a >= graph.NumNodes()) {
+      std::printf("? usage: d <s> <t> | p <s> <t> | k <s> <k> | q\n");
+      continue;
+    }
+    Timer timer;
+    if (cmd == 'd') {
+      if (b >= graph.NumNodes()) {
+        std::printf("? node out of range\n");
+        continue;
+      }
+      const Dist d = query.Distance(a, static_cast<NodeId>(b));
+      std::printf("dist(%u, %llu) = %llu   [%.1f us]\n", a,
+                  static_cast<unsigned long long>(b),
+                  static_cast<unsigned long long>(d), timer.Micros());
+    } else if (cmd == 'p') {
+      if (b >= graph.NumNodes()) {
+        std::printf("? node out of range\n");
+        continue;
+      }
+      const PathResult p = query.Path(a, static_cast<NodeId>(b));
+      if (!p.Found()) {
+        std::printf("no path\n");
+        continue;
+      }
+      std::printf("path(%u, %llu): %zu edges, length %llu   [%.1f us]\n ", a,
+                  static_cast<unsigned long long>(b), p.NumEdges(),
+                  static_cast<unsigned long long>(p.length), timer.Micros());
+      for (std::size_t i = 0; i < p.nodes.size() && i < 12; ++i) {
+        std::printf(" %u", p.nodes[i]);
+      }
+      if (p.nodes.size() > 12) std::printf(" ... %u", p.nodes.back());
+      std::printf("\n");
+    } else if (cmd == 'k') {
+      const auto nearest = poi_oracle.KNearest(a, b == 0 ? 5 : b);
+      std::printf("%zu nearest POIs from %u   [%.1f us]\n", nearest.size(), a,
+                  timer.Micros());
+      for (const auto& [node, d] : nearest) {
+        std::printf("  node %-8u travel time %llu\n", node,
+                    static_cast<unsigned long long>(d));
+      }
+    } else {
+      std::printf("? unknown command '%c'\n", cmd);
+    }
+  }
+  return 0;
+}

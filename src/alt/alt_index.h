@@ -1,0 +1,77 @@
+// ALT (A*, Landmarks, Triangle inequality; Goldberg & Harrelson, SODA'05) —
+// one of the heuristic competitors surveyed in the paper's related work
+// ([12]). Included as an extension baseline beyond the paper's evaluated
+// set: it brackets where goal-direction alone lands between Dijkstra and
+// the hierarchy methods.
+//
+// Preprocessing stores, for a small set of landmarks chosen by farthest-
+// point selection, the distances from and to every node. A query runs A*
+// with the triangle-inequality potential
+//   π(v) = max_l max( d(v,l) − d(t,l), d(l,t) − d(l,v) ),
+// which is feasible and consistent, so the search is exact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/indexed_heap.h"
+#include "util/types.h"
+
+namespace ah {
+
+struct AltParams {
+  std::size_t num_landmarks = 8;
+  std::uint64_t seed = 5;
+};
+
+class AltIndex {
+ public:
+  /// Builds landmark distance tables: 2 * num_landmarks Dijkstras, O(L*n)
+  /// space.
+  static AltIndex Build(const Graph& g, const AltParams& params = {});
+
+  std::size_t NumNodes() const { return n_; }
+  std::size_t NumLandmarks() const { return landmarks_.size(); }
+  const std::vector<NodeId>& landmarks() const { return landmarks_; }
+
+  /// d(landmark l, v) and d(v, landmark l); kInfDist if unreachable.
+  Dist FromLandmark(std::size_t l, NodeId v) const {
+    return from_[l * n_ + v];
+  }
+  Dist ToLandmark(std::size_t l, NodeId v) const { return to_[l * n_ + v]; }
+
+  /// Lower bound on d(v, t) from the landmark triangle inequalities.
+  Dist Potential(NodeId v, NodeId t) const;
+
+  std::size_t SizeBytes() const;
+  double build_seconds() const { return build_seconds_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<NodeId> landmarks_;
+  std::vector<Dist> from_;  // [l*n + v] = d(landmark_l, v).
+  std::vector<Dist> to_;    // [l*n + v] = d(v, landmark_l).
+  double build_seconds_ = 0;
+};
+
+/// A* query engine over an AltIndex (one per thread).
+class AltQuery {
+ public:
+  AltQuery(const Graph& g, const AltIndex& index);
+
+  Dist Distance(NodeId s, NodeId t);
+
+  std::size_t LastSettled() const { return last_settled_; }
+
+ private:
+  const Graph& graph_;
+  const AltIndex& index_;
+  IndexedHeap heap_;
+  std::vector<Dist> dist_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t round_ = 0;
+  std::size_t last_settled_ = 0;
+};
+
+}  // namespace ah

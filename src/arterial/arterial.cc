@@ -1,0 +1,51 @@
+#include "arterial/arterial.h"
+
+#include <algorithm>
+
+#include "graph/light_graph.h"
+
+namespace ah {
+
+ArterialLevels ComputeArterialLevels(const Graph& g, const GridHierarchy& gh,
+                                     const Nuance& nuance) {
+  const std::size_t n = g.NumNodes();
+  const std::int32_t h = gh.Depth();
+
+  std::vector<NodeId> all_nodes(n);
+  for (NodeId v = 0; v < n; ++v) all_nodes[v] = v;
+
+  const LightGraph lg = LightGraph::FromGraph(g);
+  WindowProcessor processor(lg, g.Coords(), nuance);
+
+  ArterialLevels result;
+  result.node_level.assign(n, 0);
+  result.arterial_per_level.resize(h);
+
+  for (std::int32_t i = 1; i <= h; ++i) {
+    const SquareGrid& grid = gh.Grid(i);
+    const CellIndex cells(grid, g.Coords(), all_nodes);
+    std::vector<ArterialEdge> level_edges;
+    for (const Window& w : EnumerateWindows(grid, cells)) {
+      auto found = processor.Process(grid, w, cells);
+      level_edges.insert(level_edges.end(), found.begin(), found.end());
+    }
+    std::sort(level_edges.begin(), level_edges.end(),
+              [](const ArterialEdge& a, const ArterialEdge& b) {
+                if (a.tail != b.tail) return a.tail < b.tail;
+                if (a.head != b.head) return a.head < b.head;
+                return a.axis < b.axis;
+              });
+    level_edges.erase(std::unique(level_edges.begin(), level_edges.end()),
+                      level_edges.end());
+
+    // A node's level is the highest grid level whose arterial edges touch it.
+    for (const ArterialEdge& e : level_edges) {
+      result.node_level[e.tail] = std::max(result.node_level[e.tail], i);
+      result.node_level[e.head] = std::max(result.node_level[e.head], i);
+    }
+    result.arterial_per_level[i - 1] = std::move(level_edges);
+  }
+  return result;
+}
+
+}  // namespace ah

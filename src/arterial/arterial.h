@@ -1,0 +1,29 @@
+// Arterial-edge levels on the full graph (Section 3.1) — the level
+// assignment of the FC index: an edge has level i if it is arterial in grid
+// R_i but in no coarser grid; a node has the maximum level of its incident
+// edges. This recomputes local shortest paths per level on the *original*
+// graph, which is exactly why FC does not scale (§3.3) — AH replaces it with
+// the incremental scheme in core/level_assigner.
+#pragma once
+
+#include <vector>
+
+#include "arterial/local_paths.h"
+#include "graph/graph.h"
+#include "hgrid/grid_hierarchy.h"
+#include "util/types.h"
+
+namespace ah {
+
+struct ArterialLevels {
+  /// Final level per node, in [0, h].
+  std::vector<Level> node_level;
+  /// arterial_per_level[i-1] = deduplicated arterial edges of grid R_i.
+  std::vector<std::vector<ArterialEdge>> arterial_per_level;
+};
+
+/// Computes A_1..A_h and node levels on the original graph.
+ArterialLevels ComputeArterialLevels(const Graph& g, const GridHierarchy& gh,
+                                     const Nuance& nuance);
+
+}  // namespace ah

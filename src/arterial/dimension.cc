@@ -1,0 +1,65 @@
+#include "arterial/dimension.h"
+
+#include <algorithm>
+
+#include "arterial/local_paths.h"
+#include "geo/grid.h"
+#include "graph/light_graph.h"
+#include "hgrid/window.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace ah {
+
+std::vector<DimensionRow> MeasureArterialDimension(
+    const Graph& g, int r_lo, int r_hi, std::size_t max_windows_per_r,
+    std::uint64_t seed, std::size_t max_sources_per_window) {
+  std::vector<DimensionRow> rows;
+  if (g.NumNodes() == 0) return rows;
+  r_lo = std::max(r_lo, 2);
+
+  const Box box = g.BoundingBox();
+  const LightGraph lg = LightGraph::FromGraph(g);
+  const Nuance nuance(seed);
+  WindowProcessor processor(lg, g.Coords(), nuance);
+
+  std::vector<NodeId> all_nodes(g.NumNodes());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) all_nodes[v] = v;
+
+  Rng rng(seed);
+  for (int r = r_lo; r <= r_hi; ++r) {
+    const SquareGrid grid = SquareGrid::Covering(box, 1 << r);
+    const CellIndex cells(grid, g.Coords(), all_nodes);
+    std::vector<Window> windows = EnumerateWindows(grid, cells);
+
+    DimensionRow row;
+    row.resolution = r;
+    row.windows = windows.size();
+    if (windows.size() > max_windows_per_r) {
+      // Partial Fisher-Yates: uniform sample prefix.
+      for (std::size_t i = 0; i < max_windows_per_r; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(rng.Uniform(windows.size() - i));
+        std::swap(windows[i], windows[j]);
+      }
+      windows.resize(max_windows_per_r);
+    }
+    row.sampled = windows.size();
+
+    SampleStats stats;
+    for (const Window& w : windows) {
+      stats.Add(static_cast<double>(
+          processor.Process(grid, w, cells, max_sources_per_window).size()));
+    }
+    if (!stats.Empty()) {
+      row.mean = stats.Mean();
+      row.q90 = stats.Quantile(0.90);
+      row.q99 = stats.Quantile(0.99);
+      row.max = stats.Max();
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace ah

@@ -1,0 +1,34 @@
+// The arterial-dimension measurement behind Figure 3 and Assumption 1:
+// per-window arterial-edge counts (mean / 90% / 99% quantile / max) as a
+// function of the grid resolution r (grid = 2^r × 2^r cells).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ah {
+
+struct DimensionRow {
+  int resolution = 0;          ///< r: the grid has 2^r × 2^r cells.
+  std::size_t windows = 0;     ///< Non-empty 4×4 windows measured.
+  std::size_t sampled = 0;     ///< Windows actually processed (≤ windows).
+  double mean = 0;
+  double q90 = 0;
+  double q99 = 0;
+  double max = 0;
+};
+
+/// Measures arterial-edge counts for every non-empty window on grids
+/// 2^r × 2^r for r in [r_lo, r_hi]. When a grid has more than
+/// `max_windows_per_r` non-empty windows, a uniform random sample of that
+/// size is measured instead (the paper measures all; sampling keeps coarse
+/// resolutions tractable and is reported in the `sampled` column).
+/// `max_sources_per_window` bounds the local searches per window the same
+/// way for the very coarse grids whose windows span much of the graph.
+std::vector<DimensionRow> MeasureArterialDimension(
+    const Graph& g, int r_lo, int r_hi, std::size_t max_windows_per_r = 4000,
+    std::uint64_t seed = 7, std::size_t max_sources_per_window = 96);
+
+}  // namespace ah

@@ -1,0 +1,111 @@
+// Window-local shortest paths and spanning-path / arterial-edge extraction
+// (Definition 1 of the paper).
+//
+// A *local path* of a 4×4 window B has at most one edge crossing B's
+// boundary; we therefore search the subgraph induced by the nodes inside B,
+// extended by one-hop-out *terminal* nodes that can end (or start) a path
+// but are never expanded. A *spanning path* is a local shortest path whose
+// endpoints lie on opposite sides of a bisector, neither in a cell adjacent
+// to it. Every spanning-path edge that crosses the bisector is an arterial
+// edge of B.
+//
+// Ties between equal-length paths are broken by Appendix A's nuance
+// perturbation so that "the" local shortest path is unique.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "geo/grid.h"
+#include "geo/point.h"
+#include "graph/light_graph.h"
+#include "hgrid/window.h"
+#include "perturb/perturb.h"
+#include "util/indexed_heap.h"
+#include "util/types.h"
+
+namespace ah {
+
+/// A directed arterial (or pseudo-arterial) edge found in a window.
+struct ArterialEdge {
+  NodeId tail = kInvalidNode;
+  NodeId head = kInvalidNode;
+  BisectorAxis axis = BisectorAxis::kVertical;
+
+  friend bool operator==(const ArterialEdge& a, const ArterialEdge& b) {
+    return a.tail == b.tail && a.head == b.head && a.axis == b.axis;
+  }
+};
+
+/// Reusable processor: one instance amortizes its buffers across the many
+/// windows of a grid level. Not thread-safe.
+class WindowProcessor {
+ public:
+  /// `graph` and `coords` must outlive the processor. `coords` is indexed by
+  /// the same node ids as `graph`.
+  WindowProcessor(const LightGraph& graph, const std::vector<Point>& coords,
+                  const Nuance& nuance);
+
+  /// Computes the arterial edges of window `w` on `grid`. `cells` must index
+  /// the *active* nodes (the processor searches only among them plus their
+  /// one-hop-out terminals). Results are deduplicated and deterministic.
+  ///
+  /// `max_sources` caps the number of qualified endpoints searched from (a
+  /// deterministic every-k-th subsample when exceeded) — used by the
+  /// Figure-3 measurement on coarse grids where a window may contain a
+  /// large fraction of the graph.
+  std::vector<ArterialEdge> Process(
+      const SquareGrid& grid, const Window& w, const CellIndex& cells,
+      std::size_t max_sources = std::numeric_limits<std::size_t>::max());
+
+  /// Number of local Dijkstra runs performed so far (diagnostics).
+  std::size_t NumSearches() const { return num_searches_; }
+
+ private:
+  // Local node bookkeeping: global node -> dense local slot, timestamped so
+  // reset is O(#window nodes).
+  struct LocalNode {
+    NodeId global = kInvalidNode;
+    Cell cell;
+    bool inside = false;    // Inside the window (expandable).
+    bool terminal = false;  // One hop outside (absorb only).
+  };
+
+  // Registers a node; returns its local slot.
+  std::uint32_t Localize(NodeId global, const Cell& cell, bool inside);
+
+  // Dijkstra from local source over the window subgraph; fills dist_/par_.
+  void RunLocalSearch(std::uint32_t source);
+
+  // Extracts arterial edges from all spanning paths rooted at `source` for
+  // one axis, appending to `out`.
+  void CollectSpanningPaths(const Window& w, std::uint32_t source,
+                            BisectorAxis axis,
+                            std::vector<ArterialEdge>* out);
+
+  const LightGraph& graph_;
+  const std::vector<Point>& coords_;
+  const Nuance& nuance_;
+
+  // Global -> local mapping (timestamped).
+  std::vector<std::uint32_t> local_of_;
+  std::vector<std::uint32_t> local_stamp_;
+  std::uint32_t round_ = 0;
+
+  // Per-window local arrays.
+  std::vector<LocalNode> nodes_;
+  std::vector<std::vector<std::pair<std::uint32_t, Weight>>> adj_;
+
+  // Per-search labels.
+  IndexedHeap heap_;
+  std::vector<TieDist> dist_;
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> search_stamp_;
+  std::uint32_t search_round_ = 0;
+
+  std::vector<NodeId> window_nodes_;  // Scratch for cell collection.
+  std::size_t num_searches_ = 0;
+};
+
+}  // namespace ah

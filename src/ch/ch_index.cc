@@ -1,0 +1,66 @@
+#include "ch/ch_index.h"
+
+#include <numeric>
+
+#include "hier/greedy_order.h"
+#include "util/serialize.h"
+#include "util/timer.h"
+
+namespace ah {
+
+ChIndex ChIndex::Build(const Graph& g, const ChParams& params) {
+  Timer timer;
+  const std::size_t n = g.NumNodes();
+  ContractionEngine engine(n, ArcsOf(g), params.contraction);
+
+  std::vector<NodeId> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  const GreedyOrderParams order_params{params.edge_diff_weight,
+                                       params.neighbor_weight};
+  const std::vector<NodeId> order =
+      ContractGreedySubset(engine, all, order_params);
+
+  std::vector<Rank> rank(n, 0);
+  for (Rank r = 0; r < order.size(); ++r) rank[order[r]] = r;
+
+  ChIndex index;
+  index.search_graph_ = SearchGraph(n, engine.EmittedArcs(), std::move(rank));
+  index.build_stats_.seconds = timer.Seconds();
+  index.build_stats_.shortcuts = engine.NumShortcutsAdded();
+  return index;
+}
+
+void ChIndex::Save(std::ostream& out) const {
+  BinaryWriter w(out);
+  w.Magic("AHCH", 1);
+  search_graph_.Save(out);
+  w.Pod(build_stats_.seconds);
+  w.Pod<std::uint64_t>(build_stats_.shortcuts);
+}
+
+ChIndex ChIndex::Load(std::istream& in) {
+  BinaryReader r(in);
+  r.Magic("AHCH", 1);
+  ChIndex index;
+  index.search_graph_ = SearchGraph::Load(in);
+  index.build_stats_.seconds = r.Pod<double>();
+  index.build_stats_.shortcuts = r.Pod<std::uint64_t>();
+  return index;
+}
+
+Dist ChQuery::Distance(NodeId s, NodeId t) { return search_.Distance(s, t); }
+
+PathResult ChQuery::Path(NodeId s, NodeId t) {
+  PathResult result;
+  result.length = search_.Distance(s, t);
+  if (result.length == kInfDist) return result;
+  if (s == t) {
+    result.nodes = {s};
+    return result;
+  }
+  result.nodes =
+      index_.search_graph().UnpackPath(search_.HierarchyPath());
+  return result;
+}
+
+}  // namespace ah

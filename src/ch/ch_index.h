@@ -1,0 +1,71 @@
+// Contraction Hierarchies (Geisberger et al., WEA'08) — the paper's main
+// practical competitor. Nodes are contracted in lazy greedy order by edge
+// difference (+ contracted-neighbor tie-breaking); queries run the
+// bidirectional upward search of hier/upward_query.h.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "graph/graph.h"
+#include "hier/search_graph.h"
+#include "hier/upward_query.h"
+#include "routing/path.h"
+
+namespace ah {
+
+struct ChParams {
+  ContractionParams contraction;
+  /// Priority = edge_diff_weight*(shortcuts added − arcs removed)
+  ///          + neighbor_weight*(contracted neighbors).
+  int edge_diff_weight = 16;
+  int neighbor_weight = 4;
+};
+
+struct ChBuildStats {
+  double seconds = 0;
+  std::size_t shortcuts = 0;
+};
+
+class ChIndex {
+ public:
+  /// Builds the hierarchy; O(n log n)-ish in practice.
+  static ChIndex Build(const Graph& g, const ChParams& params = {});
+
+  std::size_t NumNodes() const { return search_graph_.NumNodes(); }
+  const SearchGraph& search_graph() const { return search_graph_; }
+  const ChBuildStats& build_stats() const { return build_stats_; }
+  Rank RankOf(NodeId v) const { return search_graph_.RankOf(v); }
+
+  std::size_t SizeBytes() const { return search_graph_.SizeBytes(); }
+
+  /// Binary persistence (magic "AHCH").
+  void Save(std::ostream& out) const;
+  static ChIndex Load(std::istream& in);
+
+ private:
+  SearchGraph search_graph_;
+  ChBuildStats build_stats_;
+};
+
+/// Query object holding reusable search state (one per thread).
+class ChQuery {
+ public:
+  explicit ChQuery(const ChIndex& index)
+      : index_(index), search_(index.search_graph()) {}
+
+  /// Exact distance; kInfDist if disconnected.
+  Dist Distance(NodeId s, NodeId t);
+
+  /// Exact shortest path in the original graph.
+  PathResult Path(NodeId s, NodeId t);
+
+  const QueryStats& LastStats() const { return search_.Stats(); }
+
+ private:
+  const ChIndex& index_;
+  BidirUpwardSearch search_;
+};
+
+}  // namespace ah

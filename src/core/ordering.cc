@@ -1,0 +1,153 @@
+#include "core/ordering.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace ah {
+
+std::vector<NodeId> GreedyVertexCover(
+    const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  // Compact the endpoint universe.
+  std::unordered_map<NodeId, std::uint32_t> local;
+  std::vector<NodeId> nodes;
+  auto localize = [&](NodeId v) {
+    auto [it, inserted] =
+        local.try_emplace(v, static_cast<std::uint32_t>(nodes.size()));
+    if (inserted) nodes.push_back(v);
+    return it->second;
+  };
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ledges;
+  ledges.reserve(edges.size());
+  for (const auto& [u, v] : edges) {
+    if (u == v) continue;
+    ledges.emplace_back(localize(u), localize(v));
+  }
+  const std::size_t m = ledges.size();
+  const std::size_t k = nodes.size();
+
+  // Incidence lists.
+  std::vector<std::vector<std::uint32_t>> incident(k);
+  for (std::uint32_t e = 0; e < m; ++e) {
+    incident[ledges[e].first].push_back(e);
+    incident[ledges[e].second].push_back(e);
+  }
+
+  // Bucket queue keyed by live degree: repeatedly pick the max-degree node,
+  // kill its incident edges. Linear in Σdegree.
+  std::vector<std::uint32_t> degree(k);
+  std::size_t max_degree = 0;
+  for (std::uint32_t v = 0; v < k; ++v) {
+    degree[v] = static_cast<std::uint32_t>(incident[v].size());
+    max_degree = std::max<std::size_t>(max_degree, degree[v]);
+  }
+  std::vector<std::vector<std::uint32_t>> buckets(max_degree + 1);
+  for (std::uint32_t v = 0; v < k; ++v) buckets[degree[v]].push_back(v);
+  std::vector<bool> edge_dead(m, false);
+  std::vector<bool> picked(k, false);
+
+  std::vector<NodeId> cover;
+  std::size_t cursor = max_degree;
+  std::size_t live_edges = m;
+  while (live_edges > 0) {
+    while (cursor > 0 && buckets[cursor].empty()) --cursor;
+    if (cursor == 0) break;
+    const std::uint32_t v = buckets[cursor].back();
+    buckets[cursor].pop_back();
+    if (picked[v] || degree[v] != cursor) {
+      // Stale entry: re-file under the current degree.
+      if (!picked[v] && degree[v] > 0) buckets[degree[v]].push_back(v);
+      continue;
+    }
+    picked[v] = true;
+    cover.push_back(nodes[v]);
+    for (std::uint32_t e : incident[v]) {
+      if (edge_dead[e]) continue;
+      edge_dead[e] = true;
+      --live_edges;
+      const std::uint32_t other =
+          ledges[e].first == v ? ledges[e].second : ledges[e].first;
+      if (!picked[other] && degree[other] > 0) --degree[other];
+    }
+  }
+  return cover;
+}
+
+AhOrdering ComputeOrdering(const LevelAssignment& assignment,
+                           const OrderingParams& params) {
+  const std::size_t n = assignment.level.size();
+  AhOrdering out;
+  out.level = assignment.level;
+
+  const Level max_level = assignment.max_level;
+
+  // Per level: cover position (0 = most important) or flags.
+  constexpr std::uint32_t kNotInCover = 0xffffffffu;
+  std::vector<std::uint32_t> cover_pos(n, kNotInCover);
+  std::vector<bool> downgraded(n, false);
+
+  const bool need_cover =
+      params.within_level == WithinLevelOrder::kVertexCover ||
+      params.downgrade;
+  if (need_cover) {
+    for (Level i = max_level; i >= 1; --i) {
+      if (static_cast<std::size_t>(i) > assignment.pseudo_arterial.size()) {
+        continue;
+      }
+      const auto& edges = assignment.pseudo_arterial[i - 1];
+      if (edges.empty()) continue;
+      const std::vector<NodeId> cover = GreedyVertexCover(edges);
+      std::uint32_t pos = 0;
+      for (NodeId v : cover) {
+        // Only order nodes that actually live at this level.
+        if (out.level[v] == i && cover_pos[v] == kNotInCover) {
+          cover_pos[v] = pos++;
+        }
+      }
+      if (params.downgrade && i >= 1) {
+        for (NodeId v = 0; v < n; ++v) {
+          if (out.level[v] == i && cover_pos[v] == kNotInCover &&
+              !downgraded[v]) {
+            out.level[v] = i - 1;
+            downgraded[v] = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Ascending rank = ascending (level, importance class, shuffled id).
+  // Importance class inside a level, lowest first: plain nodes, downgraded
+  // nodes (they nearly made the level above), cover nodes by reverse pick
+  // order.
+  Rng rng(params.seed);
+  std::vector<std::uint64_t> shuffle_key(n);
+  for (NodeId v = 0; v < n; ++v) shuffle_key[v] = rng.Next();
+
+  const bool cover_ranks =
+      params.within_level == WithinLevelOrder::kVertexCover;
+  out.order.resize(n);
+  for (NodeId v = 0; v < n; ++v) out.order[v] = v;
+  std::sort(out.order.begin(), out.order.end(), [&](NodeId a, NodeId b) {
+    if (out.level[a] != out.level[b]) return out.level[a] < out.level[b];
+    if (cover_ranks) {
+      const int ca = cover_pos[a] != kNotInCover ? 2 : (downgraded[a] ? 1 : 0);
+      const int cb = cover_pos[b] != kNotInCover ? 2 : (downgraded[b] ? 1 : 0);
+      if (ca != cb) return ca < cb;
+      if (ca == 2 && cover_pos[a] != cover_pos[b]) {
+        return cover_pos[a] > cover_pos[b];  // Earlier pick = higher rank.
+      }
+    }
+    if (shuffle_key[a] != shuffle_key[b]) {
+      return shuffle_key[a] < shuffle_key[b];
+    }
+    return a < b;
+  });
+
+  out.rank.resize(n);
+  for (Rank r = 0; r < n; ++r) out.rank[out.order[r]] = r;
+  return out;
+}
+
+}  // namespace ah

@@ -1,0 +1,59 @@
+// §4.4 node ranking: a strict total order per hierarchy level.
+//
+// Level-i cores are ordered by a greedy maximum-degree vertex cover of the
+// pseudo-arterial edge set S_i — hub nodes covering many arterial connections
+// rank highest. Cores that do not appear in the cover may optionally be
+// *downgraded* one level (the paper's optimization that thins the upper
+// hierarchy). Level-0 nodes get a seeded random order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/level_assigner.h"
+#include "util/types.h"
+
+namespace ah {
+
+/// How nodes are ordered *inside* one hierarchy level (across levels the
+/// order is always by level — that is what the rank/proximity machinery
+/// relies on). §4.4 notes any strict total order preserves correctness.
+enum class WithinLevelOrder {
+  /// Lazy greedy edge-difference contraction order per level (the library
+  /// default: pairs the paper's level structure with CH's local ordering;
+  /// applied during contraction by AhIndex::Build).
+  kGreedyEdgeDifference,
+  /// The paper's §4.4 vertex-cover ordering (hubs of S_i rank highest).
+  kVertexCover,
+  /// Seeded random order (baseline for the ordering ablation).
+  kRandom,
+};
+
+struct OrderingParams {
+  WithinLevelOrder within_level = WithinLevelOrder::kGreedyEdgeDifference;
+  bool downgrade = true;  ///< §4.4 downgrading of non-cover cores.
+  std::uint64_t seed = 99;
+};
+
+struct AhOrdering {
+  /// Nodes in ascending rank (contraction order). For
+  /// kGreedyEdgeDifference this is a level-consistent placeholder (random
+  /// within level); AhIndex::Build derives the actual order greedily during
+  /// contraction.
+  std::vector<NodeId> order;
+  /// rank[v] = position of v in `order`.
+  std::vector<Rank> rank;
+  /// Levels after downgrading (== input levels when downgrading is off).
+  std::vector<Level> level;
+};
+
+/// Greedy max-degree vertex cover of an edge list; returns the picked nodes
+/// in pick order (first = covers most). Exposed for testing.
+std::vector<NodeId> GreedyVertexCover(
+    const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+/// Computes the AH rank order from a level assignment.
+AhOrdering ComputeOrdering(const LevelAssignment& assignment,
+                           const OrderingParams& params = {});
+
+}  // namespace ah

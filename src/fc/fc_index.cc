@@ -1,0 +1,178 @@
+#include "fc/fc_index.h"
+
+#include <algorithm>
+
+#include "arterial/arterial.h"
+#include "hier/contraction.h"
+#include "perturb/perturb.h"
+#include "util/timer.h"
+
+namespace ah {
+
+FcIndex FcIndex::Build(const Graph& g, const FcParams& params) {
+  Timer total;
+  FcIndex index;
+  const std::size_t n = g.NumNodes();
+  index.coords_ = g.Coords();
+  index.grids_ = GridHierarchy(index.coords_, params.max_grid_depth);
+
+  Timer phase;
+  const Nuance nuance(params.seed);
+  ArterialLevels levels =
+      ComputeArterialLevels(g, index.grids_, nuance);
+  index.level_ = std::move(levels.node_level);
+  index.build_stats_.arterial_seconds = phase.Seconds();
+  index.build_stats_.grid_depth = index.grids_.Depth();
+  for (Level lv : index.level_) {
+    index.build_stats_.max_level = std::max(index.build_stats_.max_level, lv);
+  }
+
+  // Shortcut construction: from every node u, a lexicographic Dijkstra on
+  // (distance, max internal level). A pair (u,v) gets a shortcut iff the
+  // best shortest path keeps all internal nodes strictly below
+  // min(level(u), level(v)). Internal nodes of level >= level(u) can never
+  // appear on a qualifying path, so expansion is pruned there — which keeps
+  // the search local for low-level sources.
+  const Level h = index.grids_.Depth();
+  const Dist kEncBase = static_cast<Dist>(h) + 3;
+  std::vector<HierArc> hier_arcs = ArcsOf(g);
+  const std::size_t original_arcs = hier_arcs.size();
+
+  IndexedHeap heap(n);
+  std::vector<Dist> dist(n, kInfDist);
+  std::vector<Level> max_internal(n, 0);  // Encoded: 0 = none, k+1 = level k.
+  std::vector<std::uint32_t> stamp(n, 0);
+  std::uint32_t round = 0;
+
+  for (NodeId u = 0; u < n; ++u) {
+    const Level lu = index.level_[u];
+    ++round;
+    heap.Clear();
+    stamp[u] = round;
+    dist[u] = 0;
+    max_internal[u] = 0;
+    heap.PushOrDecrease(u, 0);
+    while (!heap.Empty()) {
+      auto [key, x] = heap.PopMin();
+      const Dist dx = key / kEncBase;
+      const Level enc_x = static_cast<Level>(key % kEncBase);
+      if (dx > dist[x] || (dx == dist[x] && enc_x > max_internal[x])) {
+        continue;  // Stale entry.
+      }
+      if (x != u) {
+        const Level lv = index.level_[x];
+        const Level internal = enc_x - 1;  // -1 when no internal node.
+        if (enc_x == 0 || internal < std::min(lu, lv)) {
+          hier_arcs.push_back(
+              HierArc{u, x, static_cast<Weight>(dx), kInvalidNode});
+        }
+        // Expanding through x makes x internal; prune when that can never
+        // qualify (internal level >= lu).
+        if (index.level_[x] >= lu) continue;
+      }
+      const Level enc_via =
+          x == u ? 0
+                 : std::max(enc_x, static_cast<Level>(index.level_[x] + 1));
+      for (const Arc& a : g.OutArcs(x)) {
+        const Dist nd = dist[x] + a.weight;
+        const Dist nkey = nd * kEncBase + static_cast<Dist>(enc_via);
+        if (stamp[a.head] != round || nd < dist[a.head] ||
+            (nd == dist[a.head] &&
+             enc_via < max_internal[a.head])) {
+          stamp[a.head] = round;
+          dist[a.head] = nd;
+          max_internal[a.head] = enc_via;
+          heap.PushOrDecrease(a.head, nkey);
+        }
+      }
+    }
+  }
+  index.build_stats_.shortcuts = hier_arcs.size() - original_arcs;
+  index.hierarchy_ = LightGraph(n, hier_arcs);
+  index.build_stats_.seconds = total.Seconds();
+  return index;
+}
+
+std::size_t FcIndex::SizeBytes() const {
+  return level_.size() * sizeof(Level) + coords_.size() * sizeof(Point) +
+         hierarchy_.NumArcs() * 2 * sizeof(Arc) +
+         (hierarchy_.NumNodes() + 1) * 2 * sizeof(std::uint64_t);
+}
+
+FcQuery::FcQuery(const FcIndex& index, FcQueryOptions options)
+    : index_(index), options_(options) {
+  const std::size_t n = index.NumNodes();
+  for (Side* side : {&fwd_, &bwd_}) {
+    side->heap.Resize(n);
+    side->dist.assign(n, kInfDist);
+    side->stamp.assign(n, 0);
+  }
+}
+
+bool FcQuery::Allowed(NodeId from, NodeId to,
+                      const std::vector<Cell>& cells) const {
+  // Level constraint: never descend.
+  const Level lf = index_.LevelOf(from);
+  const Level lt = index_.LevelOf(to);
+  if (lt < lf) return false;
+  if (!options_.use_proximity) return true;
+  const Level gi = lt + 1;
+  if (gi > index_.grids().Depth()) return true;
+  const Cell vc = index_.grids().Grid(gi).CellOf(index_.Coord(to));
+  return SquareGrid::WithinThreeByThree(cells[gi - 1], vc);
+}
+
+Dist FcQuery::Distance(NodeId s, NodeId t) {
+  if (s == t) return 0;
+  ++round_;
+  fwd_.heap.Clear();
+  bwd_.heap.Clear();
+  last_settled_ = 0;
+
+  const Level depth = index_.grids().Depth();
+  s_cells_.resize(depth);
+  t_cells_.resize(depth);
+  for (Level i = 1; i <= depth; ++i) {
+    s_cells_[i - 1] = index_.grids().Grid(i).CellOf(index_.Coord(s));
+    t_cells_[i - 1] = index_.grids().Grid(i).CellOf(index_.Coord(t));
+  }
+
+  fwd_.stamp[s] = round_;
+  fwd_.dist[s] = 0;
+  fwd_.heap.PushOrDecrease(s, 0);
+  bwd_.stamp[t] = round_;
+  bwd_.dist[t] = 0;
+  bwd_.heap.PushOrDecrease(t, 0);
+
+  Dist best = kInfDist;
+  bool forward_turn = true;
+  const LightGraph& hg = index_.hierarchy();
+  while (!fwd_.heap.Empty() || !bwd_.heap.Empty()) {
+    const Dist fmin = fwd_.heap.Empty() ? kInfDist : fwd_.heap.MinKey();
+    const Dist bmin = bwd_.heap.Empty() ? kInfDist : bwd_.heap.MinKey();
+    if (best <= std::min(fmin, bmin)) break;
+    if (forward_turn && fwd_.heap.Empty()) forward_turn = false;
+    if (!forward_turn && bwd_.heap.Empty()) forward_turn = true;
+
+    Side& side = forward_turn ? fwd_ : bwd_;
+    const Side& other = forward_turn ? bwd_ : fwd_;
+    const auto& cells = forward_turn ? s_cells_ : t_cells_;
+    auto [d, u] = side.heap.PopMin();
+    ++last_settled_;
+    if (other.stamp[u] == round_) best = std::min(best, d + other.dist[u]);
+    const auto arcs = forward_turn ? hg.OutArcs(u) : hg.InArcs(u);
+    for (const Arc& a : arcs) {
+      if (!Allowed(u, a.head, cells)) continue;
+      const Dist nd = d + a.weight;
+      if (side.stamp[a.head] != round_ || nd < side.dist[a.head]) {
+        side.stamp[a.head] = round_;
+        side.dist[a.head] = nd;
+        side.heap.PushOrDecrease(a.head, nd);
+      }
+    }
+    forward_turn = !forward_turn;
+  }
+  return best;
+}
+
+}  // namespace ah

@@ -1,0 +1,96 @@
+// FC — the first-cut index of Section 3.
+//
+// Node levels come from *exact* per-level arterial-edge computation on the
+// original graph (arterial/arterial.h); shortcuts connect every pair (u,v)
+// whose shortest path runs only through nodes at levels strictly below both
+// endpoints; queries are bidirectional Dijkstra over graph+shortcuts under
+// the level constraint and (optionally) the proximity constraint.
+//
+// As §3.3 explains, FC's preprocessing is what AH fixes: it is quadratic-ish
+// and only applicable to small networks. Build() is intended for graphs up
+// to a few tens of thousands of nodes.
+//
+// Correctness note: with the level constraint alone FC is exact on *any*
+// graph and *any* level function (the §3.4 upswing argument only uses the
+// shortcut definition); the proximity constraint additionally relies on the
+// arterial-dimension assumption, exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/light_graph.h"
+#include "hgrid/grid_hierarchy.h"
+#include "util/indexed_heap.h"
+#include "util/types.h"
+
+namespace ah {
+
+struct FcParams {
+  std::int32_t max_grid_depth = 14;
+  std::uint64_t seed = 7;
+};
+
+struct FcBuildStats {
+  double seconds = 0;
+  double arterial_seconds = 0;
+  std::size_t shortcuts = 0;
+  Level max_level = 0;
+  Level grid_depth = 0;
+};
+
+class FcIndex {
+ public:
+  static FcIndex Build(const Graph& g, const FcParams& params = {});
+
+  std::size_t NumNodes() const { return level_.size(); }
+  Level LevelOf(NodeId v) const { return level_[v]; }
+  const LightGraph& hierarchy() const { return hierarchy_; }
+  const GridHierarchy& grids() const { return grids_; }
+  const Point& Coord(NodeId v) const { return coords_[v]; }
+  const FcBuildStats& build_stats() const { return build_stats_; }
+
+  std::size_t SizeBytes() const;
+
+ private:
+  std::vector<Level> level_;
+  std::vector<Point> coords_;
+  GridHierarchy grids_;
+  LightGraph hierarchy_;  // Original arcs + shortcuts.
+  FcBuildStats build_stats_;
+};
+
+struct FcQueryOptions {
+  bool use_proximity = true;
+};
+
+/// Bidirectional constrained Dijkstra over the FC hierarchy (§3.2).
+class FcQuery {
+ public:
+  explicit FcQuery(const FcIndex& index, FcQueryOptions options = {});
+
+  Dist Distance(NodeId s, NodeId t);
+
+  std::size_t LastSettled() const { return last_settled_; }
+
+ private:
+  struct Side {
+    IndexedHeap heap;
+    std::vector<Dist> dist;
+    std::vector<std::uint32_t> stamp;
+  };
+
+  bool Allowed(NodeId from, NodeId to, const std::vector<Cell>& cells) const;
+
+  const FcIndex& index_;
+  FcQueryOptions options_;
+  Side fwd_;
+  Side bwd_;
+  std::vector<Cell> s_cells_;
+  std::vector<Cell> t_cells_;
+  std::uint32_t round_ = 0;
+  std::size_t last_settled_ = 0;
+};
+
+}  // namespace ah

@@ -1,0 +1,72 @@
+#include "gen/catalog.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "gen/road_gen.h"
+
+namespace ah {
+
+const std::vector<DatasetSpec>& PaperDatasets() {
+  static const std::vector<DatasetSpec> kDatasets = {
+      {"DE", "Delaware", 48812, 120489},
+      {"NH", "New Hampshire", 115055, 264218},
+      {"ME", "Maine", 187315, 422998},
+      {"CO", "Colorado", 435666, 1057066},
+      {"FL", "Florida", 1070376, 2712798},
+      {"CA", "California and Nevada", 1890815, 4657742},
+      {"E-US", "Eastern US", 3598623, 8778114},
+      {"W-US", "Western US", 6262104, 15248146},
+      {"C-US", "Central US", 14081816, 34292496},
+      {"US", "United States", 23947347, 58333344},
+  };
+  return kDatasets;
+}
+
+std::optional<DatasetSpec> FindDataset(const std::string& name) {
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    if (spec.name == name) return spec;
+  }
+  return std::nullopt;
+}
+
+Graph MakeScaledDataset(const DatasetSpec& spec, double scale) {
+  scale = std::clamp(scale, 1e-6, 1.0);
+  const std::size_t target = std::max<std::size_t>(
+      64, static_cast<std::size_t>(static_cast<double>(spec.paper_nodes) *
+                                   scale));
+  // Deterministic seed from the dataset name.
+  std::uint64_t seed = 0xcbf29ce484222325ULL;
+  for (char c : spec.name) seed = (seed ^ static_cast<unsigned char>(c)) *
+                                  0x100000001b3ULL;
+  RoadGenParams params = ParamsForTargetNodes(target, seed);
+  return GenerateRoadNetwork(params);
+}
+
+double BenchScaleFromEnv() {
+  const char* raw = std::getenv("AH_BENCH_SCALE");
+  if (raw == nullptr || *raw == '\0') return 1.0 / 16.0;
+  const std::string v(raw);
+  if (v == "tiny") return 1.0 / 256.0;
+  if (v == "small") return 1.0 / 64.0;
+  if (v == "default") return 1.0 / 16.0;
+  if (v == "large") return 1.0 / 4.0;
+  if (v == "full") return 1.0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (end != v.c_str() && parsed > 0.0) return std::min(parsed, 1.0);
+  return 1.0 / 16.0;
+}
+
+std::size_t BenchDatasetCountFromEnv(std::size_t fallback) {
+  std::size_t count = fallback;
+  if (const char* raw = std::getenv("AH_BENCH_DATASETS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(raw, &end, 10);
+    if (end != raw && parsed > 0) count = static_cast<std::size_t>(parsed);
+  }
+  return std::clamp<std::size_t>(count, 1, PaperDatasets().size());
+}
+
+}  // namespace ah

@@ -1,0 +1,157 @@
+#include "gen/road_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "geo/point.h"
+#include "graph/builder.h"
+#include "graph/connectivity.h"
+#include "util/rng.h"
+
+namespace ah {
+
+namespace {
+
+enum class RoadClass { kLocal, kArterial, kHighway };
+
+RoadClass LineClass(std::uint32_t index, const RoadGenParams& p) {
+  if (p.highway_period > 0 && index % p.highway_period == 0) {
+    return RoadClass::kHighway;
+  }
+  if (p.arterial_period > 0 && index % p.arterial_period == 0) {
+    return RoadClass::kArterial;
+  }
+  return RoadClass::kLocal;
+}
+
+double SpeedOf(RoadClass c, const RoadGenParams& p) {
+  switch (c) {
+    case RoadClass::kHighway:
+      return p.highway_speed;
+    case RoadClass::kArterial:
+      return p.arterial_speed;
+    case RoadClass::kLocal:
+      return p.local_speed;
+  }
+  return p.local_speed;
+}
+
+double KeepProb(RoadClass c, const RoadGenParams& p) {
+  switch (c) {
+    case RoadClass::kHighway:
+      return p.highway_keep;
+    case RoadClass::kArterial:
+      return p.arterial_keep;
+    case RoadClass::kLocal:
+      return p.local_keep;
+  }
+  return p.local_keep;
+}
+
+Weight TravelTime(const Point& a, const Point& b, RoadClass c,
+                  const RoadGenParams& p) {
+  const double t = L2Distance(a, b) / SpeedOf(c, p) * 10.0;
+  return static_cast<Weight>(std::max(1.0, static_cast<double>(std::llround(t))));
+}
+
+}  // namespace
+
+Graph GenerateRoadNetwork(const RoadGenParams& p) {
+  if (p.cols < 2 || p.rows < 2) {
+    throw std::invalid_argument("RoadGenParams: grid must be at least 2x2");
+  }
+  if (p.local_speed <= 0 || p.arterial_speed <= 0 || p.highway_speed <= 0) {
+    throw std::invalid_argument("RoadGenParams: speeds must be positive");
+  }
+  Rng rng(p.seed);
+
+  const std::size_t n_grid = static_cast<std::size_t>(p.cols) * p.rows;
+  const std::int32_t max_jitter =
+      static_cast<std::int32_t>(p.spacing * std::clamp(p.jitter, 0.0, 0.49));
+
+  auto node_at = [&](std::uint32_t i, std::uint32_t j) -> NodeId {
+    return static_cast<NodeId>(j * p.cols + i);
+  };
+
+  // Place jittered intersections.
+  std::vector<Point> pos(n_grid);
+  for (std::uint32_t j = 0; j < p.rows; ++j) {
+    for (std::uint32_t i = 0; i < p.cols; ++i) {
+      std::int32_t jx = 0;
+      std::int32_t jy = 0;
+      if (max_jitter > 0) {
+        jx = static_cast<std::int32_t>(rng.UniformInt(-max_jitter, max_jitter));
+        jy = static_cast<std::int32_t>(rng.UniformInt(-max_jitter, max_jitter));
+      }
+      pos[node_at(i, j)] = Point{static_cast<std::int32_t>(i * p.spacing) + jx,
+                                 static_cast<std::int32_t>(j * p.spacing) + jy};
+    }
+  }
+
+  GraphBuilder builder(n_grid);
+  for (const Point& pt : pos) builder.AddNode(pt);
+
+  // Local edges may be one-way; arterials and highways are always two-way
+  // (they are the long-haul corridors whose integrity keeps the arterial
+  // dimension small).
+  auto emit = [&](NodeId a, NodeId b, RoadClass c) {
+    if (!rng.Chance(KeepProb(c, p))) return;
+    const Weight w = TravelTime(pos[a], pos[b], c, p);
+    if (c == RoadClass::kLocal && rng.Chance(p.oneway_prob)) {
+      if (rng.Chance(0.5)) {
+        builder.AddArc(a, b, w);
+      } else {
+        builder.AddArc(b, a, w);
+      }
+    } else {
+      builder.AddBidirectional(a, b, w);
+    }
+  };
+
+  // Horizontal edges run along row j; vertical edges along column i.
+  for (std::uint32_t j = 0; j < p.rows; ++j) {
+    const RoadClass row_class = LineClass(j, p);
+    for (std::uint32_t i = 0; i + 1 < p.cols; ++i) {
+      emit(node_at(i, j), node_at(i + 1, j), row_class);
+    }
+  }
+  for (std::uint32_t i = 0; i < p.cols; ++i) {
+    const RoadClass col_class = LineClass(i, p);
+    for (std::uint32_t j = 0; j + 1 < p.rows; ++j) {
+      emit(node_at(i, j), node_at(i, j + 1), col_class);
+    }
+  }
+
+  // Occasional diagonal local connector (mild non-planarity, like real
+  // under/overpasses).
+  for (std::uint32_t j = 0; j + 1 < p.rows; ++j) {
+    for (std::uint32_t i = 0; i + 1 < p.cols; ++i) {
+      if (!rng.Chance(p.diagonal_prob)) continue;
+      const bool down = rng.Chance(0.5);
+      const NodeId a = down ? node_at(i, j) : node_at(i + 1, j);
+      const NodeId b = down ? node_at(i + 1, j + 1) : node_at(i, j + 1);
+      const Weight w = TravelTime(pos[a], pos[b], RoadClass::kLocal, p);
+      builder.AddBidirectional(a, b, w);
+    }
+  }
+
+  Graph full = builder.Build();
+  return LargestStronglyConnectedComponent(full, nullptr);
+}
+
+RoadGenParams ParamsForTargetNodes(std::size_t target_nodes,
+                                   std::uint64_t seed) {
+  RoadGenParams p;
+  p.seed = seed;
+  // The SCC keeps roughly 95% of grid vertices under default parameters.
+  const double per_side = std::sqrt(static_cast<double>(target_nodes) / 0.95);
+  const std::uint32_t side =
+      std::max<std::uint32_t>(4, static_cast<std::uint32_t>(per_side + 0.5));
+  p.cols = side;
+  p.rows = side;
+  return p;
+}
+
+}  // namespace ah

@@ -1,0 +1,71 @@
+// Synthetic road-network generator.
+//
+// The paper evaluates on the DIMACS US travel-time graphs, which are not
+// available offline. This generator synthesizes networks with the structural
+// properties those graphs have and that the paper's techniques exploit:
+//   * planar-ish, degree-bounded, strongly connected;
+//   * a road hierarchy: dense local streets, sparser arterial roads, and
+//     sparse highways with higher speeds (lower travel time per distance) —
+//     which is precisely what keeps the arterial dimension (Assumption 1)
+//     small: long shortest paths climb onto the few fast roads crossing a
+//     region's bisector;
+//   * travel-time edge weights derived from geometric length / road speed;
+//   * a small share of one-way streets (the graphs are directed).
+//
+// The layout is a jittered grid of intersections. Every `arterial_period`-th
+// row/column is an arterial and every `highway_period`-th is a highway; edges
+// inherit the class of the line they run along. Local edges are randomly
+// deleted to create irregular blocks; the largest strongly connected
+// component is returned.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace ah {
+
+struct RoadGenParams {
+  /// Intersections per side (cols × rows grid before edge deletion / SCC).
+  std::uint32_t cols = 64;
+  std::uint32_t rows = 64;
+
+  /// Coordinate units between adjacent intersections.
+  std::int32_t spacing = 1000;
+  /// Coordinate jitter as a fraction of spacing, in [0, 0.49].
+  double jitter = 0.30;
+
+  /// Keep probability per undirected local / arterial / highway street edge.
+  double local_keep = 0.72;
+  double arterial_keep = 0.96;
+  double highway_keep = 0.995;
+
+  /// Every arterial_period-th grid line is an arterial; every
+  /// highway_period-th is a highway (highways win where both divide).
+  std::uint32_t arterial_period = 8;
+  std::uint32_t highway_period = 32;
+
+  /// Travel speeds (distance units per time unit) per road class.
+  double local_speed = 1.0;
+  double arterial_speed = 2.2;
+  double highway_speed = 4.0;
+
+  /// Probability that a kept local edge is one-way.
+  double oneway_prob = 0.04;
+  /// Probability of an extra diagonal local connection per grid vertex.
+  double diagonal_prob = 0.03;
+
+  std::uint64_t seed = 1;
+};
+
+/// Generates a road network and returns its largest strongly connected
+/// component. Edge weights are travel times: length / class speed, scaled by
+/// 10 and rounded, minimum 1 (deci-units, mirroring DIMACS integer times).
+Graph GenerateRoadNetwork(const RoadGenParams& params);
+
+/// Chooses grid dimensions so the generated SCC has roughly `target_nodes`
+/// nodes (the SCC retains ~95% of grid vertices under default parameters).
+RoadGenParams ParamsForTargetNodes(std::size_t target_nodes,
+                                   std::uint64_t seed);
+
+}  // namespace ah

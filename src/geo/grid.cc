@@ -1,0 +1,36 @@
+#include "geo/grid.h"
+
+#include <cassert>
+
+namespace ah {
+
+SquareGrid::SquareGrid(std::int64_t origin_x, std::int64_t origin_y,
+                       std::int64_t side, std::int32_t cells_per_side)
+    : origin_x_(origin_x),
+      origin_y_(origin_y),
+      side_(side > 0 ? side : 1),
+      cells_per_side_(cells_per_side >= 1 ? cells_per_side : 1) {}
+
+SquareGrid SquareGrid::Covering(const Box& box, std::int32_t cells_per_side) {
+  assert(!box.Empty());
+  const std::int64_t side = std::max<std::int64_t>(box.SquareSide(), 1);
+  // Center the square on the box so both dimensions are padded evenly.
+  const std::int64_t ox = box.min_x - (side - box.Width()) / 2;
+  const std::int64_t oy = box.min_y - (side - box.Height()) / 2;
+  return SquareGrid(ox, oy, side, cells_per_side);
+}
+
+Cell SquareGrid::CellOf(const Point& p) const {
+  // 128-bit-free computation: (p - origin) * cells / side with clamping.
+  auto index = [&](std::int64_t coord, std::int64_t origin) -> std::int32_t {
+    std::int64_t off = coord - origin;
+    if (off < 0) off = 0;
+    if (off >= side_) off = side_ - 1;
+    // off and cells_per_side_ both fit well within 63 bits after the clamp:
+    // off < side_ <= 2^33 and cells_per_side_ <= 2^20 in practice.
+    return static_cast<std::int32_t>((off * cells_per_side_) / side_);
+  };
+  return Cell{index(p.x, origin_x_), index(p.y, origin_y_)};
+}
+
+}  // namespace ah

@@ -1,0 +1,73 @@
+// A single square grid imposed on a bounding square, as used throughout the
+// paper: R_i is a SquareGrid with 2^(h+2-i) cells per side.
+#pragma once
+
+#include <cstdint>
+
+#include "geo/point.h"
+
+namespace ah {
+
+/// Integer cell coordinates within a grid.
+struct Cell {
+  std::int32_t cx = 0;
+  std::int32_t cy = 0;
+
+  friend bool operator==(const Cell& a, const Cell& b) {
+    return a.cx == b.cx && a.cy == b.cy;
+  }
+  friend bool operator!=(const Cell& a, const Cell& b) { return !(a == b); }
+};
+
+/// 64-bit packed cell key usable in hash maps.
+inline std::uint64_t CellKey(const Cell& c) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(c.cx)) << 32) |
+         static_cast<std::uint32_t>(c.cy);
+}
+
+/// A `cells_per_side × cells_per_side` square grid that tightly covers a
+/// bounding square anchored at (origin_x, origin_y) with side `side`.
+///
+/// Cell indexing is clamped at the boundary so a point on the maximal edge of
+/// the square lands in the last cell rather than out of range.
+class SquareGrid {
+ public:
+  SquareGrid() = default;
+
+  /// Builds a grid over the square [origin, origin+side]² with the given
+  /// number of cells per side. side must be > 0 and cells_per_side >= 1.
+  SquareGrid(std::int64_t origin_x, std::int64_t origin_y, std::int64_t side,
+             std::int32_t cells_per_side);
+
+  /// Grid covering `box`'s smallest enclosing square (centered padding).
+  static SquareGrid Covering(const Box& box, std::int32_t cells_per_side);
+
+  std::int32_t cells_per_side() const { return cells_per_side_; }
+  std::int64_t side() const { return side_; }
+  std::int64_t origin_x() const { return origin_x_; }
+  std::int64_t origin_y() const { return origin_y_; }
+  /// Cell side length as a double (side may not divide evenly).
+  double cell_size() const {
+    return static_cast<double>(side_) / cells_per_side_;
+  }
+
+  /// Cell containing point p (clamped into range).
+  Cell CellOf(const Point& p) const;
+
+  /// True if the two cells are covered by a common 3×3-cell region — the
+  /// paper's proximity predicate ("covered in the same (3×3)-cell region").
+  /// Equivalent to Chebyshev cell distance <= 2.
+  static bool WithinThreeByThree(const Cell& a, const Cell& b) {
+    const std::int32_t dx = a.cx > b.cx ? a.cx - b.cx : b.cx - a.cx;
+    const std::int32_t dy = a.cy > b.cy ? a.cy - b.cy : b.cy - a.cy;
+    return dx <= 2 && dy <= 2;
+  }
+
+ private:
+  std::int64_t origin_x_ = 0;
+  std::int64_t origin_y_ = 0;
+  std::int64_t side_ = 1;
+  std::int32_t cells_per_side_ = 1;
+};
+
+}  // namespace ah

@@ -1,0 +1,72 @@
+// Planar integer geometry: points, boxes, and the L∞ / L2 metrics the paper
+// uses (node coordinates in DIMACS data are integer micro-degrees).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace ah {
+
+/// A node location. Coordinates are 32-bit integers (DIMACS convention).
+struct Point {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend bool operator!=(const Point& a, const Point& b) { return !(a == b); }
+};
+
+/// L∞ (Chebyshev) distance, the metric behind dmax/dmin and α in the paper.
+inline std::int64_t LInfDistance(const Point& a, const Point& b) {
+  const std::int64_t dx = std::abs(static_cast<std::int64_t>(a.x) - b.x);
+  const std::int64_t dy = std::abs(static_cast<std::int64_t>(a.y) - b.y);
+  return std::max(dx, dy);
+}
+
+/// Euclidean distance (used for edge lengths in the synthetic generator).
+inline double L2Distance(const Point& a, const Point& b) {
+  const double dx = static_cast<double>(a.x) - b.x;
+  const double dy = static_cast<double>(a.y) - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Axis-aligned bounding box, inclusive on all sides.
+struct Box {
+  std::int32_t min_x = 0;
+  std::int32_t min_y = 0;
+  std::int32_t max_x = -1;  // Empty by default (max < min).
+  std::int32_t max_y = -1;
+
+  bool Empty() const { return max_x < min_x || max_y < min_y; }
+
+  std::int64_t Width() const {
+    return static_cast<std::int64_t>(max_x) - min_x;
+  }
+  std::int64_t Height() const {
+    return static_cast<std::int64_t>(max_y) - min_y;
+  }
+  /// Side of the smallest enclosing square.
+  std::int64_t SquareSide() const { return std::max(Width(), Height()); }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  /// Expands the box to include p.
+  void Extend(const Point& p) {
+    if (Empty()) {
+      min_x = max_x = p.x;
+      min_y = max_y = p.y;
+      return;
+    }
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+};
+
+}  // namespace ah

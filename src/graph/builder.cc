@@ -1,0 +1,74 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ah {
+
+NodeId GraphBuilder::AddNode(Point p) {
+  coords_.push_back(p);
+  return static_cast<NodeId>(coords_.size() - 1);
+}
+
+void GraphBuilder::AddArc(NodeId tail, NodeId head, Weight weight) {
+  if (tail >= coords_.size() || head >= coords_.size()) {
+    throw std::out_of_range("GraphBuilder::AddArc: endpoint out of range");
+  }
+  if (weight == 0) {
+    throw std::invalid_argument("GraphBuilder::AddArc: weight must be > 0");
+  }
+  arcs_.push_back(RawArc{tail, head, weight});
+}
+
+Graph GraphBuilder::Build() const {
+  const std::size_t n = coords_.size();
+
+  // Sort arcs by (tail, head, weight) so duplicates are adjacent; keep only
+  // the cheapest copy of each parallel arc and drop self-loops.
+  std::vector<RawArc> arcs;
+  arcs.reserve(arcs_.size());
+  for (const RawArc& a : arcs_) {
+    if (a.tail != a.head) arcs.push_back(a);
+  }
+  std::sort(arcs.begin(), arcs.end(), [](const RawArc& a, const RawArc& b) {
+    if (a.tail != b.tail) return a.tail < b.tail;
+    if (a.head != b.head) return a.head < b.head;
+    return a.weight < b.weight;
+  });
+  arcs.erase(std::unique(arcs.begin(), arcs.end(),
+                         [](const RawArc& a, const RawArc& b) {
+                           return a.tail == b.tail && a.head == b.head;
+                         }),
+             arcs.end());
+
+  Graph g;
+  g.coords_ = coords_;
+
+  g.out_first_.assign(n + 1, 0);
+  for (const RawArc& a : arcs) ++g.out_first_[a.tail + 1];
+  for (std::size_t v = 0; v < n; ++v) g.out_first_[v + 1] += g.out_first_[v];
+  g.out_arcs_.resize(arcs.size());
+  {
+    std::vector<std::uint64_t> cursor(g.out_first_.begin(),
+                                      g.out_first_.end() - 1);
+    for (const RawArc& a : arcs) {
+      g.out_arcs_[cursor[a.tail]++] = Arc{a.head, a.weight};
+    }
+  }
+
+  g.in_first_.assign(n + 1, 0);
+  for (const RawArc& a : arcs) ++g.in_first_[a.head + 1];
+  for (std::size_t v = 0; v < n; ++v) g.in_first_[v + 1] += g.in_first_[v];
+  g.in_arcs_.resize(arcs.size());
+  {
+    std::vector<std::uint64_t> cursor(g.in_first_.begin(),
+                                      g.in_first_.end() - 1);
+    for (const RawArc& a : arcs) {
+      g.in_arcs_[cursor[a.head]++] = Arc{a.tail, a.weight};
+    }
+  }
+  return g;
+}
+
+}  // namespace ah

@@ -1,0 +1,51 @@
+// Mutable accumulator that produces an immutable CSR Graph.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ah {
+
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+  explicit GraphBuilder(std::size_t expected_nodes) {
+    coords_.reserve(expected_nodes);
+  }
+
+  /// Adds a node at `p`; returns its id (ids are assigned densely, in call
+  /// order).
+  NodeId AddNode(Point p);
+
+  /// Adds a directed arc. Both endpoints must already exist. weight must be
+  /// positive (Section 2 assumes positive weights; zero weights would break
+  /// strict-improvement pruning in several searches).
+  void AddArc(NodeId tail, NodeId head, Weight weight);
+
+  /// Adds arcs in both directions with the same weight.
+  void AddBidirectional(NodeId a, NodeId b, Weight weight) {
+    AddArc(a, b, weight);
+    AddArc(b, a, weight);
+  }
+
+  std::size_t NumNodes() const { return coords_.size(); }
+  std::size_t NumArcs() const { return arcs_.size(); }
+
+  /// Finalizes into a CSR graph. Parallel arcs are collapsed to the minimum
+  /// weight; self-loops are dropped (they can never be on a shortest path
+  /// under positive weights).
+  Graph Build() const;
+
+ private:
+  struct RawArc {
+    NodeId tail;
+    NodeId head;
+    Weight weight;
+  };
+
+  std::vector<Point> coords_;
+  std::vector<RawArc> arcs_;
+};
+
+}  // namespace ah

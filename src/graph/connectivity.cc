@@ -1,0 +1,111 @@
+#include "graph/connectivity.h"
+
+#include <algorithm>
+
+#include "graph/builder.h"
+
+namespace ah {
+
+std::vector<std::uint32_t> StronglyConnectedComponents(const Graph& g,
+                                                       std::size_t* num_scc) {
+  const std::size_t n = g.NumNodes();
+  constexpr std::uint32_t kUnvisited = 0xffffffffu;
+
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  std::vector<std::uint32_t> comp(n, kUnvisited);
+  std::uint32_t next_index = 0;
+  std::uint32_t next_comp = 0;
+
+  // Iterative Tarjan: each frame remembers how many out-arcs were consumed.
+  struct Frame {
+    NodeId v;
+    std::uint32_t arc;
+  };
+  std::vector<Frame> call_stack;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({root, 0});
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const NodeId v = frame.v;
+      if (frame.arc == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      bool descended = false;
+      auto arcs = g.OutArcs(v);
+      while (frame.arc < arcs.size()) {
+        const NodeId w = arcs[frame.arc].head;
+        ++frame.arc;
+        if (index[w] == kUnvisited) {
+          call_stack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+      if (descended) continue;
+      // v is finished.
+      if (lowlink[v] == index[v]) {
+        while (true) {
+          const NodeId w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          comp[w] = next_comp;
+          if (w == v) break;
+        }
+        ++next_comp;
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        const NodeId parent = call_stack.back().v;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  if (num_scc != nullptr) *num_scc = next_comp;
+  return comp;
+}
+
+bool IsStronglyConnected(const Graph& g) {
+  if (g.NumNodes() == 0) return true;
+  std::size_t num_scc = 0;
+  StronglyConnectedComponents(g, &num_scc);
+  return num_scc == 1;
+}
+
+Graph LargestStronglyConnectedComponent(const Graph& g,
+                                        std::vector<NodeId>* old_to_new) {
+  const std::size_t n = g.NumNodes();
+  std::size_t num_scc = 0;
+  std::vector<std::uint32_t> comp = StronglyConnectedComponents(g, &num_scc);
+
+  std::vector<std::size_t> comp_size(num_scc, 0);
+  for (NodeId v = 0; v < n; ++v) ++comp_size[comp[v]];
+  const std::uint32_t best = static_cast<std::uint32_t>(
+      std::max_element(comp_size.begin(), comp_size.end()) -
+      comp_size.begin());
+
+  std::vector<NodeId> mapping(n, kInvalidNode);
+  GraphBuilder builder(comp_size[best]);
+  for (NodeId v = 0; v < n; ++v) {
+    if (comp[v] == best) mapping[v] = builder.AddNode(g.Coord(v));
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (comp[v] != best) continue;
+    for (const Arc& a : g.OutArcs(v)) {
+      if (comp[a.head] == best) {
+        builder.AddArc(mapping[v], mapping[a.head], a.weight);
+      }
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(mapping);
+  return builder.Build();
+}
+
+}  // namespace ah

@@ -1,0 +1,26 @@
+// Connectivity utilities: the paper assumes a connected network; DIMACS data
+// and the synthetic generator are cleaned by extracting the largest strongly
+// connected component.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ah {
+
+/// Strongly-connected-component labeling (iterative Tarjan). Returns one
+/// component id per node; ids are dense starting at 0.
+std::vector<std::uint32_t> StronglyConnectedComponents(const Graph& g,
+                                                       std::size_t* num_scc);
+
+/// True if the whole graph is one strongly connected component.
+bool IsStronglyConnected(const Graph& g);
+
+/// Induced subgraph on the largest SCC, with nodes renumbered densely.
+/// If `old_to_new` is non-null it receives the node mapping
+/// (kInvalidNode for dropped nodes).
+Graph LargestStronglyConnectedComponent(const Graph& g,
+                                        std::vector<NodeId>* old_to_new);
+
+}  // namespace ah

@@ -1,0 +1,31 @@
+// Reader/writer for the 9th DIMACS Implementation Challenge road-network
+// format — the format of the datasets the paper evaluates on ([3] in the
+// paper). A network is a pair of files:
+//   *.gr  — "p sp <n> <m>" header plus "a <tail> <head> <weight>" arc lines.
+//   *.co  — "p aux sp co <n>" header plus "v <id> <x> <y>" coordinate lines.
+// Node ids are 1-based in the files and converted to 0-based in memory.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace ah {
+
+/// Writes graph arcs in .gr format.
+void WriteDimacsGraph(const Graph& g, std::ostream& out);
+/// Writes node coordinates in .co format.
+void WriteDimacsCoords(const Graph& g, std::ostream& out);
+
+/// Convenience: writes `<base>.gr` and `<base>.co`.
+void WriteDimacsFiles(const Graph& g, const std::string& base_path);
+
+/// Reads a graph from .gr + .co streams. Throws std::runtime_error on
+/// malformed input or mismatched node counts.
+Graph ReadDimacs(std::istream& gr, std::istream& co);
+
+/// Convenience: reads `<base>.gr` and `<base>.co`.
+Graph ReadDimacsFiles(const std::string& base_path);
+
+}  // namespace ah

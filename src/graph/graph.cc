@@ -1,0 +1,72 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/serialize.h"
+
+namespace ah {
+
+std::size_t Graph::MaxDegree() const {
+  std::size_t best = 0;
+  for (NodeId v = 0; v < NumNodes(); ++v) {
+    best = std::max(best, OutDegree(v) + InDegree(v));
+  }
+  return best;
+}
+
+Weight Graph::ArcWeight(NodeId u, NodeId v) const {
+  Weight best = kMaxWeight;
+  for (const Arc& a : OutArcs(u)) {
+    if (a.head == v) best = std::min(best, a.weight);
+  }
+  return best;
+}
+
+Box Graph::BoundingBox() const {
+  Box box;
+  for (const Point& p : coords_) box.Extend(p);
+  return box;
+}
+
+std::size_t Graph::SizeBytes() const {
+  return coords_.size() * sizeof(Point) +
+         out_first_.size() * sizeof(std::uint64_t) +
+         out_arcs_.size() * sizeof(Arc) +
+         in_first_.size() * sizeof(std::uint64_t) +
+         in_arcs_.size() * sizeof(Arc);
+}
+
+void Graph::Save(std::ostream& out) const {
+  BinaryWriter w(out);
+  w.Magic("AHGR", 1);
+  w.Vector(coords_);
+  w.Vector(out_first_);
+  w.Vector(out_arcs_);
+  w.Vector(in_first_);
+  w.Vector(in_arcs_);
+}
+
+Graph Graph::Load(std::istream& in) {
+  BinaryReader r(in);
+  r.Magic("AHGR", 1);
+  Graph g;
+  g.coords_ = r.Vector<Point>();
+  g.out_first_ = r.Vector<std::uint64_t>();
+  g.out_arcs_ = r.Vector<Arc>();
+  g.in_first_ = r.Vector<std::uint64_t>();
+  g.in_arcs_ = r.Vector<Arc>();
+  const std::size_t n = g.coords_.size();
+  if (g.out_first_.size() != n + 1 || g.in_first_.size() != n + 1 ||
+      g.out_first_.back() != g.out_arcs_.size() ||
+      g.in_first_.back() != g.in_arcs_.size() ||
+      g.out_arcs_.size() != g.in_arcs_.size()) {
+    throw std::runtime_error("Graph::Load: inconsistent structure");
+  }
+  for (const Arc& a : g.out_arcs_) {
+    if (a.head >= n) throw std::runtime_error("Graph::Load: bad arc head");
+  }
+  return g;
+}
+
+}  // namespace ah

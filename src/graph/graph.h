@@ -1,0 +1,84 @@
+// The road-network graph: a static CSR representation of a directed graph
+// with positive edge weights and planar node coordinates, exactly the model
+// of Section 2 of the paper (directed, degree-bounded, connected, embedded).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "geo/point.h"
+#include "util/types.h"
+
+namespace ah {
+
+/// One directed arc in CSR order.
+struct Arc {
+  NodeId head = kInvalidNode;  ///< Target node.
+  Weight weight = 0;           ///< Positive length / travel time.
+};
+
+/// Immutable directed graph in compressed-sparse-row form with both outgoing
+/// and incoming adjacency (incoming arcs are needed by every backward search
+/// in the bidirectional algorithms) plus per-node coordinates.
+///
+/// Construct through GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+
+  std::size_t NumNodes() const { return coords_.size(); }
+  std::size_t NumArcs() const { return out_arcs_.size(); }
+
+  const Point& Coord(NodeId v) const { return coords_[v]; }
+  const std::vector<Point>& Coords() const { return coords_; }
+
+  /// Outgoing arcs of v.
+  std::span<const Arc> OutArcs(NodeId v) const {
+    return {out_arcs_.data() + out_first_[v],
+            out_arcs_.data() + out_first_[v + 1]};
+  }
+
+  /// Incoming arcs of v; Arc::head is the *tail* of the original arc.
+  std::span<const Arc> InArcs(NodeId v) const {
+    return {in_arcs_.data() + in_first_[v],
+            in_arcs_.data() + in_first_[v + 1]};
+  }
+
+  std::size_t OutDegree(NodeId v) const {
+    return out_first_[v + 1] - out_first_[v];
+  }
+  std::size_t InDegree(NodeId v) const {
+    return in_first_[v + 1] - in_first_[v];
+  }
+
+  /// Maximum of out-degree + in-degree over all nodes (Δ in Appendix A).
+  std::size_t MaxDegree() const;
+
+  /// Weight of an arc u→v, or kMaxWeight if absent. Linear in OutDegree(u);
+  /// when parallel arcs exist, the minimum weight is returned.
+  Weight ArcWeight(NodeId u, NodeId v) const;
+
+  /// Bounding box of all node coordinates.
+  Box BoundingBox() const;
+
+  /// Total bytes of the in-memory representation (index-size reporting).
+  std::size_t SizeBytes() const;
+
+  /// Binary persistence (magic "AHGR"). Load throws std::runtime_error on
+  /// malformed input.
+  void Save(std::ostream& out) const;
+  static Graph Load(std::istream& in);
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<Point> coords_;
+  std::vector<std::uint64_t> out_first_;  // n+1 offsets.
+  std::vector<Arc> out_arcs_;
+  std::vector<std::uint64_t> in_first_;
+  std::vector<Arc> in_arcs_;
+};
+
+}  // namespace ah

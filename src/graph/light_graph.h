@@ -1,0 +1,79 @@
+// A lightweight CSR view over an arbitrary arc list — the representation the
+// arterial machinery and level assigner use for the shrinking overlay graphs
+// G'_1, G'_2, ... (which are arc lists, not full Graph objects).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "hier/contraction.h"
+#include "util/types.h"
+
+namespace ah {
+
+class LightGraph {
+ public:
+  LightGraph() = default;
+
+  /// Builds adjacency over node ids [0, n) from `arcs` (mid fields ignored).
+  LightGraph(std::size_t n, const std::vector<HierArc>& arcs) {
+    out_first_.assign(n + 1, 0);
+    in_first_.assign(n + 1, 0);
+    for (const HierArc& a : arcs) {
+      ++out_first_[a.tail + 1];
+      ++in_first_[a.head + 1];
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      out_first_[v + 1] += out_first_[v];
+      in_first_[v + 1] += in_first_[v];
+    }
+    out_arcs_.resize(arcs.size());
+    in_arcs_.resize(arcs.size());
+    std::vector<std::uint64_t> oc(out_first_.begin(), out_first_.end() - 1);
+    std::vector<std::uint64_t> ic(in_first_.begin(), in_first_.end() - 1);
+    for (const HierArc& a : arcs) {
+      out_arcs_[oc[a.tail]++] = Arc{a.head, a.weight};
+      in_arcs_[ic[a.head]++] = Arc{a.tail, a.weight};
+    }
+  }
+
+  /// Copies an existing Graph's arcs (same node ids).
+  static LightGraph FromGraph(const Graph& g) {
+    LightGraph lg;
+    const std::size_t n = g.NumNodes();
+    lg.out_first_.assign(n + 1, 0);
+    lg.in_first_.assign(n + 1, 0);
+    lg.out_arcs_.reserve(g.NumArcs());
+    lg.in_arcs_.reserve(g.NumArcs());
+    for (NodeId v = 0; v < n; ++v) {
+      lg.out_first_[v + 1] = lg.out_first_[v] + g.OutDegree(v);
+      for (const Arc& a : g.OutArcs(v)) lg.out_arcs_.push_back(a);
+      lg.in_first_[v + 1] = lg.in_first_[v] + g.InDegree(v);
+      for (const Arc& a : g.InArcs(v)) lg.in_arcs_.push_back(a);
+    }
+    return lg;
+  }
+
+  std::size_t NumNodes() const {
+    return out_first_.empty() ? 0 : out_first_.size() - 1;
+  }
+  std::size_t NumArcs() const { return out_arcs_.size(); }
+
+  std::span<const Arc> OutArcs(NodeId v) const {
+    return {out_arcs_.data() + out_first_[v],
+            out_arcs_.data() + out_first_[v + 1]};
+  }
+  std::span<const Arc> InArcs(NodeId v) const {
+    return {in_arcs_.data() + in_first_[v],
+            in_arcs_.data() + in_first_[v + 1]};
+  }
+
+ private:
+  std::vector<std::uint64_t> out_first_;
+  std::vector<Arc> out_arcs_;
+  std::vector<std::uint64_t> in_first_;
+  std::vector<Arc> in_arcs_;
+};
+
+}  // namespace ah

@@ -1,0 +1,66 @@
+#include "hgrid/grid_hierarchy.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ah {
+
+namespace {
+
+/// Fraction of occupied cells holding more than one point.
+double CollisionFraction(const std::vector<Point>& coords,
+                         const SquareGrid& grid) {
+  std::unordered_map<std::uint64_t, std::uint32_t> occupancy;
+  occupancy.reserve(coords.size() * 2);
+  for (const Point& p : coords) ++occupancy[CellKey(grid.CellOf(p))];
+  if (occupancy.empty()) return 0.0;
+  std::size_t multi = 0;
+  for (const auto& [key, count] : occupancy) {
+    if (count > 1) ++multi;
+  }
+  return static_cast<double>(multi) / static_cast<double>(occupancy.size());
+}
+
+}  // namespace
+
+GridHierarchy::GridHierarchy(const std::vector<Point>& coords,
+                             std::int32_t max_depth,
+                             double collision_tolerance) {
+  if (coords.empty()) {
+    throw std::invalid_argument("GridHierarchy: empty coordinate set");
+  }
+  max_depth = std::clamp<std::int32_t>(max_depth, 1, 28);
+
+  Box box;
+  for (const Point& p : coords) box.Extend(p);
+
+  // Grow h until the finest grid is (almost) single-occupancy or the cap is
+  // reached. R_1 for depth h has 2^(h+1) cells per side.
+  depth_ = 1;
+  for (std::int32_t h = 1; h <= max_depth; ++h) {
+    const std::int32_t finest_cells = 1 << (h + 1);
+    const SquareGrid finest = SquareGrid::Covering(box, finest_cells);
+    collision_fraction_ = CollisionFraction(coords, finest);
+    depth_ = h;
+    if (collision_fraction_ <= collision_tolerance) break;
+  }
+
+  grids_.reserve(depth_);
+  for (std::int32_t i = 1; i <= depth_; ++i) {
+    grids_.push_back(SquareGrid::Covering(box, 1 << (depth_ + 2 - i)));
+  }
+}
+
+std::int32_t GridHierarchy::SeparationLevel(const Point& a,
+                                            const Point& b) const {
+  // Coarser grids have larger cells, so once a level covers the pair in a
+  // 3×3 block, all coarser levels do as well: scan from the coarsest down.
+  for (std::int32_t i = depth_; i >= 1; --i) {
+    if (!SquareGrid::WithinThreeByThree(CellOf(i, a), CellOf(i, b))) return i;
+  }
+  return 0;
+}
+
+}  // namespace ah

@@ -1,0 +1,67 @@
+#include "hgrid/window.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ah {
+
+const std::vector<NodeId> CellIndex::kEmpty;
+
+CellIndex::CellIndex(const SquareGrid& grid, const std::vector<Point>& coords,
+                     const std::vector<NodeId>& nodes) {
+  buckets_.reserve(nodes.size() * 2);
+  for (NodeId v : nodes) {
+    const Cell c = grid.CellOf(coords[v]);
+    auto [it, inserted] = buckets_.try_emplace(CellKey(c));
+    if (inserted) occupied_.push_back(c);
+    it->second.push_back(v);
+  }
+}
+
+const std::vector<NodeId>& CellIndex::NodesIn(const Cell& c) const {
+  auto it = buckets_.find(CellKey(c));
+  return it == buckets_.end() ? kEmpty : it->second;
+}
+
+void CellIndex::CollectWindowNodes(const Window& w,
+                                   std::vector<NodeId>* out) const {
+  out->clear();
+  for (std::int32_t cx = w.ax; cx <= w.ax + 3; ++cx) {
+    for (std::int32_t cy = w.ay; cy <= w.ay + 3; ++cy) {
+      const auto& bucket = NodesIn(Cell{cx, cy});
+      out->insert(out->end(), bucket.begin(), bucket.end());
+    }
+  }
+}
+
+std::vector<Window> EnumerateWindows(const SquareGrid& grid,
+                                     const CellIndex& index,
+                                     std::int32_t stride) {
+  if (stride < 1) stride = 1;
+  const std::int32_t cells = grid.cells_per_side();
+  const std::int32_t max_anchor = std::max(0, cells - 4);
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Window> windows;
+  for (const Cell& c : index.OccupiedCells()) {
+    const std::int32_t ax_lo = std::clamp(c.cx - 3, 0, max_anchor);
+    const std::int32_t ax_hi = std::clamp(c.cx, 0, max_anchor);
+    const std::int32_t ay_lo = std::clamp(c.cy - 3, 0, max_anchor);
+    const std::int32_t ay_hi = std::clamp(c.cy, 0, max_anchor);
+    for (std::int32_t ax = ax_lo; ax <= ax_hi; ++ax) {
+      if (ax % stride != 0 && ax != max_anchor) continue;
+      for (std::int32_t ay = ay_lo; ay <= ay_hi; ++ay) {
+        if (ay % stride != 0 && ay != max_anchor) continue;
+        const Window w{ax, ay};
+        if (seen.insert(WindowKey(w)).second) windows.push_back(w);
+      }
+    }
+  }
+  // Deterministic order regardless of hash iteration.
+  std::sort(windows.begin(), windows.end(),
+            [](const Window& a, const Window& b) {
+              return a.ax != b.ax ? a.ax < b.ax : a.ay < b.ay;
+            });
+  return windows;
+}
+
+}  // namespace ah

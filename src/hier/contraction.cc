@@ -1,0 +1,206 @@
+#include "hier/contraction.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ah {
+
+std::vector<HierArc> ArcsOf(const Graph& g) {
+  std::vector<HierArc> arcs;
+  arcs.reserve(g.NumArcs());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (const Arc& a : g.OutArcs(v)) {
+      arcs.push_back(HierArc{v, a.head, a.weight, kInvalidNode});
+    }
+  }
+  return arcs;
+}
+
+ContractionEngine::ContractionEngine(std::size_t n,
+                                     const std::vector<HierArc>& arcs,
+                                     ContractionParams params)
+    : params_(params),
+      out_(n),
+      in_(n),
+      contracted_(n, false),
+      contracted_neighbors_(n, 0),
+      witness_heap_(n),
+      witness_dist_(n, kInfDist),
+      witness_stamp_(n, 0) {
+  for (const HierArc& a : arcs) {
+    assert(a.tail < n && a.head < n);
+    if (a.tail == a.head) continue;
+    AddOrImprove(a.tail, a.head, a.weight, a.mid);
+  }
+  shortcuts_added_ = 0;  // Loading the initial arcs is not "adding shortcuts".
+}
+
+bool ContractionEngine::AddOrImprove(NodeId u, NodeId w, Weight weight,
+                                     NodeId mid) {
+  for (OutArcRec& rec : out_[u]) {
+    if (rec.head != w) continue;
+    if (rec.weight <= weight) return false;
+    rec.weight = weight;
+    rec.mid = mid;
+    for (InArcRec& irec : in_[w]) {
+      if (irec.tail == u) {
+        irec.weight = weight;
+        irec.mid = mid;
+        break;
+      }
+    }
+    ++shortcuts_added_;
+    return true;
+  }
+  out_[u].push_back(OutArcRec{w, weight, mid});
+  in_[w].push_back(InArcRec{u, weight, mid});
+  ++shortcuts_added_;
+  return true;
+}
+
+void ContractionEngine::RunWitnessSearch(NodeId u, NodeId excluded,
+                                         Dist bound) {
+  ++witness_round_;
+  witness_heap_.Clear();
+  witness_stamp_[u] = witness_round_;
+  witness_dist_[u] = 0;
+  witness_heap_.PushOrDecrease(u, 0);
+  std::size_t settled = 0;
+  while (!witness_heap_.Empty()) {
+    auto [d, x] = witness_heap_.PopMin();
+    if (d > bound) break;
+    if (++settled > params_.witness_settle_limit) break;
+    for (const OutArcRec& a : out_[x]) {
+      if (a.head == excluded || contracted_[a.head]) continue;
+      const Dist nd = d + a.weight;
+      if (nd > bound) continue;
+      if (witness_stamp_[a.head] != witness_round_ ||
+          nd < witness_dist_[a.head]) {
+        witness_stamp_[a.head] = witness_round_;
+        witness_dist_[a.head] = nd;
+        witness_heap_.PushOrDecrease(a.head, nd);
+      }
+    }
+  }
+}
+
+std::size_t ContractionEngine::Contract(NodeId v) {
+  assert(!contracted_[v]);
+
+  std::size_t added = 0;
+  // Witness-checked shortcuts between active neighbors of v. One witness
+  // search per in-neighbor covers all out-neighbors.
+  for (const InArcRec& ia : in_[v]) {
+    const NodeId u = ia.tail;
+    if (contracted_[u]) continue;  // Should not happen: lists stay clean.
+    Dist max_via = 0;
+    for (const OutArcRec& oa : out_[v]) {
+      if (contracted_[oa.head] || oa.head == u) continue;
+      max_via = std::max(max_via,
+                         static_cast<Dist>(ia.weight) + oa.weight);
+    }
+    if (max_via == 0) continue;
+    RunWitnessSearch(u, v, max_via);
+    for (const OutArcRec& oa : out_[v]) {
+      const NodeId w = oa.head;
+      if (contracted_[w] || w == u) continue;
+      const Dist via = static_cast<Dist>(ia.weight) + oa.weight;
+      if (via > static_cast<Dist>(kMaxWeight)) continue;  // Overflow guard.
+      if (WitnessDist(w) <= via) continue;  // A witness path exists.
+      if (AddOrImprove(u, w, static_cast<Weight>(via), v)) ++added;
+    }
+  }
+
+  // v's incident arcs have reached their final weights: emit them.
+  for (const InArcRec& ia : in_[v]) {
+    emitted_.push_back(HierArc{ia.tail, v, ia.weight, ia.mid});
+  }
+  for (const OutArcRec& oa : out_[v]) {
+    emitted_.push_back(HierArc{v, oa.head, oa.weight, oa.mid});
+  }
+
+  // Detach v from its neighbors' adjacency.
+  for (const InArcRec& ia : in_[v]) {
+    auto& lst = out_[ia.tail];
+    for (std::size_t i = 0; i < lst.size(); ++i) {
+      if (lst[i].head == v) {
+        lst[i] = lst.back();
+        lst.pop_back();
+        break;
+      }
+    }
+    ++contracted_neighbors_[ia.tail];
+  }
+  for (const OutArcRec& oa : out_[v]) {
+    auto& lst = in_[oa.head];
+    for (std::size_t i = 0; i < lst.size(); ++i) {
+      if (lst[i].tail == v) {
+        lst[i] = lst.back();
+        lst.pop_back();
+        break;
+      }
+    }
+    ++contracted_neighbors_[oa.head];
+  }
+  out_[v].clear();
+  out_[v].shrink_to_fit();
+  in_[v].clear();
+  in_[v].shrink_to_fit();
+  contracted_[v] = true;
+  ++num_contracted_;
+  return added;
+}
+
+std::size_t ContractionEngine::SimulateContraction(NodeId v) {
+  assert(!contracted_[v]);
+  std::size_t added = 0;
+  for (const InArcRec& ia : in_[v]) {
+    const NodeId u = ia.tail;
+    Dist max_via = 0;
+    for (const OutArcRec& oa : out_[v]) {
+      if (oa.head == u) continue;
+      max_via = std::max(max_via,
+                         static_cast<Dist>(ia.weight) + oa.weight);
+    }
+    if (max_via == 0) continue;
+    RunWitnessSearch(u, v, max_via);
+    for (const OutArcRec& oa : out_[v]) {
+      const NodeId w = oa.head;
+      if (w == u) continue;
+      const Dist via = static_cast<Dist>(ia.weight) + oa.weight;
+      if (WitnessDist(w) <= via) continue;
+      // Would the shortcut actually change the graph?
+      bool improves = true;
+      for (const OutArcRec& existing : out_[u]) {
+        if (existing.head == w && existing.weight <= via) {
+          improves = false;
+          break;
+        }
+      }
+      if (improves) ++added;
+    }
+  }
+  return added;
+}
+
+std::vector<HierArc> ContractionEngine::RemainingArcs() const {
+  std::vector<HierArc> arcs;
+  for (NodeId v = 0; v < out_.size(); ++v) {
+    if (contracted_[v]) continue;
+    for (const OutArcRec& a : out_[v]) {
+      arcs.push_back(HierArc{v, a.head, a.weight, a.mid});
+    }
+  }
+  return arcs;
+}
+
+std::vector<HierArc> ContractNodes(std::size_t n,
+                                   const std::vector<HierArc>& arcs,
+                                   const std::vector<NodeId>& order,
+                                   ContractionParams params) {
+  ContractionEngine engine(n, arcs, params);
+  for (NodeId v : order) engine.Contract(v);
+  return engine.RemainingArcs();
+}
+
+}  // namespace ah

@@ -1,0 +1,130 @@
+// Node-contraction machinery shared by CH, FC and AH.
+//
+// Contracting a node v removes it from the active graph and, for every pair
+// of an active in-neighbor u and out-neighbor w, adds the shortcut u→w with
+// weight w(u,v)+w(v,w) unless a *witness* path of no greater length survives
+// in the remaining graph. Every shortcut remembers v as its midpoint, so it
+// expands into the two-hop path ⟨u, v, w⟩ — exactly the shortcut
+// representation §4.1 of the paper prescribes for O(k) path unpacking.
+//
+// The engine is order-agnostic: AH contracts in its arterial-level rank
+// order, CH in greedy edge-difference order, and the AH level assigner uses
+// it to reduce G'_i to an overlay on the surviving cores (distances between
+// active nodes are preserved exactly by construction).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/indexed_heap.h"
+#include "util/types.h"
+
+namespace ah {
+
+/// One arc of a hierarchy under construction. mid == kInvalidNode means an
+/// original graph edge; otherwise the arc is a shortcut that expands into
+/// tail→mid→head.
+struct HierArc {
+  NodeId tail = kInvalidNode;
+  NodeId head = kInvalidNode;
+  Weight weight = 0;
+  NodeId mid = kInvalidNode;
+};
+
+struct ContractionParams {
+  /// Budget of settled nodes per witness search. When the budget runs out
+  /// the search is inconclusive and the shortcut is added anyway (safe: it
+  /// is only redundant, never wrong).
+  std::size_t witness_settle_limit = 80;
+};
+
+/// Extracts the arc list of a Graph as HierArcs (mid = invalid).
+std::vector<HierArc> ArcsOf(const Graph& g);
+
+class ContractionEngine {
+ public:
+  /// Starts with `arcs` over node ids in [0, n). Parallel arcs collapse to
+  /// the minimum weight.
+  ContractionEngine(std::size_t n, const std::vector<HierArc>& arcs,
+                    ContractionParams params = {});
+
+  std::size_t NumNodes() const { return out_.size(); }
+  bool IsContracted(NodeId v) const { return contracted_[v]; }
+  std::size_t NumContracted() const { return num_contracted_; }
+
+  std::size_t CurrentOutDegree(NodeId v) const { return out_[v].size(); }
+  std::size_t CurrentInDegree(NodeId v) const { return in_[v].size(); }
+  /// Number of formerly adjacent nodes that have been contracted — the
+  /// standard CH tie-breaker that spreads contraction evenly.
+  std::size_t ContractedNeighborCount(NodeId v) const {
+    return contracted_neighbors_[v];
+  }
+
+  /// Contracts v: emits v's incident arcs (their weights are final) into the
+  /// emitted list and inserts witness-checked shortcuts between v's active
+  /// neighbors. Returns the number of shortcuts added or improved.
+  std::size_t Contract(NodeId v);
+
+  /// Counts the shortcuts Contract(v) would add, without mutating anything.
+  std::size_t SimulateContraction(NodeId v);
+
+  /// Arcs currently connecting active (uncontracted) nodes. After a partial
+  /// contraction this is the distance-preserving overlay on the survivors.
+  std::vector<HierArc> RemainingArcs() const;
+
+  /// Arcs emitted so far; each arc of the final hierarchy appears exactly
+  /// once (when its first endpoint is contracted), with its final weight and
+  /// midpoint. Contract every node and this is the whole hierarchy.
+  const std::vector<HierArc>& EmittedArcs() const { return emitted_; }
+
+  std::size_t NumShortcutsAdded() const { return shortcuts_added_; }
+
+ private:
+  struct OutArcRec {
+    NodeId head;
+    Weight weight;
+    NodeId mid;
+  };
+  struct InArcRec {
+    NodeId tail;
+    Weight weight;
+    NodeId mid;
+  };
+
+  // Inserts or improves u→w; updates both adjacency mirrors.
+  bool AddOrImprove(NodeId u, NodeId w, Weight weight, NodeId mid);
+
+  // Shortest u→targets distance check in the active graph minus `excluded`.
+  // Fills witness_dist_ labels; a target's label may stay kInfDist.
+  void RunWitnessSearch(NodeId u, NodeId excluded, Dist bound);
+
+  Dist WitnessDist(NodeId v) const {
+    return witness_stamp_[v] == witness_round_ ? witness_dist_[v] : kInfDist;
+  }
+
+  ContractionParams params_;
+  std::vector<std::vector<OutArcRec>> out_;
+  std::vector<std::vector<InArcRec>> in_;
+  std::vector<bool> contracted_;
+  std::vector<std::uint32_t> contracted_neighbors_;
+  std::vector<HierArc> emitted_;
+  std::size_t num_contracted_ = 0;
+  std::size_t shortcuts_added_ = 0;
+
+  // Reusable witness-search state.
+  IndexedHeap witness_heap_;
+  std::vector<Dist> witness_dist_;
+  std::vector<std::uint32_t> witness_stamp_;
+  std::uint32_t witness_round_ = 0;
+};
+
+/// Contracts the given nodes, in order, and returns the overlay arcs among
+/// the untouched nodes. Distances between untouched nodes are preserved.
+std::vector<HierArc> ContractNodes(std::size_t n,
+                                   const std::vector<HierArc>& arcs,
+                                   const std::vector<NodeId>& order,
+                                   ContractionParams params = {});
+
+}  // namespace ah

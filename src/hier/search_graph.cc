@@ -1,0 +1,157 @@
+#include "hier/search_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/serialize.h"
+
+namespace ah {
+
+SearchGraph::SearchGraph(std::size_t n, const std::vector<HierArc>& arcs,
+                         std::vector<Rank> rank)
+    : rank_(std::move(rank)) {
+  assert(rank_.size() == n);
+
+  // Partition arcs into upward-forward (stored at tail) and upward-backward
+  // (stored at head). Ranks form a permutation, so no ties arise.
+  up_out_first_.assign(n + 1, 0);
+  up_in_first_.assign(n + 1, 0);
+  all_first_.assign(n + 1, 0);
+  for (const HierArc& a : arcs) {
+    if (rank_[a.head] > rank_[a.tail]) {
+      ++up_out_first_[a.tail + 1];
+    } else {
+      ++up_in_first_[a.head + 1];
+    }
+    ++all_first_[a.tail + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    up_out_first_[v + 1] += up_out_first_[v];
+    up_in_first_[v + 1] += up_in_first_[v];
+    all_first_[v + 1] += all_first_[v];
+  }
+  up_out_arcs_.resize(up_out_first_[n]);
+  up_in_arcs_.resize(up_in_first_[n]);
+  all_arcs_.resize(all_first_[n]);
+  std::vector<std::uint64_t> out_cur(up_out_first_.begin(),
+                                     up_out_first_.end() - 1);
+  std::vector<std::uint64_t> in_cur(up_in_first_.begin(),
+                                    up_in_first_.end() - 1);
+  std::vector<std::uint64_t> all_cur(all_first_.begin(), all_first_.end() - 1);
+  for (const HierArc& a : arcs) {
+    if (rank_[a.head] > rank_[a.tail]) {
+      up_out_arcs_[out_cur[a.tail]++] = UpArc{a.head, a.weight};
+    } else {
+      up_in_arcs_[in_cur[a.head]++] = UpArc{a.tail, a.weight};
+    }
+    all_arcs_[all_cur[a.tail]++] = PackedArc{a.head, a.weight, a.mid};
+  }
+  // Sort each tail's bucket by head for binary-search lookup.
+  for (std::size_t v = 0; v < n; ++v) {
+    std::sort(all_arcs_.begin() + all_first_[v],
+              all_arcs_.begin() + all_first_[v + 1],
+              [](const PackedArc& x, const PackedArc& y) {
+                return x.head < y.head;
+              });
+  }
+}
+
+bool SearchGraph::LookupArc(NodeId u, NodeId v, PackedArc* found) const {
+  auto begin = all_arcs_.begin() + all_first_[u];
+  auto end = all_arcs_.begin() + all_first_[u + 1];
+  auto it = std::lower_bound(begin, end, v,
+                             [](const PackedArc& a, NodeId target) {
+                               return a.head < target;
+                             });
+  if (it == end || it->head != v) return false;
+  *found = *it;
+  return true;
+}
+
+Weight SearchGraph::HierArcWeight(NodeId u, NodeId v) const {
+  PackedArc arc;
+  return LookupArc(u, v, &arc) ? arc.weight : kMaxWeight;
+}
+
+void SearchGraph::AppendUnpacked(NodeId u, NodeId v,
+                                 std::vector<NodeId>* out) const {
+  // Iterative expansion: a work stack of arcs, processed left-to-right.
+  struct Pending {
+    NodeId from;
+    NodeId to;
+  };
+  std::vector<Pending> stack = {{u, v}};
+  while (!stack.empty()) {
+    const Pending p = stack.back();
+    stack.pop_back();
+    PackedArc arc;
+    if (!LookupArc(p.from, p.to, &arc)) {
+      throw std::logic_error("SearchGraph::AppendUnpacked: unknown arc");
+    }
+    if (arc.mid == kInvalidNode) {
+      out->push_back(p.to);
+    } else {
+      // Expand left part first: push right, then left (stack is LIFO).
+      stack.push_back({arc.mid, p.to});
+      stack.push_back({p.from, arc.mid});
+    }
+  }
+}
+
+std::vector<NodeId> SearchGraph::UnpackPath(
+    const std::vector<NodeId>& hierarchy_path) const {
+  std::vector<NodeId> out;
+  if (hierarchy_path.empty()) return out;
+  out.push_back(hierarchy_path.front());
+  for (std::size_t i = 0; i + 1 < hierarchy_path.size(); ++i) {
+    AppendUnpacked(hierarchy_path[i], hierarchy_path[i + 1], &out);
+  }
+  return out;
+}
+
+void SearchGraph::Save(std::ostream& out) const {
+  BinaryWriter w(out);
+  w.Magic("AHSG", 1);
+  w.Vector(rank_);
+  w.Vector(up_out_first_);
+  w.Vector(up_out_arcs_);
+  w.Vector(up_in_first_);
+  w.Vector(up_in_arcs_);
+  w.Vector(all_first_);
+  w.Vector(all_arcs_);
+}
+
+SearchGraph SearchGraph::Load(std::istream& in) {
+  BinaryReader r(in);
+  r.Magic("AHSG", 1);
+  SearchGraph sg;
+  sg.rank_ = r.Vector<Rank>();
+  sg.up_out_first_ = r.Vector<std::uint64_t>();
+  sg.up_out_arcs_ = r.Vector<UpArc>();
+  sg.up_in_first_ = r.Vector<std::uint64_t>();
+  sg.up_in_arcs_ = r.Vector<UpArc>();
+  sg.all_first_ = r.Vector<std::uint64_t>();
+  sg.all_arcs_ = r.Vector<PackedArc>();
+  const std::size_t n = sg.rank_.size();
+  if (sg.up_out_first_.size() != n + 1 || sg.up_in_first_.size() != n + 1 ||
+      sg.all_first_.size() != n + 1 ||
+      sg.up_out_first_.back() != sg.up_out_arcs_.size() ||
+      sg.up_in_first_.back() != sg.up_in_arcs_.size() ||
+      sg.all_first_.back() != sg.all_arcs_.size()) {
+    throw std::runtime_error("SearchGraph::Load: inconsistent structure");
+  }
+  return sg;
+}
+
+std::size_t SearchGraph::SizeBytes() const {
+  return rank_.size() * sizeof(Rank) +
+         up_out_first_.size() * sizeof(std::uint64_t) +
+         up_out_arcs_.size() * sizeof(UpArc) +
+         up_in_first_.size() * sizeof(std::uint64_t) +
+         up_in_arcs_.size() * sizeof(UpArc) +
+         all_first_.size() * sizeof(std::uint64_t) +
+         all_arcs_.size() * sizeof(PackedArc);
+}
+
+}  // namespace ah

@@ -1,0 +1,90 @@
+// The query-time representation of a contracted hierarchy: upward adjacency
+// in both directions plus per-arc midpoint tables for O(k) path unpacking.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "hier/contraction.h"
+#include "util/types.h"
+
+namespace ah {
+
+/// An upward arc as seen from its lower-ranked endpoint.
+struct UpArc {
+  NodeId node = kInvalidNode;  ///< The higher-ranked endpoint.
+  Weight weight = 0;
+};
+
+/// Immutable hierarchy built from the arcs a full contraction emitted and a
+/// rank permutation. Every arc (u,v) is stored once: in the upward-forward
+/// list of u when rank(v) > rank(u), otherwise in the upward-backward list
+/// of v (for the reverse search). A separate per-node table keyed by head
+/// node retains weights and midpoints for unpacking.
+class SearchGraph {
+ public:
+  SearchGraph() = default;
+  SearchGraph(std::size_t n, const std::vector<HierArc>& arcs,
+              std::vector<Rank> rank);
+
+  std::size_t NumNodes() const { return rank_.size(); }
+  Rank RankOf(NodeId v) const { return rank_[v]; }
+
+  /// Upward out-arcs: arcs u→v with rank(v) > rank(u), indexed by u.
+  std::span<const UpArc> UpOut(NodeId u) const {
+    return {up_out_arcs_.data() + up_out_first_[u],
+            up_out_arcs_.data() + up_out_first_[u + 1]};
+  }
+
+  /// Upward in-arcs: arcs w→v with rank(w) > rank(v), indexed by v;
+  /// UpArc::node is w.
+  std::span<const UpArc> UpIn(NodeId v) const {
+    return {up_in_arcs_.data() + up_in_first_[v],
+            up_in_arcs_.data() + up_in_first_[v + 1]};
+  }
+
+  /// Total number of stored arcs (original + shortcuts).
+  std::size_t NumArcs() const { return up_out_arcs_.size() + up_in_arcs_.size(); }
+
+  /// Appends the fully expanded node sequence of arc u→v to `out`,
+  /// excluding u and including v. The arc must exist in the hierarchy.
+  void AppendUnpacked(NodeId u, NodeId v, std::vector<NodeId>* out) const;
+
+  /// Expands a hierarchy path (node sequence where consecutive nodes are
+  /// hierarchy arcs) into the original-graph path.
+  std::vector<NodeId> UnpackPath(const std::vector<NodeId>& hierarchy_path) const;
+
+  /// Weight of hierarchy arc u→v, or kMaxWeight if absent.
+  Weight HierArcWeight(NodeId u, NodeId v) const;
+
+  std::size_t SizeBytes() const;
+
+  /// Binary persistence (magic "AHSG").
+  void Save(std::ostream& out) const;
+  static SearchGraph Load(std::istream& in);
+
+ private:
+  struct PackedArc {
+    NodeId head;
+    Weight weight;
+    NodeId mid;
+  };
+
+  // Midpoint lookup for arc u→v; kInvalidNode mid = original edge;
+  // returns false if the arc is unknown.
+  bool LookupArc(NodeId u, NodeId v, PackedArc* found) const;
+
+  std::vector<Rank> rank_;
+  std::vector<std::uint64_t> up_out_first_;
+  std::vector<UpArc> up_out_arcs_;
+  std::vector<std::uint64_t> up_in_first_;
+  std::vector<UpArc> up_in_arcs_;
+
+  // All arcs grouped by tail, heads sorted for binary search (unpacking).
+  std::vector<std::uint64_t> all_first_;
+  std::vector<PackedArc> all_arcs_;
+};
+
+}  // namespace ah

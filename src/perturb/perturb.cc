@@ -1,0 +1,14 @@
+#include "perturb/perturb.h"
+
+namespace ah {
+
+std::uint64_t Nuance::ArcNuance(NodeId u, NodeId v) const {
+  // Two rounds of SplitMix64-style mixing over (seed, u, v).
+  std::uint64_t z = seed_ ^ (static_cast<std::uint64_t>(u) << 32) ^ v;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z & ((1ULL << 40) - 1);
+}
+
+}  // namespace ah

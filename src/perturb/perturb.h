@@ -1,0 +1,50 @@
+// Appendix A: weight perturbation for unique local shortest paths.
+//
+// Instead of materializing k-dimensional nuance vectors on every edge, each
+// arc (u,v) gets a deterministic pseudo-random *nuance* from a seeded hash.
+// Path comparison is lexicographic on (length, total nuance): equal-length
+// paths are ordered by nuance, which breaks ties exactly like the paper's
+// ρ(P) and collides with probability ~2^-40 per comparison.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace ah {
+
+class Nuance {
+ public:
+  explicit Nuance(std::uint64_t seed = 0x6c62272e07bb0142ULL) : seed_(seed) {}
+
+  /// Nuance ρ(e) of arc u→v; uniform in [0, 2^40).
+  std::uint64_t ArcNuance(NodeId u, NodeId v) const;
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Length + accumulated nuance with lexicographic comparison — the totally
+/// ordered "perturbed length" of a path.
+struct TieDist {
+  Dist length = kInfDist;
+  std::uint64_t nuance = 0;
+
+  friend bool operator<(const TieDist& a, const TieDist& b) {
+    if (a.length != b.length) return a.length < b.length;
+    return a.nuance < b.nuance;
+  }
+  friend bool operator==(const TieDist& a, const TieDist& b) {
+    return a.length == b.length && a.nuance == b.nuance;
+  }
+  friend bool operator<=(const TieDist& a, const TieDist& b) {
+    return a < b || a == b;
+  }
+
+  /// Extends the path by an arc.
+  TieDist Plus(Weight w, std::uint64_t arc_nuance) const {
+    return TieDist{length + w, nuance + arc_nuance};
+  }
+};
+
+}  // namespace ah

@@ -1,0 +1,49 @@
+// Plain bidirectional Dijkstra — the unconstrained version of the two-sided
+// traversal FC and AH build on (Section 3.2's termination rule: stop a side
+// once the best meeting distance θ is no larger than its queue minimum).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "routing/dijkstra.h"
+#include "util/indexed_heap.h"
+#include "util/types.h"
+
+namespace ah {
+
+class BidirectionalDijkstra {
+ public:
+  explicit BidirectionalDijkstra(const Graph& g);
+
+  /// Distance from s to t; kInfDist if unreachable.
+  Dist Distance(NodeId s, NodeId t);
+
+  /// Shortest path from s to t as a node sequence (empty if unreachable).
+  std::vector<NodeId> Path(NodeId s, NodeId t);
+
+  /// Number of nodes settled by the last query (both sides).
+  std::size_t LastSettledCount() const { return last_settled_; }
+
+ private:
+  struct Side {
+    IndexedHeap heap;
+    std::vector<Dist> dist;
+    std::vector<NodeId> parent;
+    std::vector<std::uint32_t> stamp;
+  };
+
+  void Reset();
+  bool Relax(Side& side, Direction dir, Dist& best, NodeId& meet,
+             const Side& other);
+
+  const Graph& graph_;
+  Side fwd_;
+  Side bwd_;
+  std::uint32_t round_ = 0;
+  std::size_t last_settled_ = 0;
+  NodeId last_meet_ = kInvalidNode;
+};
+
+}  // namespace ah

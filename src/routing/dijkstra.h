@@ -1,0 +1,70 @@
+// Dijkstra's algorithm (the paper's baseline and the workhorse inside every
+// preprocessing step).
+//
+// A Dijkstra object owns reusable buffers sized to one graph; running many
+// searches on the same instance costs O(#touched) cleanup per search, not
+// O(n) (timestamped distance labels).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/indexed_heap.h"
+#include "util/types.h"
+
+namespace ah {
+
+/// Search direction: forward follows out-arcs (paths from the source),
+/// backward follows in-arcs (paths *to* the source).
+enum class Direction { kForward, kBackward };
+
+class Dijkstra {
+ public:
+  explicit Dijkstra(const Graph& g);
+
+  /// Point-to-point distance; stops as soon as `t` is settled.
+  /// Returns kInfDist if t is unreachable.
+  Dist Distance(NodeId s, NodeId t);
+
+  /// Settles every node reachable from s (or reaching s, if backward) whose
+  /// distance is < `bound`. After the call DistTo/ParentOf are valid.
+  void Run(NodeId s, Direction dir = Direction::kForward,
+           Dist bound = kInfDist);
+
+  /// Distance label after Run/Distance; kInfDist if v was not reached.
+  Dist DistTo(NodeId v) const {
+    return stamp_[v] == round_ ? dist_[v] : kInfDist;
+  }
+
+  /// Predecessor of v on the shortest path tree (successor for backward
+  /// searches); kInvalidNode for the source or unreached nodes.
+  NodeId ParentOf(NodeId v) const {
+    return stamp_[v] == round_ ? parent_[v] : kInvalidNode;
+  }
+
+  /// Nodes settled by the last search, in settling order.
+  const std::vector<NodeId>& SettledNodes() const { return settled_; }
+
+  /// Shortest path from s to t as a node sequence (empty if unreachable).
+  std::vector<NodeId> Path(NodeId s, NodeId t);
+
+  const Graph& graph() const { return graph_; }
+
+ private:
+  // Shared engine; when `target` != kInvalidNode the search stops once the
+  // target is settled.
+  void RunInternal(NodeId s, NodeId target, Direction dir, Dist bound);
+
+  void Touch(NodeId v, Dist d, NodeId parent);
+
+  const Graph& graph_;
+  IndexedHeap heap_;
+  std::vector<Dist> dist_;
+  std::vector<NodeId> parent_;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<NodeId> settled_;
+  std::uint32_t round_ = 0;
+};
+
+}  // namespace ah

@@ -1,0 +1,23 @@
+#include "routing/path.h"
+
+namespace ah {
+
+Dist PathLength(const Graph& g, const std::vector<NodeId>& nodes) {
+  if (nodes.empty()) return kInfDist;
+  Dist total = 0;
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    const Weight w = g.ArcWeight(nodes[i], nodes[i + 1]);
+    if (w == kMaxWeight) return kInfDist;
+    total += w;
+  }
+  return total;
+}
+
+bool IsValidPath(const Graph& g, const std::vector<NodeId>& nodes, NodeId s,
+                 NodeId t, Dist expected_length) {
+  if (nodes.empty()) return false;
+  if (nodes.front() != s || nodes.back() != t) return false;
+  return PathLength(g, nodes) == expected_length;
+}
+
+}  // namespace ah

@@ -1,0 +1,35 @@
+// Path representation and validation helpers shared by every index's
+// shortest-path queries and by the test suites.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace ah {
+
+/// A shortest-path query result: the node sequence s = nodes[0], ...,
+/// nodes[k] = t, plus its total length.
+struct PathResult {
+  std::vector<NodeId> nodes;
+  Dist length = kInfDist;
+
+  bool Found() const { return length != kInfDist; }
+  /// Number of edges on the path (the paper's k).
+  std::size_t NumEdges() const {
+    return nodes.size() < 2 ? 0 : nodes.size() - 1;
+  }
+};
+
+/// Sums arc weights along `nodes`; returns kInfDist if any consecutive pair
+/// is not connected by an arc in g.
+Dist PathLength(const Graph& g, const std::vector<NodeId>& nodes);
+
+/// True if `nodes` is a real path in g from s to t with total length
+/// `expected_length`. A convenient single check for tests: any index's path
+/// answer must both exist edge-by-edge and achieve the claimed distance.
+bool IsValidPath(const Graph& g, const std::vector<NodeId>& nodes, NodeId s,
+                 NodeId t, Dist expected_length);
+
+}  // namespace ah

@@ -1,0 +1,114 @@
+#include "silc/quadtree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ah {
+
+std::uint64_t MortonInterleave32(std::uint32_t x, std::uint32_t y) {
+  auto spread = [](std::uint64_t v) {
+    v &= 0xffffffffULL;
+    v = (v | (v << 16)) & 0x0000ffff0000ffffULL;
+    v = (v | (v << 8)) & 0x00ff00ff00ff00ffULL;
+    v = (v | (v << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+    v = (v | (v << 2)) & 0x3333333333333333ULL;
+    v = (v | (v << 1)) & 0x5555555555555555ULL;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+MortonSpace::MortonSpace(const Box& box) {
+  assert(!box.Empty());
+  origin_x_ = box.min_x;
+  origin_y_ = box.min_y;
+  side_ = std::max<std::int64_t>(box.SquareSide(), 1);
+}
+
+std::uint64_t MortonSpace::MortonOf(const Point& p) const {
+  auto normalize = [&](std::int64_t coord, std::int64_t origin) {
+    std::int64_t off = coord - origin;
+    if (off < 0) off = 0;
+    if (off > side_) off = side_;
+    // Monotone map onto [0, 2^32): (off / side) * (2^32 - 1).
+    const double scaled =
+        static_cast<double>(off) / static_cast<double>(side_) * 4294967295.0;
+    return static_cast<std::uint32_t>(scaled);
+  };
+  return MortonInterleave32(normalize(p.x, origin_x_),
+                            normalize(p.y, origin_y_));
+}
+
+namespace {
+
+struct BlockBuilder {
+  const std::vector<std::uint64_t>& mortons;
+  const std::vector<NodeId>& colors;
+  std::vector<std::uint32_t> next_diff;  // Position of next color change.
+  std::vector<QuadBlock>* out;
+
+  void Recurse(std::uint8_t depth, std::uint64_t start, std::uint32_t lo,
+               std::uint32_t hi) {
+    if (lo >= hi) return;
+    if (next_diff[lo] >= hi || depth == 32) {
+      // Uniform (or fully resolved): one block covers the quadrant. At
+      // depth 32 multiple equal codes may disagree; the first color wins
+      // (distinct nodes at identical coordinates — pathological input).
+      out->push_back(QuadBlock{start, colors[lo], depth});
+      return;
+    }
+    const std::uint64_t quarter = 1ULL << (2 * (32 - depth - 1));
+    std::uint32_t cursor = lo;
+    for (int child = 0; child < 4; ++child) {
+      const std::uint64_t child_start =
+          start + static_cast<std::uint64_t>(child) * quarter;
+      const std::uint64_t child_end = child_start + quarter;
+      // Codes are sorted: the child range is a contiguous slice.
+      std::uint32_t child_hi = cursor;
+      if (child == 3) {
+        child_hi = hi;
+      } else {
+        child_hi = static_cast<std::uint32_t>(
+            std::lower_bound(mortons.begin() + cursor, mortons.begin() + hi,
+                             child_end) -
+            mortons.begin());
+      }
+      Recurse(depth + 1, child_start, cursor, child_hi);
+      cursor = child_hi;
+    }
+  }
+};
+
+}  // namespace
+
+void BuildColorBlocks(const std::vector<std::uint64_t>& sorted_mortons,
+                      const std::vector<NodeId>& colors_by_pos,
+                      std::vector<QuadBlock>* out) {
+  assert(sorted_mortons.size() == colors_by_pos.size());
+  const std::uint32_t n = static_cast<std::uint32_t>(sorted_mortons.size());
+  if (n == 0) return;
+  BlockBuilder builder{sorted_mortons, colors_by_pos, {}, out};
+  builder.next_diff.assign(n, n);
+  for (std::uint32_t i = n - 1; i-- > 0;) {
+    builder.next_diff[i] = colors_by_pos[i] == colors_by_pos[i + 1]
+                               ? builder.next_diff[i + 1]
+                               : i + 1;
+  }
+  builder.Recurse(0, 0, 0, n);
+}
+
+NodeId LookupColor(std::span<const QuadBlock> blocks, std::uint64_t morton) {
+  // Last block with start <= morton; blocks are disjoint and sorted.
+  auto it = std::upper_bound(
+      blocks.begin(), blocks.end(), morton,
+      [](std::uint64_t m, const QuadBlock& b) { return m < b.start; });
+  if (it == blocks.begin()) return kInvalidNode;
+  --it;
+  const int shift = 2 * (32 - it->depth);
+  const std::uint64_t length =
+      shift >= 64 ? 0 : (1ULL << shift);  // depth 0 spans everything.
+  if (it->depth == 0 || morton - it->start < length) return it->color;
+  return kInvalidNode;
+}
+
+}  // namespace ah

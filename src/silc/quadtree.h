@@ -1,0 +1,57 @@
+// Morton-order quadtree machinery for SILC (Samet et al., SIGMOD'08).
+//
+// SILC stores, for every source node, the quadtree decomposition of space
+// into maximal blocks whose destinations all share the same *first hop* on
+// the shortest path from the source. Destinations are kept in one global
+// Morton order; a per-source decomposition is then a disjoint set of Morton
+// intervals, each a (start, depth, color) block, and point lookup is a
+// single binary search.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geo/point.h"
+#include "util/types.h"
+
+namespace ah {
+
+/// Interleaves two 32-bit values into a 64-bit Morton code (x even bits).
+std::uint64_t MortonInterleave32(std::uint32_t x, std::uint32_t y);
+
+/// Maps points in a bounding box onto 64-bit Morton codes (monotone per
+/// axis; distinct points get distinct codes unless they collide in the
+/// 2^32 × 2^32 normalized grid, which requires coordinates closer than
+/// side / 2^32).
+class MortonSpace {
+ public:
+  MortonSpace() = default;
+  explicit MortonSpace(const Box& box);
+
+  std::uint64_t MortonOf(const Point& p) const;
+
+ private:
+  std::int64_t origin_x_ = 0;
+  std::int64_t origin_y_ = 0;
+  std::int64_t side_ = 1;
+};
+
+/// One uniform-color block: Morton interval [start, start + 4^(32-depth)).
+struct QuadBlock {
+  std::uint64_t start = 0;
+  NodeId color = kInvalidNode;  ///< First hop (kInvalidNode = unreachable).
+  std::uint8_t depth = 0;       ///< 0 = whole space, 32 = single code.
+};
+
+/// Decomposes `colors_by_pos` (aligned with `sorted_mortons`, both in
+/// ascending Morton order) into maximal uniform quad blocks, appended to
+/// `out` in ascending `start` order.
+void BuildColorBlocks(const std::vector<std::uint64_t>& sorted_mortons,
+                      const std::vector<NodeId>& colors_by_pos,
+                      std::vector<QuadBlock>* out);
+
+/// Point lookup in a disjoint, start-sorted block list.
+NodeId LookupColor(std::span<const QuadBlock> blocks, std::uint64_t morton);
+
+}  // namespace ah

@@ -1,0 +1,131 @@
+#include "silc/silc_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "routing/dijkstra.h"
+#include "util/timer.h"
+
+namespace ah {
+
+SilcIndex SilcIndex::Build(const Graph& g) {
+  Timer timer;
+  SilcIndex index;
+  index.graph_ = &g;
+  const std::size_t n = g.NumNodes();
+
+  const MortonSpace space(g.BoundingBox());
+  index.morton_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    index.morton_[v] = space.MortonOf(g.Coord(v));
+  }
+
+  // Global Morton order shared by all per-source quadtrees.
+  std::vector<NodeId> by_morton(n);
+  std::iota(by_morton.begin(), by_morton.end(), 0);
+  std::sort(by_morton.begin(), by_morton.end(), [&](NodeId a, NodeId b) {
+    if (index.morton_[a] != index.morton_[b]) {
+      return index.morton_[a] < index.morton_[b];
+    }
+    return a < b;
+  });
+  std::vector<std::uint64_t> sorted_mortons(n);
+  std::vector<std::uint32_t> pos_of(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    sorted_mortons[i] = index.morton_[by_morton[i]];
+    pos_of[by_morton[i]] = i;
+  }
+
+  Dijkstra dijkstra(g);
+  std::vector<NodeId> first_hop(n);
+  std::vector<NodeId> colors_by_pos(n);
+  index.src_first_.assign(n + 1, 0);
+
+  for (NodeId s = 0; s < n; ++s) {
+    dijkstra.Run(s);
+    // First hop per destination, propagated along the settle order (parents
+    // settle before children).
+    first_hop[s] = s;
+    for (NodeId v : dijkstra.SettledNodes()) {
+      if (v == s) continue;
+      const NodeId p = dijkstra.ParentOf(v);
+      first_hop[v] = p == s ? v : first_hop[p];
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      colors_by_pos[pos_of[v]] =
+          dijkstra.DistTo(v) == kInfDist ? kInvalidNode : first_hop[v];
+    }
+    index.src_first_[s] = index.blocks_.size();
+    BuildColorBlocks(sorted_mortons, colors_by_pos, &index.blocks_);
+  }
+  index.src_first_[n] = index.blocks_.size();
+  // src_first_ currently holds start offsets; already monotone by
+  // construction (sources processed in id order).
+
+  index.build_stats_.seconds = timer.Seconds();
+  index.build_stats_.total_blocks = index.blocks_.size();
+  return index;
+}
+
+NodeId SilcIndex::NextHop(NodeId s, NodeId t) const {
+  if (s == t) return kInvalidNode;
+  return LookupColor(BlocksOf(s), morton_[t]);
+}
+
+Dist SilcIndex::Distance(NodeId s, NodeId t) const {
+  if (s == t) return 0;
+  Dist total = 0;
+  NodeId cur = s;
+  const std::size_t n = NumNodes();
+  for (std::size_t steps = 0; steps <= n; ++steps) {
+    if (cur == t) return total;
+    const NodeId next = NextHop(cur, t);
+    if (next == kInvalidNode) return kInfDist;
+    const Weight w = graph_->ArcWeight(cur, next);
+    if (w == kMaxWeight) return kInfDist;  // Inconsistent index.
+    total += w;
+    cur = next;
+  }
+  return kInfDist;  // Cycle guard tripped.
+}
+
+PathResult SilcIndex::Path(NodeId s, NodeId t) const {
+  PathResult result;
+  result.nodes.push_back(s);
+  if (s == t) {
+    result.length = 0;
+    return result;
+  }
+  Dist total = 0;
+  NodeId cur = s;
+  const std::size_t n = NumNodes();
+  for (std::size_t steps = 0; steps <= n; ++steps) {
+    const NodeId next = NextHop(cur, t);
+    if (next == kInvalidNode) {
+      result.nodes.clear();
+      return result;
+    }
+    const Weight w = graph_->ArcWeight(cur, next);
+    if (w == kMaxWeight) {
+      result.nodes.clear();
+      return result;
+    }
+    total += w;
+    cur = next;
+    result.nodes.push_back(cur);
+    if (cur == t) {
+      result.length = total;
+      return result;
+    }
+  }
+  result.nodes.clear();
+  return result;
+}
+
+std::size_t SilcIndex::SizeBytes() const {
+  return morton_.size() * sizeof(std::uint64_t) +
+         src_first_.size() * sizeof(std::uint64_t) +
+         blocks_.size() * sizeof(QuadBlock);
+}
+
+}  // namespace ah

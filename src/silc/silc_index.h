@@ -1,0 +1,62 @@
+// SILC (Spatially Induced Linkage Cognizance; Samet et al., SIGMOD'08) —
+// the worst-case-efficient baseline of the paper's evaluation.
+//
+// For every source node the index stores the quadtree of *first hops*: space
+// is split into maximal blocks whose destinations all leave the source via
+// the same adjacent vertex. A query walks the path hop by hop, locating the
+// target in the current node's quadtree at each step — so distance and path
+// queries cost the same (which is exactly the behaviour Figures 8/9 show
+// for SILC). Preprocessing runs one Dijkstra per node (O(n² log n)) and the
+// block count grows super-linearly, which is why the paper (and this
+// reproduction) only runs SILC on the smaller datasets.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "routing/path.h"
+#include "silc/quadtree.h"
+#include "util/types.h"
+
+namespace ah {
+
+struct SilcBuildStats {
+  double seconds = 0;
+  std::size_t total_blocks = 0;
+};
+
+class SilcIndex {
+ public:
+  /// Builds first-hop quadtrees for all sources. `g` must outlive the index.
+  static SilcIndex Build(const Graph& g);
+
+  std::size_t NumNodes() const { return src_first_.size() - 1; }
+  const SilcBuildStats& build_stats() const { return build_stats_; }
+
+  /// First hop on the shortest path s→t (kInvalidNode if t is unreachable
+  /// or s == t).
+  NodeId NextHop(NodeId s, NodeId t) const;
+
+  /// Distance by walking the next-hop chain (kInfDist if unreachable).
+  Dist Distance(NodeId s, NodeId t) const;
+
+  /// Full path by walking the next-hop chain.
+  PathResult Path(NodeId s, NodeId t) const;
+
+  std::size_t SizeBytes() const;
+
+ private:
+  std::span<const QuadBlock> BlocksOf(NodeId s) const {
+    return {blocks_.data() + src_first_[s], blocks_.data() + src_first_[s + 1]};
+  }
+
+  const Graph* graph_ = nullptr;
+  std::vector<std::uint64_t> morton_;       // Morton code per node.
+  std::vector<std::uint64_t> src_first_;    // Per-source block offsets.
+  std::vector<QuadBlock> blocks_;
+  SilcBuildStats build_stats_;
+};
+
+}  // namespace ah

@@ -1,0 +1,141 @@
+// Indexed binary min-heap with decrease-key, the priority queue behind every
+// Dijkstra variant in the library.
+//
+// Keys are 64-bit distances; items are dense ids in [0, capacity). The heap
+// stores a position index per item so DecreaseKey is O(log n) and Contains is
+// O(1). Reset is O(#touched) — the heap tracks which slots it dirtied so that
+// one instance can be reused across many small searches without paying O(n)
+// per search (critical for the per-window Dijkstras in arterial computation).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace ah {
+
+class IndexedHeap {
+ public:
+  IndexedHeap() = default;
+  explicit IndexedHeap(std::size_t capacity) { Resize(capacity); }
+
+  /// Grows the id universe to `capacity`. Existing state is preserved.
+  void Resize(std::size_t capacity) {
+    if (capacity > pos_.size()) pos_.resize(capacity, kAbsent);
+  }
+
+  std::size_t capacity() const { return pos_.size(); }
+  bool Empty() const { return heap_.empty(); }
+  std::size_t Size() const { return heap_.size(); }
+
+  /// True if `id` is currently queued.
+  bool Contains(std::uint32_t id) const {
+    return id < pos_.size() && pos_[id] != kAbsent;
+  }
+
+  /// Key of a queued item. Precondition: Contains(id).
+  Dist KeyOf(std::uint32_t id) const {
+    assert(Contains(id));
+    return heap_[pos_[id]].key;
+  }
+
+  /// Inserts `id` with `key`, or lowers its key if already queued with a
+  /// larger one. Returns true if the entry was inserted or improved.
+  bool PushOrDecrease(std::uint32_t id, Dist key) {
+    assert(id < pos_.size());
+    std::uint32_t p = pos_[id];
+    if (p == kAbsent) {
+      pos_[id] = static_cast<std::uint32_t>(heap_.size());
+      heap_.push_back(Entry{key, id});
+      SiftUp(heap_.size() - 1);
+      touched_.push_back(id);
+      return true;
+    }
+    if (key < heap_[p].key) {
+      heap_[p].key = key;
+      SiftUp(p);
+      return true;
+    }
+    return false;
+  }
+
+  /// Smallest key in the heap. Precondition: !Empty().
+  Dist MinKey() const {
+    assert(!heap_.empty());
+    return heap_[0].key;
+  }
+
+  /// Id holding the smallest key. Precondition: !Empty().
+  std::uint32_t MinId() const {
+    assert(!heap_.empty());
+    return heap_[0].id;
+  }
+
+  /// Removes and returns the (key, id) pair with the smallest key.
+  std::pair<Dist, std::uint32_t> PopMin() {
+    assert(!heap_.empty());
+    Entry top = heap_[0];
+    pos_[top.id] = kAbsent;
+    if (heap_.size() > 1) {
+      heap_[0] = heap_.back();
+      pos_[heap_[0].id] = 0;
+      heap_.pop_back();
+      SiftDown(0);
+    } else {
+      heap_.pop_back();
+    }
+    return {top.key, top.id};
+  }
+
+  /// Clears the queue in O(#items ever touched since last Clear).
+  void Clear() {
+    for (std::uint32_t id : touched_) pos_[id] = kAbsent;
+    touched_.clear();
+    heap_.clear();
+  }
+
+ private:
+  struct Entry {
+    Dist key;
+    std::uint32_t id;
+  };
+
+  static constexpr std::uint32_t kAbsent = 0xffffffffu;
+
+  void SiftUp(std::size_t i) {
+    Entry e = heap_[i];
+    while (i > 0) {
+      std::size_t parent = (i - 1) / 2;
+      if (heap_[parent].key <= e.key) break;
+      heap_[i] = heap_[parent];
+      pos_[heap_[i].id] = static_cast<std::uint32_t>(i);
+      i = parent;
+    }
+    heap_[i] = e;
+    pos_[e.id] = static_cast<std::uint32_t>(i);
+  }
+
+  void SiftDown(std::size_t i) {
+    Entry e = heap_[i];
+    const std::size_t n = heap_.size();
+    while (true) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && heap_[child + 1].key < heap_[child].key) ++child;
+      if (heap_[child].key >= e.key) break;
+      heap_[i] = heap_[child];
+      pos_[heap_[i].id] = static_cast<std::uint32_t>(i);
+      i = child;
+    }
+    heap_[i] = e;
+    pos_[e.id] = static_cast<std::uint32_t>(i);
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<std::uint32_t> pos_;
+  std::vector<std::uint32_t> touched_;
+};
+
+}  // namespace ah

@@ -1,0 +1,65 @@
+// Minimal chunked parallel-for used by the embarrassingly parallel
+// preprocessing loops (window processing, gateway construction, SILC's
+// per-source Dijkstras). Results must be merged in deterministic chunk
+// order by the caller — every user of this header does so, keeping builds
+// bit-identical regardless of thread count (AH_THREADS overrides).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace ah {
+
+/// Number of worker threads to use: AH_THREADS env var if set, else
+/// min(hardware_concurrency, cap), at least 1.
+inline std::size_t WorkerThreads(std::size_t cap = 16) {
+  if (const char* raw = std::getenv("AH_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(raw, &end, 10);
+    if (end != raw && v > 0) return static_cast<std::size_t>(v);
+  }
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return std::max<std::size_t>(1, std::min(hw == 0 ? 1 : hw, cap));
+}
+
+/// Splits [0, n) into fixed-size chunks and processes them on worker
+/// threads. `body(chunk_index, begin, end, thread_id)` must only write to
+/// thread- or chunk-private state. Chunk indices are dense: chunk c covers
+/// [c*chunk_size, min(n, (c+1)*chunk_size)).
+template <typename Body>
+void ParallelChunks(std::size_t n, std::size_t chunk_size, Body&& body,
+                    std::size_t num_threads = 0) {
+  if (n == 0) return;
+  if (chunk_size == 0) chunk_size = 1;
+  const std::size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+  if (num_threads == 0) num_threads = WorkerThreads();
+  num_threads = std::min(num_threads, num_chunks);
+
+  if (num_threads <= 1) {
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::size_t begin = c * chunk_size;
+      body(c, begin, std::min(n, begin + chunk_size), std::size_t{0});
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> next_chunk{0};
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (std::size_t tid = 0; tid < num_threads; ++tid) {
+    workers.emplace_back([&, tid] {
+      while (true) {
+        const std::size_t c = next_chunk.fetch_add(1);
+        if (c >= num_chunks) return;
+        const std::size_t begin = c * chunk_size;
+        body(c, begin, std::min(n, begin + chunk_size), tid);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+}
+
+}  // namespace ah

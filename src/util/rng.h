@@ -1,0 +1,49 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// All stochastic components of the library (synthetic data, perturbation,
+// workload sampling, randomized orders) draw from SplitMix64 so that every
+// experiment is reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+
+namespace ah {
+
+/// SplitMix64: tiny, high-quality, splittable PRNG. Deterministic per seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t Uniform(std::uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    Uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool Chance(double p) { return UniformDouble() < p; }
+
+  /// Derive an independent child generator (for parallel-safe splitting).
+  Rng Split() { return Rng(Next() ^ 0x5851f42d4c957f2dULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ah

@@ -1,0 +1,75 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ah {
+
+void SampleStats::Add(double v) {
+  samples_.push_back(v);
+  sorted_valid_ = false;
+}
+
+void SampleStats::AddAll(const std::vector<double>& vs) {
+  samples_.insert(samples_.end(), vs.begin(), vs.end());
+  sorted_valid_ = false;
+}
+
+double SampleStats::Sum() const {
+  double s = 0;
+  for (double v : samples_) s += v;
+  return s;
+}
+
+double SampleStats::Mean() const {
+  if (samples_.empty()) throw std::logic_error("Mean of empty sample");
+  return Sum() / static_cast<double>(samples_.size());
+}
+
+double SampleStats::Min() const {
+  if (samples_.empty()) throw std::logic_error("Min of empty sample");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::Max() const {
+  if (samples_.empty()) throw std::logic_error("Max of empty sample");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::StdDev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = Mean();
+  double acc = 0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleStats::Quantile(double q) const {
+  if (samples_.empty()) throw std::logic_error("Quantile of empty sample");
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  EnsureSorted();
+  // Nearest-rank: smallest index i with (i+1)/n >= q.
+  const std::size_t n = sorted_.size();
+  std::size_t rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return sorted_[rank - 1];
+}
+
+void SampleStats::Reset() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+void SampleStats::EnsureSorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+}  // namespace ah

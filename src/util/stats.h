@@ -1,0 +1,40 @@
+// Descriptive statistics used by the experiment harnesses (Figure 3 quantiles,
+// query-time summaries).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ah {
+
+/// Accumulates samples and reports order statistics. Quantiles use the
+/// nearest-rank definition on the sorted sample, matching how the paper
+/// reports "90% quantile" / "99% quantile" of arterial-edge counts.
+class SampleStats {
+ public:
+  void Add(double v);
+  void AddAll(const std::vector<double>& vs);
+
+  std::size_t Count() const { return samples_.size(); }
+  bool Empty() const { return samples_.empty(); }
+
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  double Sum() const;
+  double StdDev() const;
+  /// Nearest-rank quantile; q in [0, 1]. Quantile(0.5) is the median.
+  double Quantile(double q) const;
+
+  /// Clears all samples.
+  void Reset();
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace ah

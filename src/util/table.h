@@ -1,0 +1,36 @@
+// Plain-text table renderer for bench output; prints the rows/series the
+// paper's tables and figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ah {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row. Short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table (header, rule, rows) as a string.
+  std::string Render() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  std::size_t NumRows() const { return rows_.size(); }
+
+  /// Formats a double with `digits` decimals.
+  static std::string Num(double v, int digits = 2);
+  /// Formats an integer with thousands separators (1,234,567).
+  static std::string Int(long long v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ah

@@ -1,0 +1,30 @@
+// Wall-clock timing helper for preprocessing and query measurements.
+#pragma once
+
+#include <chrono>
+
+namespace ah {
+
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / Restart.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Microseconds elapsed since construction / Restart.
+  double Micros() const { return Seconds() * 1e6; }
+
+  /// Milliseconds elapsed since construction / Restart.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ah

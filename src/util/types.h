@@ -1,0 +1,27 @@
+// Core scalar types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ah {
+
+/// Node identifier. Dense, 0-based.
+using NodeId = std::uint32_t;
+/// Edge identifier (index into a CSR arc array). Dense, 0-based.
+using EdgeId = std::uint32_t;
+/// Non-negative edge weight (e.g., travel time in deciseconds).
+using Weight = std::uint32_t;
+/// Accumulated path length. 64-bit so sums of Weight cannot overflow.
+using Dist = std::uint64_t;
+/// Hierarchy level (0 = least important).
+using Level = std::int32_t;
+/// Strict-total-order rank of a node inside a hierarchy.
+using Rank = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+inline constexpr Dist kInfDist = std::numeric_limits<Dist>::max();
+inline constexpr Weight kMaxWeight = std::numeric_limits<Weight>::max();
+
+}  // namespace ah

@@ -1,0 +1,86 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+#include "routing/dijkstra.h"
+#include "util/rng.h"
+
+namespace ah {
+
+Dist EstimateMaxDistance(const Graph& g, std::uint64_t seed) {
+  if (g.NumNodes() == 0) return 0;
+  Rng rng(seed);
+  Dijkstra dijkstra(g);
+
+  NodeId start = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+  Dist best = 0;
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    dijkstra.Run(start);
+    NodeId farthest = start;
+    Dist far_dist = 0;
+    for (NodeId v : dijkstra.SettledNodes()) {
+      const Dist d = dijkstra.DistTo(v);
+      if (d > far_dist) {
+        far_dist = d;
+        farthest = v;
+      }
+    }
+    best = std::max(best, far_dist);
+    start = farthest;
+  }
+  return best;
+}
+
+Workload GenerateWorkload(const Graph& g, const WorkloadParams& params) {
+  Workload workload;
+  workload.lmax = EstimateMaxDistance(g, params.seed);
+  const std::size_t k = params.num_sets;
+
+  workload.sets.resize(k);
+  for (std::size_t i = 1; i <= k; ++i) {
+    QuerySet& qs = workload.sets[i - 1];
+    qs.index = static_cast<int>(i);
+    // [2^(i-11)·lmax, 2^(i-10)·lmax) for num_sets = 10: Q10 = [lmax/2, lmax).
+    qs.hi = workload.lmax >> (k - i);
+    qs.lo = i == 1 ? 0 : (workload.lmax >> (k - i + 1));
+    if (i == 1) qs.lo = qs.hi / 2;  // Q1's band is [lmax/1024, lmax/512).
+  }
+
+  Rng rng(params.seed ^ 0x9e3779b97f4a7c15ULL);
+  Dijkstra dijkstra(g);
+  std::vector<NodeId> candidates;
+
+  std::size_t unfilled = k;
+  for (std::size_t round = 0;
+       round < params.max_source_rounds && unfilled > 0; ++round) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    dijkstra.Run(s);
+    for (QuerySet& qs : workload.sets) {
+      if (qs.pairs.size() >= params.pairs_per_set) continue;
+      candidates.clear();
+      for (NodeId v : dijkstra.SettledNodes()) {
+        const Dist d = dijkstra.DistTo(v);
+        if (d >= qs.lo && d < qs.hi && v != s) candidates.push_back(v);
+      }
+      if (candidates.empty()) continue;
+      const std::size_t want =
+          std::min({params.per_source_quota,
+                    params.pairs_per_set - qs.pairs.size(),
+                    candidates.size()});
+      // Partial Fisher-Yates sample of `want` targets.
+      for (std::size_t i = 0; i < want; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(rng.Uniform(candidates.size() - i));
+        std::swap(candidates[i], candidates[j]);
+        qs.pairs.emplace_back(s, candidates[i]);
+      }
+    }
+    unfilled = 0;
+    for (const QuerySet& qs : workload.sets) {
+      if (qs.pairs.size() < params.pairs_per_set) ++unfilled;
+    }
+  }
+  return workload;
+}
+
+}  // namespace ah

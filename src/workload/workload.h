@@ -1,0 +1,47 @@
+// Query workload generation (§6.1): ten query sets Q1..Q10 where the pairs
+// in Qi have network distance in [2^(i-11)·lmax, 2^(i-10)·lmax) — i.e.,
+// successive sets double the query distance, Q10 approaching the graph
+// "diameter" lmax.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace ah {
+
+struct QuerySet {
+  int index = 0;  ///< 1-based i of Qi.
+  Dist lo = 0;    ///< Inclusive lower distance bound.
+  Dist hi = 0;    ///< Exclusive upper distance bound.
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+};
+
+struct WorkloadParams {
+  std::size_t pairs_per_set = 100;  ///< Paper uses 10000; scaled default.
+  std::size_t num_sets = 10;
+  /// Maximum number of source Dijkstras spent filling the buckets.
+  std::size_t max_source_rounds = 400;
+  /// Per-source cap of pairs contributed to one bucket (diversity).
+  std::size_t per_source_quota = 10;
+  std::uint64_t seed = 123;
+};
+
+struct Workload {
+  Dist lmax = 0;  ///< Estimated maximum network distance (double sweep).
+  std::vector<QuerySet> sets;
+};
+
+/// Estimates lmax with a double-sweep (Dijkstra from a random node, then
+/// from the farthest node found).
+Dist EstimateMaxDistance(const Graph& g, std::uint64_t seed);
+
+/// Generates the ten distance-stratified query sets. Sets whose distance
+/// band contains few reachable pairs may end up short; callers should use
+/// QuerySet::pairs.size().
+Workload GenerateWorkload(const Graph& g, const WorkloadParams& params = {});
+
+}  // namespace ah

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "core/ah_index.h"
+#include "routing/dijkstra.h"
+#include "test_util.h"
+
+namespace ah {
+namespace {
+
+TEST(AhIndexTest, BuildStatsPopulated) {
+  Graph g = testing::MakeRoadGraph(20, 1);
+  AhIndex index = AhIndex::Build(g);
+  const AhBuildStats& stats = index.build_stats();
+  EXPECT_GT(stats.total_seconds, 0.0);
+  EXPECT_GT(stats.shortcuts, 0u);
+  EXPECT_GT(stats.grid_depth, 0);
+  EXPECT_GE(stats.max_level, 1);
+  EXPECT_EQ(stats.nodes_per_level.size(),
+            static_cast<std::size_t>(stats.max_level) + 1);
+  std::size_t total = 0;
+  for (std::size_t c : stats.nodes_per_level) total += c;
+  EXPECT_EQ(total, g.NumNodes());
+  EXPECT_GT(index.SizeBytes(), 0u);
+}
+
+TEST(AhIndexTest, RanksRespectLevels) {
+  Graph g = testing::MakeRoadGraph(16, 2);
+  AhIndex index = AhIndex::Build(g);
+  const SearchGraph& sg = index.search_graph();
+  for (NodeId a = 0; a < g.NumNodes(); ++a) {
+    for (NodeId b = a + 1; b < g.NumNodes(); ++b) {
+      if (index.LevelOf(a) < index.LevelOf(b)) {
+        EXPECT_LT(sg.RankOf(a), sg.RankOf(b));
+      } else if (index.LevelOf(a) > index.LevelOf(b)) {
+        EXPECT_GT(sg.RankOf(a), sg.RankOf(b));
+      }
+    }
+  }
+}
+
+TEST(AhIndexTest, GatewaysOutrankOwnerAndReachTargetLevels) {
+  Graph g = testing::MakeRoadGraph(24, 3);
+  AhIndex index = AhIndex::Build(g);
+  const SearchGraph& sg = index.search_graph();
+  std::size_t level_hits = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (Level j = index.LevelOf(v) + 1;
+         j <= std::min<Level>(index.LevelOf(v) + index.params().gateway_band,
+                              index.MaxLevel());
+         ++j) {
+      for (const Gateway& gw : index.FwdGateways(v, j)) {
+        // Entries are level->j targets or boundary exits; both strictly
+        // outrank the owner (jump walks terminate).
+        EXPECT_GT(sg.RankOf(gw.node), sg.RankOf(v));
+        EXPECT_GT(gw.dist, 0u);
+        level_hits += index.LevelOf(gw.node) >= j;
+      }
+      for (const Gateway& gw : index.BwdGateways(v, j)) {
+        EXPECT_GT(sg.RankOf(gw.node), sg.RankOf(v));
+      }
+    }
+  }
+  EXPECT_GT(level_hits, 0u);  // The jump does reach target levels.
+}
+
+TEST(AhIndexTest, GatewayDistancesAreExact) {
+  Graph g = testing::MakeRoadGraph(18, 4);
+  AhIndex index = AhIndex::Build(g);
+  Dijkstra dijkstra(g);
+  std::size_t checked = 0;
+  for (NodeId v = 0; v < g.NumNodes() && checked < 300; ++v) {
+    const Level j = index.LevelOf(v) + 1;
+    for (const Gateway& gw : index.FwdGateways(v, j)) {
+      // Gateway distances are lengths of real upward paths, hence >= the
+      // true distance; they are exact when the chain is itself shortest.
+      EXPECT_GE(gw.dist, dijkstra.Distance(v, gw.node));
+      ++checked;
+    }
+    for (const Gateway& gw : index.BwdGateways(v, j)) {
+      EXPECT_GE(gw.dist, dijkstra.Distance(gw.node, v));
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(AhIndexTest, GatewaySpansOutOfBandAreEmpty) {
+  Graph g = testing::MakeRoadGraph(14, 5);
+  AhIndex index = AhIndex::Build(g);
+  const NodeId v = 0;
+  EXPECT_TRUE(index.FwdGateways(v, index.LevelOf(v)).empty());
+  EXPECT_TRUE(
+      index.FwdGateways(v, index.MaxLevel() + 1).empty());
+}
+
+TEST(AhIndexTest, QueryJumpLevelBounds) {
+  Graph g = testing::MakeRoadGraph(20, 6);
+  AhIndex index = AhIndex::Build(g);
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const Level j = index.QueryJumpLevel(s, t);
+    EXPECT_GE(j, 0);
+    EXPECT_LE(j, index.MaxLevel());
+  }
+  EXPECT_EQ(index.QueryJumpLevel(0, 0), 0);
+}
+
+TEST(AhIndexTest, NoGatewayBuildOption) {
+  Graph g = testing::MakeRoadGraph(12, 7);
+  AhParams params;
+  params.build_gateways = false;
+  AhIndex index = AhIndex::Build(g, params);
+  EXPECT_EQ(index.build_stats().gateway_entries, 0u);
+  EXPECT_TRUE(index.FwdGateways(0, index.LevelOf(0) + 1).empty());
+}
+
+TEST(AhIndexTest, DeterministicBuild) {
+  Graph g = testing::MakeRoadGraph(14, 8);
+  AhIndex a = AhIndex::Build(g);
+  AhIndex b = AhIndex::Build(g);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_EQ(a.LevelOf(v), b.LevelOf(v));
+    EXPECT_EQ(a.search_graph().RankOf(v), b.search_graph().RankOf(v));
+  }
+  EXPECT_EQ(a.build_stats().shortcuts, b.build_stats().shortcuts);
+}
+
+TEST(AhIndexTest, GatewaySearchChainsAreConsistent) {
+  Graph g = testing::MakeRoadGraph(16, 9);
+  AhIndex index = AhIndex::Build(g);
+  GatewaySearch search(index);
+  std::size_t checked = 0;
+  for (NodeId v = 0; v < g.NumNodes() && checked < 100; ++v) {
+    const Level j = index.LevelOf(v) + 1;
+    if (j > index.MaxLevel()) continue;
+    const auto& hits = search.Run(v, j, /*forward=*/true);
+    for (const Gateway& gw : hits) {
+      const auto chain = search.ChainFrom(gw.node);
+      ASSERT_GE(chain.size(), 2u);
+      EXPECT_EQ(chain.front(), v);
+      EXPECT_EQ(chain.back(), gw.node);
+      // Chain arcs exist in the hierarchy and sum to the gateway distance.
+      Dist total = 0;
+      for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+        const Weight w =
+            index.search_graph().HierArcWeight(chain[i], chain[i + 1]);
+        ASSERT_NE(w, kMaxWeight);
+        total += w;
+      }
+      EXPECT_EQ(total, gw.dist);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+}  // namespace
+}  // namespace ah

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "alt/alt_index.h"
+#include "routing/dijkstra.h"
+#include "test_util.h"
+
+namespace ah {
+namespace {
+
+class AltSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AltSeedTest, MatchesDijkstraOnRoadGraph) {
+  Graph g = testing::MakeRoadGraph(20, GetParam());
+  AltIndex index = AltIndex::Build(g);
+  AltQuery query(g, index);
+  Dijkstra dijkstra(g);
+  Rng rng(GetParam());
+  for (int q = 0; q < 60; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    ASSERT_EQ(query.Distance(s, t), dijkstra.Distance(s, t))
+        << "s=" << s << " t=" << t;
+  }
+}
+
+TEST_P(AltSeedTest, MatchesDijkstraOnRandomGraph) {
+  Graph g = testing::MakeRandomGraph(150, 450, GetParam() ^ 0x99);
+  AltIndex index = AltIndex::Build(g);
+  AltQuery query(g, index);
+  Dijkstra dijkstra(g);
+  Rng rng(GetParam());
+  for (int q = 0; q < 40; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    ASSERT_EQ(query.Distance(s, t), dijkstra.Distance(s, t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AltSeedTest, ::testing::Values(2, 8, 32));
+
+TEST(AltTest, PotentialIsFeasibleLowerBound) {
+  Graph g = testing::MakeRoadGraph(14, 3);
+  AltIndex index = AltIndex::Build(g);
+  Dijkstra dijkstra(g);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const NodeId v = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const Dist d = dijkstra.Distance(v, t);
+    if (d == kInfDist) continue;
+    EXPECT_LE(index.Potential(v, t), d) << "v=" << v << " t=" << t;
+  }
+}
+
+TEST(AltTest, PotentialAtTargetIsZero) {
+  Graph g = testing::MakeRoadGraph(10, 4);
+  AltIndex index = AltIndex::Build(g);
+  for (NodeId v = 0; v < g.NumNodes(); v += 7) {
+    EXPECT_EQ(index.Potential(v, v), 0u);
+  }
+}
+
+TEST(AltTest, LandmarksAreDistinctAndSpread) {
+  Graph g = testing::MakeRoadGraph(24, 5);
+  AltParams params;
+  params.num_landmarks = 6;
+  AltIndex index = AltIndex::Build(g, params);
+  ASSERT_EQ(index.NumLandmarks(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = i + 1; j < 6; ++j) {
+      EXPECT_NE(index.landmarks()[i], index.landmarks()[j]);
+    }
+  }
+}
+
+TEST(AltTest, SettlesFewerNodesThanDijkstraOnLongQueries) {
+  Graph g = testing::MakeRoadGraph(32, 6);
+  AltIndex index = AltIndex::Build(g);
+  AltQuery query(g, index);
+  Dijkstra dijkstra(g);
+  const NodeId s = 0;
+  const NodeId t = static_cast<NodeId>(g.NumNodes() - 1);
+  query.Distance(s, t);
+  dijkstra.Distance(s, t);
+  EXPECT_LT(query.LastSettled(), dijkstra.SettledNodes().size());
+}
+
+TEST(AltTest, MoreLandmarksTightenPotentials) {
+  Graph g = testing::MakeRoadGraph(20, 7);
+  AltParams few;
+  few.num_landmarks = 2;
+  AltParams many;
+  many.num_landmarks = 12;
+  AltIndex small = AltIndex::Build(g, few);
+  AltIndex large = AltIndex::Build(g, many);
+  Rng rng(7);
+  std::uint64_t small_sum = 0, large_sum = 0;
+  for (int i = 0; i < 200; ++i) {
+    const NodeId v = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    small_sum += small.Potential(v, t);
+    large_sum += large.Potential(v, t);
+  }
+  EXPECT_GE(large_sum, small_sum);  // Superset of landmarks can only help.
+}
+
+}  // namespace
+}  // namespace ah

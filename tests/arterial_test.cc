@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "arterial/arterial.h"
+#include "arterial/dimension.h"
+#include "arterial/local_paths.h"
+#include "graph/builder.h"
+#include "graph/light_graph.h"
+#include "test_util.h"
+
+namespace ah {
+namespace {
+
+// A horizontal corridor of 8 nodes spaced one cell apart on a 8x8 grid
+// (cells of size 10): nodes at x = 5, 15, ..., 75, y = 35.
+struct Corridor {
+  Graph graph;
+  SquareGrid grid{0, 0, 80, 8};
+
+  static Corridor Make() {
+    GraphBuilder b(8);
+    for (int i = 0; i < 8; ++i) {
+      b.AddNode(Point{static_cast<std::int32_t>(5 + 10 * i), 35});
+    }
+    for (NodeId v = 0; v + 1 < 8; ++v) b.AddBidirectional(v, v + 1, 10);
+    return Corridor{b.Build(), SquareGrid(0, 0, 80, 8)};
+  }
+};
+
+TEST(WindowProcessorTest, FindsArterialEdgeOnCorridor) {
+  Corridor c = Corridor::Make();
+  const LightGraph lg = LightGraph::FromGraph(c.graph);
+  const Nuance nuance(1);
+  WindowProcessor processor(lg, c.graph.Coords(), nuance);
+
+  std::vector<NodeId> all = {0, 1, 2, 3, 4, 5, 6, 7};
+  const CellIndex cells(c.grid, c.graph.Coords(), all);
+  // Window over cells [0..3] x [2..5]: nodes 0..3 inside, bisector between
+  // cells 1 and 2 — the spanning path 0→3 crosses via edge 1→2.
+  const Window w{0, 2};
+  const auto edges = processor.Process(c.grid, w, cells);
+  bool found_12 = false;
+  for (const ArterialEdge& e : edges) {
+    if ((e.tail == 1 && e.head == 2) || (e.tail == 2 && e.head == 1)) {
+      found_12 = true;
+      EXPECT_EQ(e.axis, BisectorAxis::kVertical);
+    }
+  }
+  EXPECT_TRUE(found_12);
+}
+
+TEST(WindowProcessorTest, NoSpanningPathWithoutOppositeStrips) {
+  Corridor c = Corridor::Make();
+  const LightGraph lg = LightGraph::FromGraph(c.graph);
+  const Nuance nuance(1);
+  WindowProcessor processor(lg, c.graph.Coords(), nuance);
+  // Only nodes 1 and 2 active: both in the middle columns of window {0,2},
+  // so no qualified endpoints exist.
+  std::vector<NodeId> mid = {1, 2};
+  const CellIndex cells(c.grid, c.graph.Coords(), mid);
+  EXPECT_TRUE(processor.Process(c.grid, Window{0, 2}, cells).empty());
+}
+
+TEST(WindowProcessorTest, EmptyWindowYieldsNothing) {
+  Corridor c = Corridor::Make();
+  const LightGraph lg = LightGraph::FromGraph(c.graph);
+  const Nuance nuance(1);
+  WindowProcessor processor(lg, c.graph.Coords(), nuance);
+  std::vector<NodeId> all = {0, 1, 2, 3, 4, 5, 6, 7};
+  const CellIndex cells(c.grid, c.graph.Coords(), all);
+  EXPECT_TRUE(processor.Process(c.grid, Window{0, 4}, cells).empty());
+}
+
+TEST(WindowProcessorTest, VerticalCorridorYieldsHorizontalAxisEdge) {
+  GraphBuilder b(8);
+  for (int i = 0; i < 8; ++i) {
+    b.AddNode(Point{35, static_cast<std::int32_t>(5 + 10 * i)});
+  }
+  for (NodeId v = 0; v + 1 < 8; ++v) b.AddBidirectional(v, v + 1, 10);
+  Graph g = b.Build();
+  const SquareGrid grid(0, 0, 80, 8);
+  const LightGraph lg = LightGraph::FromGraph(g);
+  const Nuance nuance(1);
+  WindowProcessor processor(lg, g.Coords(), nuance);
+  std::vector<NodeId> all = {0, 1, 2, 3, 4, 5, 6, 7};
+  const CellIndex cells(grid, g.Coords(), all);
+  const auto edges = processor.Process(grid, Window{2, 0}, cells);
+  ASSERT_FALSE(edges.empty());
+  for (const ArterialEdge& e : edges) {
+    EXPECT_EQ(e.axis, BisectorAxis::kHorizontal);
+  }
+}
+
+TEST(WindowProcessorTest, DisconnectedStripsYieldNothing) {
+  // Nodes in west and east strips but no edges between them.
+  GraphBuilder b(2);
+  b.AddNode({5, 35});
+  b.AddNode({75, 35});
+  Graph g = b.Build();
+  const SquareGrid grid(0, 0, 80, 8);
+  const LightGraph lg = LightGraph::FromGraph(g);
+  const Nuance nuance(1);
+  WindowProcessor processor(lg, g.Coords(), nuance);
+  std::vector<NodeId> all = {0, 1};
+  const CellIndex cells(grid, g.Coords(), all);
+  EXPECT_TRUE(processor.Process(grid, Window{0, 2}, cells).empty());
+}
+
+TEST(WindowProcessorTest, DeterministicAcrossRuns) {
+  Graph g = testing::MakeRoadGraph(20, 21);
+  const SquareGrid grid = SquareGrid::Covering(g.BoundingBox(), 16);
+  const LightGraph lg = LightGraph::FromGraph(g);
+  const Nuance nuance(3);
+  std::vector<NodeId> all(g.NumNodes());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) all[v] = v;
+  const CellIndex cells(grid, g.Coords(), all);
+  WindowProcessor p1(lg, g.Coords(), nuance);
+  WindowProcessor p2(lg, g.Coords(), nuance);
+  for (const Window& w : EnumerateWindows(grid, cells)) {
+    const auto e1 = p1.Process(grid, w, cells);
+    const auto e2 = p2.Process(grid, w, cells);
+    ASSERT_EQ(e1.size(), e2.size());
+    for (std::size_t i = 0; i < e1.size(); ++i) {
+      EXPECT_EQ(e1[i], e2[i]);
+    }
+  }
+}
+
+TEST(DimensionTest, SmallLambdaOnRoadNetwork) {
+  Graph g = testing::MakeRoadGraph(40, 13);
+  const auto rows = MeasureArterialDimension(g, 3, 6, 2000, 1);
+  ASSERT_EQ(rows.size(), 4u);
+  for (const DimensionRow& row : rows) {
+    EXPECT_GT(row.windows, 0u);
+    EXPECT_LE(row.mean, row.q90 + 1e-9);
+    EXPECT_LE(row.q90, row.q99 + 1e-9);
+    EXPECT_LE(row.q99, row.max + 1e-9);
+    // The headline claim of Figure 3: arterial dimension stays small.
+    EXPECT_LT(row.max, 120.0);
+  }
+}
+
+TEST(DimensionTest, SamplingCapRespected) {
+  Graph g = testing::MakeRoadGraph(30, 14);
+  const auto rows = MeasureArterialDimension(g, 5, 5, 10, 1);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_LE(rows[0].sampled, 10u);
+  EXPECT_GE(rows[0].windows, rows[0].sampled);
+}
+
+TEST(ArterialLevelsTest, LevelsWithinRangeAndArterialEndpointsRaised) {
+  Graph g = testing::MakeRoadGraph(16, 15);
+  GridHierarchy gh(g.Coords(), 8);
+  const Nuance nuance(2);
+  const ArterialLevels levels = ComputeArterialLevels(g, gh, nuance);
+  ASSERT_EQ(levels.node_level.size(), g.NumNodes());
+  ASSERT_EQ(levels.arterial_per_level.size(),
+            static_cast<std::size_t>(gh.Depth()));
+  for (Level lv : levels.node_level) {
+    EXPECT_GE(lv, 0);
+    EXPECT_LE(lv, gh.Depth());
+  }
+  for (std::int32_t i = 1; i <= gh.Depth(); ++i) {
+    for (const ArterialEdge& e : levels.arterial_per_level[i - 1]) {
+      EXPECT_GE(levels.node_level[e.tail], i);
+      EXPECT_GE(levels.node_level[e.head], i);
+    }
+  }
+  // Some structure must emerge: not all nodes at level 0.
+  std::size_t nonzero = 0;
+  for (Level lv : levels.node_level) nonzero += lv > 0;
+  EXPECT_GT(nonzero, 0u);
+  EXPECT_LT(nonzero, g.NumNodes());  // And not everything promoted.
+}
+
+}  // namespace
+}  // namespace ah

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "ch/ch_index.h"
+#include "routing/dijkstra.h"
+#include "routing/path.h"
+#include "test_util.h"
+
+namespace ah {
+namespace {
+
+class ChSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChSeedTest, DistanceMatchesDijkstraOnRandomGraph) {
+  Graph g = testing::MakeRandomGraph(200, 600, GetParam());
+  ChIndex index = ChIndex::Build(g);
+  ChQuery query(index);
+  Dijkstra dijkstra(g);
+  Rng rng(GetParam());
+  for (int q = 0; q < 60; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    ASSERT_EQ(query.Distance(s, t), dijkstra.Distance(s, t))
+        << "s=" << s << " t=" << t;
+  }
+}
+
+TEST_P(ChSeedTest, DistanceMatchesDijkstraOnRoadGraph) {
+  Graph g = testing::MakeRoadGraph(24, GetParam());
+  ChIndex index = ChIndex::Build(g);
+  ChQuery query(index);
+  Dijkstra dijkstra(g);
+  Rng rng(GetParam() + 5);
+  for (int q = 0; q < 60; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    ASSERT_EQ(query.Distance(s, t), dijkstra.Distance(s, t))
+        << "s=" << s << " t=" << t;
+  }
+}
+
+TEST_P(ChSeedTest, PathsValidAndOptimal) {
+  Graph g = testing::MakeRoadGraph(18, GetParam() ^ 0x3c);
+  ChIndex index = ChIndex::Build(g);
+  ChQuery query(index);
+  Dijkstra dijkstra(g);
+  Rng rng(GetParam());
+  for (int q = 0; q < 30; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const PathResult path = query.Path(s, t);
+    const Dist ref = dijkstra.Distance(s, t);
+    ASSERT_EQ(path.length, ref);
+    if (ref != kInfDist) {
+      EXPECT_TRUE(IsValidPath(g, path.nodes, s, t, ref));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChSeedTest, ::testing::Values(1, 2, 77, 4242));
+
+TEST(ChTest, SelfQuery) {
+  Graph g = testing::MakeRoadGraph(10, 3);
+  ChIndex index = ChIndex::Build(g);
+  ChQuery query(index);
+  EXPECT_EQ(query.Distance(7, 7), 0u);
+  const PathResult p = query.Path(7, 7);
+  EXPECT_EQ(p.length, 0u);
+  EXPECT_EQ(p.nodes, std::vector<NodeId>{7});
+}
+
+TEST(ChTest, BuildStatsPopulated) {
+  Graph g = testing::MakeRoadGraph(16, 4);
+  ChIndex index = ChIndex::Build(g);
+  EXPECT_GT(index.build_stats().shortcuts, 0u);
+  EXPECT_GT(index.SizeBytes(), 0u);
+  EXPECT_EQ(index.NumNodes(), g.NumNodes());
+}
+
+TEST(ChTest, RanksArePermutation) {
+  Graph g = testing::MakeRoadGraph(12, 5);
+  ChIndex index = ChIndex::Build(g);
+  std::vector<bool> seen(g.NumNodes(), false);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    const Rank r = index.RankOf(v);
+    ASSERT_LT(r, g.NumNodes());
+    ASSERT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+}
+
+TEST(ChTest, QuerySettlesFarFewerNodesThanDijkstraOnLongQueries) {
+  Graph g = testing::MakeRoadGraph(40, 6);
+  ChIndex index = ChIndex::Build(g);
+  ChQuery query(index);
+  Dijkstra dijkstra(g);
+  const NodeId s = 0;
+  const NodeId t = static_cast<NodeId>(g.NumNodes() - 1);
+  query.Distance(s, t);
+  dijkstra.Distance(s, t);
+  EXPECT_LT(query.LastStats().settled, dijkstra.SettledNodes().size() / 2);
+}
+
+TEST(ChTest, UnreachableInPrunedScc) {
+  // Two nodes joined only one-way: CH must report kInfDist backwards.
+  GraphBuilder b(3);
+  b.AddNode({0, 0});
+  b.AddNode({10, 0});
+  b.AddNode({20, 0});
+  b.AddArc(0, 1, 1);
+  b.AddArc(1, 2, 1);
+  b.AddArc(2, 1, 1);
+  Graph g = b.Build();
+  ChIndex index = ChIndex::Build(g);
+  ChQuery query(index);
+  EXPECT_EQ(query.Distance(0, 2), 2u);
+  EXPECT_EQ(query.Distance(2, 0), kInfDist);
+  EXPECT_TRUE(query.Path(2, 0).nodes.empty());
+}
+
+}  // namespace
+}  // namespace ah

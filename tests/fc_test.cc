@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "fc/fc_index.h"
+#include "routing/dijkstra.h"
+#include "test_util.h"
+
+namespace ah {
+namespace {
+
+class FcSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FcSeedTest, LevelOnlyModeMatchesDijkstraOnRandomGraph) {
+  // Without the proximity constraint FC is exact for any level function
+  // (the §3.4 upswing argument) — even on non-road-like graphs.
+  Graph g = testing::MakeRandomGraph(150, 450, GetParam());
+  FcIndex index = FcIndex::Build(g);
+  FcQuery query(index, FcQueryOptions{.use_proximity = false});
+  Dijkstra dijkstra(g);
+  Rng rng(GetParam());
+  for (int q = 0; q < 50; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    ASSERT_EQ(query.Distance(s, t), dijkstra.Distance(s, t))
+        << "s=" << s << " t=" << t;
+  }
+}
+
+TEST_P(FcSeedTest, FullConstraintsMatchDijkstraOnRoadGraph) {
+  Graph g = testing::MakeRoadGraph(20, GetParam());
+  FcIndex index = FcIndex::Build(g);
+  FcQuery query(index);  // Proximity on.
+  Dijkstra dijkstra(g);
+  Rng rng(GetParam() + 3);
+  for (int q = 0; q < 60; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    ASSERT_EQ(query.Distance(s, t), dijkstra.Distance(s, t))
+        << "s=" << s << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FcSeedTest, ::testing::Values(1, 2, 9, 31));
+
+TEST(FcTest, SelfQuery) {
+  Graph g = testing::MakeRoadGraph(10, 5);
+  FcIndex index = FcIndex::Build(g);
+  FcQuery query(index);
+  EXPECT_EQ(query.Distance(4, 4), 0u);
+}
+
+TEST(FcTest, BuildStatsPopulated) {
+  Graph g = testing::MakeRoadGraph(14, 6);
+  FcIndex index = FcIndex::Build(g);
+  EXPECT_GT(index.build_stats().shortcuts, 0u);
+  EXPECT_GT(index.build_stats().grid_depth, 0);
+  EXPECT_GT(index.SizeBytes(), 0u);
+  EXPECT_EQ(index.NumNodes(), g.NumNodes());
+  // Hierarchy holds original arcs plus shortcuts.
+  EXPECT_GE(index.hierarchy().NumArcs(), g.NumArcs());
+}
+
+TEST(FcTest, LevelsWithinGridDepth) {
+  Graph g = testing::MakeRoadGraph(14, 7);
+  FcIndex index = FcIndex::Build(g);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_GE(index.LevelOf(v), 0);
+    EXPECT_LE(index.LevelOf(v), index.grids().Depth());
+  }
+  EXPECT_GT(index.build_stats().max_level, 0);
+}
+
+TEST(FcTest, ConstrainedSearchSettlesFewerNodes) {
+  Graph g = testing::MakeRoadGraph(24, 8);
+  FcIndex index = FcIndex::Build(g);
+  FcQuery query(index);
+  Dijkstra dijkstra(g);
+  const NodeId s = 0;
+  const NodeId t = static_cast<NodeId>(g.NumNodes() - 1);
+  query.Distance(s, t);
+  dijkstra.Distance(s, t);
+  EXPECT_LT(query.LastSettled(), dijkstra.SettledNodes().size());
+}
+
+}  // namespace
+}  // namespace ah

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "gen/catalog.h"
+#include "gen/road_gen.h"
+#include "graph/connectivity.h"
+
+namespace ah {
+namespace {
+
+TEST(RoadGenTest, DeterministicPerSeed) {
+  RoadGenParams p;
+  p.cols = p.rows = 20;
+  p.seed = 5;
+  Graph a = GenerateRoadNetwork(p);
+  Graph b = GenerateRoadNetwork(p);
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  ASSERT_EQ(a.NumArcs(), b.NumArcs());
+  for (NodeId v = 0; v < a.NumNodes(); ++v) {
+    EXPECT_EQ(a.Coord(v), b.Coord(v));
+  }
+}
+
+TEST(RoadGenTest, DifferentSeedsDiffer) {
+  RoadGenParams p;
+  p.cols = p.rows = 20;
+  p.seed = 5;
+  Graph a = GenerateRoadNetwork(p);
+  p.seed = 6;
+  Graph b = GenerateRoadNetwork(p);
+  EXPECT_NE(a.NumArcs(), b.NumArcs());  // Overwhelmingly likely.
+}
+
+TEST(RoadGenTest, StronglyConnected) {
+  RoadGenParams p;
+  p.cols = p.rows = 24;
+  p.seed = 9;
+  EXPECT_TRUE(IsStronglyConnected(GenerateRoadNetwork(p)));
+}
+
+TEST(RoadGenTest, PositiveWeights) {
+  RoadGenParams p;
+  p.cols = p.rows = 16;
+  Graph g = GenerateRoadNetwork(p);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (const Arc& a : g.OutArcs(v)) EXPECT_GT(a.weight, 0u);
+  }
+}
+
+TEST(RoadGenTest, DegreeBounded) {
+  RoadGenParams p;
+  p.cols = p.rows = 32;
+  Graph g = GenerateRoadNetwork(p);
+  // Grid + diagonals: at most ~6 undirected neighbors = 12 in+out.
+  EXPECT_LE(g.MaxDegree(), 16u);
+}
+
+TEST(RoadGenTest, RejectsTinyGrid) {
+  RoadGenParams p;
+  p.cols = 1;
+  EXPECT_THROW(GenerateRoadNetwork(p), std::invalid_argument);
+}
+
+TEST(RoadGenTest, RejectsNonPositiveSpeed) {
+  RoadGenParams p;
+  p.local_speed = 0;
+  EXPECT_THROW(GenerateRoadNetwork(p), std::invalid_argument);
+}
+
+class RoadGenSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RoadGenSizeTest, HitsTargetNodeCountApproximately) {
+  const std::size_t target = GetParam();
+  RoadGenParams p = ParamsForTargetNodes(target, 3);
+  Graph g = GenerateRoadNetwork(p);
+  EXPECT_GT(g.NumNodes(), target * 7 / 10);
+  EXPECT_LT(g.NumNodes(), target * 13 / 10 + 32);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RoadGenSizeTest,
+                         ::testing::Values(100, 500, 2000, 8000));
+
+TEST(RoadGenTest, ArterialPeriodsChangeWeightMix) {
+  // Highways are faster: total travel time with highways should be lower
+  // than a pure local grid of the same layout.
+  RoadGenParams local_only;
+  local_only.cols = local_only.rows = 24;
+  local_only.arterial_period = 0;
+  local_only.highway_period = 0;
+  local_only.seed = 77;
+  RoadGenParams tiered = local_only;
+  tiered.arterial_period = 8;
+  tiered.highway_period = 16;
+  Graph a = GenerateRoadNetwork(local_only);
+  Graph b = GenerateRoadNetwork(tiered);
+  auto avg_weight = [](const Graph& g) {
+    double sum = 0;
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      for (const Arc& arc : g.OutArcs(v)) sum += arc.weight;
+    }
+    return sum / static_cast<double>(g.NumArcs());
+  };
+  EXPECT_LT(avg_weight(b), avg_weight(a));
+}
+
+TEST(CatalogTest, HasTenPaperDatasets) {
+  const auto& datasets = PaperDatasets();
+  ASSERT_EQ(datasets.size(), 10u);
+  EXPECT_EQ(datasets.front().name, "DE");
+  EXPECT_EQ(datasets.front().paper_nodes, 48812u);
+  EXPECT_EQ(datasets.back().name, "US");
+  EXPECT_EQ(datasets.back().paper_nodes, 23947347u);
+  // Sorted ascending by size, as the paper's Table 2.
+  for (std::size_t i = 1; i < datasets.size(); ++i) {
+    EXPECT_LT(datasets[i - 1].paper_nodes, datasets[i].paper_nodes);
+  }
+}
+
+TEST(CatalogTest, FindDataset) {
+  EXPECT_TRUE(FindDataset("CO").has_value());
+  EXPECT_EQ(FindDataset("CO")->region, "Colorado");
+  EXPECT_FALSE(FindDataset("XX").has_value());
+}
+
+TEST(CatalogTest, ScaledDatasetSize) {
+  const DatasetSpec de = *FindDataset("DE");
+  Graph g = MakeScaledDataset(de, 1.0 / 64.0);
+  const std::size_t target = de.paper_nodes / 64;
+  EXPECT_GT(g.NumNodes(), target * 7 / 10);
+  EXPECT_LT(g.NumNodes(), target * 13 / 10);
+  EXPECT_TRUE(IsStronglyConnected(g));
+}
+
+TEST(CatalogTest, ScaledDatasetDeterministic) {
+  const DatasetSpec de = *FindDataset("DE");
+  Graph a = MakeScaledDataset(de, 1.0 / 128.0);
+  Graph b = MakeScaledDataset(de, 1.0 / 128.0);
+  EXPECT_EQ(a.NumNodes(), b.NumNodes());
+  EXPECT_EQ(a.NumArcs(), b.NumArcs());
+}
+
+TEST(CatalogTest, BenchScaleParsing) {
+  setenv("AH_BENCH_SCALE", "tiny", 1);
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 1.0 / 256.0);
+  setenv("AH_BENCH_SCALE", "full", 1);
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 1.0);
+  setenv("AH_BENCH_SCALE", "0.125", 1);
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 0.125);
+  setenv("AH_BENCH_SCALE", "bogus", 1);
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 1.0 / 16.0);
+  unsetenv("AH_BENCH_SCALE");
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(), 1.0 / 16.0);
+}
+
+TEST(CatalogTest, BenchDatasetCountParsing) {
+  setenv("AH_BENCH_DATASETS", "3", 1);
+  EXPECT_EQ(BenchDatasetCountFromEnv(5), 3u);
+  setenv("AH_BENCH_DATASETS", "99", 1);
+  EXPECT_EQ(BenchDatasetCountFromEnv(5), 10u);  // Clamped to catalog size.
+  unsetenv("AH_BENCH_DATASETS");
+  EXPECT_EQ(BenchDatasetCountFromEnv(5), 5u);
+}
+
+}  // namespace
+}  // namespace ah

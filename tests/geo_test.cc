@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "geo/grid.h"
+#include "geo/point.h"
+
+namespace ah {
+namespace {
+
+TEST(PointTest, LInfDistance) {
+  EXPECT_EQ(LInfDistance({0, 0}, {3, 4}), 4);
+  EXPECT_EQ(LInfDistance({-2, 5}, {1, 5}), 3);
+  EXPECT_EQ(LInfDistance({7, 7}, {7, 7}), 0);
+}
+
+TEST(PointTest, L2Distance) {
+  EXPECT_DOUBLE_EQ(L2Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(L2Distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(BoxTest, EmptyByDefault) {
+  Box box;
+  EXPECT_TRUE(box.Empty());
+}
+
+TEST(BoxTest, ExtendAndContains) {
+  Box box;
+  box.Extend({5, 5});
+  EXPECT_FALSE(box.Empty());
+  EXPECT_TRUE(box.Contains({5, 5}));
+  box.Extend({-5, 10});
+  EXPECT_TRUE(box.Contains({0, 7}));
+  EXPECT_FALSE(box.Contains({0, 11}));
+  EXPECT_EQ(box.Width(), 10);
+  EXPECT_EQ(box.Height(), 5);
+  EXPECT_EQ(box.SquareSide(), 10);
+}
+
+TEST(SquareGridTest, CellOfBasic) {
+  SquareGrid grid(0, 0, 100, 4);  // 4x4 cells of size 25.
+  EXPECT_EQ(grid.CellOf({0, 0}), (Cell{0, 0}));
+  EXPECT_EQ(grid.CellOf({26, 74}), (Cell{1, 2}));
+  EXPECT_EQ(grid.CellOf({99, 99}), (Cell{3, 3}));
+}
+
+TEST(SquareGridTest, CellOfClampsBoundary) {
+  SquareGrid grid(0, 0, 100, 4);
+  EXPECT_EQ(grid.CellOf({100, 100}), (Cell{3, 3}));  // On max edge.
+  EXPECT_EQ(grid.CellOf({-10, 150}), (Cell{0, 3}));  // Outside.
+}
+
+TEST(SquareGridTest, CoveringCentersSquare) {
+  Box box;
+  box.Extend({0, 0});
+  box.Extend({100, 40});  // Wide box: square side 100, y padded.
+  SquareGrid grid = SquareGrid::Covering(box, 10);
+  EXPECT_EQ(grid.side(), 100);
+  // All box corners must land inside the grid.
+  EXPECT_GE(grid.CellOf({0, 0}).cx, 0);
+  EXPECT_LE(grid.CellOf({100, 40}).cx, 9);
+  EXPECT_LE(grid.CellOf({100, 40}).cy, 9);
+}
+
+TEST(SquareGridTest, DegeneratePointBox) {
+  Box box;
+  box.Extend({7, 7});
+  SquareGrid grid = SquareGrid::Covering(box, 4);
+  EXPECT_EQ(grid.CellOf({7, 7}).cx, grid.CellOf({7, 7}).cx);  // No crash.
+}
+
+TEST(SquareGridTest, WithinThreeByThree) {
+  EXPECT_TRUE(SquareGrid::WithinThreeByThree({5, 5}, {7, 3}));
+  EXPECT_TRUE(SquareGrid::WithinThreeByThree({5, 5}, {5, 5}));
+  EXPECT_FALSE(SquareGrid::WithinThreeByThree({5, 5}, {8, 5}));
+  EXPECT_FALSE(SquareGrid::WithinThreeByThree({5, 5}, {5, 8}));
+}
+
+TEST(SquareGridTest, CellKeyUniqueAndStable) {
+  EXPECT_EQ(CellKey({1, 2}), CellKey({1, 2}));
+  EXPECT_NE(CellKey({1, 2}), CellKey({2, 1}));
+  EXPECT_NE(CellKey({-1, 0}), CellKey({0, -1}));
+}
+
+TEST(SquareGridTest, CellSizeFraction) {
+  SquareGrid grid(0, 0, 10, 4);
+  EXPECT_DOUBLE_EQ(grid.cell_size(), 2.5);
+}
+
+}  // namespace
+}  // namespace ah

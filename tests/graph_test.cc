@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/builder.h"
+#include "graph/connectivity.h"
+#include "graph/dimacs.h"
+#include "graph/graph.h"
+#include "graph/light_graph.h"
+#include "test_util.h"
+
+namespace ah {
+namespace {
+
+Graph Triangle() {
+  GraphBuilder b(3);
+  b.AddNode({0, 0});
+  b.AddNode({10, 0});
+  b.AddNode({0, 10});
+  b.AddBidirectional(0, 1, 5);
+  b.AddBidirectional(1, 2, 7);
+  b.AddBidirectional(2, 0, 9);
+  return b.Build();
+}
+
+TEST(GraphBuilderTest, BasicCounts) {
+  Graph g = Triangle();
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_EQ(g.NumArcs(), 6u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(0), 2u);
+}
+
+TEST(GraphBuilderTest, ParallelArcsKeepMinimum) {
+  GraphBuilder b(2);
+  b.AddNode({0, 0});
+  b.AddNode({1, 1});
+  b.AddArc(0, 1, 10);
+  b.AddArc(0, 1, 3);
+  b.AddArc(0, 1, 8);
+  Graph g = b.Build();
+  EXPECT_EQ(g.NumArcs(), 1u);
+  EXPECT_EQ(g.ArcWeight(0, 1), 3u);
+}
+
+TEST(GraphBuilderTest, SelfLoopsDropped) {
+  GraphBuilder b(1);
+  b.AddNode({0, 0});
+  b.AddArc(0, 0, 5);
+  EXPECT_EQ(b.Build().NumArcs(), 0u);
+}
+
+TEST(GraphBuilderTest, RejectsZeroWeight) {
+  GraphBuilder b(2);
+  b.AddNode({0, 0});
+  b.AddNode({1, 1});
+  EXPECT_THROW(b.AddArc(0, 1, 0), std::invalid_argument);
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEndpoint) {
+  GraphBuilder b(1);
+  b.AddNode({0, 0});
+  EXPECT_THROW(b.AddArc(0, 5, 1), std::out_of_range);
+}
+
+TEST(GraphTest, InArcsMirrorOutArcs) {
+  Graph g = testing::MakeRandomGraph(50, 150, 11);
+  std::size_t out_total = 0;
+  std::size_t in_total = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    out_total += g.OutDegree(v);
+    in_total += g.InDegree(v);
+    for (const Arc& a : g.OutArcs(v)) {
+      // The reverse record must exist in a.head's in-list.
+      bool found = false;
+      for (const Arc& r : g.InArcs(a.head)) {
+        found |= r.head == v && r.weight == a.weight;
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+  EXPECT_EQ(out_total, in_total);
+  EXPECT_EQ(out_total, g.NumArcs());
+}
+
+TEST(GraphTest, ArcWeightAbsent) {
+  Graph g = Triangle();
+  GraphBuilder b(2);
+  b.AddNode({0, 0});
+  b.AddNode({5, 5});
+  Graph g2 = b.Build();
+  EXPECT_EQ(g2.ArcWeight(0, 1), kMaxWeight);
+}
+
+TEST(GraphTest, MaxDegree) {
+  Graph g = Triangle();
+  EXPECT_EQ(g.MaxDegree(), 4u);  // 2 out + 2 in.
+}
+
+TEST(GraphTest, BoundingBox) {
+  Graph g = Triangle();
+  const Box box = g.BoundingBox();
+  EXPECT_EQ(box.min_x, 0);
+  EXPECT_EQ(box.max_x, 10);
+  EXPECT_EQ(box.max_y, 10);
+}
+
+TEST(GraphTest, SizeBytesPositive) {
+  EXPECT_GT(Triangle().SizeBytes(), 0u);
+}
+
+TEST(LightGraphTest, FromGraphMatches) {
+  Graph g = testing::MakeRandomGraph(30, 60, 5);
+  LightGraph lg = LightGraph::FromGraph(g);
+  ASSERT_EQ(lg.NumNodes(), g.NumNodes());
+  ASSERT_EQ(lg.NumArcs(), g.NumArcs());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    ASSERT_EQ(lg.OutArcs(v).size(), g.OutArcs(v).size());
+    ASSERT_EQ(lg.InArcs(v).size(), g.InArcs(v).size());
+  }
+}
+
+TEST(LightGraphTest, FromArcList) {
+  std::vector<HierArc> arcs = {{0, 1, 5, kInvalidNode},
+                               {1, 2, 7, kInvalidNode},
+                               {2, 0, 9, kInvalidNode}};
+  LightGraph lg(3, arcs);
+  EXPECT_EQ(lg.NumArcs(), 3u);
+  EXPECT_EQ(lg.OutArcs(0).size(), 1u);
+  EXPECT_EQ(lg.OutArcs(0)[0].head, 1u);
+  EXPECT_EQ(lg.InArcs(0).size(), 1u);
+  EXPECT_EQ(lg.InArcs(0)[0].head, 2u);  // Tail of arc 2->0.
+}
+
+TEST(DimacsTest, RoundTrip) {
+  Graph g = testing::MakeRandomGraph(40, 120, 17);
+  std::ostringstream gr, co;
+  WriteDimacsGraph(g, gr);
+  WriteDimacsCoords(g, co);
+  std::istringstream gri(gr.str()), coi(co.str());
+  Graph g2 = ReadDimacs(gri, coi);
+  ASSERT_EQ(g2.NumNodes(), g.NumNodes());
+  ASSERT_EQ(g2.NumArcs(), g.NumArcs());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_EQ(g2.Coord(v), g.Coord(v));
+    ASSERT_EQ(g2.OutDegree(v), g.OutDegree(v));
+    for (const Arc& a : g.OutArcs(v)) {
+      EXPECT_EQ(g2.ArcWeight(v, a.head), a.weight);
+    }
+  }
+}
+
+TEST(DimacsTest, RejectsMissingHeader) {
+  std::istringstream gr("a 1 2 3\n");
+  std::istringstream co("p aux sp co 2\nv 1 0 0\nv 2 1 1\n");
+  EXPECT_THROW(ReadDimacs(gr, co), std::runtime_error);
+}
+
+TEST(DimacsTest, RejectsBadArcEndpoint) {
+  std::istringstream gr("p sp 2 1\na 1 9 3\n");
+  std::istringstream co("p aux sp co 2\nv 1 0 0\nv 2 1 1\n");
+  EXPECT_THROW(ReadDimacs(gr, co), std::runtime_error);
+}
+
+TEST(DimacsTest, RejectsNodeCountMismatch) {
+  std::istringstream gr("p sp 3 1\na 1 2 3\n");
+  std::istringstream co("p aux sp co 2\nv 1 0 0\nv 2 1 1\n");
+  EXPECT_THROW(ReadDimacs(gr, co), std::runtime_error);
+}
+
+TEST(DimacsTest, RejectsMissingCoordinate) {
+  std::istringstream gr("p sp 2 1\na 1 2 3\n");
+  std::istringstream co("p aux sp co 2\nv 1 0 0\n");
+  EXPECT_THROW(ReadDimacs(gr, co), std::runtime_error);
+}
+
+TEST(DimacsTest, RejectsNonPositiveWeight) {
+  std::istringstream gr("p sp 2 1\na 1 2 0\n");
+  std::istringstream co("p aux sp co 2\nv 1 0 0\nv 2 1 1\n");
+  EXPECT_THROW(ReadDimacs(gr, co), std::runtime_error);
+}
+
+TEST(ConnectivityTest, SingleSccDetected) {
+  EXPECT_TRUE(IsStronglyConnected(Triangle()));
+}
+
+TEST(ConnectivityTest, DirectedChainIsNotScc) {
+  GraphBuilder b(3);
+  b.AddNode({0, 0});
+  b.AddNode({1, 0});
+  b.AddNode({2, 0});
+  b.AddArc(0, 1, 1);
+  b.AddArc(1, 2, 1);
+  Graph g = b.Build();
+  EXPECT_FALSE(IsStronglyConnected(g));
+  std::size_t num = 0;
+  StronglyConnectedComponents(g, &num);
+  EXPECT_EQ(num, 3u);
+}
+
+TEST(ConnectivityTest, TwoComponents) {
+  GraphBuilder b(5);
+  for (int i = 0; i < 5; ++i) b.AddNode({i, 0});
+  // SCC {0,1,2} and SCC {3,4}; one-way bridge 2->3.
+  b.AddArc(0, 1, 1);
+  b.AddArc(1, 2, 1);
+  b.AddArc(2, 0, 1);
+  b.AddArc(2, 3, 1);
+  b.AddArc(3, 4, 1);
+  b.AddArc(4, 3, 1);
+  Graph g = b.Build();
+  std::size_t num = 0;
+  auto comp = StronglyConnectedComponents(g, &num);
+  EXPECT_EQ(num, 2u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(ConnectivityTest, LargestComponentExtraction) {
+  GraphBuilder b(5);
+  for (int i = 0; i < 5; ++i) b.AddNode({i, i});
+  b.AddArc(0, 1, 1);
+  b.AddArc(1, 2, 1);
+  b.AddArc(2, 0, 1);
+  b.AddArc(3, 4, 1);
+  b.AddArc(4, 3, 1);
+  Graph g = b.Build();
+  std::vector<NodeId> mapping;
+  Graph scc = LargestStronglyConnectedComponent(g, &mapping);
+  EXPECT_EQ(scc.NumNodes(), 3u);
+  EXPECT_TRUE(IsStronglyConnected(scc));
+  EXPECT_NE(mapping[0], kInvalidNode);
+  EXPECT_EQ(mapping[3], kInvalidNode);
+  // Coordinates preserved through the mapping.
+  EXPECT_EQ(scc.Coord(mapping[1]), g.Coord(1));
+}
+
+TEST(ConnectivityTest, LargeRandomSccIsConnected) {
+  Graph g = testing::MakeRandomGraph(500, 1500, 23);
+  EXPECT_TRUE(IsStronglyConnected(g));  // Cycle backbone guarantees it.
+}
+
+}  // namespace
+}  // namespace ah

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "hier/greedy_order.h"
+#include "hier/search_graph.h"
+#include "hier/upward_query.h"
+#include "routing/dijkstra.h"
+#include "test_util.h"
+
+namespace ah {
+namespace {
+
+TEST(GreedyOrderTest, ContractsExactlyTheSubset) {
+  Graph g = testing::MakeRandomGraph(60, 180, 1);
+  ContractionEngine engine(g.NumNodes(), ArcsOf(g));
+  std::vector<NodeId> subset = {3, 7, 11, 19, 23};
+  const auto order = ContractGreedySubset(engine, subset);
+  ASSERT_EQ(order.size(), subset.size());
+  std::vector<NodeId> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  std::sort(subset.begin(), subset.end());
+  EXPECT_EQ(sorted, subset);
+  for (NodeId v : subset) EXPECT_TRUE(engine.IsContracted(v));
+  EXPECT_EQ(engine.NumContracted(), subset.size());
+}
+
+TEST(GreedyOrderTest, FullContractionYieldsExactHierarchy) {
+  Graph g = testing::MakeRandomGraph(120, 360, 5);
+  ContractionEngine engine(g.NumNodes(), ArcsOf(g));
+  std::vector<NodeId> all(g.NumNodes());
+  std::iota(all.begin(), all.end(), 0);
+  const auto order = ContractGreedySubset(engine, all);
+  std::vector<Rank> rank(g.NumNodes());
+  for (Rank r = 0; r < order.size(); ++r) rank[order[r]] = r;
+  SearchGraph sg(g.NumNodes(), engine.EmittedArcs(), std::move(rank));
+  BidirUpwardSearch search(sg);
+  Dijkstra dijkstra(g);
+  Rng rng(5);
+  for (int q = 0; q < 50; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    ASSERT_EQ(search.Distance(s, t), dijkstra.Distance(s, t));
+  }
+}
+
+TEST(GreedyOrderTest, GreedyAddsFewerShortcutsThanIdOrder) {
+  Graph g = testing::MakeRoadGraph(24, 7);
+  ContractionEngine greedy_engine(g.NumNodes(), ArcsOf(g));
+  std::vector<NodeId> all(g.NumNodes());
+  std::iota(all.begin(), all.end(), 0);
+  ContractGreedySubset(greedy_engine, all);
+
+  ContractionEngine id_engine(g.NumNodes(), ArcsOf(g));
+  for (NodeId v = 0; v < g.NumNodes(); ++v) id_engine.Contract(v);
+
+  EXPECT_LT(greedy_engine.NumShortcutsAdded(),
+            id_engine.NumShortcutsAdded());
+}
+
+TEST(GreedyOrderTest, DeterministicOrder) {
+  Graph g = testing::MakeRoadGraph(14, 9);
+  std::vector<NodeId> all(g.NumNodes());
+  std::iota(all.begin(), all.end(), 0);
+  ContractionEngine e1(g.NumNodes(), ArcsOf(g));
+  ContractionEngine e2(g.NumNodes(), ArcsOf(g));
+  EXPECT_EQ(ContractGreedySubset(e1, all), ContractGreedySubset(e2, all));
+}
+
+TEST(GreedyOrderTest, EmptySubsetIsNoop) {
+  Graph g = testing::MakeRandomGraph(10, 30, 2);
+  ContractionEngine engine(g.NumNodes(), ArcsOf(g));
+  EXPECT_TRUE(ContractGreedySubset(engine, {}).empty());
+  EXPECT_EQ(engine.NumContracted(), 0u);
+}
+
+TEST(StallOnDemandTest, StallingDoesNotChangeAnswers) {
+  Graph g = testing::MakeRoadGraph(22, 13);
+  ContractionEngine engine(g.NumNodes(), ArcsOf(g));
+  std::vector<NodeId> all(g.NumNodes());
+  std::iota(all.begin(), all.end(), 0);
+  const auto order = ContractGreedySubset(engine, all);
+  std::vector<Rank> rank(g.NumNodes());
+  for (Rank r = 0; r < order.size(); ++r) rank[order[r]] = r;
+  SearchGraph sg(g.NumNodes(), engine.EmittedArcs(), std::move(rank));
+
+  BidirUpwardSearch with_stall(sg);
+  BidirUpwardSearch without(sg);
+  without.SetStallOnDemand(false);
+  Rng rng(13);
+  std::size_t stalled_total = 0;
+  for (int q = 0; q < 80; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const Dist a = with_stall.Distance(s, t);
+    stalled_total += with_stall.Stats().stalled;
+    const Dist b = without.Distance(s, t);
+    ASSERT_EQ(a, b) << "s=" << s << " t=" << t;
+  }
+  EXPECT_GT(stalled_total, 0u);  // Stalling actually fires on road graphs.
+}
+
+}  // namespace
+}  // namespace ah

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "hgrid/grid_hierarchy.h"
+#include "hgrid/window.h"
+#include "test_util.h"
+
+namespace ah {
+namespace {
+
+std::vector<Point> SpreadPoints(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point> pts;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back(Point{static_cast<std::int32_t>(rng.Uniform(1 << 20)),
+                        static_cast<std::int32_t>(rng.Uniform(1 << 20))});
+  }
+  return pts;
+}
+
+TEST(GridHierarchyTest, DepthAndGridSizes) {
+  const auto pts = SpreadPoints(500, 4);
+  GridHierarchy gh(pts);
+  ASSERT_GE(gh.Depth(), 1);
+  // R_h is always the 4x4 grid; R_1 the finest with 2^(h+1) cells.
+  EXPECT_EQ(gh.CellsPerSide(gh.Depth()), 4);
+  EXPECT_EQ(gh.CellsPerSide(1), 1 << (gh.Depth() + 1));
+  for (std::int32_t i = 1; i < gh.Depth(); ++i) {
+    EXPECT_EQ(gh.CellsPerSide(i), 2 * gh.CellsPerSide(i + 1));
+  }
+}
+
+TEST(GridHierarchyTest, FinestGridMostlySingleOccupancy) {
+  const auto pts = SpreadPoints(2000, 5);
+  GridHierarchy gh(pts);
+  EXPECT_LE(gh.FinestCollisionFraction(), 0.05);
+}
+
+TEST(GridHierarchyTest, DepthCapRespected) {
+  const auto pts = SpreadPoints(5000, 6);
+  GridHierarchy gh(pts, /*max_depth=*/4);
+  EXPECT_LE(gh.Depth(), 4);
+}
+
+TEST(GridHierarchyTest, SinglePointWorks) {
+  std::vector<Point> pts = {{100, 100}};
+  GridHierarchy gh(pts);
+  EXPECT_GE(gh.Depth(), 1);
+  EXPECT_EQ(gh.SeparationLevel({100, 100}, {100, 100}), 0);
+}
+
+TEST(GridHierarchyTest, EmptyThrows) {
+  std::vector<Point> none;
+  EXPECT_THROW(GridHierarchy gh(none), std::invalid_argument);
+}
+
+TEST(GridHierarchyTest, SeparationLevelZeroForClosePoints) {
+  const auto pts = SpreadPoints(100, 7);
+  GridHierarchy gh(pts);
+  EXPECT_EQ(gh.SeparationLevel(pts[0], pts[0]), 0);
+}
+
+TEST(GridHierarchyTest, SeparationLevelHighForOppositeCorners) {
+  std::vector<Point> pts = {{0, 0}, {1 << 20, 1 << 20}};
+  for (const Point& p : SpreadPoints(200, 8)) pts.push_back(p);
+  GridHierarchy gh(pts);
+  // Opposite corners of the bounding square cannot share a 3x3 region even
+  // in the 4x4 grid, so separation = h.
+  EXPECT_EQ(gh.SeparationLevel({0, 0}, {1 << 20, 1 << 20}), gh.Depth());
+}
+
+TEST(GridHierarchyTest, SeparationLevelMonotoneInDistance) {
+  const auto pts = SpreadPoints(300, 9);
+  GridHierarchy gh(pts);
+  const Point origin{0, 0};
+  std::int32_t prev = gh.Depth();
+  // Walking the diagonal toward origin, separation level never increases.
+  for (std::int32_t d = 1 << 20; d > 0; d /= 2) {
+    const std::int32_t level = gh.SeparationLevel(origin, {d, d});
+    EXPECT_LE(level, prev + 1);  // Allow discretization wiggle of one.
+    prev = level;
+  }
+}
+
+TEST(WindowTest, ContainsAndStrips) {
+  Window w{10, 20};
+  EXPECT_TRUE(w.ContainsCell({10, 20}));
+  EXPECT_TRUE(w.ContainsCell({13, 23}));
+  EXPECT_FALSE(w.ContainsCell({14, 20}));
+  EXPECT_FALSE(w.ContainsCell({9, 20}));
+  EXPECT_TRUE(w.InWestStrip({10, 21}));
+  EXPECT_TRUE(w.InEastStrip({13, 21}));
+  EXPECT_TRUE(w.InSouthStrip({11, 20}));
+  EXPECT_TRUE(w.InNorthStrip({11, 23}));
+  EXPECT_FALSE(w.InWestStrip({11, 21}));
+}
+
+TEST(WindowTest, BisectorSides) {
+  Window w{0, 0};
+  EXPECT_EQ(w.VerticalSide({0, 0}), -1);
+  EXPECT_EQ(w.VerticalSide({1, 0}), -1);
+  EXPECT_EQ(w.VerticalSide({2, 0}), +1);
+  EXPECT_EQ(w.VerticalSide({3, 0}), +1);
+  EXPECT_EQ(w.HorizontalSide({0, 1}), -1);
+  EXPECT_EQ(w.HorizontalSide({0, 2}), +1);
+  // Outside cells extrapolate.
+  EXPECT_EQ(w.VerticalSide({-2, 0}), -1);
+  EXPECT_EQ(w.VerticalSide({7, 0}), +1);
+}
+
+TEST(WindowTest, CrossesBisector) {
+  Window w{0, 0};
+  EXPECT_TRUE(w.CrossesBisector({1, 1}, {2, 1}, BisectorAxis::kVertical));
+  EXPECT_FALSE(w.CrossesBisector({0, 1}, {1, 1}, BisectorAxis::kVertical));
+  EXPECT_TRUE(w.CrossesBisector({1, 1}, {1, 2}, BisectorAxis::kHorizontal));
+  EXPECT_FALSE(w.CrossesBisector({1, 0}, {1, 1}, BisectorAxis::kHorizontal));
+}
+
+TEST(WindowTest, SpanningEndpointQualification) {
+  Window w{0, 0};
+  // West strip (col 0) to east strip (col 3): qualified.
+  EXPECT_TRUE(w.QualifiesAsSpanningEndpoints({0, 1}, {3, 2},
+                                             BisectorAxis::kVertical));
+  // Either endpoint adjacent to the bisector (cols 1, 2): not qualified.
+  EXPECT_FALSE(w.QualifiesAsSpanningEndpoints({1, 1}, {3, 2},
+                                              BisectorAxis::kVertical));
+  EXPECT_FALSE(w.QualifiesAsSpanningEndpoints({0, 1}, {2, 2},
+                                              BisectorAxis::kVertical));
+  // One-hop-outside endpoints still qualify (local paths may exit B).
+  EXPECT_TRUE(w.QualifiesAsSpanningEndpoints({-1, 1}, {4, 2},
+                                             BisectorAxis::kVertical));
+  // Horizontal axis mirrors the logic on rows.
+  EXPECT_TRUE(w.QualifiesAsSpanningEndpoints({1, 0}, {2, 3},
+                                             BisectorAxis::kHorizontal));
+  EXPECT_FALSE(w.QualifiesAsSpanningEndpoints({1, 1}, {2, 3},
+                                              BisectorAxis::kHorizontal));
+}
+
+TEST(CellIndexTest, BucketsNodesByCell) {
+  SquareGrid grid(0, 0, 100, 10);
+  std::vector<Point> coords = {{5, 5}, {6, 6}, {95, 95}};
+  std::vector<NodeId> nodes = {0, 1, 2};
+  CellIndex index(grid, coords, nodes);
+  EXPECT_EQ(index.NodesIn({0, 0}).size(), 2u);
+  EXPECT_EQ(index.NodesIn({9, 9}).size(), 1u);
+  EXPECT_EQ(index.NodesIn({5, 5}).size(), 0u);
+  EXPECT_EQ(index.OccupiedCells().size(), 2u);
+}
+
+TEST(CellIndexTest, CollectWindowNodes) {
+  SquareGrid grid(0, 0, 160, 16);
+  std::vector<Point> coords = {{5, 5}, {35, 5}, {155, 155}};
+  std::vector<NodeId> nodes = {0, 1, 2};
+  CellIndex index(grid, coords, nodes);
+  std::vector<NodeId> out;
+  index.CollectWindowNodes(Window{0, 0}, &out);
+  EXPECT_EQ(out.size(), 2u);  // Nodes 0 and 1; node 2 is far away.
+}
+
+TEST(EnumerateWindowsTest, CoversEveryOccupiedCell) {
+  SquareGrid grid(0, 0, 1600, 16);
+  Rng rng(11);
+  std::vector<Point> coords;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 120; ++i) {
+    coords.push_back(Point{static_cast<std::int32_t>(rng.Uniform(1600)),
+                           static_cast<std::int32_t>(rng.Uniform(1600))});
+    nodes.push_back(static_cast<NodeId>(i));
+  }
+  CellIndex index(grid, coords, nodes);
+  const auto windows = EnumerateWindows(grid, index);
+  // Every occupied cell must be inside at least one window, and window
+  // anchors stay within the grid.
+  for (const Cell& c : index.OccupiedCells()) {
+    bool covered = false;
+    for (const Window& w : windows) covered |= w.ContainsCell(c);
+    EXPECT_TRUE(covered);
+  }
+  std::unordered_set<std::uint64_t> keys;
+  for (const Window& w : windows) {
+    EXPECT_GE(w.ax, 0);
+    EXPECT_LE(w.ax, 12);
+    EXPECT_GE(w.ay, 0);
+    EXPECT_LE(w.ay, 12);
+    EXPECT_TRUE(keys.insert(WindowKey(w)).second);  // No duplicates.
+  }
+}
+
+TEST(EnumerateWindowsTest, TinyGridSingleWindow) {
+  SquareGrid grid(0, 0, 100, 4);
+  std::vector<Point> coords = {{50, 50}};
+  std::vector<NodeId> nodes = {0};
+  CellIndex index(grid, coords, nodes);
+  const auto windows = EnumerateWindows(grid, index);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].ax, 0);
+  EXPECT_EQ(windows[0].ay, 0);
+}
+
+}  // namespace
+}  // namespace ah

@@ -1,0 +1,121 @@
+// End-to-end: generate a catalog dataset, round-trip it through DIMACS
+// files, build every index, and check that all of them agree with Dijkstra
+// on a distance-stratified workload — the full pipeline every benchmark
+// binary runs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "ch/ch_index.h"
+#include "core/ah_query.h"
+#include "fc/fc_index.h"
+#include "gen/catalog.h"
+#include "graph/dimacs.h"
+#include "routing/bidirectional.h"
+#include "routing/dijkstra.h"
+#include "silc/silc_index.h"
+#include "util/rng.h"
+#include "workload/workload.h"
+
+namespace ah {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const DatasetSpec spec = *FindDataset("DE");
+    graph_ = new Graph(MakeScaledDataset(spec, 1.0 / 128.0));
+  }
+  static void TearDownTestSuite() {
+    delete graph_;
+    graph_ = nullptr;
+  }
+  static Graph* graph_;
+};
+
+Graph* PipelineTest::graph_ = nullptr;
+
+TEST_F(PipelineTest, AllIndexesAgreeOnWorkload) {
+  const Graph& g = *graph_;
+  WorkloadParams wparams;
+  wparams.pairs_per_set = 8;
+  const Workload workload = GenerateWorkload(g, wparams);
+
+  Dijkstra dijkstra(g);
+  BidirectionalDijkstra bidir(g);
+  ChIndex ch = ChIndex::Build(g);
+  ChQuery ch_query(ch);
+  AhIndex ah = AhIndex::Build(g);
+  AhQuery ah_pruned(ah);
+  AhQuery ah_exact(ah, AhQueryOptions{.mode = AhQueryMode::kExact});
+  SilcIndex silc = SilcIndex::Build(g);
+  FcIndex fc = FcIndex::Build(g);
+  FcQuery fc_query(fc);
+
+  for (const QuerySet& qs : workload.sets) {
+    for (const auto& [s, t] : qs.pairs) {
+      const Dist ref = dijkstra.Distance(s, t);
+      ASSERT_EQ(bidir.Distance(s, t), ref) << "bidir " << s << "->" << t;
+      ASSERT_EQ(ch_query.Distance(s, t), ref) << "ch " << s << "->" << t;
+      ASSERT_EQ(ah_pruned.Distance(s, t), ref) << "ah " << s << "->" << t;
+      ASSERT_EQ(ah_exact.Distance(s, t), ref) << "ah-ex " << s << "->" << t;
+      ASSERT_EQ(silc.Distance(s, t), ref) << "silc " << s << "->" << t;
+      ASSERT_EQ(fc_query.Distance(s, t), ref) << "fc " << s << "->" << t;
+    }
+  }
+}
+
+TEST_F(PipelineTest, PathQueriesAgreeAcrossIndexes) {
+  const Graph& g = *graph_;
+  ChIndex ch = ChIndex::Build(g);
+  ChQuery ch_query(ch);
+  AhIndex ah = AhIndex::Build(g);
+  AhQuery ah_query(ah);
+  SilcIndex silc = SilcIndex::Build(g);
+  Dijkstra dijkstra(g);
+  Rng rng(77);
+  for (int q = 0; q < 30; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const Dist ref = dijkstra.Distance(s, t);
+    if (ref == kInfDist) continue;
+    const PathResult pc = ch_query.Path(s, t);
+    const PathResult pa = ah_query.Path(s, t);
+    const PathResult ps = silc.Path(s, t);
+    ASSERT_TRUE(IsValidPath(g, pc.nodes, s, t, ref));
+    ASSERT_TRUE(IsValidPath(g, pa.nodes, s, t, ref));
+    ASSERT_TRUE(IsValidPath(g, ps.nodes, s, t, ref));
+  }
+}
+
+TEST_F(PipelineTest, DimacsRoundTripPreservesQueries) {
+  const Graph& g = *graph_;
+  std::ostringstream gr, co;
+  WriteDimacsGraph(g, gr);
+  WriteDimacsCoords(g, co);
+  std::istringstream gri(gr.str()), coi(co.str());
+  Graph g2 = ReadDimacs(gri, coi);
+
+  Dijkstra d1(g);
+  Dijkstra d2(g2);
+  Rng rng(5);
+  for (int q = 0; q < 40; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    ASSERT_EQ(d1.Distance(s, t), d2.Distance(s, t));
+  }
+}
+
+TEST_F(PipelineTest, IndexFootprintsOrdered) {
+  const Graph& g = *graph_;
+  ChIndex ch = ChIndex::Build(g);
+  AhIndex ah = AhIndex::Build(g);
+  SilcIndex silc = SilcIndex::Build(g);
+  // The paper's Figure 10a shape: CH smallest, AH moderate, SILC largest.
+  EXPECT_LE(ch.SizeBytes(), ah.SizeBytes());
+  EXPECT_LT(ah.SizeBytes(), silc.SizeBytes());
+}
+
+}  // namespace
+}  // namespace ah

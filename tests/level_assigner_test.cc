@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "core/level_assigner.h"
+#include "test_util.h"
+
+namespace ah {
+namespace {
+
+struct Assigned {
+  Graph graph;
+  GridHierarchy grids;
+  LevelAssignment assignment;
+};
+
+Assigned Assign(std::uint32_t side, std::uint64_t seed) {
+  Graph g = testing::MakeRoadGraph(side, seed);
+  GridHierarchy gh(g.Coords(), 12);
+  const Nuance nuance(seed);
+  LevelAssignment a = AssignLevels(g, gh, nuance);
+  return Assigned{std::move(g), std::move(gh), std::move(a)};
+}
+
+TEST(LevelAssignerTest, LevelsWithinRange) {
+  Assigned a = Assign(20, 1);
+  ASSERT_EQ(a.assignment.level.size(), a.graph.NumNodes());
+  for (Level lv : a.assignment.level) {
+    EXPECT_GE(lv, 0);
+    EXPECT_LE(lv, a.assignment.max_level);
+  }
+  EXPECT_LE(a.assignment.max_level, a.grids.Depth());
+}
+
+TEST(LevelAssignerTest, LevelPopulationShrinksUpward) {
+  Assigned a = Assign(28, 2);
+  ASSERT_GE(a.assignment.max_level, 2);
+  std::vector<std::size_t> histogram(a.assignment.max_level + 1, 0);
+  for (Level lv : a.assignment.level) ++histogram[lv];
+  // The raw assignment promotes most through-traffic nodes to level >= 1
+  // (the §4.4 downgrading pass later thins the hierarchy); what must hold
+  // here is that the population shrinks toward the top.
+  EXPECT_GT(histogram[0], 0u);
+  EXPECT_LT(histogram[a.assignment.max_level],
+            a.graph.NumNodes() / 4);
+  EXPECT_LT(histogram[a.assignment.max_level], histogram[1]);
+}
+
+TEST(LevelAssignerTest, CoresPerIterationDecrease) {
+  Assigned a = Assign(24, 3);
+  const auto& cores = a.assignment.cores_per_iteration;
+  ASSERT_FALSE(cores.empty());
+  for (std::size_t i = 1; i < cores.size(); ++i) {
+    EXPECT_LE(cores[i], cores[i - 1]);
+  }
+  EXPECT_LT(cores.front(), a.graph.NumNodes());
+}
+
+TEST(LevelAssignerTest, PseudoArterialEndpointsReachTheirLevel) {
+  Assigned a = Assign(20, 4);
+  for (std::size_t i = 1; i <= a.assignment.pseudo_arterial.size(); ++i) {
+    for (const auto& [u, v] : a.assignment.pseudo_arterial[i - 1]) {
+      // An endpoint of an S_i edge was made a level-i core, so its final
+      // level is at least i.
+      EXPECT_GE(a.assignment.level[u], static_cast<Level>(i));
+      EXPECT_GE(a.assignment.level[v], static_cast<Level>(i));
+    }
+  }
+}
+
+TEST(LevelAssignerTest, Deterministic) {
+  Assigned a = Assign(16, 5);
+  Assigned b = Assign(16, 5);
+  EXPECT_EQ(a.assignment.level, b.assignment.level);
+  EXPECT_EQ(a.assignment.max_level, b.assignment.max_level);
+}
+
+TEST(LevelAssignerTest, ProducesMultipleLevelsOnRoadNetworks) {
+  Assigned a = Assign(32, 6);
+  EXPECT_GE(a.assignment.max_level, 2);
+}
+
+TEST(LevelAssignerTest, TinyGraphDoesNotCrash) {
+  GraphBuilder b(2);
+  b.AddNode({0, 0});
+  b.AddNode({1000, 1000});
+  b.AddBidirectional(0, 1, 5);
+  Graph g = b.Build();
+  GridHierarchy gh(g.Coords(), 6);
+  const Nuance nuance(1);
+  const LevelAssignment a = AssignLevels(g, gh, nuance);
+  EXPECT_EQ(a.level.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ah

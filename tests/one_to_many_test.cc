@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "ch/ch_index.h"
+#include "core/ah_index.h"
+#include "hier/one_to_many.h"
+#include "routing/dijkstra.h"
+#include "test_util.h"
+
+namespace ah {
+namespace {
+
+class OneToManySeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OneToManySeedTest, MatchesDijkstraOnChHierarchy) {
+  Graph g = testing::MakeRoadGraph(20, GetParam());
+  ChIndex ch = ChIndex::Build(g);
+  Rng rng(GetParam());
+  std::vector<NodeId> targets;
+  for (int i = 0; i < 15; ++i) {
+    targets.push_back(static_cast<NodeId>(rng.Uniform(g.NumNodes())));
+  }
+  OneToMany otm(ch.search_graph(), targets);
+  Dijkstra dijkstra(g);
+  for (int q = 0; q < 15; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const auto& dists = otm.DistancesFrom(s);
+    ASSERT_EQ(dists.size(), targets.size());
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      ASSERT_EQ(dists[i], dijkstra.Distance(s, targets[i]))
+          << "s=" << s << " t=" << targets[i];
+    }
+  }
+}
+
+TEST_P(OneToManySeedTest, MatchesDijkstraOnAhHierarchy) {
+  Graph g = testing::MakeRandomGraph(150, 450, GetParam());
+  AhIndex ah = AhIndex::Build(g);
+  Rng rng(GetParam() + 1);
+  std::vector<NodeId> targets;
+  for (int i = 0; i < 12; ++i) {
+    targets.push_back(static_cast<NodeId>(rng.Uniform(g.NumNodes())));
+  }
+  OneToMany otm(ah.search_graph(), targets);
+  Dijkstra dijkstra(g);
+  for (int q = 0; q < 10; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const auto& dists = otm.DistancesFrom(s);
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      ASSERT_EQ(dists[i], dijkstra.Distance(s, targets[i]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OneToManySeedTest, ::testing::Values(1, 7, 13));
+
+TEST(OneToManyTest, KNearestSortedAndCorrect) {
+  Graph g = testing::MakeRoadGraph(16, 3);
+  ChIndex ch = ChIndex::Build(g);
+  Rng rng(3);
+  std::vector<NodeId> targets;
+  for (int i = 0; i < 20; ++i) {
+    targets.push_back(static_cast<NodeId>(rng.Uniform(g.NumNodes())));
+  }
+  OneToMany otm(ch.search_graph(), targets);
+  Dijkstra dijkstra(g);
+  const NodeId s = 0;
+  const auto top5 = otm.KNearest(s, 5);
+  ASSERT_LE(top5.size(), 5u);
+  for (std::size_t i = 1; i < top5.size(); ++i) {
+    EXPECT_LE(top5[i - 1].second, top5[i].second);
+  }
+  for (const auto& [t, d] : top5) {
+    EXPECT_EQ(d, dijkstra.Distance(s, t));
+  }
+  // Nothing outside the top-k is closer than the k-th entry.
+  if (!top5.empty()) {
+    for (NodeId t : targets) {
+      const Dist d = dijkstra.Distance(s, t);
+      if (d < top5.back().second) {
+        bool in_top = false;
+        for (const auto& [node, dist] : top5) in_top |= node == t;
+        EXPECT_TRUE(in_top);
+      }
+    }
+  }
+}
+
+TEST(OneToManyTest, TargetAtSourceIsZero) {
+  Graph g = testing::MakeRoadGraph(10, 4);
+  ChIndex ch = ChIndex::Build(g);
+  OneToMany otm(ch.search_graph(), {5});
+  EXPECT_EQ(otm.DistancesFrom(5)[0], 0u);
+}
+
+TEST(OneToManyTest, EmptyTargetSet) {
+  Graph g = testing::MakeRoadGraph(8, 5);
+  ChIndex ch = ChIndex::Build(g);
+  OneToMany otm(ch.search_graph(), {});
+  EXPECT_TRUE(otm.DistancesFrom(0).empty());
+  EXPECT_TRUE(otm.KNearest(0, 3).empty());
+}
+
+TEST(OneToManyTest, BucketEntriesBounded) {
+  Graph g = testing::MakeRoadGraph(20, 6);
+  ChIndex ch = ChIndex::Build(g);
+  std::vector<NodeId> targets = {1, 2, 3, 4, 5};
+  OneToMany otm(ch.search_graph(), targets);
+  // Each target's backward search settles far fewer than n nodes.
+  EXPECT_LT(otm.NumBucketEntries(), targets.size() * g.NumNodes());
+  EXPECT_GT(otm.NumBucketEntries(), 0u);
+}
+
+}  // namespace
+}  // namespace ah

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/ordering.h"
+#include "test_util.h"
+
+namespace ah {
+namespace {
+
+TEST(VertexCoverTest, CoversAllEdges) {
+  std::vector<std::pair<NodeId, NodeId>> edges = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 3}};
+  const auto cover = GreedyVertexCover(edges);
+  for (const auto& [u, v] : edges) {
+    const bool covered =
+        std::find(cover.begin(), cover.end(), u) != cover.end() ||
+        std::find(cover.begin(), cover.end(), v) != cover.end();
+    EXPECT_TRUE(covered);
+  }
+}
+
+TEST(VertexCoverTest, StarPicksCenterFirst) {
+  std::vector<std::pair<NodeId, NodeId>> edges = {
+      {9, 1}, {9, 2}, {9, 3}, {9, 4}};
+  const auto cover = GreedyVertexCover(edges);
+  ASSERT_FALSE(cover.empty());
+  EXPECT_EQ(cover.front(), 9u);
+  EXPECT_EQ(cover.size(), 1u);
+}
+
+TEST(VertexCoverTest, EmptyEdges) {
+  EXPECT_TRUE(GreedyVertexCover({}).empty());
+}
+
+TEST(VertexCoverTest, SelfLoopsIgnored) {
+  std::vector<std::pair<NodeId, NodeId>> edges = {{3, 3}};
+  EXPECT_TRUE(GreedyVertexCover(edges).empty());
+}
+
+LevelAssignment MakeAssignment() {
+  // 10 nodes: levels 0/1/2 with pseudo-arterial edges per level.
+  LevelAssignment a;
+  a.level = {0, 0, 0, 0, 1, 1, 1, 2, 2, 1};
+  a.max_level = 2;
+  a.pseudo_arterial.resize(2);
+  a.pseudo_arterial[0] = {{4, 5}, {5, 6}, {5, 9}};   // S_1: 5 is the hub.
+  a.pseudo_arterial[1] = {{7, 8}};                   // S_2.
+  return a;
+}
+
+TEST(OrderingTest, RankIsPermutation) {
+  const AhOrdering ord = ComputeOrdering(MakeAssignment());
+  ASSERT_EQ(ord.order.size(), 10u);
+  std::vector<bool> seen(10, false);
+  for (NodeId v : ord.order) {
+    ASSERT_LT(v, 10u);
+    ASSERT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+  for (NodeId v = 0; v < 10; ++v) {
+    EXPECT_EQ(ord.order[ord.rank[v]], v);
+  }
+}
+
+TEST(OrderingTest, RanksRespectLevels) {
+  OrderingParams params;
+  params.within_level = WithinLevelOrder::kVertexCover;
+  params.downgrade = false;
+  const AhOrdering ord = ComputeOrdering(MakeAssignment(), params);
+  for (NodeId a = 0; a < 10; ++a) {
+    for (NodeId b = 0; b < 10; ++b) {
+      if (ord.level[a] < ord.level[b]) {
+        EXPECT_LT(ord.rank[a], ord.rank[b]);
+      }
+    }
+  }
+}
+
+TEST(OrderingTest, HubRanksHighestWithinLevel) {
+  OrderingParams params;
+  params.within_level = WithinLevelOrder::kVertexCover;
+  params.downgrade = false;
+  const AhOrdering ord = ComputeOrdering(MakeAssignment(), params);
+  // Node 5 covers all three S_1 edges, so it outranks other level-1 nodes.
+  for (NodeId v : {4u, 6u, 9u}) {
+    EXPECT_GT(ord.rank[5], ord.rank[v]);
+  }
+}
+
+TEST(OrderingTest, DowngradeMovesNonCoverNodesDown) {
+  LevelAssignment a = MakeAssignment();
+  OrderingParams with;
+  with.within_level = WithinLevelOrder::kVertexCover;
+  with.downgrade = true;
+  const AhOrdering ord = ComputeOrdering(a, with);
+  // Node 5 covers all of S_1; 4, 6, 9 are not in the cover → level 0.
+  EXPECT_EQ(ord.level[5], 1);
+  EXPECT_EQ(ord.level[4], 0);
+  EXPECT_EQ(ord.level[6], 0);
+  EXPECT_EQ(ord.level[9], 0);
+  // S_2 = {7,8}: greedy cover picks one of them; the other is downgraded.
+  EXPECT_EQ(std::max(ord.level[7], ord.level[8]), 2);
+  EXPECT_EQ(std::min(ord.level[7], ord.level[8]), 1);
+}
+
+TEST(OrderingTest, RandomWithinLevelStillRespectsLevels) {
+  OrderingParams params;
+  params.within_level = WithinLevelOrder::kRandom;
+  params.downgrade = false;
+  params.seed = 5;
+  const AhOrdering ord = ComputeOrdering(MakeAssignment(), params);
+  // Still a permutation respecting levels.
+  for (NodeId a = 0; a < 10; ++a) {
+    for (NodeId b = 0; b < 10; ++b) {
+      if (ord.level[a] < ord.level[b]) {
+        EXPECT_LT(ord.rank[a], ord.rank[b]);
+      }
+    }
+  }
+}
+
+TEST(OrderingTest, DeterministicPerSeed) {
+  const OrderingParams p3{WithinLevelOrder::kVertexCover, true, 3};
+  const AhOrdering a = ComputeOrdering(MakeAssignment(), p3);
+  const AhOrdering b = ComputeOrdering(MakeAssignment(), p3);
+  EXPECT_EQ(a.order, b.order);
+  const OrderingParams p4{WithinLevelOrder::kVertexCover, true, 4};
+  const AhOrdering c = ComputeOrdering(MakeAssignment(), p4);
+  EXPECT_NE(a.order, c.order);  // Level-0 shuffle differs.
+}
+
+}  // namespace
+}  // namespace ah

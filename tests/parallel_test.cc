@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+
+#include "core/ah_index.h"
+#include "test_util.h"
+#include "util/parallel.h"
+
+namespace ah {
+namespace {
+
+TEST(ParallelChunksTest, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelChunks(1000, 64, [&](std::size_t, std::size_t b, std::size_t e,
+                               std::size_t) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelChunksTest, ChunkIndicesAreDense) {
+  std::vector<std::atomic<int>> chunk_seen(16);
+  ParallelChunks(1000, 64, [&](std::size_t c, std::size_t b, std::size_t e,
+                               std::size_t) {
+    ASSERT_LT(c, 16u);
+    chunk_seen[c].fetch_add(1);
+    EXPECT_EQ(b, c * 64);
+    EXPECT_EQ(e, std::min<std::size_t>(1000, b + 64));
+  });
+  for (const auto& c : chunk_seen) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ParallelChunksTest, EmptyRangeIsNoop) {
+  bool called = false;
+  ParallelChunks(0, 8, [&](std::size_t, std::size_t, std::size_t,
+                           std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelChunksTest, SingleThreadPathMatches) {
+  std::vector<int> sums(2, 0);
+  for (int t = 0; t < 2; ++t) {
+    int sum = 0;
+    ParallelChunks(
+        100, 7,
+        [&](std::size_t, std::size_t b, std::size_t e, std::size_t) {
+          for (std::size_t i = b; i < e; ++i) sum += static_cast<int>(i);
+        },
+        t == 0 ? 1 : 4);
+    // With threads > 1 the sum accumulation would race; run serially per
+    // thread count by using a local and relying on chunk coverage: the
+    // parallel case is covered by the atomic tests above, so only verify
+    // the serial total here.
+    if (t == 0) sums[0] = sum;
+  }
+  EXPECT_EQ(sums[0], 4950);
+}
+
+TEST(ParallelChunksTest, WorkerThreadsRespectsEnv) {
+  setenv("AH_THREADS", "3", 1);
+  EXPECT_EQ(WorkerThreads(), 3u);
+  unsetenv("AH_THREADS");
+  EXPECT_GE(WorkerThreads(), 1u);
+  EXPECT_LE(WorkerThreads(16), 16u);
+}
+
+TEST(ParallelDeterminismTest, AhBuildIdenticalAcrossThreadCounts) {
+  // The parallel preprocessing merges in deterministic chunk order: the
+  // index must be bit-identical whether built with 1 or many threads.
+  Graph g = testing::MakeRoadGraph(16, 11);
+  setenv("AH_THREADS", "1", 1);
+  AhIndex serial = AhIndex::Build(g);
+  setenv("AH_THREADS", "8", 1);
+  AhIndex parallel = AhIndex::Build(g);
+  unsetenv("AH_THREADS");
+  ASSERT_EQ(serial.MaxLevel(), parallel.MaxLevel());
+  EXPECT_EQ(serial.build_stats().shortcuts, parallel.build_stats().shortcuts);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    ASSERT_EQ(serial.LevelOf(v), parallel.LevelOf(v));
+    ASSERT_EQ(serial.search_graph().RankOf(v),
+              parallel.search_graph().RankOf(v));
+    const Level j = serial.LevelOf(v) + 1;
+    const auto a = serial.FwdGateways(v, j);
+    const auto b = parallel.FwdGateways(v, j);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].node, b[i].node);
+      ASSERT_EQ(a[i].dist, b[i].dist);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ah

@@ -1,0 +1,154 @@
+// Parameterized robustness sweeps: every index must stay *exact* across its
+// whole tuning space — budgets and caps may cost performance, never
+// correctness.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ch/ch_index.h"
+#include "core/ah_query.h"
+#include "fc/fc_index.h"
+#include "routing/dijkstra.h"
+#include "test_util.h"
+
+namespace ah {
+namespace {
+
+struct AhVariant {
+  std::string name;
+  AhParams params;
+};
+
+AhVariant MakeVariant(const std::string& name, AhParams params) {
+  return AhVariant{name, params};
+}
+
+std::vector<AhVariant> AhVariants() {
+  std::vector<AhVariant> out;
+  out.push_back(MakeVariant("defaults", {}));
+  {
+    AhParams p;
+    p.contraction.witness_settle_limit = 2;  // Nearly witness-free.
+    out.push_back(MakeVariant("tiny_witness_budget", p));
+  }
+  {
+    AhParams p;
+    p.gateway_band = 1;  // Multi-hop jumps on every far query.
+    out.push_back(MakeVariant("band_one", p));
+  }
+  {
+    AhParams p;
+    p.gateway_region_radius = 1;  // 3x3 gateway regions.
+    out.push_back(MakeVariant("small_gateway_region", p));
+  }
+  {
+    AhParams p;
+    p.gateway_region_radius = 4;  // 9x9 gateway regions.
+    out.push_back(MakeVariant("large_gateway_region", p));
+  }
+  {
+    AhParams p;
+    p.gateway_max_entries = 1;  // Almost every list dropped.
+    out.push_back(MakeVariant("dropped_gateway_lists", p));
+  }
+  {
+    AhParams p;
+    p.gateway_settle_limit = 8;  // Gateway searches truncated hard.
+    out.push_back(MakeVariant("tiny_gateway_budget", p));
+  }
+  {
+    AhParams p;
+    p.max_grid_depth = 4;  // Coarse grid stack.
+    out.push_back(MakeVariant("shallow_grids", p));
+  }
+  {
+    AhParams p;
+    p.levels.min_active_nodes = 1000;  // Level computation stops early.
+    out.push_back(MakeVariant("early_level_stop", p));
+  }
+  return out;
+}
+
+class AhParamSweepTest : public ::testing::TestWithParam<AhVariant> {};
+
+TEST_P(AhParamSweepTest, PrunedQueriesStayExact) {
+  Graph g = testing::MakeRoadGraph(20, 31);
+  AhIndex index = AhIndex::Build(g, GetParam().params);
+  AhQuery query(index);
+  Dijkstra dijkstra(g);
+  Rng rng(31);
+  for (int q = 0; q < 80; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    ASSERT_EQ(query.Distance(s, t), dijkstra.Distance(s, t))
+        << GetParam().name << " s=" << s << " t=" << t;
+  }
+}
+
+TEST_P(AhParamSweepTest, PathQueriesStayExact) {
+  Graph g = testing::MakeRoadGraph(14, 32);
+  AhIndex index = AhIndex::Build(g, GetParam().params);
+  AhQuery query(index);
+  Dijkstra dijkstra(g);
+  Rng rng(32);
+  for (int q = 0; q < 25; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const Dist ref = dijkstra.Distance(s, t);
+    const PathResult p = query.Path(s, t);
+    ASSERT_EQ(p.length, ref) << GetParam().name;
+    if (ref != kInfDist) {
+      ASSERT_TRUE(IsValidPath(g, p.nodes, s, t, ref)) << GetParam().name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, AhParamSweepTest,
+                         ::testing::ValuesIn(AhVariants()),
+                         [](const ::testing::TestParamInfo<AhVariant>& info) {
+                           return info.param.name;
+                         });
+
+class ChWitnessSweepTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChWitnessSweepTest, ExactForAnyWitnessBudget) {
+  Graph g = testing::MakeRoadGraph(16, 33);
+  ChParams params;
+  params.contraction.witness_settle_limit = GetParam();
+  ChIndex index = ChIndex::Build(g, params);
+  ChQuery query(index);
+  Dijkstra dijkstra(g);
+  Rng rng(33);
+  for (int q = 0; q < 50; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    ASSERT_EQ(query.Distance(s, t), dijkstra.Distance(s, t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, ChWitnessSweepTest,
+                         ::testing::Values(1, 4, 20, 500));
+
+class FcDepthSweepTest : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(FcDepthSweepTest, ExactForAnyGridDepth) {
+  Graph g = testing::MakeRoadGraph(14, 34);
+  FcParams params;
+  params.max_grid_depth = GetParam();
+  FcIndex index = FcIndex::Build(g, params);
+  FcQuery query(index);
+  Dijkstra dijkstra(g);
+  Rng rng(34);
+  for (int q = 0; q < 40; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    ASSERT_EQ(query.Distance(s, t), dijkstra.Distance(s, t))
+        << "depth=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, FcDepthSweepTest,
+                         ::testing::Values(2, 4, 8, 12));
+
+}  // namespace
+}  // namespace ah

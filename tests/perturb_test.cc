@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "perturb/perturb.h"
+
+namespace ah {
+namespace {
+
+TEST(NuanceTest, Deterministic) {
+  Nuance a(5), b(5);
+  EXPECT_EQ(a.ArcNuance(1, 2), b.ArcNuance(1, 2));
+}
+
+TEST(NuanceTest, SeedChangesValues) {
+  Nuance a(5), b(6);
+  int equal = 0;
+  for (NodeId u = 0; u < 50; ++u) equal += a.ArcNuance(u, u + 1) ==
+                                           b.ArcNuance(u, u + 1);
+  EXPECT_LT(equal, 3);
+}
+
+TEST(NuanceTest, WithinRange) {
+  Nuance n(1);
+  for (NodeId u = 0; u < 100; ++u) {
+    EXPECT_LT(n.ArcNuance(u, u * 31 + 7), 1ULL << 40);
+  }
+}
+
+TEST(NuanceTest, DirectionalAsymmetry) {
+  Nuance n(3);
+  EXPECT_NE(n.ArcNuance(1, 2), n.ArcNuance(2, 1));
+}
+
+TEST(NuanceTest, MostlyCollisionFree) {
+  Nuance n(9);
+  std::unordered_set<std::uint64_t> seen;
+  int collisions = 0;
+  for (NodeId u = 0; u < 200; ++u) {
+    for (NodeId v = 0; v < 50; ++v) {
+      collisions += !seen.insert(n.ArcNuance(u, v)).second;
+    }
+  }
+  EXPECT_LE(collisions, 1);
+}
+
+TEST(TieDistTest, LexicographicOrder) {
+  const TieDist a{10, 5};
+  const TieDist b{10, 6};
+  const TieDist c{11, 0};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_TRUE(a < c);
+  EXPECT_FALSE(b < a);
+  EXPECT_TRUE(a <= a);
+  EXPECT_TRUE(a == a);
+}
+
+TEST(TieDistTest, PlusAccumulates) {
+  const TieDist a{10, 5};
+  const TieDist b = a.Plus(3, 7);
+  EXPECT_EQ(b.length, 13u);
+  EXPECT_EQ(b.nuance, 12u);
+}
+
+TEST(TieDistTest, DefaultIsInfinite) {
+  const TieDist d;
+  EXPECT_EQ(d.length, kInfDist);
+}
+
+}  // namespace
+}  // namespace ah

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "routing/bidirectional.h"
+#include "routing/dijkstra.h"
+#include "routing/path.h"
+#include "test_util.h"
+
+namespace ah {
+namespace {
+
+/// Floyd-Warshall reference for tiny graphs.
+std::vector<std::vector<Dist>> AllPairs(const Graph& g) {
+  const std::size_t n = g.NumNodes();
+  std::vector<std::vector<Dist>> d(n, std::vector<Dist>(n, kInfDist));
+  for (NodeId v = 0; v < n; ++v) {
+    d[v][v] = 0;
+    for (const Arc& a : g.OutArcs(v)) {
+      d[v][a.head] = std::min<Dist>(d[v][a.head], a.weight);
+    }
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (d[i][k] == kInfDist) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (d[k][j] == kInfDist) continue;
+        d[i][j] = std::min(d[i][j], d[i][k] + d[k][j]);
+      }
+    }
+  }
+  return d;
+}
+
+class DijkstraSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DijkstraSeedTest, MatchesFloydWarshall) {
+  Graph g = testing::MakeRandomGraph(60, 180, GetParam());
+  const auto ref = AllPairs(g);
+  Dijkstra dijkstra(g);
+  for (NodeId s = 0; s < g.NumNodes(); s += 7) {
+    dijkstra.Run(s);
+    for (NodeId t = 0; t < g.NumNodes(); ++t) {
+      ASSERT_EQ(dijkstra.DistTo(t), ref[s][t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST_P(DijkstraSeedTest, BackwardMatchesForwardTransposed) {
+  Graph g = testing::MakeRandomGraph(50, 140, GetParam() ^ 0xabc);
+  Dijkstra dijkstra(g);
+  const NodeId target = 3;
+  dijkstra.Run(target, Direction::kBackward);
+  std::vector<Dist> to_target(g.NumNodes());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) to_target[v] = dijkstra.DistTo(v);
+  for (NodeId v = 0; v < g.NumNodes(); v += 5) {
+    ASSERT_EQ(dijkstra.Distance(v, target), to_target[v]);
+  }
+}
+
+TEST_P(DijkstraSeedTest, BidirectionalMatchesDijkstra) {
+  Graph g = testing::MakeRandomGraph(120, 400, GetParam() ^ 0x5u);
+  Dijkstra dijkstra(g);
+  BidirectionalDijkstra bidir(g);
+  Rng rng(GetParam());
+  for (int q = 0; q < 40; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    ASSERT_EQ(bidir.Distance(s, t), dijkstra.Distance(s, t))
+        << "s=" << s << " t=" << t;
+  }
+}
+
+TEST_P(DijkstraSeedTest, PathsAreValidAndOptimal) {
+  Graph g = testing::MakeRandomGraph(80, 240, GetParam() ^ 0x77u);
+  Dijkstra dijkstra(g);
+  BidirectionalDijkstra bidir(g);
+  Rng rng(GetParam() + 1);
+  for (int q = 0; q < 25; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const Dist d = dijkstra.Distance(s, t);
+    if (d == kInfDist) continue;
+    auto p1 = dijkstra.Path(s, t);
+    ASSERT_TRUE(IsValidPath(g, p1, s, t, d));
+    auto p2 = bidir.Path(s, t);
+    ASSERT_TRUE(IsValidPath(g, p2, s, t, d));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraSeedTest,
+                         ::testing::Values(1, 2, 3, 42, 1234));
+
+TEST(DijkstraTest, SelfDistanceZero) {
+  Graph g = testing::MakeRandomGraph(10, 20, 9);
+  Dijkstra dijkstra(g);
+  EXPECT_EQ(dijkstra.Distance(4, 4), 0u);
+  EXPECT_EQ(dijkstra.Path(4, 4), std::vector<NodeId>{4});
+}
+
+TEST(DijkstraTest, UnreachableIsInf) {
+  GraphBuilder b(2);
+  b.AddNode({0, 0});
+  b.AddNode({5, 5});
+  b.AddArc(0, 1, 3);
+  Graph g = b.Build();
+  Dijkstra dijkstra(g);
+  EXPECT_EQ(dijkstra.Distance(1, 0), kInfDist);
+  EXPECT_TRUE(dijkstra.Path(1, 0).empty());
+}
+
+TEST(DijkstraTest, BoundedRunStopsEarly) {
+  Graph g = testing::MakeRoadGraph(16, 3);
+  Dijkstra dijkstra(g);
+  dijkstra.Run(0, Direction::kForward, /*bound=*/1);
+  const std::size_t near = dijkstra.SettledNodes().size();
+  dijkstra.Run(0);
+  EXPECT_LT(near, dijkstra.SettledNodes().size());
+  EXPECT_EQ(dijkstra.SettledNodes().size(), g.NumNodes());
+}
+
+TEST(DijkstraTest, SettleOrderIsNonDecreasing) {
+  Graph g = testing::MakeRoadGraph(12, 8);
+  Dijkstra dijkstra(g);
+  dijkstra.Run(0);
+  Dist prev = 0;
+  for (NodeId v : dijkstra.SettledNodes()) {
+    EXPECT_GE(dijkstra.DistTo(v), prev);
+    prev = dijkstra.DistTo(v);
+  }
+}
+
+TEST(DijkstraTest, ParentChainReachesSource) {
+  Graph g = testing::MakeRoadGraph(10, 4);
+  Dijkstra dijkstra(g);
+  dijkstra.Run(0);
+  for (NodeId v : dijkstra.SettledNodes()) {
+    NodeId cur = v;
+    std::size_t hops = 0;
+    while (dijkstra.ParentOf(cur) != kInvalidNode) {
+      cur = dijkstra.ParentOf(cur);
+      ASSERT_LT(++hops, g.NumNodes() + 1);
+    }
+    EXPECT_EQ(cur, 0u);
+  }
+}
+
+TEST(BidirectionalTest, SelfQuery) {
+  Graph g = testing::MakeRandomGraph(10, 30, 2);
+  BidirectionalDijkstra bidir(g);
+  EXPECT_EQ(bidir.Distance(3, 3), 0u);
+  EXPECT_EQ(bidir.Path(3, 3), std::vector<NodeId>{3});
+}
+
+TEST(BidirectionalTest, SettlesFewerNodesThanDijkstraOnRoadGraph) {
+  Graph g = testing::MakeRoadGraph(30, 5);
+  Dijkstra dijkstra(g);
+  BidirectionalDijkstra bidir(g);
+  const NodeId s = 0;
+  const NodeId t = static_cast<NodeId>(g.NumNodes() - 1);
+  dijkstra.Distance(s, t);
+  bidir.Distance(s, t);
+  EXPECT_LT(bidir.LastSettledCount(), dijkstra.SettledNodes().size() * 2);
+}
+
+TEST(PathTest, PathLengthComputations) {
+  GraphBuilder b(3);
+  b.AddNode({0, 0});
+  b.AddNode({1, 0});
+  b.AddNode({2, 0});
+  b.AddArc(0, 1, 4);
+  b.AddArc(1, 2, 6);
+  Graph g = b.Build();
+  EXPECT_EQ(PathLength(g, {0, 1, 2}), 10u);
+  EXPECT_EQ(PathLength(g, {0, 2}), kInfDist);  // No direct arc.
+  EXPECT_EQ(PathLength(g, {}), kInfDist);
+  EXPECT_EQ(PathLength(g, {1}), 0u);
+  EXPECT_TRUE(IsValidPath(g, {0, 1, 2}, 0, 2, 10));
+  EXPECT_FALSE(IsValidPath(g, {0, 1, 2}, 0, 2, 11));
+  EXPECT_FALSE(IsValidPath(g, {0, 1}, 0, 2, 4));  // Wrong endpoint.
+}
+
+TEST(PathTest, PathResultHelpers) {
+  PathResult r;
+  EXPECT_FALSE(r.Found());
+  EXPECT_EQ(r.NumEdges(), 0u);
+  r.length = 5;
+  r.nodes = {1, 2, 3};
+  EXPECT_TRUE(r.Found());
+  EXPECT_EQ(r.NumEdges(), 2u);
+}
+
+}  // namespace
+}  // namespace ah

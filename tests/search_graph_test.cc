@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "hier/contraction.h"
+#include "hier/search_graph.h"
+#include "hier/upward_query.h"
+#include "routing/dijkstra.h"
+#include "routing/path.h"
+#include "test_util.h"
+
+namespace ah {
+namespace {
+
+struct Built {
+  Graph graph;
+  SearchGraph sg;
+};
+
+Built BuildIdentityOrder(std::size_t n, std::size_t extra,
+                         std::uint64_t seed) {
+  Graph g = testing::MakeRandomGraph(n, extra, seed);
+  ContractionEngine engine(g.NumNodes(), ArcsOf(g));
+  std::vector<Rank> rank(g.NumNodes());
+  std::iota(rank.begin(), rank.end(), 0);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) engine.Contract(v);
+  SearchGraph sg(g.NumNodes(), engine.EmittedArcs(), std::move(rank));
+  return Built{std::move(g), std::move(sg)};
+}
+
+TEST(SearchGraphTest, ArcsPartitionedByRank) {
+  Built b = BuildIdentityOrder(50, 150, 4);
+  std::size_t total = 0;
+  for (NodeId v = 0; v < b.sg.NumNodes(); ++v) {
+    for (const UpArc& a : b.sg.UpOut(v)) {
+      EXPECT_GT(b.sg.RankOf(a.node), b.sg.RankOf(v));
+    }
+    for (const UpArc& a : b.sg.UpIn(v)) {
+      EXPECT_GT(b.sg.RankOf(a.node), b.sg.RankOf(v));
+    }
+    total += b.sg.UpOut(v).size() + b.sg.UpIn(v).size();
+  }
+  EXPECT_EQ(total, b.sg.NumArcs());
+}
+
+TEST(SearchGraphTest, UnpackedArcsAreRealPaths) {
+  Built b = BuildIdentityOrder(60, 200, 8);
+  // Every stored arc must expand into a real path of exactly its weight.
+  for (NodeId v = 0; v < b.sg.NumNodes(); ++v) {
+    for (const UpArc& a : b.sg.UpOut(v)) {
+      std::vector<NodeId> path = {v};
+      b.sg.AppendUnpacked(v, a.node, &path);
+      EXPECT_TRUE(IsValidPath(b.graph, path, v, a.node, a.weight));
+    }
+    for (const UpArc& a : b.sg.UpIn(v)) {
+      std::vector<NodeId> path = {a.node};
+      b.sg.AppendUnpacked(a.node, v, &path);
+      EXPECT_TRUE(IsValidPath(b.graph, path, a.node, v, a.weight));
+    }
+  }
+}
+
+TEST(SearchGraphTest, HierArcWeightLookup) {
+  Built b = BuildIdentityOrder(30, 90, 2);
+  for (NodeId v = 0; v < b.sg.NumNodes(); ++v) {
+    for (const UpArc& a : b.sg.UpOut(v)) {
+      EXPECT_EQ(b.sg.HierArcWeight(v, a.node), a.weight);
+    }
+  }
+  EXPECT_EQ(b.sg.HierArcWeight(0, 0), kMaxWeight);
+}
+
+TEST(SearchGraphTest, UnknownArcThrowsOnUnpack) {
+  Built b = BuildIdentityOrder(10, 20, 3);
+  std::vector<NodeId> out;
+  EXPECT_THROW(b.sg.AppendUnpacked(0, 0, &out), std::logic_error);
+}
+
+TEST(SearchGraphTest, SizeBytesGrowsWithGraph) {
+  Built small = BuildIdentityOrder(20, 40, 5);
+  Built large = BuildIdentityOrder(200, 600, 5);
+  EXPECT_LT(small.sg.SizeBytes(), large.sg.SizeBytes());
+}
+
+class UpwardQuerySeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UpwardQuerySeedTest, MatchesDijkstraWithArbitraryOrder) {
+  // The hierarchy theorem: with witness-checked contraction, the upward
+  // bidirectional search is exact for ANY contraction order.
+  Graph g = testing::MakeRandomGraph(150, 500, GetParam());
+  Rng rng(GetParam() * 31);
+  std::vector<NodeId> order(g.NumNodes());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = g.NumNodes(); i-- > 1;) {
+    std::swap(order[i], order[rng.Uniform(i + 1)]);
+  }
+  ContractionEngine engine(g.NumNodes(), ArcsOf(g));
+  std::vector<Rank> rank(g.NumNodes());
+  for (Rank r = 0; r < order.size(); ++r) rank[order[r]] = r;
+  for (NodeId v : order) engine.Contract(v);
+  SearchGraph sg(g.NumNodes(), engine.EmittedArcs(), std::move(rank));
+
+  BidirUpwardSearch search(sg);
+  Dijkstra dijkstra(g);
+  for (int q = 0; q < 60; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    ASSERT_EQ(search.Distance(s, t), dijkstra.Distance(s, t))
+        << "s=" << s << " t=" << t;
+  }
+}
+
+TEST_P(UpwardQuerySeedTest, HierarchyPathUnpacksToShortestPath) {
+  Graph g = testing::MakeRandomGraph(100, 300, GetParam() ^ 0xf00);
+  ContractionEngine engine(g.NumNodes(), ArcsOf(g));
+  std::vector<Rank> rank(g.NumNodes());
+  std::iota(rank.begin(), rank.end(), 0);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) engine.Contract(v);
+  SearchGraph sg(g.NumNodes(), engine.EmittedArcs(), std::move(rank));
+
+  BidirUpwardSearch search(sg);
+  Dijkstra dijkstra(g);
+  Rng rng(GetParam());
+  for (int q = 0; q < 30; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    if (s == t) continue;
+    const Dist d = search.Distance(s, t);
+    ASSERT_EQ(d, dijkstra.Distance(s, t));
+    if (d == kInfDist) continue;
+    const auto hier = search.HierarchyPath();
+    ASSERT_FALSE(hier.empty());
+    EXPECT_EQ(hier.front(), s);
+    EXPECT_EQ(hier.back(), t);
+    const auto full = sg.UnpackPath(hier);
+    EXPECT_TRUE(IsValidPath(g, full, s, t, d));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpwardQuerySeedTest,
+                         ::testing::Values(7, 21, 63, 189));
+
+TEST(UpwardQueryTest, SelfQueryIsZero) {
+  Built b = BuildIdentityOrder(20, 60, 6);
+  BidirUpwardSearch search(b.sg);
+  EXPECT_EQ(search.Distance(5, 5), 0u);
+}
+
+TEST(UpwardQueryTest, SeededRunUsesSeedDistances) {
+  Built b = BuildIdentityOrder(40, 120, 7);
+  BidirUpwardSearch search(b.sg);
+  Dijkstra dijkstra(b.graph);
+  const NodeId s = 0, t = 9;
+  const Dist direct = dijkstra.Distance(s, t);
+  if (direct == kInfDist) GTEST_SKIP();
+  // Seeding the forward side at s with an offset shifts the result.
+  const SearchSeed fs{s, 100};
+  const SearchSeed ts{t, 0};
+  const Dist shifted = search.Run(std::span(&fs, 1), std::span(&ts, 1));
+  EXPECT_EQ(shifted, direct + 100);
+}
+
+TEST(UpwardQueryTest, StatsPopulated) {
+  Built b = BuildIdentityOrder(60, 180, 8);
+  BidirUpwardSearch search(b.sg);
+  search.Distance(0, 30);
+  EXPECT_GT(search.Stats().settled, 0u);
+}
+
+}  // namespace
+}  // namespace ah

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "routing/dijkstra.h"
+#include "routing/path.h"
+#include "silc/quadtree.h"
+#include "silc/silc_index.h"
+#include "test_util.h"
+
+namespace ah {
+namespace {
+
+TEST(MortonTest, InterleaveBasics) {
+  EXPECT_EQ(MortonInterleave32(0, 0), 0u);
+  EXPECT_EQ(MortonInterleave32(1, 0), 1u);
+  EXPECT_EQ(MortonInterleave32(0, 1), 2u);
+  EXPECT_EQ(MortonInterleave32(1, 1), 3u);
+  EXPECT_EQ(MortonInterleave32(2, 0), 4u);
+  EXPECT_EQ(MortonInterleave32(0xffffffffu, 0xffffffffu),
+            0xffffffffffffffffULL);
+}
+
+TEST(MortonSpaceTest, MonotonePerAxis) {
+  Box box;
+  box.Extend({0, 0});
+  box.Extend({1000, 1000});
+  MortonSpace space(box);
+  EXPECT_LT(space.MortonOf({0, 0}), space.MortonOf({1000, 1000}));
+  EXPECT_NE(space.MortonOf({10, 20}), space.MortonOf({20, 10}));
+}
+
+TEST(QuadBlocksTest, UniformInputSingleBlock) {
+  std::vector<std::uint64_t> mortons = {1, 5, 9, 200};
+  std::vector<NodeId> colors = {4, 4, 4, 4};
+  std::vector<QuadBlock> blocks;
+  BuildColorBlocks(mortons, colors, &blocks);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].depth, 0);
+  EXPECT_EQ(blocks[0].color, 4u);
+  EXPECT_EQ(LookupColor(blocks, 123456), 4u);
+}
+
+TEST(QuadBlocksTest, SplitsOnColorChange) {
+  // Two colors separated in Morton space: top-level quadrants differ.
+  const std::uint64_t far_apart = 3ULL << 62;  // Quadrant 3.
+  std::vector<std::uint64_t> mortons = {0, 1, far_apart};
+  std::vector<NodeId> colors = {7, 7, 9};
+  std::vector<QuadBlock> blocks;
+  BuildColorBlocks(mortons, colors, &blocks);
+  ASSERT_GE(blocks.size(), 2u);
+  EXPECT_EQ(LookupColor(blocks, 0), 7u);
+  EXPECT_EQ(LookupColor(blocks, far_apart), 9u);
+}
+
+TEST(QuadBlocksTest, BlocksAreSortedAndDisjoint) {
+  Rng rng(5);
+  std::vector<std::uint64_t> mortons;
+  std::vector<NodeId> colors;
+  for (int i = 0; i < 300; ++i) mortons.push_back(rng.Next());
+  std::sort(mortons.begin(), mortons.end());
+  for (int i = 0; i < 300; ++i) {
+    colors.push_back(static_cast<NodeId>(rng.Uniform(5)));
+  }
+  std::vector<QuadBlock> blocks;
+  BuildColorBlocks(mortons, colors, &blocks);
+  for (std::size_t i = 1; i < blocks.size(); ++i) {
+    EXPECT_LT(blocks[i - 1].start, blocks[i].start);
+  }
+  // Every input point must resolve to its own color.
+  for (std::size_t i = 0; i < mortons.size(); ++i) {
+    if (i > 0 && mortons[i] == mortons[i - 1]) continue;  // Duplicate code.
+    EXPECT_EQ(LookupColor(blocks, mortons[i]), colors[i]) << i;
+  }
+}
+
+class SilcSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SilcSeedTest, DistanceMatchesDijkstra) {
+  Graph g = testing::MakeRoadGraph(14, GetParam());
+  SilcIndex index = SilcIndex::Build(g);
+  Dijkstra dijkstra(g);
+  Rng rng(GetParam());
+  for (int q = 0; q < 50; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    ASSERT_EQ(index.Distance(s, t), dijkstra.Distance(s, t))
+        << "s=" << s << " t=" << t;
+  }
+}
+
+TEST_P(SilcSeedTest, PathsValidAndOptimal) {
+  Graph g = testing::MakeRoadGraph(12, GetParam() + 9);
+  SilcIndex index = SilcIndex::Build(g);
+  Dijkstra dijkstra(g);
+  Rng rng(GetParam());
+  for (int q = 0; q < 30; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const PathResult path = index.Path(s, t);
+    const Dist ref = dijkstra.Distance(s, t);
+    ASSERT_EQ(path.length, ref);
+    if (ref != kInfDist) {
+      EXPECT_TRUE(IsValidPath(g, path.nodes, s, t, ref));
+    }
+  }
+}
+
+TEST_P(SilcSeedTest, NextHopIsFirstEdgeOfAShortestPath) {
+  Graph g = testing::MakeRoadGraph(10, GetParam() + 17);
+  SilcIndex index = SilcIndex::Build(g);
+  Dijkstra dijkstra(g);
+  Rng rng(GetParam());
+  for (int q = 0; q < 40; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    if (s == t) continue;
+    const NodeId hop = index.NextHop(s, t);
+    ASSERT_NE(hop, kInvalidNode);
+    const Weight w = g.ArcWeight(s, hop);
+    ASSERT_NE(w, kMaxWeight);
+    // d(s,t) == w(s,hop) + d(hop,t): the hop lies on a shortest path.
+    EXPECT_EQ(dijkstra.Distance(s, t), w + dijkstra.Distance(hop, t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SilcSeedTest, ::testing::Values(1, 2, 3));
+
+TEST(SilcTest, SelfQuery) {
+  Graph g = testing::MakeRoadGraph(8, 1);
+  SilcIndex index = SilcIndex::Build(g);
+  EXPECT_EQ(index.Distance(3, 3), 0u);
+  EXPECT_EQ(index.NextHop(3, 3), kInvalidNode);
+  const PathResult p = index.Path(3, 3);
+  EXPECT_EQ(p.nodes, std::vector<NodeId>{3});
+}
+
+TEST(SilcTest, BuildStatsAndSize) {
+  Graph g = testing::MakeRoadGraph(10, 2);
+  SilcIndex index = SilcIndex::Build(g);
+  EXPECT_GT(index.build_stats().total_blocks, g.NumNodes());
+  EXPECT_GT(index.SizeBytes(), 0u);
+}
+
+TEST(SilcTest, SuperLinearBlockGrowth) {
+  // The reason the paper drops SILC on big inputs: block count per node
+  // grows with n.
+  Graph small = testing::MakeRoadGraph(8, 3);
+  Graph large = testing::MakeRoadGraph(24, 3);
+  SilcIndex is = SilcIndex::Build(small);
+  SilcIndex il = SilcIndex::Build(large);
+  const double per_node_small =
+      static_cast<double>(is.build_stats().total_blocks) / small.NumNodes();
+  const double per_node_large =
+      static_cast<double>(il.build_stats().total_blocks) / large.NumNodes();
+  EXPECT_GT(per_node_large, per_node_small);
+}
+
+}  // namespace
+}  // namespace ah

@@ -1,0 +1,122 @@
+// Larger-scale correctness sweeps. The small property tests missed a real
+// bug once (window-stride > 1 broke the Lemma-3 property only on ME-sized
+// networks), so this suite pins exactness at catalog scale for every query
+// engine on a distance-stratified workload.
+#include <gtest/gtest.h>
+
+#include "ch/ch_index.h"
+#include "core/ah_query.h"
+#include "gen/catalog.h"
+#include "routing/dijkstra.h"
+#include "util/rng.h"
+#include "workload/workload.h"
+
+namespace ah {
+namespace {
+
+class CatalogScaleTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // ME at 1/32 scale: ~6k nodes — the smallest size at which the stride
+    // bug manifested was ~12k; 6k keeps the suite fast while still being
+    // an order of magnitude above the unit-test graphs. The heavier 1/16
+    // sweep runs in the benches (with checksums) on every invocation.
+    graph_ = new Graph(MakeScaledDataset(*FindDataset("ME"), 1.0 / 32.0));
+    WorkloadParams params;
+    params.pairs_per_set = 30;
+    params.seed = 424242;
+    workload_ = new Workload(GenerateWorkload(*graph_, params));
+  }
+  static void TearDownTestSuite() {
+    delete graph_;
+    delete workload_;
+    graph_ = nullptr;
+    workload_ = nullptr;
+  }
+  static Graph* graph_;
+  static Workload* workload_;
+};
+
+Graph* CatalogScaleTest::graph_ = nullptr;
+Workload* CatalogScaleTest::workload_ = nullptr;
+
+TEST_F(CatalogScaleTest, AhPrunedExactOnAllQuerySets) {
+  const Graph& g = *graph_;
+  AhIndex index = AhIndex::Build(g);
+  AhQuery query(index);
+  Dijkstra dijkstra(g);
+  for (const QuerySet& qs : workload_->sets) {
+    for (const auto& [s, t] : qs.pairs) {
+      ASSERT_EQ(query.Distance(s, t), dijkstra.Distance(s, t))
+          << "Q" << qs.index << " s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST_F(CatalogScaleTest, AhPathsExactOnFarSets) {
+  const Graph& g = *graph_;
+  AhIndex index = AhIndex::Build(g);
+  AhQuery query(index);
+  Dijkstra dijkstra(g);
+  // Far sets exercise deep unpacking and multi-hop gateway chains.
+  for (std::size_t i = 7; i < workload_->sets.size(); ++i) {
+    for (const auto& [s, t] : workload_->sets[i].pairs) {
+      const Dist ref = dijkstra.Distance(s, t);
+      const PathResult p = query.Path(s, t);
+      ASSERT_EQ(p.length, ref);
+      if (ref != kInfDist) {
+        ASSERT_TRUE(IsValidPath(g, p.nodes, s, t, ref))
+            << "s=" << s << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST_F(CatalogScaleTest, ChExactOnAllQuerySets) {
+  const Graph& g = *graph_;
+  ChIndex index = ChIndex::Build(g);
+  ChQuery query(index);
+  Dijkstra dijkstra(g);
+  for (const QuerySet& qs : workload_->sets) {
+    for (const auto& [s, t] : qs.pairs) {
+      ASSERT_EQ(query.Distance(s, t), dijkstra.Distance(s, t));
+    }
+  }
+}
+
+TEST_F(CatalogScaleTest, StrideTwoStaysExactInExactMode) {
+  // window_stride > 1 is an exact-mode-only speed knob: the rank-constraint
+  // search must stay correct with the sparser hierarchy it produces.
+  const Graph& g = *graph_;
+  AhParams params;
+  params.levels.window_stride = 2;
+  AhIndex index = AhIndex::Build(g, params);
+  AhQuery exact(index, AhQueryOptions{.mode = AhQueryMode::kExact});
+  Dijkstra dijkstra(g);
+  for (std::size_t i = 0; i < workload_->sets.size(); i += 3) {
+    for (const auto& [s, t] : workload_->sets[i].pairs) {
+      ASSERT_EQ(exact.Distance(s, t), dijkstra.Distance(s, t));
+    }
+  }
+}
+
+TEST_F(CatalogScaleTest, QueryObjectsAreReusableAndConsistent) {
+  // Thousands of queries through ONE AhQuery instance must not corrupt its
+  // reusable scratch state.
+  const Graph& g = *graph_;
+  AhIndex index = AhIndex::Build(g);
+  AhQuery query(index);
+  Dijkstra dijkstra(g);
+  Rng rng(9);
+  for (int i = 0; i < 600; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const Dist a = query.Distance(s, t);
+    const Dist b = query.Distance(s, t);  // Same pair twice in a row.
+    ASSERT_EQ(a, b);
+    ASSERT_EQ(a, dijkstra.Distance(s, t));
+  }
+}
+
+}  // namespace
+}  // namespace ah

@@ -1,0 +1,48 @@
+// Shared helpers for the test suites: small deterministic graph factories.
+#pragma once
+
+#include <vector>
+
+#include "gen/road_gen.h"
+#include "graph/builder.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace ah::testing {
+
+/// A strongly connected random graph: a Hamiltonian cycle plus `extra`
+/// random arcs, with random coordinates and weights in [1, 100].
+/// Not road-like at all — exercises the assumption-free code paths.
+inline Graph MakeRandomGraph(std::size_t n, std::size_t extra,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    builder.AddNode(Point{static_cast<std::int32_t>(rng.Uniform(100000)),
+                          static_cast<std::int32_t>(rng.Uniform(100000))});
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    builder.AddArc(static_cast<NodeId>(i), static_cast<NodeId>((i + 1) % n),
+                   static_cast<Weight>(1 + rng.Uniform(100)));
+  }
+  for (std::size_t i = 0; i < extra; ++i) {
+    const NodeId a = static_cast<NodeId>(rng.Uniform(n));
+    const NodeId b = static_cast<NodeId>(rng.Uniform(n));
+    if (a == b) continue;
+    builder.AddArc(a, b, static_cast<Weight>(1 + rng.Uniform(100)));
+  }
+  return builder.Build();
+}
+
+/// A small road-like network from the synthetic generator (strongly
+/// connected, hierarchical road classes) — the inputs AH's pruned query
+/// mode is specified for.
+inline Graph MakeRoadGraph(std::uint32_t side, std::uint64_t seed) {
+  RoadGenParams params;
+  params.cols = side;
+  params.rows = side;
+  params.seed = seed;
+  return GenerateRoadNetwork(params);
+}
+
+}  // namespace ah::testing

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "routing/dijkstra.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace ah {
+namespace {
+
+TEST(WorkloadTest, LmaxIsAchievableDistance) {
+  Graph g = testing::MakeRoadGraph(20, 1);
+  const Dist lmax = EstimateMaxDistance(g, 1);
+  EXPECT_GT(lmax, 0u);
+  // The double-sweep estimate can undershoot the true diameter but must be
+  // a real distance <= the max over a sample of sources.
+  Dijkstra dijkstra(g);
+  Dist seen = 0;
+  for (NodeId s = 0; s < g.NumNodes(); s += 37) {
+    dijkstra.Run(s);
+    for (NodeId v : dijkstra.SettledNodes()) {
+      seen = std::max(seen, dijkstra.DistTo(v));
+    }
+  }
+  EXPECT_LE(lmax, seen * 2);
+  EXPECT_GE(lmax, seen / 4);
+}
+
+TEST(WorkloadTest, BucketsRespectDistanceBands) {
+  Graph g = testing::MakeRoadGraph(24, 2);
+  WorkloadParams params;
+  params.pairs_per_set = 20;
+  params.seed = 2;
+  const Workload w = GenerateWorkload(g, params);
+  ASSERT_EQ(w.sets.size(), 10u);
+  Dijkstra dijkstra(g);
+  for (const QuerySet& qs : w.sets) {
+    EXPECT_LT(qs.lo, qs.hi);
+    for (const auto& [s, t] : qs.pairs) {
+      const Dist d = dijkstra.Distance(s, t);
+      EXPECT_GE(d, qs.lo) << "Q" << qs.index;
+      EXPECT_LT(d, qs.hi) << "Q" << qs.index;
+    }
+  }
+}
+
+TEST(WorkloadTest, BandsDoubleInDistance) {
+  Graph g = testing::MakeRoadGraph(16, 3);
+  const Workload w = GenerateWorkload(g, {});
+  for (std::size_t i = 1; i < w.sets.size(); ++i) {
+    // Bounds are computed by right shifts, so the previous band's upper
+    // bound is exactly the floor-half of the next one.
+    EXPECT_EQ(w.sets[i - 1].hi, w.sets[i].hi >> 1);
+  }
+  EXPECT_EQ(w.sets.back().hi, w.lmax);
+  EXPECT_EQ(w.sets.back().lo, w.lmax / 2);
+}
+
+TEST(WorkloadTest, MostBucketsFillOnRoadNetworks) {
+  Graph g = testing::MakeRoadGraph(28, 4);
+  WorkloadParams params;
+  params.pairs_per_set = 30;
+  const Workload w = GenerateWorkload(g, params);
+  std::size_t filled = 0;
+  for (const QuerySet& qs : w.sets) {
+    filled += qs.pairs.size() == params.pairs_per_set;
+  }
+  EXPECT_GE(filled, 7u);  // Q1 (ultra-short) may be sparse; the rest fill.
+}
+
+TEST(WorkloadTest, Deterministic) {
+  Graph g = testing::MakeRoadGraph(14, 5);
+  WorkloadParams params;
+  params.pairs_per_set = 10;
+  params.seed = 9;
+  const Workload a = GenerateWorkload(g, params);
+  const Workload b = GenerateWorkload(g, params);
+  ASSERT_EQ(a.sets.size(), b.sets.size());
+  for (std::size_t i = 0; i < a.sets.size(); ++i) {
+    EXPECT_EQ(a.sets[i].pairs, b.sets[i].pairs);
+  }
+}
+
+TEST(WorkloadTest, PairsAreDistinctEndpoints) {
+  Graph g = testing::MakeRoadGraph(16, 6);
+  const Workload w = GenerateWorkload(g, {});
+  for (const QuerySet& qs : w.sets) {
+    for (const auto& [s, t] : qs.pairs) EXPECT_NE(s, t);
+  }
+}
+
+}  // namespace
+}  // namespace ah
