@@ -79,16 +79,18 @@ AltQuery::AltQuery(const Graph& g, const AltIndex& index)
       index_(index),
       heap_(g.NumNodes()),
       dist_(g.NumNodes(), kInfDist),
+      parent_(g.NumNodes(), kInvalidNode),
       stamp_(g.NumNodes(), 0) {}
 
 Dist AltQuery::Distance(NodeId s, NodeId t) {
+  last_settled_ = 0;
   if (s == t) return 0;
   ++round_;
   heap_.Clear();
-  last_settled_ = 0;
 
   stamp_[s] = round_;
   dist_[s] = 0;
+  parent_[s] = kInvalidNode;
   heap_.PushOrDecrease(s, index_.Potential(s, t));
   while (!heap_.Empty()) {
     auto [key, u] = heap_.PopMin();
@@ -101,6 +103,7 @@ Dist AltQuery::Distance(NodeId s, NodeId t) {
       if (stamp_[a.head] != round_ || nd < dist_[a.head]) {
         stamp_[a.head] = round_;
         dist_[a.head] = nd;
+        parent_[a.head] = u;
         // Consistent potential: settled nodes are final, A* stays Dijkstra-
         // like on the re-weighted graph.
         heap_.PushOrDecrease(a.head, nd + index_.Potential(a.head, t));
@@ -110,4 +113,22 @@ Dist AltQuery::Distance(NodeId s, NodeId t) {
   return kInfDist;
 }
 
+PathResult AltQuery::Path(NodeId s, NodeId t) {
+  PathResult result;
+  const Dist d = Distance(s, t);
+  if (d == kInfDist) return result;
+  result.length = d;
+  if (s == t) {
+    result.nodes.push_back(s);
+    return result;
+  }
+  // The parent chain from t necessarily ends at the search source s.
+  for (NodeId v = t; v != kInvalidNode; v = parent_[v]) {
+    result.nodes.push_back(v);
+  }
+  std::reverse(result.nodes.begin(), result.nodes.end());
+  return result;
+}
+
 }  // namespace ah
+

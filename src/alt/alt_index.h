@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "routing/path.h"
 #include "util/indexed_heap.h"
 #include "util/types.h"
 
@@ -62,6 +63,10 @@ class AltQuery {
 
   Dist Distance(NodeId s, NodeId t);
 
+  /// Shortest path from the same A* search (exact; empty nodes if
+  /// unreachable).
+  PathResult Path(NodeId s, NodeId t);
+
   std::size_t LastSettled() const { return last_settled_; }
 
  private:
@@ -69,6 +74,7 @@ class AltQuery {
   const AltIndex& index_;
   IndexedHeap heap_;
   std::vector<Dist> dist_;
+  std::vector<NodeId> parent_;
   std::vector<std::uint32_t> stamp_;
   std::uint32_t round_ = 0;
   std::size_t last_settled_ = 0;

@@ -1,0 +1,212 @@
+#include "api/distance_oracle.h"
+
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "alt/alt_index.h"
+#include "ch/ch_index.h"
+#include "core/ah_query.h"
+#include "fc/fc_index.h"
+#include "routing/bidirectional.h"
+#include "routing/dijkstra.h"
+#include "silc/silc_index.h"
+
+namespace ah {
+
+namespace {
+
+class DijkstraOracle final : public DistanceOracle {
+ public:
+  explicit DijkstraOracle(const Graph& g) : DistanceOracle(g), engine_(g) {}
+
+  std::string_view Name() const override { return "dijkstra"; }
+  Dist Distance(NodeId s, NodeId t) override { return engine_.Distance(s, t); }
+
+  PathResult ShortestPath(NodeId s, NodeId t) override {
+    PathResult result;
+    result.nodes = engine_.Path(s, t);
+    if (!result.nodes.empty()) result.length = engine_.DistTo(t);
+    return result;
+  }
+
+ private:
+  Dijkstra engine_;
+};
+
+class BidirectionalOracle final : public DistanceOracle {
+ public:
+  explicit BidirectionalOracle(const Graph& g)
+      : DistanceOracle(g), engine_(g) {}
+
+  std::string_view Name() const override { return "bidijkstra"; }
+  Dist Distance(NodeId s, NodeId t) override { return engine_.Distance(s, t); }
+
+  PathResult ShortestPath(NodeId s, NodeId t) override {
+    PathResult result;
+    result.nodes = engine_.Path(s, t);
+    if (!result.nodes.empty()) result.length = engine_.LastDistance();
+    return result;
+  }
+
+ private:
+  BidirectionalDijkstra engine_;
+};
+
+class ChOracle final : public DistanceOracle {
+ public:
+  explicit ChOracle(const Graph& g)
+      : DistanceOracle(g), index_(ChIndex::Build(g)), query_(index_) {
+    build_stats_.seconds = index_.build_stats().seconds;
+    build_stats_.index_bytes = index_.SizeBytes();
+  }
+
+  std::string_view Name() const override { return "ch"; }
+  Dist Distance(NodeId s, NodeId t) override { return query_.Distance(s, t); }
+  PathResult ShortestPath(NodeId s, NodeId t) override {
+    return query_.Path(s, t);
+  }
+
+ private:
+  ChIndex index_;
+  ChQuery query_;
+};
+
+class AltOracle final : public DistanceOracle {
+ public:
+  AltOracle(const Graph& g, const OracleOptions& options)
+      : DistanceOracle(g),
+        index_(AltIndex::Build(
+            g, AltParams{options.alt_landmarks, options.seed})),
+        query_(g, index_) {
+    build_stats_.seconds = index_.build_seconds();
+    build_stats_.index_bytes = index_.SizeBytes();
+  }
+
+  std::string_view Name() const override { return "alt"; }
+  Dist Distance(NodeId s, NodeId t) override { return query_.Distance(s, t); }
+  PathResult ShortestPath(NodeId s, NodeId t) override {
+    return query_.Path(s, t);
+  }
+
+ private:
+  AltIndex index_;
+  AltQuery query_;
+};
+
+class SilcOracle final : public DistanceOracle {
+ public:
+  explicit SilcOracle(const Graph& g)
+      : DistanceOracle(g), index_(SilcIndex::Build(g)) {
+    build_stats_.seconds = index_.build_stats().seconds;
+    build_stats_.index_bytes = index_.SizeBytes();
+  }
+
+  std::string_view Name() const override { return "silc"; }
+  Dist Distance(NodeId s, NodeId t) override { return index_.Distance(s, t); }
+  PathResult ShortestPath(NodeId s, NodeId t) override {
+    return index_.Path(s, t);
+  }
+
+ private:
+  SilcIndex index_;
+};
+
+class FcOracle final : public DistanceOracle {
+ public:
+  FcOracle(const Graph& g, const OracleOptions& options)
+      : DistanceOracle(g),
+        index_(FcIndex::Build(g, MakeParams(options))),
+        query_(index_, FcQueryOptions{options.fc_proximity}) {
+    if (options.fc_proximity) {
+      path_query_.emplace(index_, FcQueryOptions{/*use_proximity=*/false});
+    }
+    build_stats_.seconds = index_.build_stats().seconds;
+    build_stats_.index_bytes = index_.SizeBytes();
+  }
+
+  std::string_view Name() const override { return "fc"; }
+  Dist Distance(NodeId s, NodeId t) override { return query_.Distance(s, t); }
+
+  /// FC's shortcuts carry no midpoints (they come from per-source searches,
+  /// not contraction), so paths are recovered by first-hop distance probes.
+  /// Probes always go through the level-constraint-only query, which is
+  /// exact on any graph — ShortestPath keeps the Found()-iff-reachable
+  /// contract even when Distance() runs with the proximity heuristic.
+  PathResult ShortestPath(NodeId s, NodeId t) override {
+    FcQuery& probe = path_query_ ? *path_query_ : query_;
+    return PathByDistanceProbes(
+        s, t, [&probe](NodeId a, NodeId b) { return probe.Distance(a, b); });
+  }
+
+ private:
+  static FcParams MakeParams(const OracleOptions& options) {
+    FcParams params;
+    params.seed = options.seed;
+    return params;
+  }
+
+  FcIndex index_;
+  FcQuery query_;
+  // Exact (level-constraint-only) probe engine; only materialized when
+  // query_ runs with the proximity heuristic.
+  std::optional<FcQuery> path_query_;
+};
+
+class AhOracle final : public DistanceOracle {
+ public:
+  AhOracle(const Graph& g, const OracleOptions& options)
+      : DistanceOracle(g),
+        index_(AhIndex::Build(g, MakeParams(options))),
+        query_(index_, AhQueryOptions{options.ah_pruned ? AhQueryMode::kPruned
+                                                        : AhQueryMode::kExact,
+                                      /*use_proximity=*/true,
+                                      /*use_elevating=*/true,
+                                      /*max_seed_walk=*/256}) {
+    build_stats_.seconds = index_.build_stats().total_seconds;
+    build_stats_.index_bytes = index_.SizeBytes();
+  }
+
+  std::string_view Name() const override { return "ah"; }
+  Dist Distance(NodeId s, NodeId t) override { return query_.Distance(s, t); }
+  PathResult ShortestPath(NodeId s, NodeId t) override {
+    return query_.Path(s, t);
+  }
+
+ private:
+  static AhParams MakeParams(const OracleOptions& options) {
+    AhParams params;
+    params.seed = options.seed;
+    // The exact mode never reads gateway lists; skip the costliest build
+    // phase when the pruned mode is off.
+    params.build_gateways = options.ah_pruned;
+    return params;
+  }
+
+  AhIndex index_;
+  AhQuery query_;
+};
+
+}  // namespace
+
+const std::vector<std::string>& OracleNames() {
+  static const std::vector<std::string> kNames = {
+      "dijkstra", "bidijkstra", "ch", "alt", "silc", "fc", "ah"};
+  return kNames;
+}
+
+std::unique_ptr<DistanceOracle> MakeOracle(std::string_view name,
+                                           const Graph& g,
+                                           const OracleOptions& options) {
+  if (name == "dijkstra") return std::make_unique<DijkstraOracle>(g);
+  if (name == "bidijkstra") return std::make_unique<BidirectionalOracle>(g);
+  if (name == "ch") return std::make_unique<ChOracle>(g);
+  if (name == "alt") return std::make_unique<AltOracle>(g, options);
+  if (name == "silc") return std::make_unique<SilcOracle>(g);
+  if (name == "fc") return std::make_unique<FcOracle>(g, options);
+  if (name == "ah") return std::make_unique<AhOracle>(g, options);
+  throw std::invalid_argument("MakeOracle: unknown backend '" +
+                              std::string(name) + "'");
+}
+
+}  // namespace ah

@@ -1,0 +1,135 @@
+// The unified query interface every backend implements — the repo's analogue
+// of the single evaluation harness the experimental-comparison literature
+// (Wu et al., VLDB'12) runs all methods through. One `Graph` in, one oracle
+// out; distances and paths answered through the same four entry points
+// regardless of which index sits behind them.
+//
+// Backends (factory names):
+//   dijkstra      — unidirectional Dijkstra, no preprocessing (the oracle the
+//                   conformance suite cross-checks everything against).
+//   bidijkstra    — plain bidirectional Dijkstra.
+//   ch            — Contraction Hierarchies.
+//   alt           — A* with landmarks + triangle inequality.
+//   silc          — SILC first-hop quadtrees.
+//   fc            — the paper's first-cut index (§3); level constraint only
+//                   by default, so it is exact on arbitrary graphs.
+//   ah            — Arterial Hierarchies (§4); exact rank-constrained mode by
+//                   default, the paper's pruned mode behind an option.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "routing/path.h"
+#include "util/types.h"
+
+namespace ah {
+
+/// Preprocessing cost of an oracle, uniform across backends.
+struct OracleBuildStats {
+  double seconds = 0;            ///< Wall-clock preprocessing time.
+  std::size_t index_bytes = 0;   ///< In-memory index footprint.
+};
+
+/// Abstract exact distance/path oracle over one graph. Implementations keep
+/// a reference to the graph passed at construction; the graph must outlive
+/// the oracle. Query methods are non-const because engines reuse internal
+/// timestamped search state (one oracle per thread).
+class DistanceOracle {
+ public:
+  virtual ~DistanceOracle() = default;
+
+  /// Stable lower-case backend identifier (e.g. "ch").
+  virtual std::string_view Name() const = 0;
+
+  /// Exact distance from s to t; kInfDist if t is unreachable.
+  virtual Dist Distance(NodeId s, NodeId t) = 0;
+
+  /// Exact shortest path in the original graph. `Found()` is false iff t is
+  /// unreachable; for s == t the result is the single-node path of length 0.
+  virtual PathResult ShortestPath(NodeId s, NodeId t) = 0;
+
+  /// Preprocessing cost (zeros for search-only backends).
+  virtual const OracleBuildStats& BuildStats() const { return build_stats_; }
+
+  const Graph& graph() const { return *graph_; }
+
+ protected:
+  explicit DistanceOracle(const Graph& g) : graph_(&g) {}
+
+  /// Path recovery for distance-only engines, the reduction of §2 of the
+  /// paper: repeatedly pick an out-arc (u, x) with w(u, x) + d(x, t) =
+  /// d(u, t). Costs O(k·Δ) `distance` probes for a k-edge path. The probe
+  /// function MUST be exact, or the walk can dead-end and misreport a
+  /// reachable pair as unreachable.
+  template <typename DistanceFn>
+  PathResult PathByDistanceProbes(NodeId s, NodeId t, DistanceFn&& distance);
+
+  /// Convenience overload probing through the oracle's own Distance().
+  PathResult PathByDistanceProbes(NodeId s, NodeId t) {
+    return PathByDistanceProbes(
+        s, t, [this](NodeId a, NodeId b) { return Distance(a, b); });
+  }
+
+  const Graph* graph_;
+  OracleBuildStats build_stats_;
+};
+
+template <typename DistanceFn>
+PathResult DistanceOracle::PathByDistanceProbes(NodeId s, NodeId t,
+                                                DistanceFn&& distance) {
+  PathResult result;
+  const Dist total = distance(s, t);
+  if (total == kInfDist) return result;
+  result.length = total;
+  result.nodes.push_back(s);
+  NodeId u = s;
+  Dist remaining = total;
+  // An exact oracle admits a first-hop step while remaining > 0; the hop
+  // cap only guards against a buggy backend answering inconsistently.
+  for (std::size_t hops = 0; u != t && hops <= graph_->NumNodes(); ++hops) {
+    bool advanced = false;
+    for (const Arc& a : graph_->OutArcs(u)) {
+      if (a.weight > remaining) continue;
+      if (distance(a.head, t) == remaining - a.weight) {
+        u = a.head;
+        remaining -= a.weight;
+        result.nodes.push_back(u);
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) return PathResult{};
+  }
+  if (u != t) return PathResult{};
+  return result;
+}
+
+struct OracleOptions {
+  /// ALT: number of landmarks.
+  std::size_t alt_landmarks = 8;
+  /// FC: enable the proximity constraint. Exact only under the paper's
+  /// arterial-dimension assumption (road-like inputs); off by default so the
+  /// oracle is exact on arbitrary graphs.
+  bool fc_proximity = false;
+  /// AH: use the paper's full pruned query mode (proximity + elevating
+  /// jumps) instead of the assumption-free exact mode. Same caveat as
+  /// fc_proximity.
+  bool ah_pruned = false;
+  /// Seed for randomized preprocessing choices.
+  std::uint64_t seed = 42;
+};
+
+/// The canonical backend names, in evaluation order.
+const std::vector<std::string>& OracleNames();
+
+/// Builds the named backend over g. Throws std::invalid_argument for an
+/// unknown name. The graph must outlive the returned oracle.
+std::unique_ptr<DistanceOracle> MakeOracle(std::string_view name,
+                                           const Graph& g,
+                                           const OracleOptions& options = {});
+
+}  // namespace ah

@@ -51,7 +51,10 @@ bool BidirectionalDijkstra::Relax(Side& side, Direction dir, Dist& best,
 
 Dist BidirectionalDijkstra::Distance(NodeId s, NodeId t) {
   Reset();
-  if (s == t) return 0;
+  if (s == t) {
+    last_distance_ = 0;
+    return 0;
+  }
 
   fwd_.stamp[s] = round_;
   fwd_.dist[s] = 0;
@@ -82,6 +85,7 @@ Dist BidirectionalDijkstra::Distance(NodeId s, NodeId t) {
     forward_turn = !forward_turn;
   }
   last_meet_ = meet;
+  last_distance_ = best;
   return best;
 }
 

@@ -26,6 +26,10 @@ class BidirectionalDijkstra {
   /// Number of nodes settled by the last query (both sides).
   std::size_t LastSettledCount() const { return last_settled_; }
 
+  /// Distance found by the last Distance/Path call (kInfDist if none yet or
+  /// unreachable) — lets path callers reuse the result without a rescan.
+  Dist LastDistance() const { return last_distance_; }
+
  private:
   struct Side {
     IndexedHeap heap;
@@ -44,6 +48,7 @@ class BidirectionalDijkstra {
   std::uint32_t round_ = 0;
   std::size_t last_settled_ = 0;
   NodeId last_meet_ = kInvalidNode;
+  Dist last_distance_ = kInfDist;
 };
 
 }  // namespace ah

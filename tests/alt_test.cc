@@ -85,6 +85,34 @@ TEST(AltTest, SettlesFewerNodesThanDijkstraOnLongQueries) {
   EXPECT_LT(query.LastSettled(), dijkstra.SettledNodes().size());
 }
 
+TEST(AltTest, IdentityQueryResetsSettledCount) {
+  Graph g = testing::MakeRoadGraph(16, 6);
+  AltIndex index = AltIndex::Build(g);
+  AltQuery query(g, index);
+  query.Distance(0, static_cast<NodeId>(g.NumNodes() - 1));
+  ASSERT_GT(query.LastSettled(), 0u);
+  EXPECT_EQ(query.Distance(5, 5), 0u);
+  EXPECT_EQ(query.LastSettled(), 0u);  // No stale count from the prior query.
+}
+
+TEST(AltTest, PathMatchesDijkstra) {
+  Graph g = testing::MakeRoadGraph(16, 9);
+  AltIndex index = AltIndex::Build(g);
+  AltQuery query(g, index);
+  Dijkstra dijkstra(g);
+  Rng rng(9);
+  for (int i = 0; i < 30; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const Dist ref = dijkstra.Distance(s, t);
+    const PathResult p = query.Path(s, t);
+    ASSERT_EQ(p.length, ref);
+    if (ref != kInfDist) {
+      EXPECT_TRUE(IsValidPath(g, p.nodes, s, t, ref));
+    }
+  }
+}
+
 TEST(AltTest, MoreLandmarksTightenPotentials) {
   Graph g = testing::MakeRoadGraph(20, 7);
   AltParams few;

@@ -1,0 +1,191 @@
+// Cross-backend conformance: every DistanceOracle backend must answer every
+// scenario exactly like the Dijkstra oracle — distances bit-identical, paths
+// real (edge-by-edge feasible at the claimed length). This is the gate new
+// backends and optimizations are merged through.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "api/distance_oracle.h"
+#include "routing/dijkstra.h"
+#include "routing/path.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ah {
+namespace {
+
+struct Scenario {
+  const char* name;
+  Graph (*make)();
+};
+
+Graph RandomScenario() { return testing::MakeRandomGraph(60, 180, 11); }
+Graph RoadScenario() { return testing::MakeRoadGraph(10, 12); }
+Graph DisconnectedScenario() { return testing::MakeDisconnectedGraph(30, 13); }
+Graph SingleNodeScenario() { return testing::MakeSingleNodeGraph(); }
+Graph ParallelArcScenario() { return testing::MakeParallelArcGraph(24, 14); }
+
+const Scenario kScenarios[] = {
+    {"random", RandomScenario},
+    {"road", RoadScenario},
+    {"disconnected", DisconnectedScenario},
+    {"single_node", SingleNodeScenario},
+    {"parallel_arc", ParallelArcScenario},
+};
+
+/// Query pairs to check: all pairs on tiny graphs, a deterministic sample
+/// (plus the diagonal and a few far pairs) otherwise.
+std::vector<std::pair<NodeId, NodeId>> QueryPairs(const Graph& g,
+                                                  std::uint64_t seed) {
+  const std::size_t n = g.NumNodes();
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  if (n <= 12) {
+    for (NodeId s = 0; s < n; ++s) {
+      for (NodeId t = 0; t < n; ++t) pairs.emplace_back(s, t);
+    }
+    return pairs;
+  }
+  Rng rng(seed);
+  for (int i = 0; i < 150; ++i) {
+    pairs.emplace_back(static_cast<NodeId>(rng.Uniform(n)),
+                       static_cast<NodeId>(rng.Uniform(n)));
+  }
+  // Identity queries and the extreme ids (first/last node often hit
+  // boundary behaviour in grid- and cluster-based structures).
+  pairs.emplace_back(0, 0);
+  pairs.emplace_back(static_cast<NodeId>(n - 1), static_cast<NodeId>(n - 1));
+  pairs.emplace_back(0, static_cast<NodeId>(n - 1));
+  pairs.emplace_back(static_cast<NodeId>(n - 1), 0);
+  return pairs;
+}
+
+class ConformanceTest
+    : public ::testing::TestWithParam<std::tuple<std::string, Scenario>> {};
+
+TEST_P(ConformanceTest, MatchesDijkstraOracle) {
+  const std::string& backend = std::get<0>(GetParam());
+  const Scenario& scenario = std::get<1>(GetParam());
+  const Graph g = scenario.make();
+  ASSERT_GT(g.NumNodes(), 0u);
+
+  std::unique_ptr<DistanceOracle> oracle = MakeOracle(backend, g);
+  ASSERT_NE(oracle, nullptr);
+  EXPECT_EQ(oracle->Name(), backend);
+
+  Dijkstra reference(g);
+  std::size_t distance_mismatches = 0;
+  for (const auto& [s, t] : QueryPairs(g, 99)) {
+    const Dist ref = reference.Distance(s, t);
+    const Dist got = oracle->Distance(s, t);
+    if (got != ref) ++distance_mismatches;
+    EXPECT_EQ(got, ref) << backend << ": d(" << s << ", " << t << ")";
+  }
+  EXPECT_EQ(distance_mismatches, 0u);
+
+  // Path feasibility on a subset (path queries are strictly more expensive
+  // for probe-based backends).
+  Rng rng(7);
+  std::vector<std::pair<NodeId, NodeId>> path_pairs = {
+      {0, 0},
+      {0, static_cast<NodeId>(g.NumNodes() - 1)},
+  };
+  for (int i = 0; i < 25; ++i) {
+    path_pairs.emplace_back(static_cast<NodeId>(rng.Uniform(g.NumNodes())),
+                            static_cast<NodeId>(rng.Uniform(g.NumNodes())));
+  }
+  for (const auto& [s, t] : path_pairs) {
+    const Dist ref = reference.Distance(s, t);
+    const PathResult path = oracle->ShortestPath(s, t);
+    ASSERT_EQ(path.length, ref)
+        << backend << ": path length (" << s << ", " << t << ")";
+    if (ref == kInfDist) {
+      EXPECT_TRUE(path.nodes.empty())
+          << backend << ": unreachable pair returned a node sequence";
+    } else {
+      EXPECT_TRUE(IsValidPath(g, path.nodes, s, t, ref))
+          << backend << ": infeasible path (" << s << ", " << t << ")";
+    }
+  }
+}
+
+std::string ParamName(
+    const ::testing::TestParamInfo<ConformanceTest::ParamType>& info) {
+  return std::get<0>(info.param) + "_" + std::get<1>(info.param).name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, ConformanceTest,
+    ::testing::Combine(::testing::ValuesIn(OracleNames()),
+                       ::testing::ValuesIn(kScenarios)),
+    ParamName);
+
+// The paper's full pruned AH query and FC's proximity constraint assume
+// road-like inputs; on those they must still be exact.
+TEST(ConformancePrunedModesTest, AhPrunedMatchesDijkstraOnRoadGraph) {
+  const Graph g = testing::MakeRoadGraph(12, 21);
+  OracleOptions options;
+  options.ah_pruned = true;
+  std::unique_ptr<DistanceOracle> oracle = MakeOracle("ah", g, options);
+  Dijkstra reference(g);
+  for (const auto& [s, t] : QueryPairs(g, 31)) {
+    ASSERT_EQ(oracle->Distance(s, t), reference.Distance(s, t))
+        << "ah(pruned): d(" << s << ", " << t << ")";
+  }
+}
+
+TEST(ConformancePrunedModesTest, FcProximityMatchesDijkstraOnRoadGraph) {
+  const Graph g = testing::MakeRoadGraph(12, 22);
+  OracleOptions options;
+  options.fc_proximity = true;
+  std::unique_ptr<DistanceOracle> oracle = MakeOracle("fc", g, options);
+  Dijkstra reference(g);
+  for (const auto& [s, t] : QueryPairs(g, 32)) {
+    ASSERT_EQ(oracle->Distance(s, t), reference.Distance(s, t))
+        << "fc(proximity): d(" << s << ", " << t << ")";
+  }
+  // Path queries must stay exact (Found() iff reachable) even with the
+  // proximity heuristic on: probes go through the level-constraint-only
+  // query.
+  Rng rng(8);
+  for (int i = 0; i < 10; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const Dist ref = reference.Distance(s, t);
+    const PathResult p = oracle->ShortestPath(s, t);
+    ASSERT_EQ(p.length, ref);
+    ASSERT_EQ(p.Found(), ref != kInfDist);
+    if (p.Found()) {
+      EXPECT_TRUE(IsValidPath(g, p.nodes, s, t, ref));
+    }
+  }
+}
+
+TEST(OracleFactoryTest, NamesAreCanonicalAndComplete) {
+  const std::vector<std::string> expected = {"dijkstra", "bidijkstra", "ch",
+                                             "alt",      "silc",       "fc",
+                                             "ah"};
+  EXPECT_EQ(OracleNames(), expected);
+}
+
+TEST(OracleFactoryTest, UnknownBackendThrows) {
+  const Graph g = testing::MakeSingleNodeGraph();
+  EXPECT_THROW(MakeOracle("astar-turbo", g), std::invalid_argument);
+}
+
+TEST(OracleFactoryTest, BuildStatsReportIndexFootprint) {
+  const Graph g = testing::MakeRandomGraph(40, 120, 17);
+  for (const char* name : {"ch", "alt", "silc", "fc", "ah"}) {
+    std::unique_ptr<DistanceOracle> oracle = MakeOracle(name, g);
+    EXPECT_GT(oracle->BuildStats().index_bytes, 0u) << name;
+  }
+  // Search-only backends carry no index.
+  EXPECT_EQ(MakeOracle("dijkstra", g)->BuildStats().index_bytes, 0u);
+  EXPECT_EQ(MakeOracle("bidijkstra", g)->BuildStats().index_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace ah

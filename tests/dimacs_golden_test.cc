@@ -1,0 +1,132 @@
+// Golden-value regression over the checked-in DIMACS fixture
+// tests/data/tiny8.{gr,co}: parsing, hand-verified all-pairs distances,
+// write/read round-trips, and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "api/distance_oracle.h"
+#include "graph/dimacs.h"
+#include "routing/dijkstra.h"
+
+namespace ah {
+namespace {
+
+constexpr Dist kInf = kInfDist;
+
+// All-pairs distances of tiny8, 0-based [s][t]; verified by hand against the
+// fixture's arc list.
+constexpr Dist kGolden[8][8] = {
+    {0, 4, 2, 12, 15, 16, 18, kInf},
+    {4, 0, 5, 15, 12, 13, 15, kInf},
+    {2, 6, 0, 10, 13, 14, 16, kInf},
+    {24, 28, 26, 0, 3, 4, 6, kInf},
+    {21, 25, 23, 3, 0, 1, 3, kInf},
+    {20, 24, 22, 32, 35, 0, 2, kInf},
+    {22, 26, 24, 34, 37, 2, 0, kInf},
+    {7, 11, 9, 19, 22, 23, 25, 0},
+};
+
+std::string FixtureBase() {
+  // Env override first (set by CTest), then the source-tree path baked in at
+  // configure time, so the binary also works when invoked directly.
+  if (const char* dir = std::getenv("AH_TEST_DATA_DIR")) {
+    return std::string(dir) + "/tiny8";
+  }
+#ifdef AH_TEST_DATA_DIR_DEFAULT
+  return std::string(AH_TEST_DATA_DIR_DEFAULT) + "/tiny8";
+#else
+  return "tests/data/tiny8";
+#endif
+}
+
+TEST(DimacsGoldenTest, ParsesFixture) {
+  const Graph g = ReadDimacsFiles(FixtureBase());
+  EXPECT_EQ(g.NumNodes(), 8u);
+  EXPECT_EQ(g.NumArcs(), 15u);
+  EXPECT_EQ(g.Coord(0), (Point{0, 0}));
+  EXPECT_EQ(g.Coord(7), (Point{-80, -60}));
+  EXPECT_EQ(g.ArcWeight(0, 1), 4u);   // a 1 2 4
+  EXPECT_EQ(g.ArcWeight(7, 0), 7u);   // a 8 1 7
+  EXPECT_EQ(g.ArcWeight(0, 7), kMaxWeight);  // absent arc
+}
+
+TEST(DimacsGoldenTest, AllPairsDistancesMatchGolden) {
+  const Graph g = ReadDimacsFiles(FixtureBase());
+  Dijkstra dijkstra(g);
+  for (NodeId s = 0; s < 8; ++s) {
+    for (NodeId t = 0; t < 8; ++t) {
+      EXPECT_EQ(dijkstra.Distance(s, t), kGolden[s][t])
+          << "d(" << s << ", " << t << ")";
+    }
+  }
+}
+
+TEST(DimacsGoldenTest, IndexBackendsReproduceGolden) {
+  const Graph g = ReadDimacsFiles(FixtureBase());
+  for (const std::string& name : OracleNames()) {
+    std::unique_ptr<DistanceOracle> oracle = MakeOracle(name, g);
+    for (NodeId s = 0; s < 8; ++s) {
+      for (NodeId t = 0; t < 8; ++t) {
+        EXPECT_EQ(oracle->Distance(s, t), kGolden[s][t])
+            << name << ": d(" << s << ", " << t << ")";
+      }
+    }
+  }
+}
+
+TEST(DimacsGoldenTest, WriteReadRoundTrip) {
+  const Graph g = ReadDimacsFiles(FixtureBase());
+  std::stringstream gr, co;
+  WriteDimacsGraph(g, gr);
+  WriteDimacsCoords(g, co);
+  const Graph g2 = ReadDimacs(gr, co);
+  ASSERT_EQ(g2.NumNodes(), g.NumNodes());
+  ASSERT_EQ(g2.NumArcs(), g.NumArcs());
+  Dijkstra dijkstra(g2);
+  for (NodeId s = 0; s < 8; ++s) {
+    for (NodeId t = 0; t < 8; ++t) {
+      EXPECT_EQ(dijkstra.Distance(s, t), kGolden[s][t]);
+    }
+  }
+}
+
+TEST(DimacsGoldenTest, RejectsMalformedInput) {
+  const std::string good_co = "p aux sp co 2\nv 1 0 0\nv 2 1 1\n";
+
+  {  // Bad .gr header tag.
+    std::stringstream gr("p xx 2 1\na 1 2 5\n"), co(good_co);
+    EXPECT_THROW(ReadDimacs(gr, co), std::runtime_error);
+  }
+  {  // Arc endpoint out of range.
+    std::stringstream gr("p sp 2 1\na 1 3 5\n"), co(good_co);
+    EXPECT_THROW(ReadDimacs(gr, co), std::runtime_error);
+  }
+  {  // Non-positive weight.
+    std::stringstream gr("p sp 2 1\na 1 2 0\n"), co(good_co);
+    EXPECT_THROW(ReadDimacs(gr, co), std::runtime_error);
+  }
+  {  // Arc before the p-line.
+    std::stringstream gr("a 1 2 5\np sp 2 1\n"), co(good_co);
+    EXPECT_THROW(ReadDimacs(gr, co), std::runtime_error);
+  }
+  {  // Node count mismatch between .gr and .co.
+    std::stringstream gr("p sp 3 1\na 1 2 5\n"), co(good_co);
+    EXPECT_THROW(ReadDimacs(gr, co), std::runtime_error);
+  }
+  {  // Missing coordinate for node 2.
+    std::stringstream gr("p sp 2 1\na 1 2 5\n");
+    std::stringstream co("p aux sp co 2\nv 1 0 0\n");
+    EXPECT_THROW(ReadDimacs(gr, co), std::runtime_error);
+  }
+  {  // Missing file.
+    EXPECT_THROW(ReadDimacsFiles("/nonexistent/definitely_missing"),
+                 std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace ah

@@ -1,0 +1,141 @@
+// Save/load round-trips for every artifact with util/serialize.h-based
+// persistence (Graph, SearchGraph, ChIndex, AhIndex): the loaded copy must
+// answer queries identically, and re-saving it must reproduce the original
+// byte stream (so the format has no hidden state).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "ch/ch_index.h"
+#include "core/ah_query.h"
+#include "graph/graph.h"
+#include "hier/search_graph.h"
+#include "routing/dijkstra.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ah {
+namespace {
+
+template <typename Artifact>
+std::string Bytes(const Artifact& artifact) {
+  std::stringstream ss;
+  artifact.Save(ss);
+  return ss.str();
+}
+
+template <typename Artifact>
+Artifact ReloadAndCheckBytes(const Artifact& artifact) {
+  const std::string original = Bytes(artifact);
+  std::stringstream in(original);
+  Artifact loaded = Artifact::Load(in);
+  EXPECT_EQ(Bytes(loaded), original)
+      << "re-saving a loaded artifact changed the byte stream";
+  return loaded;
+}
+
+TEST(SerializeRoundTripTest, GraphAnswersIdentically) {
+  const Graph g = testing::MakeRandomGraph(70, 210, 41);
+  const Graph loaded = ReloadAndCheckBytes(g);
+  ASSERT_EQ(loaded.NumNodes(), g.NumNodes());
+  ASSERT_EQ(loaded.NumArcs(), g.NumArcs());
+  Dijkstra a(g);
+  Dijkstra b(loaded);
+  Rng rng(41);
+  for (int i = 0; i < 60; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    ASSERT_EQ(a.Distance(s, t), b.Distance(s, t));
+  }
+}
+
+TEST(SerializeRoundTripTest, SearchGraphPreservesArcsAndUnpacking) {
+  const Graph g = testing::MakeRoadGraph(12, 42);
+  const ChIndex index = ChIndex::Build(g);
+  const SearchGraph& sg = index.search_graph();
+  const SearchGraph loaded = ReloadAndCheckBytes(sg);
+
+  ASSERT_EQ(loaded.NumNodes(), sg.NumNodes());
+  ASSERT_EQ(loaded.NumArcs(), sg.NumArcs());
+  for (NodeId v = 0; v < sg.NumNodes(); ++v) {
+    ASSERT_EQ(loaded.RankOf(v), sg.RankOf(v));
+    const auto a = sg.UpOut(v);
+    const auto b = loaded.UpOut(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].node, b[i].node);
+      EXPECT_EQ(a[i].weight, b[i].weight);
+      // Shortcut unpacking must survive (midpoint tables included).
+      std::vector<NodeId> ua, ub;
+      sg.AppendUnpacked(v, a[i].node, &ua);
+      loaded.AppendUnpacked(v, b[i].node, &ub);
+      EXPECT_EQ(ua, ub);
+    }
+  }
+}
+
+TEST(SerializeRoundTripTest, ChIndexAnswersIdentically) {
+  const Graph g = testing::MakeRoadGraph(14, 43);
+  const ChIndex built = ChIndex::Build(g);
+  const ChIndex loaded = ReloadAndCheckBytes(built);
+
+  ChQuery q1(built);
+  ChQuery q2(loaded);
+  Rng rng(43);
+  for (int i = 0; i < 80; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    ASSERT_EQ(q2.Distance(s, t), q1.Distance(s, t));
+    const PathResult p1 = q1.Path(s, t);
+    const PathResult p2 = q2.Path(s, t);
+    ASSERT_EQ(p2.length, p1.length);
+    EXPECT_EQ(p2.nodes, p1.nodes);
+  }
+}
+
+TEST(SerializeRoundTripTest, AhIndexAnswersIdentically) {
+  const Graph g = testing::MakeRoadGraph(14, 44);
+  const AhIndex built = AhIndex::Build(g);
+  const AhIndex loaded = ReloadAndCheckBytes(built);
+
+  AhQuery q1(built);
+  AhQuery q2(loaded);
+  Rng rng(44);
+  for (int i = 0; i < 80; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    ASSERT_EQ(q2.Distance(s, t), q1.Distance(s, t));
+    const PathResult p1 = q1.Path(s, t);
+    const PathResult p2 = q2.Path(s, t);
+    ASSERT_EQ(p2.length, p1.length);
+    if (p1.Found()) {
+      EXPECT_TRUE(IsValidPath(g, p2.nodes, s, t, p2.length));
+    }
+  }
+}
+
+TEST(SerializeRoundTripTest, TruncatedStreamsAreRejected) {
+  const Graph g = testing::MakeRandomGraph(30, 90, 45);
+  const std::string graph_bytes = Bytes(g);
+  const ChIndex ch = ChIndex::Build(g);
+  const std::string ch_bytes = Bytes(ch);
+
+  for (const std::string& bytes : {graph_bytes, ch_bytes}) {
+    // Chop the stream at several depths; every prefix must throw, never
+    // crash or return a half-initialized artifact.
+    for (std::size_t keep :
+         {std::size_t{0}, std::size_t{3}, bytes.size() / 2,
+          bytes.size() - 1}) {
+      std::stringstream in(bytes.substr(0, keep));
+      if (bytes == graph_bytes) {
+        EXPECT_THROW(Graph::Load(in), std::runtime_error) << keep;
+      } else {
+        EXPECT_THROW(ChIndex::Load(in), std::runtime_error) << keep;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ah

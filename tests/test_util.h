@@ -45,4 +45,76 @@ inline Graph MakeRoadGraph(std::uint32_t side, std::uint64_t seed) {
   return GenerateRoadNetwork(params);
 }
 
+/// Two strongly connected random clusters with no arcs between them —
+/// every cross-cluster query must answer "unreachable" (kInfDist, no path).
+/// Nodes [0, cluster) form one component, [cluster, 2*cluster) the other;
+/// the clusters are geometrically separated so grid-based methods see two
+/// far-apart blobs.
+inline Graph MakeDisconnectedGraph(std::size_t cluster, std::uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder(2 * cluster);
+  for (std::size_t c = 0; c < 2; ++c) {
+    const std::int32_t x0 = c == 0 ? 0 : 1000000;
+    for (std::size_t i = 0; i < cluster; ++i) {
+      builder.AddNode(Point{x0 + static_cast<std::int32_t>(rng.Uniform(100000)),
+                            static_cast<std::int32_t>(rng.Uniform(100000))});
+    }
+    const NodeId base = static_cast<NodeId>(c * cluster);
+    for (std::size_t i = 0; i < cluster; ++i) {
+      builder.AddArc(base + static_cast<NodeId>(i),
+                     base + static_cast<NodeId>((i + 1) % cluster),
+                     static_cast<Weight>(1 + rng.Uniform(100)));
+    }
+    for (std::size_t i = 0; i < 2 * cluster; ++i) {
+      const NodeId a = base + static_cast<NodeId>(rng.Uniform(cluster));
+      const NodeId b = base + static_cast<NodeId>(rng.Uniform(cluster));
+      if (a == b) continue;
+      builder.AddArc(a, b, static_cast<Weight>(1 + rng.Uniform(100)));
+    }
+  }
+  return builder.Build();
+}
+
+/// The degenerate one-node, zero-arc network: every backend must build on it
+/// and answer d(0, 0) = 0.
+inline Graph MakeSingleNodeGraph() {
+  GraphBuilder builder(1);
+  builder.AddNode(Point{0, 0});
+  return builder.Build();
+}
+
+/// A strongly connected cycle where every arc also gets heavier parallel
+/// duplicates and a few self-loops — exercises the builder's collapse rules
+/// (parallel arcs keep the minimum weight, self-loops are dropped) and the
+/// backends' tolerance of multi-arc inputs.
+inline Graph MakeParallelArcGraph(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    builder.AddNode(Point{static_cast<std::int32_t>(rng.Uniform(100000)),
+                          static_cast<std::int32_t>(rng.Uniform(100000))});
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId a = static_cast<NodeId>(i);
+    const NodeId b = static_cast<NodeId>((i + 1) % n);
+    const Weight w = static_cast<Weight>(1 + rng.Uniform(50));
+    builder.AddArc(a, b, w);
+    // Parallel duplicates, at least as heavy; only the lightest survives.
+    builder.AddArc(a, b, static_cast<Weight>(w + rng.Uniform(60)));
+    builder.AddArc(a, b, static_cast<Weight>(w + 1 + rng.Uniform(60)));
+    if (i % 3 == 0) {
+      builder.AddArc(a, a, static_cast<Weight>(1 + rng.Uniform(20)));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId a = static_cast<NodeId>(rng.Uniform(n));
+    const NodeId b = static_cast<NodeId>(rng.Uniform(n));
+    if (a == b) continue;
+    const Weight w = static_cast<Weight>(1 + rng.Uniform(50));
+    builder.AddArc(a, b, w);
+    builder.AddArc(a, b, static_cast<Weight>(w + rng.Uniform(40)));
+  }
+  return builder.Build();
+}
+
 }  // namespace ah::testing
