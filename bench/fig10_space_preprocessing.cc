@@ -1,12 +1,15 @@
 // Figure 10: index space (MB) and preprocessing time (seconds) vs. the
-// number of nodes n, for SILC / CH / AH.
+// number of nodes n, for SILC / CH / FC / AH.
 //
 // Expected shape (paper): SILC super-linear in both space and time (dropped
 // beyond a size cutoff); AH linear space, near-linear preprocessing; CH the
-// cheapest on both axes.
+// cheapest on both axes. FC (§3.3, quadratic-ish preprocessing) is also
+// capped by size; its space report includes the grid stack and the shortcut
+// midpoint/unpack tables.
 #include "bench_common.h"
 #include "ch/ch_index.h"
 #include "core/ah_index.h"
+#include "fc/fc_index.h"
 #include "silc/silc_index.h"
 
 int main() {
@@ -17,10 +20,11 @@ int main() {
 
   const std::size_t count = BenchDatasetCountFromEnv(5);
   const std::size_t silc_max = EnvSizeT("AH_BENCH_SILC_MAX", 12000);
+  const std::size_t fc_max = EnvSizeT("AH_BENCH_FC_MAX", 12000);
   constexpr double kMb = 1024.0 * 1024.0;
 
-  TextTable table({"dataset", "n", "AH MB", "CH MB", "SILC MB", "AH s",
-                   "CH s", "SILC s", "AH shortcuts/n"});
+  TextTable table({"dataset", "n", "AH MB", "CH MB", "FC MB", "SILC MB",
+                   "AH s", "CH s", "FC s", "SILC s", "AH shortcuts/n"});
   for (const PreparedDataset& d : PrepareDatasets(count)) {
     const Graph& g = d.graph;
     Timer timer;
@@ -29,6 +33,15 @@ int main() {
     timer.Restart();
     AhIndex ah = AhIndex::Build(g);
     const double ah_s = timer.Seconds();
+
+    std::string fc_mb = "-";
+    std::string fc_s = "-";
+    if (g.NumNodes() <= fc_max) {
+      timer.Restart();
+      FcIndex fc = FcIndex::Build(g);
+      fc_s = TextTable::Num(timer.Seconds(), 2);
+      fc_mb = TextTable::Num(static_cast<double>(fc.SizeBytes()) / kMb, 2);
+    }
 
     std::string silc_mb = "-";
     std::string silc_s = "-";
@@ -44,7 +57,8 @@ int main() {
          TextTable::Int(static_cast<long long>(g.NumNodes())),
          TextTable::Num(static_cast<double>(ah.SizeBytes()) / kMb, 2),
          TextTable::Num(static_cast<double>(ch.SizeBytes()) / kMb, 2),
-         silc_mb, TextTable::Num(ah_s, 2), TextTable::Num(ch_s, 2), silc_s,
+         fc_mb, silc_mb, TextTable::Num(ah_s, 2), TextTable::Num(ch_s, 2),
+         fc_s, silc_s,
          TextTable::Num(static_cast<double>(ah.build_stats().shortcuts) /
                             static_cast<double>(g.NumNodes()),
                         2)});
@@ -55,6 +69,7 @@ int main() {
   table.Print();
   std::printf(
       "\nPaper shape check: SILC MB/n and s/n grow with n (super-linear);\n"
-      "AH MB/n roughly constant (linear space); CH smallest and fastest.\n");
+      "FC s/n grows too (quadratic-ish preprocessing, §3.3); AH MB/n\n"
+      "roughly constant (linear space); CH smallest and fastest.\n");
   return 0;
 }

@@ -1,13 +1,23 @@
 // Figure 9: average shortest-path-query time (microseconds) per query set
-// Q1..Q10, per dataset, for Dijkstra / SILC / CH / AH.
+// Q1..Q10, per dataset, for Dijkstra / SILC / CH / FC / AH.
 //
 // Expected shape (paper): AH fastest; path queries strictly more expensive
 // than distance queries for AH and CH (distance search + O(k) unpacking);
 // SILC and Dijkstra cost the same as their distance queries (they compute
 // the path anyway).
+//
+// FC is reported twice: native midpoint unpacking (distance search + O(k)
+// expansion, like CH/AH) against the pre-midpoint probe baseline that
+// recovers each hop with O(Δ) extra distance queries — the gap is the cost
+// of carrying no shortcut midpoints.
+#include <algorithm>
+#include <optional>
+
+#include "api/distance_oracle.h"
 #include "bench_common.h"
 #include "ch/ch_index.h"
 #include "core/ah_query.h"
+#include "fc/fc_index.h"
 #include "routing/dijkstra.h"
 #include "silc/silc_index.h"
 
@@ -20,6 +30,10 @@ int main() {
   const std::size_t count = BenchDatasetCountFromEnv(4);
   const std::size_t pairs = EnvSizeT("AH_BENCH_PAIRS", 100);
   const std::size_t silc_max = EnvSizeT("AH_BENCH_SILC_MAX", 8000);
+  const std::size_t fc_max = EnvSizeT("AH_BENCH_FC_MAX", 12000);
+  // The probe baseline is O(k·Δ) distance queries per path — cap its pairs
+  // so the bench stays affordable (averages remain comparable).
+  const std::size_t fc_probe_pairs = EnvSizeT("AH_BENCH_FC_PROBE_PAIRS", 10);
 
   for (const PreparedDataset& d : PrepareDatasets(count)) {
     const Graph& g = d.graph;
@@ -30,16 +44,28 @@ int main() {
     const bool run_silc = g.NumNodes() <= silc_max;
     SilcIndex silc;
     if (run_silc) silc = SilcIndex::Build(g);
+    const bool run_fc = g.NumNodes() <= fc_max;
+    FcIndex fc;
+    if (run_fc) fc = FcIndex::Build(g);
 
     Dijkstra dijkstra(g);
     ChQuery ch_query(ch);
     AhQuery ah_query(ah);
+    std::optional<FcQuery> fc_query;
+    std::optional<FcQuery> fc_probe;
+    if (run_fc) {
+      fc_query.emplace(fc, FcQueryOptions{.use_proximity = false});
+      fc_probe.emplace(fc, FcQueryOptions{.use_proximity = false});
+    }
 
     std::printf("\n--- %s (n = %s) — shortest path queries ---\n",
                 d.spec.name.c_str(),
                 TextTable::Int(static_cast<long long>(g.NumNodes())).c_str());
-    TextTable table({"set", "pairs", "AH (us)", "CH (us)", "SILC (us)",
-                     "Dijkstra (us)", "avg path edges"});
+    TextTable table({"set", "pairs", "AH (us)", "CH (us)", "FC (us)",
+                     "FC probe (us)", "SILC (us)", "Dijkstra (us)",
+                     "avg path edges"});
+    double fc_speedup_sum = 0;
+    std::size_t fc_speedup_sets = 0;
     for (const QuerySet& qs : workload.sets) {
       std::size_t edge_total = 0;
       const auto [ah_us, ah_sum] =
@@ -68,6 +94,46 @@ int main() {
           std::printf("!! SILC checksum mismatch on Q%d\n", qs.index);
         }
       }
+      std::string fc_cell = "-";
+      std::string fc_probe_cell = "-";
+      if (run_fc) {
+        const auto [fc_us, fc_sum] =
+            TimeQueries(qs.pairs, [&](NodeId s, NodeId t) {
+              return fc_query->Path(s, t).length;
+            });
+        fc_cell = TextTable::Num(fc_us, 2);
+        if (fc_sum != dij_sum) {
+          std::printf("!! FC checksum mismatch on Q%d\n", qs.index);
+        }
+        const std::vector<std::pair<NodeId, NodeId>> probe_pairs(
+            qs.pairs.begin(),
+            qs.pairs.begin() +
+                std::min(fc_probe_pairs, qs.pairs.size()));
+        const auto [probe_us, probe_sum] =
+            TimeQueries(probe_pairs, [&](NodeId s, NodeId t) {
+              // The pre-midpoint fallback: O(k·Δ) exact distance queries
+              // per k-edge path (§2 reduction).
+              return RecoverPathByDistanceProbes(
+                         g, s, t,
+                         [&](NodeId a, NodeId b) {
+                           return fc_probe->Distance(a, b);
+                         })
+                  .length;
+            });
+        const auto [unused_us, expect_sum] =
+            TimeQueries(probe_pairs, [&](NodeId s, NodeId t) {
+              return dijkstra.Distance(s, t);
+            });
+        (void)unused_us;
+        if (probe_sum != expect_sum) {
+          std::printf("!! FC probe checksum mismatch on Q%d\n", qs.index);
+        }
+        fc_probe_cell = TextTable::Num(probe_us, 2);
+        if (fc_us > 0) {
+          fc_speedup_sum += probe_us / fc_us;
+          ++fc_speedup_sets;
+        }
+      }
       if (ah_sum != dij_sum || ch_sum != dij_sum) {
         std::printf("!! checksum mismatch on Q%d\n", qs.index);
       }
@@ -77,15 +143,23 @@ int main() {
                                  static_cast<double>(qs.pairs.size());
       table.AddRow({"Q" + std::to_string(qs.index),
                     std::to_string(qs.pairs.size()), TextTable::Num(ah_us, 2),
-                    TextTable::Num(ch_us, 2), silc_cell,
-                    TextTable::Num(dij_us, 2), TextTable::Num(avg_edges, 0)});
+                    TextTable::Num(ch_us, 2), fc_cell, fc_probe_cell,
+                    silc_cell, TextTable::Num(dij_us, 2),
+                    TextTable::Num(avg_edges, 0)});
     }
     table.Print();
+    if (fc_speedup_sets > 0) {
+      std::printf("FC native vs probe speedup: %.1fx (mean over %zu sets)\n",
+                  fc_speedup_sum / static_cast<double>(fc_speedup_sets),
+                  fc_speedup_sets);
+    }
     std::fflush(stdout);
   }
   std::printf(
-      "\nPaper shape check: AH fastest; AH/CH path queries cost more than\n"
-      "their Figure-8 distance counterparts (distance + O(k) unpacking),\n"
-      "while Dijkstra/SILC cost the same as in Figure 8.\n");
+      "\nPaper shape check: AH fastest; AH/CH/FC path queries cost more\n"
+      "than their Figure-8 distance counterparts (distance + O(k)\n"
+      "unpacking), while Dijkstra/SILC cost the same as in Figure 8. The\n"
+      "FC probe column shows the O(k*Delta)-distance-query recovery FC\n"
+      "needed before shortcut midpoints were stored.\n");
   return 0;
 }

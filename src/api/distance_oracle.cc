@@ -128,15 +128,14 @@ class FcOracle final : public DistanceOracle {
   std::string_view Name() const override { return "fc"; }
   Dist Distance(NodeId s, NodeId t) override { return query_.Distance(s, t); }
 
-  /// FC's shortcuts carry no midpoints (they come from per-source searches,
-  /// not contraction), so paths are recovered by first-hop distance probes.
-  /// Probes always go through the level-constraint-only query, which is
+  /// Native path recovery: FC shortcuts carry midpoints, so paths come from
+  /// meet-point stitching + O(k) shortcut expansion — no distance probes.
+  /// Paths always go through the level-constraint-only query, which is
   /// exact on any graph — ShortestPath keeps the Found()-iff-reachable
   /// contract even when Distance() runs with the proximity heuristic.
   PathResult ShortestPath(NodeId s, NodeId t) override {
-    FcQuery& probe = path_query_ ? *path_query_ : query_;
-    return PathByDistanceProbes(
-        s, t, [&probe](NodeId a, NodeId b) { return probe.Distance(a, b); });
+    FcQuery& engine = path_query_ ? *path_query_ : query_;
+    return engine.Path(s, t);
   }
 
  private:
@@ -148,7 +147,7 @@ class FcOracle final : public DistanceOracle {
 
   FcIndex index_;
   FcQuery query_;
-  // Exact (level-constraint-only) probe engine; only materialized when
+  // Exact (level-constraint-only) path engine; only materialized when
   // query_ runs with the proximity heuristic.
   std::optional<FcQuery> path_query_;
 };

@@ -57,14 +57,22 @@ class DistanceOracle {
 
   const Graph& graph() const { return *graph_; }
 
+  /// Number of distance probes PathByDistanceProbes has issued over this
+  /// oracle's lifetime. Test hook: backends with native path recovery (all
+  /// built-in backends since FC gained midpoint unpacking) must leave it at
+  /// zero.
+  std::size_t PathProbeCalls() const { return path_probe_calls_; }
+
  protected:
   explicit DistanceOracle(const Graph& g) : graph_(&g) {}
 
-  /// Path recovery for distance-only engines, the reduction of §2 of the
-  /// paper: repeatedly pick an out-arc (u, x) with w(u, x) + d(x, t) =
-  /// d(u, t). Costs O(k·Δ) `distance` probes for a k-edge path. The probe
-  /// function MUST be exact, or the walk can dead-end and misreport a
-  /// reachable pair as unreachable.
+  /// FALLBACK path recovery for distance-only engines, the reduction of §2
+  /// of the paper: repeatedly pick an out-arc (u, x) with w(u, x) + d(x, t)
+  /// = d(u, t). Costs O(k·Δ) `distance` probes for a k-edge path — no
+  /// built-in backend uses it anymore (every index answers paths natively);
+  /// it is kept, documented, for prototyping new distance-only backends.
+  /// The probe function MUST be exact, or the walk can dead-end and
+  /// misreport a reachable pair as unreachable.
   template <typename DistanceFn>
   PathResult PathByDistanceProbes(NodeId s, NodeId t, DistanceFn&& distance);
 
@@ -76,11 +84,16 @@ class DistanceOracle {
 
   const Graph* graph_;
   OracleBuildStats build_stats_;
+  std::size_t path_probe_calls_ = 0;
 };
 
+/// Free-function form of the §2 probe reduction, shared by
+/// DistanceOracle::PathByDistanceProbes and the fig9 probe baseline. The
+/// probe function MUST be exact over g, or the walk can dead-end and
+/// misreport a reachable pair as unreachable.
 template <typename DistanceFn>
-PathResult DistanceOracle::PathByDistanceProbes(NodeId s, NodeId t,
-                                                DistanceFn&& distance) {
+PathResult RecoverPathByDistanceProbes(const Graph& g, NodeId s, NodeId t,
+                                       DistanceFn&& distance) {
   PathResult result;
   const Dist total = distance(s, t);
   if (total == kInfDist) return result;
@@ -90,9 +103,9 @@ PathResult DistanceOracle::PathByDistanceProbes(NodeId s, NodeId t,
   Dist remaining = total;
   // An exact oracle admits a first-hop step while remaining > 0; the hop
   // cap only guards against a buggy backend answering inconsistently.
-  for (std::size_t hops = 0; u != t && hops <= graph_->NumNodes(); ++hops) {
+  for (std::size_t hops = 0; u != t && hops <= g.NumNodes(); ++hops) {
     bool advanced = false;
-    for (const Arc& a : graph_->OutArcs(u)) {
+    for (const Arc& a : g.OutArcs(u)) {
       if (a.weight > remaining) continue;
       if (distance(a.head, t) == remaining - a.weight) {
         u = a.head;
@@ -106,6 +119,16 @@ PathResult DistanceOracle::PathByDistanceProbes(NodeId s, NodeId t,
   }
   if (u != t) return PathResult{};
   return result;
+}
+
+template <typename DistanceFn>
+PathResult DistanceOracle::PathByDistanceProbes(NodeId s, NodeId t,
+                                                DistanceFn&& distance) {
+  return RecoverPathByDistanceProbes(*graph_, s, t,
+                                     [&](NodeId a, NodeId b) {
+                                       ++path_probe_calls_;
+                                       return distance(a, b);
+                                     });
 }
 
 struct OracleOptions {

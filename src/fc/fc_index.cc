@@ -1,10 +1,12 @@
 #include "fc/fc_index.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "arterial/arterial.h"
 #include "hier/contraction.h"
 #include "perturb/perturb.h"
+#include "util/serialize.h"
 #include "util/timer.h"
 
 namespace ah {
@@ -14,6 +16,7 @@ FcIndex FcIndex::Build(const Graph& g, const FcParams& params) {
   FcIndex index;
   const std::size_t n = g.NumNodes();
   index.coords_ = g.Coords();
+  index.max_grid_depth_ = params.max_grid_depth;
   index.grids_ = GridHierarchy(index.coords_, params.max_grid_depth);
 
   Timer phase;
@@ -33,24 +36,38 @@ FcIndex FcIndex::Build(const Graph& g, const FcParams& params) {
   // min(level(u), level(v)). Internal nodes of level >= level(u) can never
   // appear on a qualifying path, so expansion is pruned there — which keeps
   // the search local for low-level sources.
+  //
+  // Path unpacking: each shortcut stores the predecessor of its head on the
+  // certified path as its midpoint, and after each per-source search the
+  // parent chains of all emitted shortcuts are materialized as unpack-only
+  // arcs. Every expansion half (u, x) then resolves in the unpack table —
+  // as a search entry of weight dist(x) or, when parent(x) == u, as the
+  // original min-weight arc u→x — so recursive expansion terminates in
+  // O(path length).
   const Level h = index.grids_.Depth();
   const Dist kEncBase = static_cast<Dist>(h) + 3;
   std::vector<HierArc> hier_arcs = ArcsOf(g);
   const std::size_t original_arcs = hier_arcs.size();
+  std::vector<HierArc> unpack_arcs;
 
   IndexedHeap heap(n);
   std::vector<Dist> dist(n, kInfDist);
   std::vector<Level> max_internal(n, 0);  // Encoded: 0 = none, k+1 = level k.
+  std::vector<NodeId> parent(n, kInvalidNode);
   std::vector<std::uint32_t> stamp(n, 0);
+  std::vector<std::uint32_t> entry_stamp(n, 0);  // Has a (u,·) search entry.
+  std::vector<NodeId> shortcut_heads;
   std::uint32_t round = 0;
 
   for (NodeId u = 0; u < n; ++u) {
     const Level lu = index.level_[u];
     ++round;
     heap.Clear();
+    shortcut_heads.clear();
     stamp[u] = round;
     dist[u] = 0;
     max_internal[u] = 0;
+    parent[u] = kInvalidNode;
     heap.PushOrDecrease(u, 0);
     while (!heap.Empty()) {
       auto [key, x] = heap.PopMin();
@@ -63,8 +80,12 @@ FcIndex FcIndex::Build(const Graph& g, const FcParams& params) {
         const Level lv = index.level_[x];
         const Level internal = enc_x - 1;  // -1 when no internal node.
         if (enc_x == 0 || internal < std::min(lu, lv)) {
-          hier_arcs.push_back(
-              HierArc{u, x, static_cast<Weight>(dx), kInvalidNode});
+          // enc_x == 0 iff the certified path is the direct arc u→x, in
+          // which case parent[x] == u and the midpoint stays invalid.
+          const NodeId mid = parent[x] == u ? kInvalidNode : parent[x];
+          hier_arcs.push_back(HierArc{u, x, static_cast<Weight>(dx), mid});
+          entry_stamp[x] = round;
+          shortcut_heads.push_back(x);
         }
         // Expanding through x makes x internal; prune when that can never
         // qualify (internal level >= lu).
@@ -82,21 +103,75 @@ FcIndex FcIndex::Build(const Graph& g, const FcParams& params) {
           stamp[a.head] = round;
           dist[a.head] = nd;
           max_internal[a.head] = enc_via;
+          parent[a.head] = x;
           heap.PushOrDecrease(a.head, nkey);
         }
       }
     }
+    // Parent-chain closure: chain nodes without a shortcut of their own get
+    // an unpack-only arc. Chains of distinct shortcuts share suffixes, so
+    // each node is emitted at most once per source.
+    for (const NodeId v : shortcut_heads) {
+      for (NodeId x = parent[v]; x != u && entry_stamp[x] != round;
+           x = parent[x]) {
+        entry_stamp[x] = round;
+        if (parent[x] != u) {
+          unpack_arcs.push_back(
+              HierArc{u, x, static_cast<Weight>(dist[x]), parent[x]});
+        }
+        // parent[x] == u: (u,x) is the original min-weight arc, which is
+        // already in the table.
+      }
+    }
   }
   index.build_stats_.shortcuts = hier_arcs.size() - original_arcs;
-  index.hierarchy_ = LightGraph(n, hier_arcs);
+  index.build_stats_.unpack_arcs = unpack_arcs.size();
+  index.hierarchy_ = LightGraph(n, hier_arcs, unpack_arcs);
   index.build_stats_.seconds = total.Seconds();
   return index;
 }
 
 std::size_t FcIndex::SizeBytes() const {
   return level_.size() * sizeof(Level) + coords_.size() * sizeof(Point) +
-         hierarchy_.NumArcs() * 2 * sizeof(Arc) +
-         (hierarchy_.NumNodes() + 1) * 2 * sizeof(std::uint64_t);
+         grids_.SizeBytes() + hierarchy_.SizeBytes();
+}
+
+void FcIndex::Save(std::ostream& out) const {
+  BinaryWriter w(out);
+  w.Magic("AHFC", 1);
+  w.Pod<std::int32_t>(max_grid_depth_);
+  w.Vector(level_);
+  w.Vector(coords_);
+  hierarchy_.Save(out);
+  w.Pod(build_stats_.seconds);
+  w.Pod(build_stats_.arterial_seconds);
+  w.Pod<std::uint64_t>(build_stats_.shortcuts);
+  w.Pod<std::uint64_t>(build_stats_.unpack_arcs);
+  w.Pod<std::int32_t>(build_stats_.max_level);
+  w.Pod<std::int32_t>(build_stats_.grid_depth);
+}
+
+FcIndex FcIndex::Load(std::istream& in) {
+  BinaryReader r(in);
+  r.Magic("AHFC", 1);
+  FcIndex index;
+  index.max_grid_depth_ = r.Pod<std::int32_t>();
+  index.level_ = r.Vector<Level>();
+  index.coords_ = r.Vector<Point>();
+  index.hierarchy_ = LightGraph::Load(in);
+  index.build_stats_.seconds = r.Pod<double>();
+  index.build_stats_.arterial_seconds = r.Pod<double>();
+  index.build_stats_.shortcuts = r.Pod<std::uint64_t>();
+  index.build_stats_.unpack_arcs = r.Pod<std::uint64_t>();
+  index.build_stats_.max_level = r.Pod<std::int32_t>();
+  index.build_stats_.grid_depth = r.Pod<std::int32_t>();
+  if (index.level_.size() != index.coords_.size() ||
+      index.hierarchy_.NumNodes() != index.level_.size() ||
+      !index.hierarchy_.HasMids()) {
+    throw std::runtime_error("FcIndex::Load: inconsistent structure");
+  }
+  index.grids_ = GridHierarchy(index.coords_, index.max_grid_depth_);
+  return index;
 }
 
 FcQuery::FcQuery(const FcIndex& index, FcQueryOptions options)
@@ -105,6 +180,7 @@ FcQuery::FcQuery(const FcIndex& index, FcQueryOptions options)
   for (Side* side : {&fwd_, &bwd_}) {
     side->heap.Resize(n);
     side->dist.assign(n, kInfDist);
+    side->parent.assign(n, kInvalidNode);
     side->stamp.assign(n, 0);
   }
 }
@@ -123,11 +199,45 @@ bool FcQuery::Allowed(NodeId from, NodeId to,
 }
 
 Dist FcQuery::Distance(NodeId s, NodeId t) {
-  if (s == t) return 0;
+  if (s == t) {
+    last_settled_ = 0;
+    return 0;
+  }
+  return RunSearch(s, t);
+}
+
+PathResult FcQuery::Path(NodeId s, NodeId t) {
+  PathResult result;
+  if (s == t) {
+    last_settled_ = 0;
+    result.length = 0;
+    result.nodes = {s};
+    return result;
+  }
+  result.length = RunSearch(s, t);
+  if (result.length == kInfDist) return result;
+
+  // Hierarchy-space path: s ... meet via forward parents, meet ... t via
+  // backward parents; consecutive elements are arcs of the hierarchy.
+  std::vector<NodeId> hpath;
+  for (NodeId v = meet_; v != kInvalidNode; v = ParentOf(fwd_, v)) {
+    hpath.push_back(v);
+  }
+  std::reverse(hpath.begin(), hpath.end());
+  for (NodeId v = ParentOf(bwd_, meet_); v != kInvalidNode;
+       v = ParentOf(bwd_, v)) {
+    hpath.push_back(v);
+  }
+  result.nodes = index_.hierarchy().UnpackPath(hpath);
+  return result;
+}
+
+Dist FcQuery::RunSearch(NodeId s, NodeId t) {
   ++round_;
   fwd_.heap.Clear();
   bwd_.heap.Clear();
   last_settled_ = 0;
+  meet_ = kInvalidNode;
 
   const Level depth = index_.grids().Depth();
   s_cells_.resize(depth);
@@ -139,9 +249,11 @@ Dist FcQuery::Distance(NodeId s, NodeId t) {
 
   fwd_.stamp[s] = round_;
   fwd_.dist[s] = 0;
+  fwd_.parent[s] = kInvalidNode;
   fwd_.heap.PushOrDecrease(s, 0);
   bwd_.stamp[t] = round_;
   bwd_.dist[t] = 0;
+  bwd_.parent[t] = kInvalidNode;
   bwd_.heap.PushOrDecrease(t, 0);
 
   Dist best = kInfDist;
@@ -159,7 +271,13 @@ Dist FcQuery::Distance(NodeId s, NodeId t) {
     const auto& cells = forward_turn ? s_cells_ : t_cells_;
     auto [d, u] = side.heap.PopMin();
     ++last_settled_;
-    if (other.stamp[u] == round_) best = std::min(best, d + other.dist[u]);
+    if (other.stamp[u] == round_) {
+      const Dist via = d + other.dist[u];
+      if (via < best) {
+        best = via;
+        meet_ = u;
+      }
+    }
     const auto arcs = forward_turn ? hg.OutArcs(u) : hg.InArcs(u);
     for (const Arc& a : arcs) {
       if (!Allowed(u, a.head, cells)) continue;
@@ -167,6 +285,7 @@ Dist FcQuery::Distance(NodeId s, NodeId t) {
       if (side.stamp[a.head] != round_ || nd < side.dist[a.head]) {
         side.stamp[a.head] = round_;
         side.dist[a.head] = nd;
+        side.parent[a.head] = u;
         side.heap.PushOrDecrease(a.head, nd);
       }
     }

@@ -6,6 +6,12 @@
 // endpoints; queries are bidirectional Dijkstra over graph+shortcuts under
 // the level constraint and (optionally) the proximity constraint.
 //
+// Every shortcut carries a midpoint (the predecessor of its head on the path
+// the shortcut-construction search certified), and the hierarchy retains a
+// parent-chain unpack table, so shortest *paths* are recovered natively by
+// meet-point stitching plus O(k) recursive shortcut expansion — no distance
+// probes.
+//
 // As §3.3 explains, FC's preprocessing is what AH fixes: it is quadratic-ish
 // and only applicable to small networks. Build() is intended for graphs up
 // to a few tens of thousands of nodes.
@@ -17,11 +23,13 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "graph/graph.h"
 #include "graph/light_graph.h"
 #include "hgrid/grid_hierarchy.h"
+#include "routing/path.h"
 #include "util/indexed_heap.h"
 #include "util/types.h"
 
@@ -36,6 +44,7 @@ struct FcBuildStats {
   double seconds = 0;
   double arterial_seconds = 0;
   std::size_t shortcuts = 0;
+  std::size_t unpack_arcs = 0;  ///< Unpack-only parent-chain arcs.
   Level max_level = 0;
   Level grid_depth = 0;
 };
@@ -53,11 +62,17 @@ class FcIndex {
 
   std::size_t SizeBytes() const;
 
+  /// Binary persistence (magic "AHFC"). The grid stack is derived data and
+  /// is rebuilt deterministically from the stored coordinates on Load.
+  void Save(std::ostream& out) const;
+  static FcIndex Load(std::istream& in);
+
  private:
   std::vector<Level> level_;
   std::vector<Point> coords_;
+  std::int32_t max_grid_depth_ = 14;  // Build parameter; needed by Load.
   GridHierarchy grids_;
-  LightGraph hierarchy_;  // Original arcs + shortcuts.
+  LightGraph hierarchy_;  // Original arcs + shortcuts, with unpack table.
   FcBuildStats build_stats_;
 };
 
@@ -72,16 +87,31 @@ class FcQuery {
 
   Dist Distance(NodeId s, NodeId t);
 
+  /// Shortest path in the original graph: the hierarchy-space path of the
+  /// bidirectional search (stitched at the meet node) expanded through the
+  /// shortcut midpoint table. Exact whenever Distance is (always with the
+  /// proximity constraint off; on road-like inputs with it on).
+  PathResult Path(NodeId s, NodeId t);
+
   std::size_t LastSettled() const { return last_settled_; }
 
  private:
   struct Side {
     IndexedHeap heap;
     std::vector<Dist> dist;
+    std::vector<NodeId> parent;
     std::vector<std::uint32_t> stamp;
   };
 
   bool Allowed(NodeId from, NodeId to, const std::vector<Cell>& cells) const;
+
+  /// The bidirectional search behind Distance/Path; records per-side parent
+  /// pointers and the meet node. Precondition: s != t.
+  Dist RunSearch(NodeId s, NodeId t);
+
+  NodeId ParentOf(const Side& side, NodeId v) const {
+    return side.stamp[v] == round_ ? side.parent[v] : kInvalidNode;
+  }
 
   const FcIndex& index_;
   FcQueryOptions options_;
@@ -91,6 +121,7 @@ class FcQuery {
   std::vector<Cell> t_cells_;
   std::uint32_t round_ = 0;
   std::size_t last_settled_ = 0;
+  NodeId meet_ = kInvalidNode;
 };
 
 }  // namespace ah

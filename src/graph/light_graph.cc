@@ -1,0 +1,215 @@
+#include "graph/light_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/serialize.h"
+
+namespace ah {
+
+LightGraph::LightGraph(std::size_t n, const std::vector<HierArc>& arcs) {
+  BuildAdjacency(n, arcs);
+}
+
+LightGraph::LightGraph(std::size_t n, const std::vector<HierArc>& arcs,
+                       const std::vector<HierArc>& unpack_only) {
+  BuildAdjacency(n, arcs);
+  BuildUnpackTable(n, arcs, unpack_only);
+}
+
+void LightGraph::BuildAdjacency(std::size_t n,
+                                const std::vector<HierArc>& arcs) {
+  out_first_.assign(n + 1, 0);
+  in_first_.assign(n + 1, 0);
+  for (const HierArc& a : arcs) {
+    ++out_first_[a.tail + 1];
+    ++in_first_[a.head + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    out_first_[v + 1] += out_first_[v];
+    in_first_[v + 1] += in_first_[v];
+  }
+  out_arcs_.resize(arcs.size());
+  in_arcs_.resize(arcs.size());
+  std::vector<std::uint64_t> oc(out_first_.begin(), out_first_.end() - 1);
+  std::vector<std::uint64_t> ic(in_first_.begin(), in_first_.end() - 1);
+  for (const HierArc& a : arcs) {
+    out_arcs_[oc[a.tail]++] = Arc{a.head, a.weight};
+    in_arcs_[ic[a.head]++] = Arc{a.tail, a.weight};
+  }
+}
+
+void LightGraph::BuildUnpackTable(std::size_t n,
+                                  const std::vector<HierArc>& arcs,
+                                  const std::vector<HierArc>& unpack_only) {
+  unpack_first_.assign(n + 1, 0);
+  for (const HierArc& a : arcs) ++unpack_first_[a.tail + 1];
+  for (const HierArc& a : unpack_only) ++unpack_first_[a.tail + 1];
+  for (std::size_t v = 0; v < n; ++v) {
+    unpack_first_[v + 1] += unpack_first_[v];
+  }
+  unpack_arcs_.resize(arcs.size() + unpack_only.size());
+  std::vector<std::uint64_t> cur(unpack_first_.begin(),
+                                 unpack_first_.end() - 1);
+  for (const HierArc& a : arcs) {
+    unpack_arcs_[cur[a.tail]++] = UnpackArc{a.head, a.weight, a.mid};
+  }
+  for (const HierArc& a : unpack_only) {
+    unpack_arcs_[cur[a.tail]++] = UnpackArc{a.head, a.weight, a.mid};
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    std::sort(unpack_arcs_.begin() + unpack_first_[v],
+              unpack_arcs_.begin() + unpack_first_[v + 1],
+              [](const UnpackArc& x, const UnpackArc& y) {
+                return x.head != y.head ? x.head < y.head
+                                        : x.weight < y.weight;
+              });
+  }
+}
+
+LightGraph LightGraph::FromGraph(const Graph& g) {
+  LightGraph lg;
+  const std::size_t n = g.NumNodes();
+  lg.out_first_.assign(n + 1, 0);
+  lg.in_first_.assign(n + 1, 0);
+  lg.out_arcs_.reserve(g.NumArcs());
+  lg.in_arcs_.reserve(g.NumArcs());
+  for (NodeId v = 0; v < n; ++v) {
+    lg.out_first_[v + 1] = lg.out_first_[v] + g.OutDegree(v);
+    for (const Arc& a : g.OutArcs(v)) lg.out_arcs_.push_back(a);
+    lg.in_first_[v + 1] = lg.in_first_[v] + g.InDegree(v);
+    for (const Arc& a : g.InArcs(v)) lg.in_arcs_.push_back(a);
+  }
+  return lg;
+}
+
+const UnpackArc* LightGraph::LookupLightest(NodeId u, NodeId v) const {
+  const auto begin = unpack_arcs_.begin() + unpack_first_[u];
+  const auto end = unpack_arcs_.begin() + unpack_first_[u + 1];
+  const auto it = std::lower_bound(begin, end, v,
+                                   [](const UnpackArc& a, NodeId target) {
+                                     return a.head < target;
+                                   });
+  if (it == end || it->head != v) return nullptr;
+  return &*it;
+}
+
+void LightGraph::AppendUnpacked(NodeId u, NodeId v,
+                                std::vector<NodeId>* out) const {
+  // Iterative expansion: a work stack of arcs, processed left-to-right. A
+  // well-formed table splits every mid-bearing arc into two strictly
+  // lighter halves (weights are >= 1), which is enforced per split below —
+  // so expansion terminates even on a corrupted (loaded) table, by strict
+  // weight descent, instead of spinning.
+  struct Pending {
+    NodeId from;
+    const UnpackArc* arc;
+  };
+  const UnpackArc* top = LookupLightest(u, v);
+  if (top == nullptr) {
+    throw std::logic_error("LightGraph::AppendUnpacked: unknown arc");
+  }
+  std::vector<Pending> stack = {{u, top}};
+  while (!stack.empty()) {
+    const Pending p = stack.back();
+    stack.pop_back();
+    if (p.arc->mid == kInvalidNode) {
+      out->push_back(p.arc->head);
+      continue;
+    }
+    const UnpackArc* left = LookupLightest(p.from, p.arc->mid);
+    const UnpackArc* right = LookupLightest(p.arc->mid, p.arc->head);
+    if (left == nullptr || right == nullptr ||
+        left->weight >= p.arc->weight || right->weight >= p.arc->weight) {
+      throw std::logic_error(
+          "LightGraph::AppendUnpacked: ill-formed unpack table");
+    }
+    // Expand left part first: push right, then left (stack is LIFO).
+    stack.push_back({p.arc->mid, right});
+    stack.push_back({p.from, left});
+  }
+}
+
+std::vector<NodeId> LightGraph::UnpackPath(
+    const std::vector<NodeId>& hierarchy_path) const {
+  std::vector<NodeId> out;
+  if (hierarchy_path.empty()) return out;
+  out.push_back(hierarchy_path.front());
+  for (std::size_t i = 0; i + 1 < hierarchy_path.size(); ++i) {
+    AppendUnpacked(hierarchy_path[i], hierarchy_path[i + 1], &out);
+  }
+  return out;
+}
+
+std::size_t LightGraph::SizeBytes() const {
+  return out_first_.size() * sizeof(std::uint64_t) +
+         out_arcs_.size() * sizeof(Arc) +
+         in_first_.size() * sizeof(std::uint64_t) +
+         in_arcs_.size() * sizeof(Arc) +
+         unpack_first_.size() * sizeof(std::uint64_t) +
+         unpack_arcs_.size() * sizeof(UnpackArc);
+}
+
+void LightGraph::Save(std::ostream& out) const {
+  BinaryWriter w(out);
+  w.Magic("AHLG", 1);
+  w.Vector(out_first_);
+  w.Vector(out_arcs_);
+  w.Vector(in_first_);
+  w.Vector(in_arcs_);
+  w.Vector(unpack_first_);
+  w.Vector(unpack_arcs_);
+}
+
+namespace {
+
+bool OffsetsMonotone(const std::vector<std::uint64_t>& first) {
+  if (first.empty() || first.front() != 0) return false;
+  for (std::size_t i = 0; i + 1 < first.size(); ++i) {
+    if (first[i] > first[i + 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+LightGraph LightGraph::Load(std::istream& in) {
+  BinaryReader r(in);
+  r.Magic("AHLG", 1);
+  LightGraph lg;
+  lg.out_first_ = r.Vector<std::uint64_t>();
+  lg.out_arcs_ = r.Vector<Arc>();
+  lg.in_first_ = r.Vector<std::uint64_t>();
+  lg.in_arcs_ = r.Vector<Arc>();
+  lg.unpack_first_ = r.Vector<std::uint64_t>();
+  lg.unpack_arcs_ = r.Vector<UnpackArc>();
+  if (lg.out_first_.empty() || lg.in_first_.size() != lg.out_first_.size() ||
+      lg.out_first_.back() != lg.out_arcs_.size() ||
+      lg.in_first_.back() != lg.in_arcs_.size() ||
+      (!lg.unpack_first_.empty() &&
+       (lg.unpack_first_.size() != lg.out_first_.size() ||
+        lg.unpack_first_.back() != lg.unpack_arcs_.size()))) {
+    throw std::runtime_error("LightGraph::Load: inconsistent structure");
+  }
+  // Content validation: corrupted-but-size-consistent streams must throw,
+  // never hand back a graph whose arcs index out of range.
+  if (!OffsetsMonotone(lg.out_first_) || !OffsetsMonotone(lg.in_first_) ||
+      (!lg.unpack_first_.empty() && !OffsetsMonotone(lg.unpack_first_))) {
+    throw std::runtime_error("LightGraph::Load: non-monotone offsets");
+  }
+  const std::size_t n = lg.NumNodes();
+  for (const Arc& a : lg.out_arcs_) {
+    if (a.head >= n) throw std::runtime_error("LightGraph::Load: bad head");
+  }
+  for (const Arc& a : lg.in_arcs_) {
+    if (a.head >= n) throw std::runtime_error("LightGraph::Load: bad tail");
+  }
+  for (const UnpackArc& a : lg.unpack_arcs_) {
+    if (a.head >= n || (a.mid != kInvalidNode && a.mid >= n)) {
+      throw std::runtime_error("LightGraph::Load: bad unpack arc");
+    }
+  }
+  return lg;
+}
+
+}  // namespace ah

@@ -1,8 +1,15 @@
 // A lightweight CSR view over an arbitrary arc list — the representation the
 // arterial machinery and level assigner use for the shrinking overlay graphs
 // G'_1, G'_2, ... (which are arc lists, not full Graph objects).
+//
+// The two-argument constructor ignores midpoints. FC builds its hierarchy
+// through the midpoint-aware constructor instead, which additionally retains
+// a per-tail unpack table of (head, weight, mid) entries — the CH-style
+// shortcut representation that turns path recovery into O(k) expansion —
+// plus optional unpack-only arcs that never enter the query adjacency.
 #pragma once
 
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -12,48 +19,30 @@
 
 namespace ah {
 
+/// One entry of the unpack table. mid == kInvalidNode means the arc is an
+/// original graph edge; otherwise it expands into tail→mid→head.
+struct UnpackArc {
+  NodeId head = kInvalidNode;
+  Weight weight = 0;
+  NodeId mid = kInvalidNode;
+};
+
 class LightGraph {
  public:
   LightGraph() = default;
 
   /// Builds adjacency over node ids [0, n) from `arcs` (mid fields ignored).
-  LightGraph(std::size_t n, const std::vector<HierArc>& arcs) {
-    out_first_.assign(n + 1, 0);
-    in_first_.assign(n + 1, 0);
-    for (const HierArc& a : arcs) {
-      ++out_first_[a.tail + 1];
-      ++in_first_[a.head + 1];
-    }
-    for (std::size_t v = 0; v < n; ++v) {
-      out_first_[v + 1] += out_first_[v];
-      in_first_[v + 1] += in_first_[v];
-    }
-    out_arcs_.resize(arcs.size());
-    in_arcs_.resize(arcs.size());
-    std::vector<std::uint64_t> oc(out_first_.begin(), out_first_.end() - 1);
-    std::vector<std::uint64_t> ic(in_first_.begin(), in_first_.end() - 1);
-    for (const HierArc& a : arcs) {
-      out_arcs_[oc[a.tail]++] = Arc{a.head, a.weight};
-      in_arcs_[ic[a.head]++] = Arc{a.tail, a.weight};
-    }
-  }
+  LightGraph(std::size_t n, const std::vector<HierArc>& arcs);
+
+  /// Midpoint-aware variant: builds the same query adjacency from `arcs` and
+  /// additionally retains an unpack table over `arcs` + `unpack_only`.
+  /// `unpack_only` arcs participate in shortcut expansion but are invisible
+  /// to OutArcs/InArcs (and to NumArcs), so query searches are unaffected.
+  LightGraph(std::size_t n, const std::vector<HierArc>& arcs,
+             const std::vector<HierArc>& unpack_only);
 
   /// Copies an existing Graph's arcs (same node ids).
-  static LightGraph FromGraph(const Graph& g) {
-    LightGraph lg;
-    const std::size_t n = g.NumNodes();
-    lg.out_first_.assign(n + 1, 0);
-    lg.in_first_.assign(n + 1, 0);
-    lg.out_arcs_.reserve(g.NumArcs());
-    lg.in_arcs_.reserve(g.NumArcs());
-    for (NodeId v = 0; v < n; ++v) {
-      lg.out_first_[v + 1] = lg.out_first_[v] + g.OutDegree(v);
-      for (const Arc& a : g.OutArcs(v)) lg.out_arcs_.push_back(a);
-      lg.in_first_[v + 1] = lg.in_first_[v] + g.InDegree(v);
-      for (const Arc& a : g.InArcs(v)) lg.in_arcs_.push_back(a);
-    }
-    return lg;
-  }
+  static LightGraph FromGraph(const Graph& g);
 
   std::size_t NumNodes() const {
     return out_first_.empty() ? 0 : out_first_.size() - 1;
@@ -69,11 +58,51 @@ class LightGraph {
             in_arcs_.data() + in_first_[v + 1]};
   }
 
+  /// True when the graph was built with the midpoint-aware constructor.
+  bool HasMids() const { return !unpack_first_.empty(); }
+
+  /// Number of unpack-table entries (query arcs + unpack-only arcs).
+  std::size_t NumUnpackArcs() const { return unpack_arcs_.size(); }
+
+  /// Appends the fully expanded node sequence of arc u→v to `out`, excluding
+  /// u and including v. The arc must exist in the unpack table. When
+  /// parallel entries exist the lightest is expanded; because every entry
+  /// describes a real path of exactly its weight and arc weights are
+  /// strictly positive, the result is a real path. Each split is checked to
+  /// strictly decrease both halves' weights (throws std::logic_error
+  /// otherwise), so expansion terminates even on an ill-formed table.
+  /// Precondition: HasMids().
+  void AppendUnpacked(NodeId u, NodeId v, std::vector<NodeId>* out) const;
+
+  /// Expands a hierarchy path (node sequence where consecutive nodes are
+  /// arcs of the unpack table) into the original-graph path.
+  /// Precondition: HasMids().
+  std::vector<NodeId> UnpackPath(const std::vector<NodeId>& hierarchy_path) const;
+
+  std::size_t SizeBytes() const;
+
+  /// Binary persistence (magic "AHLG"), including the unpack table.
+  void Save(std::ostream& out) const;
+  static LightGraph Load(std::istream& in);
+
  private:
+  void BuildAdjacency(std::size_t n, const std::vector<HierArc>& arcs);
+  void BuildUnpackTable(std::size_t n, const std::vector<HierArc>& arcs,
+                        const std::vector<HierArc>& unpack_only);
+
+  /// Lightest unpack entry for arc u→v; nullptr if absent.
+  const UnpackArc* LookupLightest(NodeId u, NodeId v) const;
+
   std::vector<std::uint64_t> out_first_;
   std::vector<Arc> out_arcs_;
   std::vector<std::uint64_t> in_first_;
   std::vector<Arc> in_arcs_;
+
+  // Unpack table: all arcs grouped by tail, sorted by (head, weight) so the
+  // first match is the lightest. Empty unless the midpoint-aware constructor
+  // was used.
+  std::vector<std::uint64_t> unpack_first_;
+  std::vector<UnpackArc> unpack_arcs_;
 };
 
 }  // namespace ah

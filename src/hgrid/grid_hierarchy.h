@@ -55,6 +55,11 @@ class GridHierarchy {
   /// Fraction of occupied R_1 cells with more than one node (diagnostic).
   double FinestCollisionFraction() const { return collision_fraction_; }
 
+  /// Bytes of the in-memory representation (index-size reporting).
+  std::size_t SizeBytes() const {
+    return sizeof(*this) + grids_.size() * sizeof(SquareGrid);
+  }
+
  private:
   std::int32_t depth_ = 1;
   std::vector<SquareGrid> grids_;  // grids_[i-1] = R_i.

@@ -110,6 +110,11 @@ TEST_P(ConformanceTest, MatchesDijkstraOracle) {
           << backend << ": infeasible path (" << s << ", " << t << ")";
     }
   }
+
+  // Every backend recovers paths natively (FC via shortcut midpoints since
+  // PR 2); the O(k·Δ) probe fallback must stay unused.
+  EXPECT_EQ(oracle->PathProbeCalls(), 0u)
+      << backend << ": paths fell back to distance probes";
 }
 
 std::string ParamName(
@@ -148,7 +153,7 @@ TEST(ConformancePrunedModesTest, FcProximityMatchesDijkstraOnRoadGraph) {
         << "fc(proximity): d(" << s << ", " << t << ")";
   }
   // Path queries must stay exact (Found() iff reachable) even with the
-  // proximity heuristic on: probes go through the level-constraint-only
+  // proximity heuristic on: paths go through the level-constraint-only
   // query.
   Rng rng(8);
   for (int i = 0; i < 10; ++i) {
@@ -162,6 +167,8 @@ TEST(ConformancePrunedModesTest, FcProximityMatchesDijkstraOnRoadGraph) {
       EXPECT_TRUE(IsValidPath(g, p.nodes, s, t, ref));
     }
   }
+  EXPECT_EQ(oracle->PathProbeCalls(), 0u)
+      << "fc(proximity): paths fell back to distance probes";
 }
 
 TEST(OracleFactoryTest, NamesAreCanonicalAndComplete) {

@@ -2,6 +2,7 @@
 
 #include "fc/fc_index.h"
 #include "routing/dijkstra.h"
+#include "routing/path.h"
 #include "test_util.h"
 
 namespace ah {
@@ -39,6 +40,47 @@ TEST_P(FcSeedTest, FullConstraintsMatchDijkstraOnRoadGraph) {
   }
 }
 
+TEST_P(FcSeedTest, NativePathsMatchDijkstraOnRandomGraph) {
+  Graph g = testing::MakeRandomGraph(150, 450, GetParam());
+  FcIndex index = FcIndex::Build(g);
+  FcQuery query(index, FcQueryOptions{.use_proximity = false});
+  Dijkstra dijkstra(g);
+  Rng rng(GetParam() + 17);
+  for (int q = 0; q < 40; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const Dist ref = dijkstra.Distance(s, t);
+    const PathResult p = query.Path(s, t);
+    ASSERT_EQ(p.length, ref) << "s=" << s << " t=" << t;
+    if (ref == kInfDist) {
+      EXPECT_TRUE(p.nodes.empty());
+    } else {
+      EXPECT_TRUE(IsValidPath(g, p.nodes, s, t, ref))
+          << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST_P(FcSeedTest, NativePathsMatchDijkstraOnRoadGraph) {
+  // Proximity constraint on: paths must stay exact on road-like inputs.
+  Graph g = testing::MakeRoadGraph(20, GetParam());
+  FcIndex index = FcIndex::Build(g);
+  FcQuery query(index);
+  Dijkstra dijkstra(g);
+  Rng rng(GetParam() + 23);
+  for (int q = 0; q < 40; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const Dist ref = dijkstra.Distance(s, t);
+    const PathResult p = query.Path(s, t);
+    ASSERT_EQ(p.length, ref) << "s=" << s << " t=" << t;
+    if (ref != kInfDist) {
+      EXPECT_TRUE(IsValidPath(g, p.nodes, s, t, ref))
+          << "s=" << s << " t=" << t;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FcSeedTest, ::testing::Values(1, 2, 9, 31));
 
 TEST(FcTest, SelfQuery) {
@@ -46,6 +88,33 @@ TEST(FcTest, SelfQuery) {
   FcIndex index = FcIndex::Build(g);
   FcQuery query(index);
   EXPECT_EQ(query.Distance(4, 4), 0u);
+}
+
+TEST(FcTest, SelfPathIsSingleNode) {
+  Graph g = testing::MakeRoadGraph(10, 5);
+  FcIndex index = FcIndex::Build(g);
+  FcQuery query(index);
+  const PathResult p = query.Path(4, 4);
+  EXPECT_EQ(p.length, 0u);
+  EXPECT_EQ(p.nodes, std::vector<NodeId>{4});
+}
+
+TEST(FcTest, IdentityQueryResetsSettledCounter) {
+  // Regression (PR 2): Distance(s, s) used to early-return before resetting
+  // last_settled_, so LastSettled() reported the previous query's count —
+  // the same stale-counter bug fixed for ALT in PR 1.
+  Graph g = testing::MakeRoadGraph(12, 5);
+  FcIndex index = FcIndex::Build(g);
+  FcQuery query(index);
+  query.Distance(0, static_cast<NodeId>(g.NumNodes() - 1));
+  ASSERT_GT(query.LastSettled(), 0u);
+  EXPECT_EQ(query.Distance(3, 3), 0u);
+  EXPECT_EQ(query.LastSettled(), 0u);
+  // Path(s, s) takes the same early-return; it must reset too.
+  query.Distance(0, static_cast<NodeId>(g.NumNodes() - 1));
+  ASSERT_GT(query.LastSettled(), 0u);
+  query.Path(3, 3);
+  EXPECT_EQ(query.LastSettled(), 0u);
 }
 
 TEST(FcTest, BuildStatsPopulated) {
@@ -57,6 +126,25 @@ TEST(FcTest, BuildStatsPopulated) {
   EXPECT_EQ(index.NumNodes(), g.NumNodes());
   // Hierarchy holds original arcs plus shortcuts.
   EXPECT_GE(index.hierarchy().NumArcs(), g.NumArcs());
+  // The hierarchy retains midpoints; the unpack table covers every query
+  // arc plus the unpack-only parent-chain arcs.
+  EXPECT_TRUE(index.hierarchy().HasMids());
+  EXPECT_EQ(index.hierarchy().NumUnpackArcs(),
+            index.hierarchy().NumArcs() + index.build_stats().unpack_arcs);
+}
+
+TEST(FcTest, SizeBytesAccountsForAllOwnedMembers) {
+  // Regression (PR 2): SizeBytes used to omit the grid stack (and would
+  // have omitted the unpack table); it must equal the sum over every owned
+  // member, which is what the fig10 space report prints.
+  Graph g = testing::MakeRoadGraph(14, 6);
+  FcIndex index = FcIndex::Build(g);
+  const std::size_t expected =
+      index.NumNodes() * (sizeof(Level) + sizeof(Point)) +
+      index.grids().SizeBytes() + index.hierarchy().SizeBytes();
+  EXPECT_EQ(index.SizeBytes(), expected);
+  EXPECT_GT(index.grids().SizeBytes(), 0u);
+  EXPECT_GT(index.hierarchy().SizeBytes(), 0u);
 }
 
 TEST(FcTest, LevelsWithinGridDepth) {

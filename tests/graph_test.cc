@@ -242,5 +242,48 @@ TEST(ConnectivityTest, LargeRandomSccIsConnected) {
   EXPECT_TRUE(IsStronglyConnected(g));  // Cycle backbone guarantees it.
 }
 
+TEST(LightGraphTest, MidpointUnpackExpandsShortcuts) {
+  // 0→1→2 plus a shortcut 0→2 with midpoint 1.
+  const std::vector<HierArc> arcs = {
+      {0, 1, 3, kInvalidNode},
+      {1, 2, 4, kInvalidNode},
+      {0, 2, 7, 1},
+  };
+  const LightGraph lg(3, arcs, /*unpack_only=*/{});
+  ASSERT_TRUE(lg.HasMids());
+  EXPECT_EQ(lg.NumArcs(), 3u);
+  EXPECT_EQ(lg.NumUnpackArcs(), 3u);
+  EXPECT_EQ(lg.UnpackPath({0, 2}), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(lg.UnpackPath({0, 1, 2}), (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(LightGraphTest, UnpackOnlyArcsAreInvisibleToQueries) {
+  const std::vector<HierArc> arcs = {{0, 1, 3, kInvalidNode}};
+  const std::vector<HierArc> unpack_only = {{1, 2, 4, kInvalidNode}};
+  const LightGraph lg(3, arcs, unpack_only);
+  EXPECT_EQ(lg.NumArcs(), 1u);
+  EXPECT_EQ(lg.OutArcs(1).size(), 0u);  // Invisible to the search.
+  EXPECT_EQ(lg.NumUnpackArcs(), 2u);
+  std::vector<NodeId> out;
+  lg.AppendUnpacked(1, 2, &out);  // Still resolvable for expansion.
+  EXPECT_EQ(out, std::vector<NodeId>{2});
+}
+
+TEST(LightGraphTest, IllFormedUnpackTableThrowsInsteadOfSpinning) {
+  // A mutually recursive midpoint cycle that a corrupted index file could
+  // carry: expanding 0→1 would re-derive itself forever without the strict
+  // weight-descent check.
+  const std::vector<HierArc> arcs = {
+      {0, 1, 1, 2},
+      {0, 2, 1, kInvalidNode},
+      {2, 1, 1, kInvalidNode},
+  };
+  const LightGraph lg(3, arcs, /*unpack_only=*/{});
+  std::vector<NodeId> out;
+  EXPECT_THROW(lg.AppendUnpacked(0, 1, &out), std::logic_error);
+  // Unknown arcs are reported, not dereferenced.
+  EXPECT_THROW(lg.AppendUnpacked(1, 0, &out), std::logic_error);
+}
+
 }  // namespace
 }  // namespace ah

@@ -1,17 +1,20 @@
 // Save/load round-trips for every artifact with util/serialize.h-based
-// persistence (Graph, SearchGraph, ChIndex, AhIndex): the loaded copy must
-// answer queries identically, and re-saving it must reproduce the original
-// byte stream (so the format has no hidden state).
+// persistence (Graph, SearchGraph, ChIndex, AhIndex, FcIndex): the loaded
+// copy must answer queries identically, and re-saving it must reproduce the
+// original byte stream (so the format has no hidden state).
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <sstream>
 #include <string>
 
 #include "ch/ch_index.h"
 #include "core/ah_query.h"
+#include "fc/fc_index.h"
 #include "graph/graph.h"
 #include "hier/search_graph.h"
 #include "routing/dijkstra.h"
+#include "routing/path.h"
 #include "test_util.h"
 #include "util/rng.h"
 
@@ -115,24 +118,55 @@ TEST(SerializeRoundTripTest, AhIndexAnswersIdentically) {
   }
 }
 
+TEST(SerializeRoundTripTest, FcIndexAnswersIdentically) {
+  const Graph g = testing::MakeRoadGraph(14, 46);
+  const FcIndex built = FcIndex::Build(g);
+  const FcIndex loaded = ReloadAndCheckBytes(built);
+
+  ASSERT_EQ(loaded.NumNodes(), built.NumNodes());
+  // The grid stack is rebuilt from the stored coordinates on Load; it must
+  // come back structurally identical, or proximity queries would diverge.
+  ASSERT_EQ(loaded.grids().Depth(), built.grids().Depth());
+
+  FcQuery q1(built, FcQueryOptions{.use_proximity = false});
+  FcQuery q2(loaded, FcQueryOptions{.use_proximity = false});
+  Rng rng(46);
+  for (int i = 0; i < 80; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    ASSERT_EQ(q2.Distance(s, t), q1.Distance(s, t));
+    const PathResult p1 = q1.Path(s, t);
+    const PathResult p2 = q2.Path(s, t);
+    ASSERT_EQ(p2.length, p1.length);
+    EXPECT_EQ(p2.nodes, p1.nodes);
+    if (p1.Found()) {
+      EXPECT_TRUE(IsValidPath(g, p2.nodes, s, t, p2.length));
+    }
+  }
+}
+
 TEST(SerializeRoundTripTest, TruncatedStreamsAreRejected) {
   const Graph g = testing::MakeRandomGraph(30, 90, 45);
-  const std::string graph_bytes = Bytes(g);
   const ChIndex ch = ChIndex::Build(g);
-  const std::string ch_bytes = Bytes(ch);
+  const FcIndex fc = FcIndex::Build(g);
 
-  for (const std::string& bytes : {graph_bytes, ch_bytes}) {
+  struct Case {
+    std::string bytes;
+    std::function<void(std::istream&)> load;
+  };
+  const Case cases[] = {
+      {Bytes(g), [](std::istream& in) { Graph::Load(in); }},
+      {Bytes(ch), [](std::istream& in) { ChIndex::Load(in); }},
+      {Bytes(fc), [](std::istream& in) { FcIndex::Load(in); }},
+  };
+  for (const Case& c : cases) {
     // Chop the stream at several depths; every prefix must throw, never
     // crash or return a half-initialized artifact.
     for (std::size_t keep :
-         {std::size_t{0}, std::size_t{3}, bytes.size() / 2,
-          bytes.size() - 1}) {
-      std::stringstream in(bytes.substr(0, keep));
-      if (bytes == graph_bytes) {
-        EXPECT_THROW(Graph::Load(in), std::runtime_error) << keep;
-      } else {
-        EXPECT_THROW(ChIndex::Load(in), std::runtime_error) << keep;
-      }
+         {std::size_t{0}, std::size_t{3}, c.bytes.size() / 2,
+          c.bytes.size() - 1}) {
+      std::stringstream in(c.bytes.substr(0, keep));
+      EXPECT_THROW(c.load(in), std::runtime_error) << keep;
     }
   }
 }
