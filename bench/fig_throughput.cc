@@ -1,0 +1,136 @@
+// fig_throughput: aggregate query throughput of one shared immutable index
+// served to 1/2/4/8 threads through per-thread sessions (ConcurrentEngine) —
+// the repo's first scaling numbers, the serving-side counterpart of the
+// paper's per-query latency figures (Fig. 8/9).
+//
+// For every backend: build the index once, then answer the same batch of
+// uniform random queries at each thread count and report queries/sec and
+// speedup vs the smallest configured thread count (1 by default). The
+// distance checksum must be identical at every
+// thread count (each query is answered independently, so results are
+// positionally deterministic); any mismatch fails the run.
+//
+// Env knobs (on top of bench_common.h's AH_BENCH_SCALE / AH_BENCH_DATASETS):
+//   AH_BENCH_PAIRS    — queries per batch (default 2000).
+//   AH_BENCH_REPS     — batch repetitions per cell, best taken (default 3).
+//   AH_BENCH_THREADS  — space-separated thread counts (default "1 2 4 8").
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "api/concurrent_engine.h"
+#include "api/distance_oracle.h"
+#include "bench_common.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace ah;
+using namespace ah::bench;
+
+// Sorted ascending and deduplicated, so the first (smallest) count is the
+// speedup baseline even for a custom AH_BENCH_THREADS order.
+std::vector<std::size_t> ThreadCountsFromEnv() {
+  std::vector<std::size_t> counts;
+  if (const char* raw = std::getenv("AH_BENCH_THREADS")) {
+    const char* p = raw;
+    while (*p != '\0') {
+      char* end = nullptr;
+      const long v = std::strtol(p, &end, 10);
+      if (end == p) break;
+      if (v > 0) counts.push_back(static_cast<std::size_t>(v));
+      p = end;
+    }
+  }
+  if (counts.empty()) counts = {1, 2, 4, 8};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+  return counts;
+}
+
+std::vector<QueryPair> RandomPairs(const Graph& g, std::size_t count) {
+  Rng rng(20130624);
+  std::vector<QueryPair> pairs;
+  pairs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pairs.emplace_back(static_cast<NodeId>(rng.Uniform(g.NumNodes())),
+                       static_cast<NodeId>(rng.Uniform(g.NumNodes())));
+  }
+  return pairs;
+}
+
+Dist Checksum(const std::vector<Dist>& results) {
+  Dist sum = 0;
+  for (const Dist d : results) {
+    if (d != kInfDist) sum += d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t pairs_per_batch = EnvSizeT("AH_BENCH_PAIRS", 2000);
+  const std::size_t reps = EnvSizeT("AH_BENCH_REPS", 3);
+  const std::vector<std::size_t> thread_counts = ThreadCountsFromEnv();
+
+  PrintHeader("fig_throughput — concurrent query scaling",
+              "one shared index, N threads with per-thread sessions "
+              "(queries/sec, speedup vs the smallest thread count)");
+
+  std::size_t mismatches = 0;
+  for (const PreparedDataset& d : PrepareDatasets(BenchDatasetCountFromEnv(1))) {
+    const std::vector<QueryPair> batch = RandomPairs(d.graph, pairs_per_batch);
+
+    TextTable table({"dataset", "backend", "threads", "batch ms",
+                     "queries/s", "speedup", "checksum"});
+    for (const std::string& backend : OracleNames()) {
+      Timer build;
+      ConcurrentEngine engine(MakeOracle(backend, d.graph));
+      std::printf("[build] %-10s %.2fs\n", backend.c_str(), build.Seconds());
+      std::fflush(stdout);
+
+      double base_qps = 0;
+      Dist base_checksum = 0;
+      for (const std::size_t threads : thread_counts) {
+        double best_seconds = 0;
+        Dist checksum = 0;
+        for (std::size_t rep = 0; rep < reps; ++rep) {
+          Timer timer;
+          const std::vector<Dist> results =
+              engine.BatchDistance(batch, threads);
+          const double seconds = timer.Seconds();
+          if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
+          checksum = Checksum(results);
+        }
+        const double qps =
+            best_seconds > 0
+                ? static_cast<double>(batch.size()) / best_seconds
+                : 0;
+        if (threads == thread_counts.front()) {
+          base_qps = qps;
+          base_checksum = checksum;
+        } else if (checksum != base_checksum) {
+          ++mismatches;
+        }
+        table.AddRow({d.spec.name, backend, std::to_string(threads),
+                      TextTable::Num(best_seconds * 1e3, 2),
+                      TextTable::Int(static_cast<long long>(qps)),
+                      TextTable::Num(base_qps > 0 ? qps / base_qps : 0, 2),
+                      TextTable::Int(static_cast<long long>(checksum))});
+      }
+    }
+    table.Print();
+  }
+
+  if (mismatches != 0) {
+    std::printf("\nFAIL: %zu thread-count checksum mismatches\n", mismatches);
+    return 1;
+  }
+  std::printf("\nall thread counts agree on every backend's checksum\n");
+  return 0;
+}

@@ -1,22 +1,27 @@
-// route_server: a minimal interactive query service over an AH index —
-// reads queries from stdin, one per line, and answers immediately:
+// route_server: a minimal interactive query service over one shared AH
+// index, served through the ConcurrentEngine — the index is built once and
+// immutable; every query runs on a pooled per-thread session, and batch
+// commands fan out across the engine's worker threads.
 //
 //   d <s> <t>   distance query
 //   p <s> <t>   shortest path query (prints the node sequence, truncated)
-//   k <s> <k>   k nearest POIs (a fixed random POI set, bucket one-to-many)
+//   k <s> <k>   k nearest POIs (batch distance fan-out over a fixed POI set)
+//   b <n>       n random queries answered as one batch (prints queries/sec)
 //   q           quit
 //
 // Usage:  route_server [dimacs-base]     (synthetic network if omitted)
-// Demo:   printf 'd 0 500\np 0 500\nk 0 3\nq\n' | ./build/examples/route_server
+// Demo:   printf 'd 0 500\np 0 500\nk 0 3\nb 1000\nq\n' | ./build/examples/route_server
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
-#include "core/ah_query.h"
+#include "api/concurrent_engine.h"
+#include "api/distance_oracle.h"
 #include "gen/road_gen.h"
 #include "graph/dimacs.h"
-#include "hier/one_to_many.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -37,11 +42,14 @@ int main(int argc, char** argv) {
               graph.NumArcs());
 
   Timer build;
-  const AhIndex index = AhIndex::Build(graph);
-  std::printf("AH index ready in %.2fs (%.1f MB). Commands: d|p|k|q\n",
-              build.Seconds(),
-              static_cast<double>(index.SizeBytes()) / (1024.0 * 1024.0));
-  AhQuery query(index);
+  ConcurrentEngine engine(MakeOracle("ah", graph));
+  std::printf(
+      "AH index ready in %.2fs (%.1f MB), serving %zu worker threads. "
+      "Commands: d|p|k|b|q\n",
+      build.Seconds(),
+      static_cast<double>(engine.oracle().BuildStats().index_bytes) /
+          (1024.0 * 1024.0),
+      engine.NumThreads());
 
   // A fixed POI set for the k-nearest command.
   Rng rng(4);
@@ -49,7 +57,6 @@ int main(int argc, char** argv) {
   for (int i = 0; i < 50; ++i) {
     pois.push_back(static_cast<NodeId>(rng.Uniform(graph.NumNodes())));
   }
-  OneToMany poi_oracle(index.search_graph(), pois);
 
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -60,9 +67,10 @@ int main(int argc, char** argv) {
     if (cmd == 'q') break;
     NodeId a = 0;
     std::uint64_t b = 0;
-    ls >> a >> b;
-    if (!ls || a >= graph.NumNodes()) {
-      std::printf("? usage: d <s> <t> | p <s> <t> | k <s> <k> | q\n");
+    ls >> a;
+    if (cmd != 'b') ls >> b;
+    if (!ls || (cmd != 'b' && a >= graph.NumNodes())) {
+      std::printf("? usage: d <s> <t> | p <s> <t> | k <s> <k> | b <n> | q\n");
       continue;
     }
     Timer timer;
@@ -71,7 +79,7 @@ int main(int argc, char** argv) {
         std::printf("? node out of range\n");
         continue;
       }
-      const Dist d = query.Distance(a, static_cast<NodeId>(b));
+      const Dist d = engine.Distance(a, static_cast<NodeId>(b));
       std::printf("dist(%u, %llu) = %llu   [%.1f us]\n", a,
                   static_cast<unsigned long long>(b),
                   static_cast<unsigned long long>(d), timer.Micros());
@@ -80,7 +88,7 @@ int main(int argc, char** argv) {
         std::printf("? node out of range\n");
         continue;
       }
-      const PathResult p = query.Path(a, static_cast<NodeId>(b));
+      const PathResult p = engine.ShortestPath(a, static_cast<NodeId>(b));
       if (!p.Found()) {
         std::printf("no path\n");
         continue;
@@ -94,13 +102,59 @@ int main(int argc, char** argv) {
       if (p.nodes.size() > 12) std::printf(" ... %u", p.nodes.back());
       std::printf("\n");
     } else if (cmd == 'k') {
-      const auto nearest = poi_oracle.KNearest(a, b == 0 ? 5 : b);
-      std::printf("%zu nearest POIs from %u   [%.1f us]\n", nearest.size(), a,
-                  timer.Micros());
-      for (const auto& [node, d] : nearest) {
-        std::printf("  node %-8u travel time %llu\n", node,
-                    static_cast<unsigned long long>(d));
+      // k nearest POIs = one batch of |POI| distance queries fanned across
+      // the engine's threads, then a partial sort of the reachable ones.
+      std::vector<QueryPair> queries;
+      queries.reserve(pois.size());
+      for (const NodeId poi : pois) queries.emplace_back(a, poi);
+      const std::vector<Dist> dists = engine.BatchDistance(queries);
+      std::vector<std::pair<Dist, NodeId>> reachable;
+      for (std::size_t i = 0; i < pois.size(); ++i) {
+        if (dists[i] != kInfDist) reachable.emplace_back(dists[i], pois[i]);
       }
+      const std::size_t k = std::min<std::size_t>(b == 0 ? 5 : b,
+                                                  reachable.size());
+      std::partial_sort(reachable.begin(), reachable.begin() + k,
+                        reachable.end());
+      std::printf("%zu nearest POIs from %u   [%.1f us]\n", k, a,
+                  timer.Micros());
+      for (std::size_t i = 0; i < k; ++i) {
+        std::printf("  node %-8u travel time %llu\n", reachable[i].second,
+                    static_cast<unsigned long long>(reachable[i].first));
+      }
+    } else if (cmd == 'b') {
+      constexpr std::size_t kMaxBatch = 1000000;
+      if (a == 0 || a > kMaxBatch) {
+        std::printf("? usage: b <n> with 0 < n <= %zu\n", kMaxBatch);
+        continue;
+      }
+      const std::size_t count = a;
+      Rng batch_rng(count);
+      std::vector<QueryPair> queries;
+      queries.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        queries.emplace_back(
+            static_cast<NodeId>(batch_rng.Uniform(graph.NumNodes())),
+            static_cast<NodeId>(batch_rng.Uniform(graph.NumNodes())));
+      }
+      timer.Restart();
+      const std::vector<Dist> dists = engine.BatchDistance(queries);
+      const double seconds = timer.Seconds();
+      Dist checksum = 0;
+      std::size_t unreachable = 0;
+      for (const Dist d : dists) {
+        if (d == kInfDist) {
+          ++unreachable;
+        } else {
+          checksum += d;
+        }
+      }
+      std::printf(
+          "batch of %zu queries on %zu threads: %.1f ms, %.0f queries/s "
+          "(%zu unreachable, checksum %llu)\n",
+          count, engine.NumThreads(), seconds * 1e3,
+          seconds > 0 ? static_cast<double>(count) / seconds : 0.0,
+          unreachable, static_cast<unsigned long long>(checksum));
     } else {
       std::printf("? unknown command '%c'\n", cmd);
     }

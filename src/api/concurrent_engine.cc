@@ -1,0 +1,104 @@
+#include "api/concurrent_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/parallel.h"
+
+namespace ah {
+
+ConcurrentEngine::ConcurrentEngine(std::unique_ptr<DistanceOracle> oracle,
+                                   std::size_t num_threads)
+    : oracle_(std::move(oracle)),
+      num_threads_(num_threads == 0 ? WorkerThreads() : num_threads) {
+  if (!oracle_) {
+    throw std::invalid_argument("ConcurrentEngine: null oracle");
+  }
+}
+
+ConcurrentEngine::SessionLease::~SessionLease() {
+  if (engine_ != nullptr && session_ != nullptr) {
+    engine_->Release(std::move(session_));
+  }
+}
+
+ConcurrentEngine::SessionLease ConcurrentEngine::Lease() {
+  return SessionLease(this, Acquire());
+}
+
+Dist ConcurrentEngine::Distance(NodeId s, NodeId t) {
+  return Lease()->Distance(s, t);
+}
+
+PathResult ConcurrentEngine::ShortestPath(NodeId s, NodeId t) {
+  return Lease()->ShortestPath(s, t);
+}
+
+template <typename Body>
+void ConcurrentEngine::RunBatch(std::size_t n, std::size_t num_threads,
+                                const Body& body) {
+  if (n == 0) return;
+  std::size_t threads = num_threads == 0 ? num_threads_ : num_threads;
+  threads = std::max<std::size_t>(1, std::min(threads, n));
+
+  // One leased session per worker for the whole batch; ~4 chunks per worker
+  // so an expensive straggler query cannot idle the other threads.
+  std::vector<std::unique_ptr<QuerySession>> sessions(threads);
+  for (auto& session : sessions) session = Acquire();
+  const std::size_t chunk = std::max<std::size_t>(1, n / (threads * 4));
+  ParallelChunks(
+      n, chunk,
+      [&](std::size_t /*chunk_index*/, std::size_t begin, std::size_t end,
+          std::size_t tid) { body(*sessions[tid], begin, end); },
+      threads);
+  for (auto& session : sessions) Release(std::move(session));
+}
+
+std::vector<Dist> ConcurrentEngine::BatchDistance(
+    const std::vector<QueryPair>& queries, std::size_t num_threads) {
+  std::vector<Dist> results(queries.size(), kInfDist);
+  RunBatch(queries.size(), num_threads,
+           [&](QuerySession& session, std::size_t begin, std::size_t end) {
+             for (std::size_t i = begin; i < end; ++i) {
+               results[i] =
+                   session.Distance(queries[i].first, queries[i].second);
+             }
+           });
+  return results;
+}
+
+std::vector<PathResult> ConcurrentEngine::BatchShortestPath(
+    const std::vector<QueryPair>& queries, std::size_t num_threads) {
+  std::vector<PathResult> results(queries.size());
+  RunBatch(queries.size(), num_threads,
+           [&](QuerySession& session, std::size_t begin, std::size_t end) {
+             for (std::size_t i = begin; i < end; ++i) {
+               results[i] =
+                   session.ShortestPath(queries[i].first, queries[i].second);
+             }
+           });
+  return results;
+}
+
+std::unique_ptr<QuerySession> ConcurrentEngine::Acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!pool_.empty()) {
+      std::unique_ptr<QuerySession> session = std::move(pool_.back());
+      pool_.pop_back();
+      return session;
+    }
+  }
+  return oracle_->NewSession();
+}
+
+void ConcurrentEngine::Release(std::unique_ptr<QuerySession> session) {
+  if (session == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Cap the pool at twice the fan-out so a one-time burst of leases does not
+  // pin its peak count of graph-sized search-scratch sets forever; sessions
+  // beyond the cap are simply destroyed.
+  if (pool_.size() < num_threads_ * 2) pool_.push_back(std::move(session));
+}
+
+}  // namespace ah

@@ -1,0 +1,102 @@
+// Shared-index query engine: one built DistanceOracle (immutable) served to
+// many threads through pooled QuerySessions — the serving-side counterpart
+// of the index/session split in api/distance_oracle.h.
+//
+// Two ways in:
+//   * Batch: BatchDistance / BatchShortestPath fan a query vector across
+//     WorkerThreads() via util/parallel.h, one leased session per worker.
+//     Results are positionally deterministic (each query is answered
+//     independently), so output is identical at any thread count.
+//   * Interactive: Lease() hands out an RAII session for a caller-managed
+//     thread (e.g. one per server connection); Distance/ShortestPath are
+//     one-shot conveniences that lease internally.
+//
+// The engine owns the oracle; the graph behind the oracle must outlive the
+// engine. All public methods are thread-safe.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "api/distance_oracle.h"
+#include "routing/path.h"
+#include "util/types.h"
+
+namespace ah {
+
+/// One (source, target) batch query.
+using QueryPair = std::pair<NodeId, NodeId>;
+
+class ConcurrentEngine {
+ public:
+  /// Wraps a built oracle. `num_threads` caps batch fan-out (0 = the
+  /// util/parallel.h WorkerThreads() default). Throws std::invalid_argument
+  /// on a null oracle.
+  explicit ConcurrentEngine(std::unique_ptr<DistanceOracle> oracle,
+                            std::size_t num_threads = 0);
+
+  const DistanceOracle& oracle() const { return *oracle_; }
+  std::size_t NumThreads() const { return num_threads_; }
+
+  /// RAII lease of a pooled session: dereference to query, destroy (or move
+  /// from) to return the session to the pool for reuse. A lease holds a
+  /// pointer back into the engine and MUST NOT outlive it — destroy all
+  /// leases (e.g. per-connection handles) before tearing the engine down.
+  class SessionLease {
+   public:
+    SessionLease(SessionLease&& other) noexcept
+        : engine_(other.engine_), session_(std::move(other.session_)) {
+      other.engine_ = nullptr;
+    }
+    SessionLease& operator=(SessionLease&&) = delete;
+    SessionLease(const SessionLease&) = delete;
+    SessionLease& operator=(const SessionLease&) = delete;
+    ~SessionLease();
+
+    QuerySession& operator*() const { return *session_; }
+    QuerySession* operator->() const { return session_.get(); }
+
+   private:
+    friend class ConcurrentEngine;
+    SessionLease(ConcurrentEngine* engine,
+                 std::unique_ptr<QuerySession> session)
+        : engine_(engine), session_(std::move(session)) {}
+
+    ConcurrentEngine* engine_;
+    std::unique_ptr<QuerySession> session_;
+  };
+
+  /// Leases a session from the pool (creating one if none is free).
+  SessionLease Lease();
+
+  /// One-shot conveniences; thread-safe (each call leases a session).
+  Dist Distance(NodeId s, NodeId t);
+  PathResult ShortestPath(NodeId s, NodeId t);
+
+  /// Answers all queries, fanned across worker threads; results[i] matches
+  /// queries[i]. `num_threads` overrides the engine's fan-out for this call
+  /// (0 = engine default) — the bench sweeps it; servers leave it alone.
+  std::vector<Dist> BatchDistance(const std::vector<QueryPair>& queries,
+                                  std::size_t num_threads = 0);
+  std::vector<PathResult> BatchShortestPath(
+      const std::vector<QueryPair>& queries, std::size_t num_threads = 0);
+
+ private:
+  // Runs body(session, begin, end) over chunks of [0, n) on `num_threads`
+  // workers, each holding one leased session for the whole batch.
+  template <typename Body>
+  void RunBatch(std::size_t n, std::size_t num_threads, const Body& body);
+
+  std::unique_ptr<QuerySession> Acquire();
+  void Release(std::unique_ptr<QuerySession> session);
+
+  std::unique_ptr<DistanceOracle> oracle_;
+  std::size_t num_threads_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<QuerySession>> pool_;
+};
+
+}  // namespace ah

@@ -16,11 +16,15 @@ namespace ah {
 
 namespace {
 
-class DijkstraOracle final : public DistanceOracle {
- public:
-  explicit DijkstraOracle(const Graph& g) : DistanceOracle(g), engine_(g) {}
+// Each oracle below owns only the immutable index; all mutable search state
+// (heaps, timestamped labels, parent arrays) lives in the session types, so
+// NewSession() const hands out independent per-thread query engines over the
+// one shared index.
 
-  std::string_view Name() const override { return "dijkstra"; }
+class DijkstraSession final : public QuerySession {
+ public:
+  explicit DijkstraSession(const Graph& g) : engine_(g) {}
+
   Dist Distance(NodeId s, NodeId t) override { return engine_.Distance(s, t); }
 
   PathResult ShortestPath(NodeId s, NodeId t) override {
@@ -34,12 +38,20 @@ class DijkstraOracle final : public DistanceOracle {
   Dijkstra engine_;
 };
 
-class BidirectionalOracle final : public DistanceOracle {
+class DijkstraOracle final : public DistanceOracle {
  public:
-  explicit BidirectionalOracle(const Graph& g)
-      : DistanceOracle(g), engine_(g) {}
+  explicit DijkstraOracle(const Graph& g) : DistanceOracle(g) {}
 
-  std::string_view Name() const override { return "bidijkstra"; }
+  std::string_view Name() const override { return "dijkstra"; }
+  std::unique_ptr<QuerySession> NewSession() const override {
+    return std::make_unique<DijkstraSession>(graph());
+  }
+};
+
+class BidirectionalSession final : public QuerySession {
+ public:
+  explicit BidirectionalSession(const Graph& g) : engine_(g) {}
+
   Dist Distance(NodeId s, NodeId t) override { return engine_.Distance(s, t); }
 
   PathResult ShortestPath(NodeId s, NodeId t) override {
@@ -53,23 +65,57 @@ class BidirectionalOracle final : public DistanceOracle {
   BidirectionalDijkstra engine_;
 };
 
-class ChOracle final : public DistanceOracle {
+class BidirectionalOracle final : public DistanceOracle {
  public:
-  explicit ChOracle(const Graph& g)
-      : DistanceOracle(g), index_(ChIndex::Build(g)), query_(index_) {
-    build_stats_.seconds = index_.build_stats().seconds;
-    build_stats_.index_bytes = index_.SizeBytes();
-  }
+  explicit BidirectionalOracle(const Graph& g) : DistanceOracle(g) {}
 
-  std::string_view Name() const override { return "ch"; }
+  std::string_view Name() const override { return "bidijkstra"; }
+  std::unique_ptr<QuerySession> NewSession() const override {
+    return std::make_unique<BidirectionalSession>(graph());
+  }
+};
+
+class ChSession final : public QuerySession {
+ public:
+  explicit ChSession(const ChIndex& index) : query_(index) {}
+
   Dist Distance(NodeId s, NodeId t) override { return query_.Distance(s, t); }
   PathResult ShortestPath(NodeId s, NodeId t) override {
     return query_.Path(s, t);
   }
 
  private:
-  ChIndex index_;
   ChQuery query_;
+};
+
+class ChOracle final : public DistanceOracle {
+ public:
+  explicit ChOracle(const Graph& g)
+      : DistanceOracle(g), index_(ChIndex::Build(g)) {
+    build_stats_.seconds = index_.build_stats().seconds;
+    build_stats_.index_bytes = index_.SizeBytes();
+  }
+
+  std::string_view Name() const override { return "ch"; }
+  std::unique_ptr<QuerySession> NewSession() const override {
+    return std::make_unique<ChSession>(index_);
+  }
+
+ private:
+  ChIndex index_;
+};
+
+class AltSession final : public QuerySession {
+ public:
+  AltSession(const Graph& g, const AltIndex& index) : query_(g, index) {}
+
+  Dist Distance(NodeId s, NodeId t) override { return query_.Distance(s, t); }
+  PathResult ShortestPath(NodeId s, NodeId t) override {
+    return query_.Path(s, t);
+  }
+
+ private:
+  AltQuery query_;
 };
 
 class AltOracle final : public DistanceOracle {
@@ -77,21 +123,33 @@ class AltOracle final : public DistanceOracle {
   AltOracle(const Graph& g, const OracleOptions& options)
       : DistanceOracle(g),
         index_(AltIndex::Build(
-            g, AltParams{options.alt_landmarks, options.seed})),
-        query_(g, index_) {
+            g, AltParams{options.alt_landmarks, options.seed})) {
     build_stats_.seconds = index_.build_seconds();
     build_stats_.index_bytes = index_.SizeBytes();
   }
 
   std::string_view Name() const override { return "alt"; }
-  Dist Distance(NodeId s, NodeId t) override { return query_.Distance(s, t); }
-  PathResult ShortestPath(NodeId s, NodeId t) override {
-    return query_.Path(s, t);
+  std::unique_ptr<QuerySession> NewSession() const override {
+    return std::make_unique<AltSession>(graph(), index_);
   }
 
  private:
   AltIndex index_;
-  AltQuery query_;
+};
+
+// SILC queries are pure reads of the quadtree tables (no search scratch at
+// all), so the session is a stateless forwarder.
+class SilcSession final : public QuerySession {
+ public:
+  explicit SilcSession(const SilcIndex& index) : index_(index) {}
+
+  Dist Distance(NodeId s, NodeId t) override { return index_.Distance(s, t); }
+  PathResult ShortestPath(NodeId s, NodeId t) override {
+    return index_.Path(s, t);
+  }
+
+ private:
+  const SilcIndex& index_;
 };
 
 class SilcOracle final : public DistanceOracle {
@@ -103,29 +161,23 @@ class SilcOracle final : public DistanceOracle {
   }
 
   std::string_view Name() const override { return "silc"; }
-  Dist Distance(NodeId s, NodeId t) override { return index_.Distance(s, t); }
-  PathResult ShortestPath(NodeId s, NodeId t) override {
-    return index_.Path(s, t);
+  std::unique_ptr<QuerySession> NewSession() const override {
+    return std::make_unique<SilcSession>(index_);
   }
 
  private:
   SilcIndex index_;
 };
 
-class FcOracle final : public DistanceOracle {
+class FcSession final : public QuerySession {
  public:
-  FcOracle(const Graph& g, const OracleOptions& options)
-      : DistanceOracle(g),
-        index_(FcIndex::Build(g, MakeParams(options))),
-        query_(index_, FcQueryOptions{options.fc_proximity}) {
-    if (options.fc_proximity) {
-      path_query_.emplace(index_, FcQueryOptions{/*use_proximity=*/false});
+  FcSession(const FcIndex& index, bool use_proximity)
+      : query_(index, FcQueryOptions{use_proximity}) {
+    if (use_proximity) {
+      path_query_.emplace(index, FcQueryOptions{/*use_proximity=*/false});
     }
-    build_stats_.seconds = index_.build_stats().seconds;
-    build_stats_.index_bytes = index_.SizeBytes();
   }
 
-  std::string_view Name() const override { return "fc"; }
   Dist Distance(NodeId s, NodeId t) override { return query_.Distance(s, t); }
 
   /// Native path recovery: FC shortcuts carry midpoints, so paths come from
@@ -139,6 +191,28 @@ class FcOracle final : public DistanceOracle {
   }
 
  private:
+  FcQuery query_;
+  // Exact (level-constraint-only) path engine; only materialized when
+  // query_ runs with the proximity heuristic.
+  std::optional<FcQuery> path_query_;
+};
+
+class FcOracle final : public DistanceOracle {
+ public:
+  FcOracle(const Graph& g, const OracleOptions& options)
+      : DistanceOracle(g),
+        index_(FcIndex::Build(g, MakeParams(options))),
+        use_proximity_(options.fc_proximity) {
+    build_stats_.seconds = index_.build_stats().seconds;
+    build_stats_.index_bytes = index_.SizeBytes();
+  }
+
+  std::string_view Name() const override { return "fc"; }
+  std::unique_ptr<QuerySession> NewSession() const override {
+    return std::make_unique<FcSession>(index_, use_proximity_);
+  }
+
+ private:
   static FcParams MakeParams(const OracleOptions& options) {
     FcParams params;
     params.seed = options.seed;
@@ -146,10 +220,21 @@ class FcOracle final : public DistanceOracle {
   }
 
   FcIndex index_;
-  FcQuery query_;
-  // Exact (level-constraint-only) path engine; only materialized when
-  // query_ runs with the proximity heuristic.
-  std::optional<FcQuery> path_query_;
+  bool use_proximity_;
+};
+
+class AhSession final : public QuerySession {
+ public:
+  AhSession(const AhIndex& index, const AhQueryOptions& options)
+      : query_(index, options) {}
+
+  Dist Distance(NodeId s, NodeId t) override { return query_.Distance(s, t); }
+  PathResult ShortestPath(NodeId s, NodeId t) override {
+    return query_.Path(s, t);
+  }
+
+ private:
+  AhQuery query_;
 };
 
 class AhOracle final : public DistanceOracle {
@@ -157,19 +242,18 @@ class AhOracle final : public DistanceOracle {
   AhOracle(const Graph& g, const OracleOptions& options)
       : DistanceOracle(g),
         index_(AhIndex::Build(g, MakeParams(options))),
-        query_(index_, AhQueryOptions{options.ah_pruned ? AhQueryMode::kPruned
-                                                        : AhQueryMode::kExact,
-                                      /*use_proximity=*/true,
-                                      /*use_elevating=*/true,
-                                      /*max_seed_walk=*/256}) {
+        query_options_{options.ah_pruned ? AhQueryMode::kPruned
+                                         : AhQueryMode::kExact,
+                       /*use_proximity=*/true,
+                       /*use_elevating=*/true,
+                       /*max_seed_walk=*/256} {
     build_stats_.seconds = index_.build_stats().total_seconds;
     build_stats_.index_bytes = index_.SizeBytes();
   }
 
   std::string_view Name() const override { return "ah"; }
-  Dist Distance(NodeId s, NodeId t) override { return query_.Distance(s, t); }
-  PathResult ShortestPath(NodeId s, NodeId t) override {
-    return query_.Path(s, t);
+  std::unique_ptr<QuerySession> NewSession() const override {
+    return std::make_unique<AhSession>(index_, query_options_);
   }
 
  private:
@@ -183,7 +267,7 @@ class AhOracle final : public DistanceOracle {
   }
 
   AhIndex index_;
-  AhQuery query_;
+  AhQueryOptions query_options_;
 };
 
 }  // namespace

@@ -1,8 +1,21 @@
 // The unified query interface every backend implements — the repo's analogue
 // of the single evaluation harness the experimental-comparison literature
 // (Wu et al., VLDB'12) runs all methods through. One `Graph` in, one oracle
-// out; distances and paths answered through the same four entry points
-// regardless of which index sits behind them.
+// out; distances and paths answered through the same entry points regardless
+// of which index sits behind them.
+//
+// Thread-safety contract (the index/session split):
+//   * A DistanceOracle is the *immutable* half: the built index plus the
+//     graph reference. After construction it is never mutated by queries,
+//     so one oracle may be shared by any number of threads.
+//   * A QuerySession is the *mutable* half: the per-thread search state
+//     (heaps, timestamped distance labels, parent arrays). Sessions are
+//     cheap to create via NewSession(), are NOT thread-safe individually,
+//     and any number of them may query the same oracle concurrently.
+//   * The convenience methods DistanceOracle::Distance/ShortestPath route
+//     through one lazily created default session and are therefore
+//     single-threaded convenience only — concurrent callers must hold their
+//     own session (or use ConcurrentEngine, which pools them).
 //
 // Backends (factory names):
 //   dijkstra      — unidirectional Dijkstra, no preprocessing (the oracle the
@@ -17,6 +30,7 @@
 //                   default, the paper's pruned mode behind an option.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -34,16 +48,14 @@ struct OracleBuildStats {
   std::size_t index_bytes = 0;   ///< In-memory index footprint.
 };
 
-/// Abstract exact distance/path oracle over one graph. Implementations keep
-/// a reference to the graph passed at construction; the graph must outlive
-/// the oracle. Query methods are non-const because engines reuse internal
-/// timestamped search state (one oracle per thread).
-class DistanceOracle {
+/// Per-thread query state over one oracle's immutable index. A session only
+/// ever *reads* the shared index, so any number of sessions may run
+/// concurrently against the same oracle; one session must not be used from
+/// two threads at once. Sessions hold references into the owning oracle and
+/// must not outlive it.
+class QuerySession {
  public:
-  virtual ~DistanceOracle() = default;
-
-  /// Stable lower-case backend identifier (e.g. "ch").
-  virtual std::string_view Name() const = 0;
+  virtual ~QuerySession() = default;
 
   /// Exact distance from s to t; kInfDist if t is unreachable.
   virtual Dist Distance(NodeId s, NodeId t) = 0;
@@ -51,6 +63,30 @@ class DistanceOracle {
   /// Exact shortest path in the original graph. `Found()` is false iff t is
   /// unreachable; for s == t the result is the single-node path of length 0.
   virtual PathResult ShortestPath(NodeId s, NodeId t) = 0;
+};
+
+/// Abstract exact distance/path oracle over one graph: the immutable index.
+/// Implementations keep a reference to the graph passed at construction; the
+/// graph must outlive the oracle. Everything a query reads is built once and
+/// then const — mutable search state lives in QuerySession objects.
+class DistanceOracle {
+ public:
+  virtual ~DistanceOracle() = default;
+
+  /// Stable lower-case backend identifier (e.g. "ch").
+  virtual std::string_view Name() const = 0;
+
+  /// Creates an independent per-thread query session over this oracle's
+  /// index. Thread-safe: may be called concurrently from any thread.
+  virtual std::unique_ptr<QuerySession> NewSession() const = 0;
+
+  /// Single-threaded convenience: Distance/ShortestPath through one lazily
+  /// created default session. NOT safe to call concurrently — each thread
+  /// beyond the first must use NewSession().
+  Dist Distance(NodeId s, NodeId t) { return DefaultSession().Distance(s, t); }
+  PathResult ShortestPath(NodeId s, NodeId t) {
+    return DefaultSession().ShortestPath(s, t);
+  }
 
   /// Preprocessing cost (zeros for search-only backends).
   virtual const OracleBuildStats& BuildStats() const { return build_stats_; }
@@ -61,7 +97,9 @@ class DistanceOracle {
   /// oracle's lifetime. Test hook: backends with native path recovery (all
   /// built-in backends since FC gained midpoint unpacking) must leave it at
   /// zero.
-  std::size_t PathProbeCalls() const { return path_probe_calls_; }
+  std::size_t PathProbeCalls() const {
+    return path_probe_calls_.load(std::memory_order_relaxed);
+  }
 
  protected:
   explicit DistanceOracle(const Graph& g) : graph_(&g) {}
@@ -76,7 +114,8 @@ class DistanceOracle {
   template <typename DistanceFn>
   PathResult PathByDistanceProbes(NodeId s, NodeId t, DistanceFn&& distance);
 
-  /// Convenience overload probing through the oracle's own Distance().
+  /// Convenience overload probing through the oracle's own (default-session)
+  /// Distance(). Single-threaded only, like the method it delegates to.
   PathResult PathByDistanceProbes(NodeId s, NodeId t) {
     return PathByDistanceProbes(
         s, t, [this](NodeId a, NodeId b) { return Distance(a, b); });
@@ -84,7 +123,15 @@ class DistanceOracle {
 
   const Graph* graph_;
   OracleBuildStats build_stats_;
-  std::size_t path_probe_calls_ = 0;
+  std::atomic<std::size_t> path_probe_calls_{0};
+
+ private:
+  QuerySession& DefaultSession() {
+    if (!default_session_) default_session_ = NewSession();
+    return *default_session_;
+  }
+
+  std::unique_ptr<QuerySession> default_session_;
 };
 
 /// Free-function form of the §2 probe reduction, shared by
@@ -124,11 +171,11 @@ PathResult RecoverPathByDistanceProbes(const Graph& g, NodeId s, NodeId t,
 template <typename DistanceFn>
 PathResult DistanceOracle::PathByDistanceProbes(NodeId s, NodeId t,
                                                 DistanceFn&& distance) {
-  return RecoverPathByDistanceProbes(*graph_, s, t,
-                                     [&](NodeId a, NodeId b) {
-                                       ++path_probe_calls_;
-                                       return distance(a, b);
-                                     });
+  return RecoverPathByDistanceProbes(
+      *graph_, s, t, [&](NodeId a, NodeId b) {
+        path_probe_calls_.fetch_add(1, std::memory_order_relaxed);
+        return distance(a, b);
+      });
 }
 
 struct OracleOptions {

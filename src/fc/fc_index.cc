@@ -1,11 +1,13 @@
 #include "fc/fc_index.h"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 #include "arterial/arterial.h"
 #include "hier/contraction.h"
 #include "perturb/perturb.h"
+#include "util/parallel.h"
 #include "util/serialize.h"
 #include "util/timer.h"
 
@@ -50,30 +52,47 @@ FcIndex FcIndex::Build(const Graph& g, const FcParams& params) {
   const std::size_t original_arcs = hier_arcs.size();
   std::vector<HierArc> unpack_arcs;
 
-  IndexedHeap heap(n);
-  std::vector<Dist> dist(n, kInfDist);
-  std::vector<Level> max_internal(n, 0);  // Encoded: 0 = none, k+1 = level k.
-  std::vector<NodeId> parent(n, kInvalidNode);
-  std::vector<std::uint32_t> stamp(n, 0);
-  std::vector<std::uint32_t> entry_stamp(n, 0);  // Has a (u,·) search entry.
-  std::vector<NodeId> shortcut_heads;
-  std::uint32_t round = 0;
+  // The per-source searches are independent: chunk the sources across
+  // worker threads (per-thread scratch, per-chunk output) and concatenate
+  // the chunk outputs in chunk order — sources are ascending within a chunk
+  // and chunks cover ascending ranges, so the arc order (and therefore the
+  // built index) is bit-identical to the sequential build at any thread
+  // count, the same guarantee util/parallel.h documents.
+  struct SearchScratch {
+    explicit SearchScratch(std::size_t nodes)
+        : heap(nodes),
+          dist(nodes, kInfDist),
+          max_internal(nodes, 0),
+          parent(nodes, kInvalidNode),
+          stamp(nodes, 0),
+          entry_stamp(nodes, 0) {}
+    IndexedHeap heap;
+    std::vector<Dist> dist;
+    std::vector<Level> max_internal;  // Encoded: 0 = none, k+1 = level k.
+    std::vector<NodeId> parent;
+    std::vector<std::uint32_t> stamp;
+    std::vector<std::uint32_t> entry_stamp;  // Has a (u,·) search entry.
+    std::vector<NodeId> shortcut_heads;
+    std::uint32_t round = 0;
+  };
 
-  for (NodeId u = 0; u < n; ++u) {
+  const auto search_from = [&](NodeId u, SearchScratch& sc,
+                               std::vector<HierArc>& shortcuts,
+                               std::vector<HierArc>& unpack) {
     const Level lu = index.level_[u];
-    ++round;
-    heap.Clear();
-    shortcut_heads.clear();
-    stamp[u] = round;
-    dist[u] = 0;
-    max_internal[u] = 0;
-    parent[u] = kInvalidNode;
-    heap.PushOrDecrease(u, 0);
-    while (!heap.Empty()) {
-      auto [key, x] = heap.PopMin();
+    const std::uint32_t round = ++sc.round;
+    sc.heap.Clear();
+    sc.shortcut_heads.clear();
+    sc.stamp[u] = round;
+    sc.dist[u] = 0;
+    sc.max_internal[u] = 0;
+    sc.parent[u] = kInvalidNode;
+    sc.heap.PushOrDecrease(u, 0);
+    while (!sc.heap.Empty()) {
+      auto [key, x] = sc.heap.PopMin();
       const Dist dx = key / kEncBase;
       const Level enc_x = static_cast<Level>(key % kEncBase);
-      if (dx > dist[x] || (dx == dist[x] && enc_x > max_internal[x])) {
+      if (dx > sc.dist[x] || (dx == sc.dist[x] && enc_x > sc.max_internal[x])) {
         continue;  // Stale entry.
       }
       if (x != u) {
@@ -82,10 +101,10 @@ FcIndex FcIndex::Build(const Graph& g, const FcParams& params) {
         if (enc_x == 0 || internal < std::min(lu, lv)) {
           // enc_x == 0 iff the certified path is the direct arc u→x, in
           // which case parent[x] == u and the midpoint stays invalid.
-          const NodeId mid = parent[x] == u ? kInvalidNode : parent[x];
-          hier_arcs.push_back(HierArc{u, x, static_cast<Weight>(dx), mid});
-          entry_stamp[x] = round;
-          shortcut_heads.push_back(x);
+          const NodeId mid = sc.parent[x] == u ? kInvalidNode : sc.parent[x];
+          shortcuts.push_back(HierArc{u, x, static_cast<Weight>(dx), mid});
+          sc.entry_stamp[x] = round;
+          sc.shortcut_heads.push_back(x);
         }
         // Expanding through x makes x internal; prune when that can never
         // qualify (internal level >= lu).
@@ -95,34 +114,62 @@ FcIndex FcIndex::Build(const Graph& g, const FcParams& params) {
           x == u ? 0
                  : std::max(enc_x, static_cast<Level>(index.level_[x] + 1));
       for (const Arc& a : g.OutArcs(x)) {
-        const Dist nd = dist[x] + a.weight;
+        const Dist nd = sc.dist[x] + a.weight;
         const Dist nkey = nd * kEncBase + static_cast<Dist>(enc_via);
-        if (stamp[a.head] != round || nd < dist[a.head] ||
-            (nd == dist[a.head] &&
-             enc_via < max_internal[a.head])) {
-          stamp[a.head] = round;
-          dist[a.head] = nd;
-          max_internal[a.head] = enc_via;
-          parent[a.head] = x;
-          heap.PushOrDecrease(a.head, nkey);
+        if (sc.stamp[a.head] != round || nd < sc.dist[a.head] ||
+            (nd == sc.dist[a.head] && enc_via < sc.max_internal[a.head])) {
+          sc.stamp[a.head] = round;
+          sc.dist[a.head] = nd;
+          sc.max_internal[a.head] = enc_via;
+          sc.parent[a.head] = x;
+          sc.heap.PushOrDecrease(a.head, nkey);
         }
       }
     }
     // Parent-chain closure: chain nodes without a shortcut of their own get
     // an unpack-only arc. Chains of distinct shortcuts share suffixes, so
     // each node is emitted at most once per source.
-    for (const NodeId v : shortcut_heads) {
-      for (NodeId x = parent[v]; x != u && entry_stamp[x] != round;
-           x = parent[x]) {
-        entry_stamp[x] = round;
-        if (parent[x] != u) {
-          unpack_arcs.push_back(
-              HierArc{u, x, static_cast<Weight>(dist[x]), parent[x]});
+    for (const NodeId v : sc.shortcut_heads) {
+      for (NodeId x = sc.parent[v]; x != u && sc.entry_stamp[x] != round;
+           x = sc.parent[x]) {
+        sc.entry_stamp[x] = round;
+        if (sc.parent[x] != u) {
+          unpack.push_back(
+              HierArc{u, x, static_cast<Weight>(sc.dist[x]), sc.parent[x]});
         }
-        // parent[x] == u: (u,x) is the original min-weight arc, which is
+        // sc.parent[x] == u: (u,x) is the original min-weight arc, which is
         // already in the table.
       }
     }
+  };
+
+  const std::size_t threads =
+      params.build_threads == 0 ? WorkerThreads() : params.build_threads;
+  // Fixed chunk size (independent of thread count) so chunk boundaries —
+  // and therefore the merged arc order — never vary with parallelism.
+  const std::size_t chunk_size = 64;
+  const std::size_t num_chunks = n == 0 ? 0 : (n + chunk_size - 1) / chunk_size;
+  std::vector<std::vector<HierArc>> chunk_shortcuts(num_chunks);
+  std::vector<std::vector<HierArc>> chunk_unpack(num_chunks);
+  std::vector<std::unique_ptr<SearchScratch>> scratch(
+      std::min<std::size_t>(std::max<std::size_t>(threads, 1), num_chunks));
+  ParallelChunks(
+      n, chunk_size,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end,
+          std::size_t tid) {
+        if (!scratch[tid]) scratch[tid] = std::make_unique<SearchScratch>(n);
+        SearchScratch& sc = *scratch[tid];
+        for (std::size_t u = begin; u < end; ++u) {
+          search_from(static_cast<NodeId>(u), sc, chunk_shortcuts[chunk],
+                      chunk_unpack[chunk]);
+        }
+      },
+      threads);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    hier_arcs.insert(hier_arcs.end(), chunk_shortcuts[c].begin(),
+                     chunk_shortcuts[c].end());
+    unpack_arcs.insert(unpack_arcs.end(), chunk_unpack[c].begin(),
+                       chunk_unpack[c].end());
   }
   index.build_stats_.shortcuts = hier_arcs.size() - original_arcs;
   index.build_stats_.unpack_arcs = unpack_arcs.size();

@@ -14,7 +14,9 @@
 //
 // As §3.3 explains, FC's preprocessing is what AH fixes: it is quadratic-ish
 // and only applicable to small networks. Build() is intended for graphs up
-// to a few tens of thousands of nodes.
+// to a few tens of thousands of nodes. The per-source shortcut searches are
+// embarrassingly parallel and run on ParallelChunks with per-thread scratch;
+// chunk-ordered merging keeps the result deterministic at any thread count.
 //
 // Correctness note: with the level constraint alone FC is exact on *any*
 // graph and *any* level function (the §3.4 upswing argument only uses the
@@ -38,6 +40,11 @@ namespace ah {
 struct FcParams {
   std::int32_t max_grid_depth = 14;
   std::uint64_t seed = 7;
+  /// Worker threads for the per-source shortcut searches (0 = the
+  /// util/parallel.h WorkerThreads() default). The built index is
+  /// bit-identical regardless of thread count: per-chunk outputs are merged
+  /// in chunk order.
+  std::size_t build_threads = 0;
 };
 
 struct FcBuildStats {

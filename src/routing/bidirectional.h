@@ -1,6 +1,9 @@
 // Plain bidirectional Dijkstra — the unconstrained version of the two-sided
 // traversal FC and AH build on (Section 3.2's termination rule: stop a side
 // once the best meeting distance θ is no larger than its queue minimum).
+// Like Dijkstra, an instance is per-thread search state over a shared const
+// Graph: instances never mutate the graph, so one per thread may run
+// concurrently on the same network.
 #pragma once
 
 #include <cstdint>

@@ -1,9 +1,12 @@
 // Dijkstra's algorithm (the paper's baseline and the workhorse inside every
 // preprocessing step).
 //
-// A Dijkstra object owns reusable buffers sized to one graph; running many
+// A Dijkstra object is pure per-thread search state over a shared const
+// Graph: it owns reusable buffers sized to one graph, and running many
 // searches on the same instance costs O(#touched) cleanup per search, not
-// O(n) (timestamped distance labels).
+// O(n) (timestamped distance labels). It never mutates the graph, so any
+// number of instances may search the same graph concurrently — one instance
+// per thread (this is what api/ sessions wrap).
 #pragma once
 
 #include <cstdint>

@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -127,6 +128,61 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::ValuesIn(OracleNames()),
                        ::testing::ValuesIn(kScenarios)),
     ParamName);
+
+// Concurrency scenario: one immutable index per backend, shared by several
+// threads that each query through their own session (created concurrently,
+// exercising NewSession()'s thread-safety too). Every thread walks the query
+// pairs in a different order so the per-session timestamped search states
+// desynchronize; all answers must match the single-threaded Dijkstra oracle.
+// Run under TSan by the dedicated CI job.
+TEST(ConformanceConcurrencyTest, SharedIndexServesParallelSessions) {
+  const Graph g = testing::MakeRoadGraph(10, 12);
+  Dijkstra reference(g);
+  const auto pairs = QueryPairs(g, 77);
+  std::vector<Dist> expected;
+  expected.reserve(pairs.size());
+  for (const auto& [s, t] : pairs) expected.push_back(reference.Distance(s, t));
+
+  constexpr std::size_t kThreads = 4;
+  for (const std::string& backend : OracleNames()) {
+    const std::unique_ptr<DistanceOracle> oracle = MakeOracle(backend, g);
+    std::vector<std::vector<Dist>> got(kThreads);
+    std::vector<PathResult> sample_path(kThreads);
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (std::size_t w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&, w] {
+        const std::unique_ptr<QuerySession> session = oracle->NewSession();
+        got[w].reserve(pairs.size());
+        // Rotated start offset: thread w begins at pair w * 7.
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+          const auto& [s, t] = pairs[(i + w * 7) % pairs.size()];
+          got[w].push_back(session->Distance(s, t));
+        }
+        sample_path[w] = session->ShortestPath(
+            pairs[w % pairs.size()].first, pairs[w % pairs.size()].second);
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+
+    for (std::size_t w = 0; w < kThreads; ++w) {
+      for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const std::size_t j = (i + w * 7) % pairs.size();
+        ASSERT_EQ(got[w][i], expected[j])
+            << backend << ": thread " << w << " d(" << pairs[j].first << ", "
+            << pairs[j].second << ")";
+      }
+      const auto& [ps, pt] = pairs[w % pairs.size()];
+      ASSERT_EQ(sample_path[w].length, expected[w % pairs.size()])
+          << backend << ": thread " << w << " path length";
+      if (sample_path[w].Found()) {
+        EXPECT_TRUE(
+            IsValidPath(g, sample_path[w].nodes, ps, pt, sample_path[w].length))
+            << backend << ": thread " << w << " infeasible path";
+      }
+    }
+  }
+}
 
 // The paper's full pruned AH query and FC's proximity constraint assume
 // road-like inputs; on those they must still be exact.

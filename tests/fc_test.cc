@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "fc/fc_index.h"
 #include "routing/dijkstra.h"
 #include "routing/path.h"
@@ -167,6 +169,28 @@ TEST(FcTest, ConstrainedSearchSettlesFewerNodes) {
   query.Distance(s, t);
   dijkstra.Distance(s, t);
   EXPECT_LT(query.LastSettled(), dijkstra.SettledNodes().size());
+}
+
+// The per-source shortcut searches run on ParallelChunks; chunk-ordered
+// merging must make the built hierarchy bit-identical at any thread count.
+// (FcIndex::Save embeds wall-clock build timings, so the comparison runs on
+// the structural data: levels plus the serialized hierarchy.)
+TEST(FcTest, ParallelBuildIsDeterministicAcrossThreadCounts) {
+  Graph g = testing::MakeRoadGraph(14, 9);
+  const FcIndex serial = FcIndex::Build(g, FcParams{.build_threads = 1});
+  const FcIndex parallel = FcIndex::Build(g, FcParams{.build_threads = 4});
+
+  EXPECT_EQ(serial.build_stats().shortcuts, parallel.build_stats().shortcuts);
+  EXPECT_EQ(serial.build_stats().unpack_arcs,
+            parallel.build_stats().unpack_arcs);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    ASSERT_EQ(serial.LevelOf(v), parallel.LevelOf(v)) << "node " << v;
+  }
+  std::ostringstream serial_bytes;
+  std::ostringstream parallel_bytes;
+  serial.hierarchy().Save(serial_bytes);
+  parallel.hierarchy().Save(parallel_bytes);
+  EXPECT_EQ(serial_bytes.str(), parallel_bytes.str());
 }
 
 }  // namespace
