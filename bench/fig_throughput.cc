@@ -1,14 +1,17 @@
-// fig_throughput: aggregate query throughput of one shared immutable index
-// served to 1/2/4/8 threads through per-thread sessions (ConcurrentEngine) —
-// the repo's first scaling numbers, the serving-side counterpart of the
-// paper's per-query latency figures (Fig. 8/9).
+// fig_throughput: aggregate query throughput and tail latency of one shared
+// immutable index served to 1/2/4/8 threads through per-thread sessions
+// (ConcurrentEngine) — the serving-side counterpart of the paper's
+// per-query latency figures (Fig. 8/9).
 //
-// For every backend: build the index once, then answer the same batch of
-// uniform random queries at each thread count and report queries/sec and
-// speedup vs the smallest configured thread count (1 by default). The
-// distance checksum must be identical at every
-// thread count (each query is answered independently, so results are
-// positionally deterministic); any mismatch fails the run.
+// For every backend, two series: distance queries and path queries. The
+// index is built once; the same batch of uniform random queries is answered
+// at each thread count, reporting queries/sec, speedup vs the smallest
+// configured thread count, and the p50/p99 per-query latency from the
+// serving stack's log-linear histogram (server/request_stats.h). The
+// checksum must be identical at every thread count (each query is answered
+// independently, so results are positionally deterministic); any mismatch
+// fails the run. Path checksums fold in the node count, so a same-length
+// different-shape answer is caught too.
 //
 // Env knobs (on top of bench_common.h's AH_BENCH_SCALE / AH_BENCH_DATASETS):
 //   AH_BENCH_PAIRS    — queries per batch (default 2000).
@@ -23,6 +26,8 @@
 #include "api/concurrent_engine.h"
 #include "api/distance_oracle.h"
 #include "bench_common.h"
+#include "server/request_stats.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -63,12 +68,50 @@ std::vector<QueryPair> RandomPairs(const Graph& g, std::size_t count) {
   return pairs;
 }
 
-Dist Checksum(const std::vector<Dist>& results) {
-  Dist sum = 0;
-  for (const Dist d : results) {
-    if (d != kInfDist) sum += d;
+struct Cell {
+  double best_seconds = 0;
+  Dist checksum = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+// Answers the whole batch on `threads` worker threads (one leased session
+// each), timing every query into a shared histogram. `query(session, pair)`
+// returns the query's checksum contribution. Quantiles are taken from the
+// best (fastest) repetition.
+template <typename QueryFn>
+Cell RunCell(ConcurrentEngine& engine, const std::vector<QueryPair>& batch,
+             std::size_t threads, std::size_t reps, const QueryFn& query) {
+  Cell cell;
+  std::vector<Dist> contributions(batch.size(), 0);
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    server::LatencyHistogram hist;
+    std::vector<ConcurrentEngine::SessionLease> leases;
+    leases.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) leases.push_back(engine.Lease());
+    const std::size_t chunk =
+        std::max<std::size_t>(1, batch.size() / (threads * 4));
+    Timer timer;
+    ParallelChunks(
+        batch.size(), chunk,
+        [&](std::size_t /*chunk_index*/, std::size_t begin, std::size_t end,
+            std::size_t tid) {
+          for (std::size_t i = begin; i < end; ++i) {
+            Timer per_query;
+            contributions[i] = query(*leases[tid], batch[i]);
+            hist.Record(per_query.Micros());
+          }
+        },
+        threads);
+    const double seconds = timer.Seconds();
+    if (rep == 0 || seconds < cell.best_seconds) {
+      cell.best_seconds = seconds;
+      cell.p50_us = hist.Quantile(0.5);
+      cell.p99_us = hist.Quantile(0.99);
+    }
   }
-  return sum;
+  for (const Dist c : contributions) cell.checksum += c;
+  return cell;
 }
 
 }  // namespace
@@ -80,48 +123,62 @@ int main() {
 
   PrintHeader("fig_throughput — concurrent query scaling",
               "one shared index, N threads with per-thread sessions "
-              "(queries/sec, speedup vs the smallest thread count)");
+              "(queries/sec + p50/p99 latency; speedup vs the smallest "
+              "thread count; distance and path series)");
 
   std::size_t mismatches = 0;
   for (const PreparedDataset& d : PrepareDatasets(BenchDatasetCountFromEnv(1))) {
     const std::vector<QueryPair> batch = RandomPairs(d.graph, pairs_per_batch);
 
-    TextTable table({"dataset", "backend", "threads", "batch ms",
-                     "queries/s", "speedup", "checksum"});
+    TextTable table({"dataset", "backend", "kind", "threads", "batch ms",
+                     "queries/s", "speedup", "p50 us", "p99 us", "checksum"});
     for (const std::string& backend : OracleNames()) {
       Timer build;
       ConcurrentEngine engine(MakeOracle(backend, d.graph));
       std::printf("[build] %-10s %.2fs\n", backend.c_str(), build.Seconds());
       std::fflush(stdout);
 
-      double base_qps = 0;
-      Dist base_checksum = 0;
-      for (const std::size_t threads : thread_counts) {
-        double best_seconds = 0;
-        Dist checksum = 0;
-        for (std::size_t rep = 0; rep < reps; ++rep) {
-          Timer timer;
-          const std::vector<Dist> results =
-              engine.BatchDistance(batch, threads);
-          const double seconds = timer.Seconds();
-          if (rep == 0 || seconds < best_seconds) best_seconds = seconds;
-          checksum = Checksum(results);
+      const struct {
+        const char* kind;
+        Dist (*query)(QuerySession&, const QueryPair&);
+      } series[] = {
+          {"dist",
+           [](QuerySession& session, const QueryPair& q) {
+             const Dist dist = session.Distance(q.first, q.second);
+             return dist == kInfDist ? Dist{0} : dist;
+           }},
+          // Fold the node count into the path checksum so a same-length,
+          // different-shape answer across thread counts is caught.
+          {"path",
+           [](QuerySession& session, const QueryPair& q) {
+             const PathResult p = session.ShortestPath(q.first, q.second);
+             return p.Found() ? p.length + p.nodes.size() : Dist{0};
+           }},
+      };
+
+      for (const auto& s : series) {
+        double base_qps = 0;
+        Dist base_checksum = 0;
+        for (const std::size_t threads : thread_counts) {
+          const Cell cell = RunCell(engine, batch, threads, reps, s.query);
+          const double qps =
+              cell.best_seconds > 0
+                  ? static_cast<double>(batch.size()) / cell.best_seconds
+                  : 0;
+          if (threads == thread_counts.front()) {
+            base_qps = qps;
+            base_checksum = cell.checksum;
+          } else if (cell.checksum != base_checksum) {
+            ++mismatches;
+          }
+          table.AddRow({d.spec.name, backend, s.kind, std::to_string(threads),
+                        TextTable::Num(cell.best_seconds * 1e3, 2),
+                        TextTable::Int(static_cast<long long>(qps)),
+                        TextTable::Num(base_qps > 0 ? qps / base_qps : 0, 2),
+                        TextTable::Int(static_cast<long long>(cell.p50_us)),
+                        TextTable::Int(static_cast<long long>(cell.p99_us)),
+                        TextTable::Int(static_cast<long long>(cell.checksum))});
         }
-        const double qps =
-            best_seconds > 0
-                ? static_cast<double>(batch.size()) / best_seconds
-                : 0;
-        if (threads == thread_counts.front()) {
-          base_qps = qps;
-          base_checksum = checksum;
-        } else if (checksum != base_checksum) {
-          ++mismatches;
-        }
-        table.AddRow({d.spec.name, backend, std::to_string(threads),
-                      TextTable::Num(best_seconds * 1e3, 2),
-                      TextTable::Int(static_cast<long long>(qps)),
-                      TextTable::Num(base_qps > 0 ? qps / base_qps : 0, 2),
-                      TextTable::Int(static_cast<long long>(checksum))});
       }
     }
     table.Print();
@@ -131,6 +188,8 @@ int main() {
     std::printf("\nFAIL: %zu thread-count checksum mismatches\n", mismatches);
     return 1;
   }
-  std::printf("\nall thread counts agree on every backend's checksum\n");
+  std::printf(
+      "\nall thread counts agree on every backend's distance and path "
+      "checksums\n");
   return 0;
 }

@@ -1,37 +1,259 @@
-// route_server: a minimal interactive query service over one shared AH
-// index, served through the ConcurrentEngine — the index is built once and
-// immutable; every query runs on a pooled per-thread session, and batch
-// commands fan out across the engine's worker threads.
+// route_server: the serving stack behind a real front-end. The index is
+// built once into a ServerStack (src/server/) — protocol parsing, sharded
+// LRU result cache, admission control, and request stats — and served
+// either to stdin (REPL mode, the default) or over TCP (--listen).
 //
-//   d <s> <t>   distance query
-//   p <s> <t>   shortest path query (prints the node sequence, truncated)
-//   k <s> <k>   k nearest POIs (batch distance fan-out over a fixed POI set)
-//   b <n>       n random queries answered as one batch (prints queries/sec)
-//   q           quit
+// Protocol (see src/server/protocol.h; same grammar on stdin and TCP):
+//   d <s> <t>                       distance
+//   p <s> <t>                       shortest path
+//   k <s> <k>                       k nearest POIs
+//   b <n> <s1> <t1> ...             batch of n distance queries
+//   stats | inv | q                 stats / cache invalidation / quit
+// REPL extra (client-side convenience, not part of the protocol):
+//   bench <n>                       n random queries as one batch, prints QPS
 //
-// Usage:  route_server [dimacs-base]     (synthetic network if omitted)
-// Demo:   printf 'd 0 500\np 0 500\nk 0 3\nb 1000\nq\n' | ./build/examples/route_server
-#include <algorithm>
+// Usage:
+//   route_server [dimacs-base] [--backend <name>] [--listen <port>]
+//                [--cache <entries>] [--admission <n>] [--timeout-ms <n>]
+//   route_server --smoke    # self-test: TCP round-trip on an ephemeral port
+//
+// Demo:
+//   printf 'd 0 500\np 0 500\nk 0 3\nbench 1000\nstats\nq\n' |
+//       ./build/examples/route_server
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
-#include <sstream>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "api/concurrent_engine.h"
 #include "api/distance_oracle.h"
 #include "gen/road_gen.h"
 #include "graph/dimacs.h"
+#include "routing/dijkstra.h"
+#include "server/line_client.h"
+#include "server/protocol.h"
+#include "server/server_stack.h"
+#include "server/tcp_server.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
+namespace {
+
+using namespace ah;
+using namespace ah::server;
+
+std::vector<NodeId> MakePois(const Graph& graph, std::size_t count,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<NodeId> pois;
+  pois.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pois.push_back(static_cast<NodeId>(rng.Uniform(graph.NumNodes())));
+  }
+  return pois;
+}
+
+// REPL convenience: `bench <n>` issues n random queries as one protocol
+// batch request and reports client-observed throughput.
+void RunBenchCommand(ServerStack& stack, std::size_t count) {
+  constexpr std::size_t kMaxBench = 1000000;
+  if (count == 0 || count > kMaxBench) {
+    std::printf("? usage: bench <n> with 0 < n <= %zu\n", kMaxBench);
+    return;
+  }
+  const std::size_t num_nodes = stack.graph().NumNodes();
+  const std::size_t max_batch = stack.config().max_batch;
+  Rng rng(count);
+  Timer timer;
+  std::size_t remaining = count;
+  std::size_t errors = 0;
+  while (remaining > 0) {
+    const std::size_t chunk = std::min(remaining, max_batch);
+    std::string line = "b " + std::to_string(chunk);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      line += ' ';
+      line += std::to_string(rng.Uniform(num_nodes));
+      line += ' ';
+      line += std::to_string(rng.Uniform(num_nodes));
+    }
+    if (stack.HandleLine(line).rfind("OK b ", 0) != 0) ++errors;
+    remaining -= chunk;
+  }
+  const double seconds = timer.Seconds();
+  std::printf("bench: %zu queries in %.1f ms, %.0f queries/s (%zu errors)\n",
+              count, seconds * 1e3,
+              seconds > 0 ? static_cast<double>(count) / seconds : 0.0,
+              errors);
+}
+
+void ReplLoop(ServerStack& stack) {
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.rfind("bench", 0) == 0) {
+      const std::size_t n =
+          static_cast<std::size_t>(std::strtoull(line.c_str() + 5, nullptr, 10));
+      RunBenchCommand(stack, n);
+      continue;
+    }
+    bool close = false;
+    const std::string reply = stack.HandleLine(line, &close);
+    std::printf("%s\n", reply.c_str());
+    if (close) break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// --smoke: end-to-end self-test over a real loopback socket. Starts the TCP
+// server on an ephemeral port, runs a scripted request batch (valid,
+// malformed, cached, versioned), and cross-checks replies against a
+// Dijkstra reference. Exit code 0 iff every check passes.
+// ---------------------------------------------------------------------------
+
+#define SMOKE_CHECK(cond, what)                                  \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      std::printf("SMOKE FAIL: %s (%s:%d)\n", what, __FILE__, __LINE__); \
+      return 1;                                                  \
+    }                                                            \
+  } while (0)
+
+int RunSmoke(const std::string& backend) {
+  RoadGenParams gen;
+  gen.cols = gen.rows = 12;
+  gen.seed = 8;
+  const Graph graph = GenerateRoadNetwork(gen);
+  Dijkstra reference(graph);
+
+  ServerConfig config;
+  config.cache_capacity = 1024;
+  config.admission_capacity = 16;
+  ServerStack stack(MakeOracle(backend, graph), config);
+  stack.SetPois(MakePois(graph, 20, 4));
+
+  TcpServer tcp(stack, TcpServerConfig{});
+  std::string error;
+  SMOKE_CHECK(tcp.Start(&error), error.c_str());
+  std::printf("smoke: %s on 127.0.0.1:%u over %zu nodes\n", backend.c_str(),
+              tcp.Port(), graph.NumNodes());
+
+  LineClient client;
+  SMOKE_CHECK(client.Connect(tcp.Port()), "connect");
+  std::string line;
+  SMOKE_CHECK(client.ReadLine(&line), "read greeting");
+  SMOKE_CHECK(line.rfind("AH/1 ready ", 0) == 0, "greeting banner");
+
+  const NodeId far = static_cast<NodeId>(graph.NumNodes() - 1);
+  const Dist expected = reference.Distance(0, far);
+  const std::string dist_query = "d 0 " + std::to_string(far);
+
+  struct Step {
+    std::string request;
+    std::string expect;  // exact reply, or prefix when ends with '*'
+  };
+  const std::vector<Step> steps = {
+      // Valid traffic, cross-checked against the Dijkstra reference.
+      {dist_query, FormatDistance(expected)},
+      {"AH/1 " + dist_query, FormatDistance(expected)},  // versioned form
+      {"p 0 " + std::to_string(far), "OK p " + std::to_string(expected) + " *"},
+      {"k 0 3", "OK k 3 *"},
+      {"b 2 0 " + std::to_string(far) + " " + std::to_string(far) + " 0",
+       "OK b 2 *"},
+      // Repeat: must now be a cache hit, bit-identical reply.
+      {dist_query, FormatDistance(expected)},
+      // Malformed traffic: structured errors, not clamping or hangs.
+      {"d 0", "ERR bad-request*"},
+      {"d -1 5", "ERR bad-node*"},
+      {"d 0 " + std::to_string(graph.NumNodes()), "ERR bad-node*"},
+      {"AH/9 d 0 1", "ERR unsupported-version*"},
+      {"fly 0 1", "ERR bad-request*"},
+      {"", "ERR bad-request*"},
+      // Cache invalidation then stats.
+      {"inv", "OK inv"},
+      {"stats", "OK stats *"},
+  };
+  for (const Step& step : steps) {
+    SMOKE_CHECK(client.SendLine(step.request), "send");
+    SMOKE_CHECK(client.ReadLine(&line), "read reply");
+    const bool prefix = !step.expect.empty() && step.expect.back() == '*';
+    const std::string want =
+        prefix ? step.expect.substr(0, step.expect.size() - 1) : step.expect;
+    const bool match = prefix ? line.rfind(want, 0) == 0 : line == want;
+    if (!match) {
+      std::printf("SMOKE FAIL: request '%s'\n  want %s'%s'\n  got  '%s'\n",
+                  step.request.c_str(), prefix ? "prefix " : "", want.c_str(),
+                  line.c_str());
+      return 1;
+    }
+  }
+
+  // The repeated distance query must have hit the cache.
+  const CacheStats cache = stack.cache().Totals();
+  SMOKE_CHECK(cache.hits > 0, "expected cache hits");
+  SMOKE_CHECK(cache.invalidations == 1, "expected one invalidation");
+
+  SMOKE_CHECK(client.SendLine("q"), "send quit");
+  SMOKE_CHECK(client.ReadLine(&line), "read bye");
+  SMOKE_CHECK(line == "OK bye", "quit reply");
+  SMOKE_CHECK(client.AtEof(), "server closes after quit");
+
+  tcp.Stop();
+  std::printf("smoke: all %zu scripted replies correct, %llu cache hits\n",
+              steps.size(), static_cast<unsigned long long>(cache.hits));
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace ah;
+  std::string dimacs_base;
+  std::string backend = "ah";
+  bool smoke = false;
+  bool listen = false;
+  std::uint16_t port = 0;
+  ServerConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--backend") {
+      backend = next_value("--backend");
+    } else if (arg == "--listen") {
+      listen = true;
+      port = static_cast<std::uint16_t>(
+          std::strtoul(next_value("--listen"), nullptr, 10));
+    } else if (arg == "--cache") {
+      config.cache_capacity = static_cast<std::size_t>(
+          std::strtoull(next_value("--cache"), nullptr, 10));
+    } else if (arg == "--admission") {
+      config.admission_capacity = static_cast<std::size_t>(
+          std::strtoull(next_value("--admission"), nullptr, 10));
+    } else if (arg == "--timeout-ms") {
+      config.request_timeout = std::chrono::milliseconds(
+          std::strtoull(next_value("--timeout-ms"), nullptr, 10));
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      dimacs_base = arg;
+    }
+  }
+
+  if (smoke) return RunSmoke(backend);
 
   Graph graph;
-  if (argc > 1) {
-    std::printf("loading DIMACS network %s ...\n", argv[1]);
-    graph = ReadDimacsFiles(argv[1]);
+  if (!dimacs_base.empty()) {
+    std::printf("loading DIMACS network %s ...\n", dimacs_base.c_str());
+    graph = ReadDimacsFiles(dimacs_base);
   } else {
     RoadGenParams gen;
     gen.cols = gen.rows = 70;
@@ -42,122 +264,37 @@ int main(int argc, char** argv) {
               graph.NumArcs());
 
   Timer build;
-  ConcurrentEngine engine(MakeOracle("ah", graph));
+  ServerStack stack(MakeOracle(backend, graph), config);
+  stack.SetPois(MakePois(graph, 50, 4));
   std::printf(
-      "AH index ready in %.2fs (%.1f MB), serving %zu worker threads. "
-      "Commands: d|p|k|b|q\n",
-      build.Seconds(),
-      static_cast<double>(engine.oracle().BuildStats().index_bytes) /
+      "%s index ready in %.2fs (%.1f MB); cache %zu entries, admission %zu "
+      "in flight, %lld ms deadline\n",
+      backend.c_str(), build.Seconds(),
+      static_cast<double>(stack.engine().oracle().BuildStats().index_bytes) /
           (1024.0 * 1024.0),
-      engine.NumThreads());
+      config.cache_capacity, config.admission_capacity,
+      static_cast<long long>(config.request_timeout.count()));
 
-  // A fixed POI set for the k-nearest command.
-  Rng rng(4);
-  std::vector<NodeId> pois;
-  for (int i = 0; i < 50; ++i) {
-    pois.push_back(static_cast<NodeId>(rng.Uniform(graph.NumNodes())));
+  if (listen) {
+    TcpServerConfig tcp_config;
+    tcp_config.port = port;
+    TcpServer tcp(stack, tcp_config);
+    std::string error;
+    if (!tcp.Start(&error)) {
+      std::fprintf(stderr, "cannot listen: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf(
+        "listening on 127.0.0.1:%u — try: printf 'd 0 500\\nq\\n' | nc "
+        "127.0.0.1 %u\nREPL still active on stdin; 'q' or EOF stops the "
+        "server.\n",
+        tcp.Port(), tcp.Port());
+    ReplLoop(stack);
+    tcp.Stop();
+    return 0;
   }
 
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    std::istringstream ls(line);
-    char cmd = 0;
-    ls >> cmd;
-    if (cmd == 0) continue;
-    if (cmd == 'q') break;
-    NodeId a = 0;
-    std::uint64_t b = 0;
-    ls >> a;
-    if (cmd != 'b') ls >> b;
-    if (!ls || (cmd != 'b' && a >= graph.NumNodes())) {
-      std::printf("? usage: d <s> <t> | p <s> <t> | k <s> <k> | b <n> | q\n");
-      continue;
-    }
-    Timer timer;
-    if (cmd == 'd') {
-      if (b >= graph.NumNodes()) {
-        std::printf("? node out of range\n");
-        continue;
-      }
-      const Dist d = engine.Distance(a, static_cast<NodeId>(b));
-      std::printf("dist(%u, %llu) = %llu   [%.1f us]\n", a,
-                  static_cast<unsigned long long>(b),
-                  static_cast<unsigned long long>(d), timer.Micros());
-    } else if (cmd == 'p') {
-      if (b >= graph.NumNodes()) {
-        std::printf("? node out of range\n");
-        continue;
-      }
-      const PathResult p = engine.ShortestPath(a, static_cast<NodeId>(b));
-      if (!p.Found()) {
-        std::printf("no path\n");
-        continue;
-      }
-      std::printf("path(%u, %llu): %zu edges, length %llu   [%.1f us]\n ", a,
-                  static_cast<unsigned long long>(b), p.NumEdges(),
-                  static_cast<unsigned long long>(p.length), timer.Micros());
-      for (std::size_t i = 0; i < p.nodes.size() && i < 12; ++i) {
-        std::printf(" %u", p.nodes[i]);
-      }
-      if (p.nodes.size() > 12) std::printf(" ... %u", p.nodes.back());
-      std::printf("\n");
-    } else if (cmd == 'k') {
-      // k nearest POIs = one batch of |POI| distance queries fanned across
-      // the engine's threads, then a partial sort of the reachable ones.
-      std::vector<QueryPair> queries;
-      queries.reserve(pois.size());
-      for (const NodeId poi : pois) queries.emplace_back(a, poi);
-      const std::vector<Dist> dists = engine.BatchDistance(queries);
-      std::vector<std::pair<Dist, NodeId>> reachable;
-      for (std::size_t i = 0; i < pois.size(); ++i) {
-        if (dists[i] != kInfDist) reachable.emplace_back(dists[i], pois[i]);
-      }
-      const std::size_t k = std::min<std::size_t>(b == 0 ? 5 : b,
-                                                  reachable.size());
-      std::partial_sort(reachable.begin(), reachable.begin() + k,
-                        reachable.end());
-      std::printf("%zu nearest POIs from %u   [%.1f us]\n", k, a,
-                  timer.Micros());
-      for (std::size_t i = 0; i < k; ++i) {
-        std::printf("  node %-8u travel time %llu\n", reachable[i].second,
-                    static_cast<unsigned long long>(reachable[i].first));
-      }
-    } else if (cmd == 'b') {
-      constexpr std::size_t kMaxBatch = 1000000;
-      if (a == 0 || a > kMaxBatch) {
-        std::printf("? usage: b <n> with 0 < n <= %zu\n", kMaxBatch);
-        continue;
-      }
-      const std::size_t count = a;
-      Rng batch_rng(count);
-      std::vector<QueryPair> queries;
-      queries.reserve(count);
-      for (std::size_t i = 0; i < count; ++i) {
-        queries.emplace_back(
-            static_cast<NodeId>(batch_rng.Uniform(graph.NumNodes())),
-            static_cast<NodeId>(batch_rng.Uniform(graph.NumNodes())));
-      }
-      timer.Restart();
-      const std::vector<Dist> dists = engine.BatchDistance(queries);
-      const double seconds = timer.Seconds();
-      Dist checksum = 0;
-      std::size_t unreachable = 0;
-      for (const Dist d : dists) {
-        if (d == kInfDist) {
-          ++unreachable;
-        } else {
-          checksum += d;
-        }
-      }
-      std::printf(
-          "batch of %zu queries on %zu threads: %.1f ms, %.0f queries/s "
-          "(%zu unreachable, checksum %llu)\n",
-          count, engine.NumThreads(), seconds * 1e3,
-          seconds > 0 ? static_cast<double>(count) / seconds : 0.0,
-          unreachable, static_cast<unsigned long long>(checksum));
-    } else {
-      std::printf("? unknown command '%c'\n", cmd);
-    }
-  }
+  std::printf("commands: d|p|k|b|stats|inv|q (protocol), bench <n> (REPL)\n");
+  ReplLoop(stack);
   return 0;
 }

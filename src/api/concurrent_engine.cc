@@ -16,6 +16,53 @@ ConcurrentEngine::ConcurrentEngine(std::unique_ptr<DistanceOracle> oracle,
   }
 }
 
+ConcurrentEngine::~ConcurrentEngine() {
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    async_stop_ = true;
+  }
+  async_cv_.notify_all();
+  for (std::thread& worker : async_workers_) worker.join();
+}
+
+void ConcurrentEngine::SubmitAsync(std::function<void(QuerySession&)> fn) {
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    if (async_workers_.empty()) {
+      async_workers_.reserve(num_threads_);
+      for (std::size_t i = 0; i < num_threads_; ++i) {
+        async_workers_.emplace_back([this] { AsyncWorkerLoop(); });
+      }
+    }
+    async_queue_.push_back(std::move(fn));
+  }
+  async_cv_.notify_one();
+}
+
+std::size_t ConcurrentEngine::AsyncQueueDepth() const {
+  std::lock_guard<std::mutex> lock(async_mu_);
+  return async_queue_.size();
+}
+
+void ConcurrentEngine::AsyncWorkerLoop() {
+  std::unique_ptr<QuerySession> session = Acquire();
+  while (true) {
+    std::function<void(QuerySession&)> job;
+    {
+      std::unique_lock<std::mutex> lock(async_mu_);
+      async_cv_.wait(lock,
+                     [this] { return async_stop_ || !async_queue_.empty(); });
+      // Drain the queue even when stopping: every submitted job runs, so a
+      // callback-carrying job can always deliver its reply.
+      if (async_queue_.empty()) break;
+      job = std::move(async_queue_.front());
+      async_queue_.pop_front();
+    }
+    job(*session);
+  }
+  Release(std::move(session));
+}
+
 ConcurrentEngine::SessionLease::~SessionLease() {
   if (engine_ != nullptr && session_ != nullptr) {
     engine_->Release(std::move(session_));

@@ -15,9 +15,13 @@
 // engine. All public methods are thread-safe.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -37,6 +41,10 @@ class ConcurrentEngine {
   /// on a null oracle.
   explicit ConcurrentEngine(std::unique_ptr<DistanceOracle> oracle,
                             std::size_t num_threads = 0);
+
+  /// Joins the async worker pool (draining any queued jobs) before the
+  /// oracle is destroyed. All SessionLeases must already be gone.
+  ~ConcurrentEngine();
 
   const DistanceOracle& oracle() const { return *oracle_; }
   std::size_t NumThreads() const { return num_threads_; }
@@ -84,6 +92,18 @@ class ConcurrentEngine {
   std::vector<PathResult> BatchShortestPath(
       const std::vector<QueryPair>& queries, std::size_t num_threads = 0);
 
+  /// Callback-style submit for server front-ends: enqueues `fn` to run on a
+  /// lazily started pool of NumThreads() long-lived workers, each holding
+  /// one pooled session for its lifetime. Jobs run FIFO; `fn` must not
+  /// throw (wrap fallible work in its own try/catch). The queue is
+  /// unbounded — callers wanting load shedding put an admission controller
+  /// in front (src/server/admission.h).
+  void SubmitAsync(std::function<void(QuerySession&)> fn);
+
+  /// Jobs submitted via SubmitAsync that have not yet started executing —
+  /// the queue-depth signal admission control and stats export read.
+  std::size_t AsyncQueueDepth() const;
+
  private:
   // Runs body(session, begin, end) over chunks of [0, n) on `num_threads`
   // workers, each holding one leased session for the whole batch.
@@ -93,10 +113,21 @@ class ConcurrentEngine {
   std::unique_ptr<QuerySession> Acquire();
   void Release(std::unique_ptr<QuerySession> session);
 
+  // Body of each async worker thread: pop jobs FIFO until stop.
+  void AsyncWorkerLoop();
+
   std::unique_ptr<DistanceOracle> oracle_;
   std::size_t num_threads_;
   std::mutex mu_;
   std::vector<std::unique_ptr<QuerySession>> pool_;
+
+  // Async submit state: workers are spawned on the first SubmitAsync and
+  // joined by the destructor after draining the queue.
+  mutable std::mutex async_mu_;
+  std::condition_variable async_cv_;
+  std::deque<std::function<void(QuerySession&)>> async_queue_;
+  std::vector<std::thread> async_workers_;
+  bool async_stop_ = false;
 };
 
 }  // namespace ah

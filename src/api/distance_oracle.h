@@ -93,10 +93,11 @@ class DistanceOracle {
 
   const Graph& graph() const { return *graph_; }
 
-  /// Number of distance probes PathByDistanceProbes has issued over this
-  /// oracle's lifetime. Test hook: backends with native path recovery (all
-  /// built-in backends since FC gained midpoint unpacking) must leave it at
-  /// zero.
+  /// Number of probe-based path-recovery distance calls issued over this
+  /// oracle's lifetime. Every built-in backend answers paths natively, so
+  /// the conformance suite asserts this stays 0; a prototype distance-only
+  /// backend routing through RecoverPathByDistanceProbes must count each
+  /// probe via CountPathProbe() to be caught by that assertion.
   std::size_t PathProbeCalls() const {
     return path_probe_calls_.load(std::memory_order_relaxed);
   }
@@ -104,21 +105,9 @@ class DistanceOracle {
  protected:
   explicit DistanceOracle(const Graph& g) : graph_(&g) {}
 
-  /// FALLBACK path recovery for distance-only engines, the reduction of §2
-  /// of the paper: repeatedly pick an out-arc (u, x) with w(u, x) + d(x, t)
-  /// = d(u, t). Costs O(k·Δ) `distance` probes for a k-edge path — no
-  /// built-in backend uses it anymore (every index answers paths natively);
-  /// it is kept, documented, for prototyping new distance-only backends.
-  /// The probe function MUST be exact, or the walk can dead-end and
-  /// misreport a reachable pair as unreachable.
-  template <typename DistanceFn>
-  PathResult PathByDistanceProbes(NodeId s, NodeId t, DistanceFn&& distance);
-
-  /// Convenience overload probing through the oracle's own (default-session)
-  /// Distance(). Single-threaded only, like the method it delegates to.
-  PathResult PathByDistanceProbes(NodeId s, NodeId t) {
-    return PathByDistanceProbes(
-        s, t, [this](NodeId a, NodeId b) { return Distance(a, b); });
+  /// Records one probe-reduction distance call (see PathProbeCalls()).
+  void CountPathProbe() {
+    path_probe_calls_.fetch_add(1, std::memory_order_relaxed);
   }
 
   const Graph* graph_;
@@ -134,10 +123,13 @@ class DistanceOracle {
   std::unique_ptr<QuerySession> default_session_;
 };
 
-/// Free-function form of the §2 probe reduction, shared by
-/// DistanceOracle::PathByDistanceProbes and the fig9 probe baseline. The
-/// probe function MUST be exact over g, or the walk can dead-end and
-/// misreport a reachable pair as unreachable.
+/// The §2 probe reduction — recover a path from distance queries alone by
+/// repeatedly picking an out-arc (u, x) with w(u, x) + d(x, t) = d(u, t).
+/// Costs O(k·Δ) probes for a k-edge path; no built-in backend uses it (every
+/// index answers paths natively — the fig9 probe baseline is its only
+/// caller). Kept for prototyping new distance-only backends. The probe
+/// function MUST be exact over g, or the walk can dead-end and misreport a
+/// reachable pair as unreachable.
 template <typename DistanceFn>
 PathResult RecoverPathByDistanceProbes(const Graph& g, NodeId s, NodeId t,
                                        DistanceFn&& distance) {
@@ -166,16 +158,6 @@ PathResult RecoverPathByDistanceProbes(const Graph& g, NodeId s, NodeId t,
   }
   if (u != t) return PathResult{};
   return result;
-}
-
-template <typename DistanceFn>
-PathResult DistanceOracle::PathByDistanceProbes(NodeId s, NodeId t,
-                                                DistanceFn&& distance) {
-  return RecoverPathByDistanceProbes(
-      *graph_, s, t, [&](NodeId a, NodeId b) {
-        path_probe_calls_.fetch_add(1, std::memory_order_relaxed);
-        return distance(a, b);
-      });
 }
 
 struct OracleOptions {

@@ -1,0 +1,42 @@
+#include "server/admission.h"
+
+namespace ah::server {
+
+bool AdmissionController::TryAdmit() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (in_flight_ >= config_.capacity) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    ++in_flight_;
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --in_flight_;
+  if (in_flight_ == 0) idle_cv_.notify_all();
+}
+
+void AdmissionController::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+std::size_t AdmissionController::InFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+AdmissionStats AdmissionController::Totals() const {
+  AdmissionStats totals;
+  totals.admitted = admitted_.load(std::memory_order_relaxed);
+  totals.shed = shed_.load(std::memory_order_relaxed);
+  totals.expired = expired_.load(std::memory_order_relaxed);
+  return totals;
+}
+
+}  // namespace ah::server

@@ -1,0 +1,92 @@
+// Admission control for the serving stack: a bounded in-flight budget with
+// per-request deadlines. The engine's async queue is unbounded by design
+// (api/concurrent_engine.h); this layer is what keeps a traffic spike from
+// growing that queue without limit — requests beyond the budget are shed
+// immediately with an overload reply instead of queueing behind work the
+// client will have given up on, and admitted requests that wait past their
+// deadline are answered with a timeout instead of being executed late.
+//
+// Usage (what ServerStack does):
+//   if (!admission.TryAdmit())  -> reply ERR overload
+//   deadline = admission.MakeDeadline();
+//   engine.SubmitAsync([..] {
+//     if (AdmissionController::Expired(deadline)) -> reply ERR timeout
+//     else -> execute;
+//     admission.Release();
+//   });
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace ah::server {
+
+struct AdmissionConfig {
+  /// Max requests admitted but not yet finished (queued in the engine plus
+  /// executing). 0 means shed everything — useful in tests.
+  std::size_t capacity = 256;
+  /// Per-request deadline measured from admission; 0 disables deadlines.
+  std::chrono::milliseconds timeout{1000};
+};
+
+struct AdmissionStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
+};
+
+class AdmissionController {
+ public:
+  using Clock = std::chrono::steady_clock;
+  /// Clock::time_point::max() = no deadline.
+  using Deadline = Clock::time_point;
+
+  explicit AdmissionController(const AdmissionConfig& config)
+      : config_(config) {}
+
+  /// Admits one request if the in-flight budget allows, else records a shed
+  /// and returns false. Every true return must be paired with Release().
+  bool TryAdmit();
+
+  /// Marks one admitted request finished (however it ended). Wakes
+  /// WaitIdle() when the last in-flight request finishes.
+  void Release();
+
+  /// Deadline for a request admitted now.
+  Deadline MakeDeadline() const {
+    return config_.timeout.count() == 0 ? Deadline::max()
+                                        : Clock::now() + config_.timeout;
+  }
+
+  static bool Expired(Deadline deadline) {
+    return deadline != Deadline::max() && Clock::now() > deadline;
+  }
+
+  /// Records one admitted request that expired before execution.
+  void CountExpired() {
+    expired_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Blocks until no admitted request is in flight. Front-ends call this
+  /// before tearing down state that completion callbacks touch.
+  void WaitIdle();
+
+  std::size_t InFlight() const;
+  std::size_t Capacity() const { return config_.capacity; }
+  AdmissionStats Totals() const;
+
+ private:
+  AdmissionConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> expired_{0};
+};
+
+}  // namespace ah::server

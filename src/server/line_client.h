@@ -1,0 +1,84 @@
+// Minimal blocking loopback client for the line protocol — the client half
+// of tcp_server.h, used by route_server's --smoke self-test and the TCP
+// end-to-end tests. Plain POSIX sockets, header-only, no external deps.
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ah::server {
+
+class LineClient {
+ public:
+  LineClient() = default;
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// Connects to 127.0.0.1:port.
+  bool Connect(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+           0;
+  }
+
+  /// Sends raw bytes (handles partial sends). For pipelining, include the
+  /// newlines yourself.
+  bool Send(const std::string& raw) {
+    std::size_t sent = 0;
+    while (sent < raw.size()) {
+      const ssize_t n =
+          ::send(fd_, raw.data() + sent, raw.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Sends one newline-terminated request line.
+  bool SendLine(const std::string& line) { return Send(line + "\n"); }
+
+  /// Blocking read of the next newline-terminated line (without the '\n').
+  bool ReadLine(std::string* line) {
+    while (true) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        *line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// True when the server has closed the connection (blocks until the next
+  /// byte or EOF; call once no further replies are expected).
+  bool AtEof() {
+    if (!buffer_.empty()) return false;
+    char byte;
+    return ::recv(fd_, &byte, 1, 0) == 0;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace ah::server

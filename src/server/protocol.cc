@@ -1,0 +1,240 @@
+#include "server/protocol.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdint>
+#include <limits>
+
+namespace ah::server {
+
+namespace {
+
+constexpr std::string_view kUnreachableToken = "unreachable";
+
+/// Splits `line` into whitespace-separated tokens (space and tab).
+std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t begin = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > begin) tokens.push_back(line.substr(begin, i - begin));
+  }
+  return tokens;
+}
+
+/// Strict unsigned parse: the whole token must be a decimal number. A
+/// leading '-' or '+', hex, or trailing junk all fail — no silent clamping.
+bool ParseU64(std::string_view token, std::uint64_t* out) {
+  if (token.empty() || token[0] < '0' || token[0] > '9') return false;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), *out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+ParseResult Fail(ErrorCode code, std::string message) {
+  ParseResult r;
+  r.ok = false;
+  r.code = code;
+  r.message = std::move(message);
+  return r;
+}
+
+/// Parses a node-id token, validating the range [0, num_nodes).
+bool ParseNode(std::string_view token, const ParseLimits& limits, NodeId* out,
+               ParseResult* error) {
+  std::uint64_t v = 0;
+  if (!ParseU64(token, &v)) {
+    *error = Fail(ErrorCode::kBadNode,
+                  "node id '" + std::string(token) + "' is not a non-negative integer");
+    return false;
+  }
+  if (v >= limits.num_nodes) {
+    *error = Fail(ErrorCode::kBadNode,
+                  "node id " + std::string(token) + " out of range [0, " +
+                      std::to_string(limits.num_nodes) + ")");
+    return false;
+  }
+  *out = static_cast<NodeId>(v);
+  return true;
+}
+
+void AppendDist(std::string* out, Dist d) {
+  if (d == kInfDist) {
+    out->append(kUnreachableToken);
+  } else {
+    out->append(std::to_string(d));
+  }
+}
+
+}  // namespace
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "bad-request";
+    case ErrorCode::kBadNode: return "bad-node";
+    case ErrorCode::kUnsupportedVersion: return "unsupported-version";
+    case ErrorCode::kOverload: return "overload";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "internal";
+}
+
+ParseResult ParseRequest(std::string_view line, const ParseLimits& limits) {
+  std::vector<std::string_view> tokens = Tokenize(line);
+  std::size_t at = 0;
+
+  // Optional explicit version prefix "AH/<v>".
+  if (at < tokens.size() && tokens[at].substr(0, 3) == "AH/") {
+    std::uint64_t version = 0;
+    if (!ParseU64(tokens[at].substr(3), &version) ||
+        version != static_cast<std::uint64_t>(kProtocolVersion)) {
+      return Fail(ErrorCode::kUnsupportedVersion,
+                  "this server speaks AH/" + std::to_string(kProtocolVersion));
+    }
+    ++at;
+  }
+  if (at >= tokens.size()) {
+    return Fail(ErrorCode::kBadRequest, "empty request");
+  }
+
+  const std::string_view verb = tokens[at++];
+  const std::size_t argc = tokens.size() - at;
+  ParseResult result;
+  result.ok = true;
+  Request& req = result.request;
+
+  if (verb == "d" || verb == "p") {
+    if (argc != 2) {
+      return Fail(ErrorCode::kBadRequest,
+                  "usage: " + std::string(verb) + " <s> <t>");
+    }
+    req.kind = verb == "d" ? RequestKind::kDistance : RequestKind::kPath;
+    ParseResult error;
+    if (!ParseNode(tokens[at], limits, &req.s, &error)) return error;
+    if (!ParseNode(tokens[at + 1], limits, &req.t, &error)) return error;
+    return result;
+  }
+  if (verb == "k") {
+    if (argc != 2) return Fail(ErrorCode::kBadRequest, "usage: k <s> <k>");
+    req.kind = RequestKind::kKNearest;
+    ParseResult error;
+    if (!ParseNode(tokens[at], limits, &req.s, &error)) return error;
+    std::uint64_t k = 0;
+    if (!ParseU64(tokens[at + 1], &k) || k == 0) {
+      return Fail(ErrorCode::kBadRequest, "k must be a positive integer");
+    }
+    req.k = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(k, std::numeric_limits<std::uint32_t>::max()));
+    return result;
+  }
+  if (verb == "b") {
+    if (argc < 1) {
+      return Fail(ErrorCode::kBadRequest, "usage: b <n> <s1> <t1> ...");
+    }
+    std::uint64_t n = 0;
+    if (!ParseU64(tokens[at], &n) || n == 0) {
+      return Fail(ErrorCode::kBadRequest,
+                  "batch count must be a positive integer");
+    }
+    if (n > limits.max_batch) {
+      return Fail(ErrorCode::kBadRequest,
+                  "batch of " + std::to_string(n) + " exceeds the limit of " +
+                      std::to_string(limits.max_batch));
+    }
+    if (argc - 1 != 2 * n) {
+      return Fail(ErrorCode::kBadRequest,
+                  "batch of " + std::to_string(n) + " needs " +
+                      std::to_string(2 * n) + " node ids, got " +
+                      std::to_string(argc - 1));
+    }
+    req.kind = RequestKind::kBatch;
+    req.pairs.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      NodeId s = 0;
+      NodeId t = 0;
+      ParseResult error;
+      if (!ParseNode(tokens[at + 1 + 2 * i], limits, &s, &error)) return error;
+      if (!ParseNode(tokens[at + 2 + 2 * i], limits, &t, &error)) return error;
+      req.pairs.emplace_back(s, t);
+    }
+    return result;
+  }
+  if (verb == "stats" && argc == 0) {
+    req.kind = RequestKind::kStats;
+    return result;
+  }
+  if (verb == "inv" && argc == 0) {
+    req.kind = RequestKind::kInvalidate;
+    return result;
+  }
+  if (verb == "q" && argc == 0) {
+    req.kind = RequestKind::kQuit;
+    return result;
+  }
+  return Fail(ErrorCode::kBadRequest,
+              "unknown request '" + std::string(verb) +
+                  "' (expected d|p|k|b|stats|inv|q)");
+}
+
+std::string FormatError(ErrorCode code, std::string_view detail) {
+  std::string out = "ERR ";
+  out.append(ErrorCodeName(code));
+  if (!detail.empty()) {
+    out.push_back(' ');
+    out.append(detail);
+  }
+  return out;
+}
+
+std::string FormatDistance(Dist d) {
+  std::string out = "OK d ";
+  AppendDist(&out, d);
+  return out;
+}
+
+std::string FormatPath(const PathResult& path) {
+  if (!path.Found()) return "OK p unreachable";
+  std::string out = "OK p ";
+  out.append(std::to_string(path.length));
+  out.push_back(' ');
+  out.append(std::to_string(path.nodes.size()));
+  for (const NodeId node : path.nodes) {
+    out.push_back(' ');
+    out.append(std::to_string(node));
+  }
+  return out;
+}
+
+std::string FormatKNearest(
+    const std::vector<std::pair<Dist, NodeId>>& nearest) {
+  std::string out = "OK k ";
+  out.append(std::to_string(nearest.size()));
+  for (const auto& [dist, node] : nearest) {
+    out.push_back(' ');
+    out.append(std::to_string(node));
+    out.push_back(' ');
+    AppendDist(&out, dist);
+  }
+  return out;
+}
+
+std::string FormatBatch(const std::vector<Dist>& dists) {
+  std::string out = "OK b ";
+  out.append(std::to_string(dists.size()));
+  for (const Dist d : dists) {
+    out.push_back(' ');
+    AppendDist(&out, d);
+  }
+  return out;
+}
+
+std::string Greeting(std::size_t num_nodes, std::size_t num_arcs) {
+  return "AH/" + std::to_string(kProtocolVersion) + " ready " +
+         std::to_string(num_nodes) + " nodes " + std::to_string(num_arcs) +
+         " arcs";
+}
+
+}  // namespace ah::server

@@ -1,0 +1,111 @@
+// The serving wire protocol, version 1: newline-delimited ASCII requests
+// with structured single-line replies — the contract between any front-end
+// (TCP, stdin REPL, tests) and the ServerStack that answers it.
+//
+// Requests (one per line, optionally prefixed by the version token "AH/1"):
+//   d <s> <t>                       distance from s to t
+//   p <s> <t>                       shortest path from s to t
+//   k <s> <k>                       k nearest POIs from s (server POI set)
+//   b <n> <s1> <t1> ... <sn> <tn>   batch of n distance queries
+//   stats                           server counters and latency quantiles
+//   inv                             invalidate (clear) the result cache
+//   q                               end the session
+//
+// Replies (one line per request):
+//   OK d <dist|unreachable>
+//   OK p unreachable | OK p <length> <m> <n1> ... <nm>
+//   OK k <m> <node1> <dist1> ... <nodem> <distm>
+//   OK b <n> <d1> ... <dn>          (unreachable entries print "unreachable")
+//   OK stats <key>=<value> ...
+//   OK inv / OK bye
+//   ERR <code> <detail>
+//
+// "unreachable" is a successful answer about the graph; ERR codes
+// (bad-request, bad-node, unsupported-version, overload, timeout, internal)
+// are request or server failures — clients must never conflate the two.
+// Node ids are validated strictly: any non-numeric, negative, or
+// out-of-range id is rejected with an error naming the offending token
+// instead of being silently clamped.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "routing/path.h"
+#include "util/types.h"
+
+namespace ah::server {
+
+/// Protocol version spoken by ParseRequest/Format*. Requests may carry an
+/// explicit "AH/<v>" prefix; any v != kProtocolVersion is rejected with
+/// ERR unsupported-version so old clients fail loudly, not subtly.
+inline constexpr int kProtocolVersion = 1;
+
+enum class RequestKind {
+  kDistance,
+  kPath,
+  kKNearest,
+  kBatch,
+  kStats,
+  kInvalidate,
+  kQuit,
+};
+
+/// Machine-readable failure classes carried in ERR replies.
+enum class ErrorCode {
+  kBadRequest,          ///< malformed line: unknown verb, wrong arity, junk
+  kBadNode,             ///< node id non-numeric, negative, or out of range
+  kUnsupportedVersion,  ///< AH/<v> prefix with an unknown version
+  kOverload,            ///< load shed: admission queue full
+  kTimeout,             ///< request deadline expired before execution
+  kInternal,            ///< server-side failure while answering
+};
+
+/// Stable wire token for an error code (e.g. "bad-node").
+std::string_view ErrorCodeName(ErrorCode code);
+
+/// A parsed request. Only the fields of the parsed kind are meaningful:
+/// s/t for distance and path, s/k for k-nearest, pairs for batch.
+struct Request {
+  RequestKind kind = RequestKind::kQuit;
+  NodeId s = 0;
+  NodeId t = 0;
+  std::uint32_t k = 0;
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+};
+
+/// Outcome of parsing one request line: either a Request or a structured
+/// error ready to format into an ERR reply.
+struct ParseResult {
+  bool ok = false;
+  Request request;
+  ErrorCode code = ErrorCode::kBadRequest;
+  std::string message;
+};
+
+/// Limits the parser enforces (the server wires its config in here).
+struct ParseLimits {
+  /// Node ids must be < num_nodes; violations are kBadNode.
+  std::size_t num_nodes = 0;
+  /// Max pairs in one batch request; 0 disables batching entirely.
+  std::size_t max_batch = 4096;
+};
+
+/// Parses one request line. Leading/trailing whitespace is ignored; an
+/// empty line is a kBadRequest. Never throws.
+ParseResult ParseRequest(std::string_view line, const ParseLimits& limits);
+
+std::string FormatError(ErrorCode code, std::string_view detail);
+std::string FormatDistance(Dist d);
+std::string FormatPath(const PathResult& path);
+/// `nearest` is (distance, node), sorted ascending by the caller.
+std::string FormatKNearest(const std::vector<std::pair<Dist, NodeId>>& nearest);
+std::string FormatBatch(const std::vector<Dist>& dists);
+
+/// The banner a front-end sends on connect: "AH/1 ready <n> nodes <m> arcs".
+std::string Greeting(std::size_t num_nodes, std::size_t num_arcs);
+
+}  // namespace ah::server

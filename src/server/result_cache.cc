@@ -1,0 +1,87 @@
+#include "server/result_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ah::server {
+
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards) {
+  const std::size_t shard_count = std::max<std::size_t>(1, shards);
+  per_shard_capacity_ =
+      capacity == 0 ? 0 : (capacity + shard_count - 1) / shard_count;
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool ResultCache::Lookup(const CacheKey& key, CachedResult* out) {
+  if (!Enabled()) return false;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.stats.hits;
+  *out = it->second->value;
+  return true;
+}
+
+void ResultCache::Insert(const CacheKey& key, CachedResult value) {
+  if (!Enabled()) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    it->second->value = std::move(value);
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(value)});
+  shard.index.emplace(key, shard.lru.begin());
+  ++shard.stats.insertions;
+  if (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
+  }
+}
+
+void ResultCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    ++shard->stats.invalidations;
+  }
+}
+
+std::size_t ResultCache::Size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+CacheStats ResultCache::Totals() const {
+  CacheStats totals;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    totals.hits += shard->stats.hits;
+    totals.misses += shard->stats.misses;
+    totals.insertions += shard->stats.insertions;
+    totals.evictions += shard->stats.evictions;
+  }
+  // Clear() bumps every shard's invalidation counter; report calls, not
+  // shard-calls.
+  std::lock_guard<std::mutex> lock(shards_.front()->mu);
+  totals.invalidations = shards_.front()->stats.invalidations;
+  return totals;
+}
+
+}  // namespace ah::server

@@ -1,0 +1,121 @@
+// Sharded LRU cache of query results, sitting between the protocol layer
+// and the ConcurrentEngine: repeated (src, dst, kind) requests — the shape
+// of real road-network traffic, where popular origin/destination pairs
+// recur heavily — are answered without touching the index at all.
+//
+// Keys are (src, dst, kind); values hold the distance and, for path
+// entries, the node sequence. The key space is split across N shards, each
+// an independently locked LRU list + hash map, so concurrent connections
+// rarely contend on the same mutex. Capacity is a global entry budget split
+// evenly across shards. Hit/miss/insert/evict counters are kept per shard
+// and aggregated on demand; Clear() is the explicit invalidation hook (e.g.
+// after a weight update) and counts how often it was called.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.h"
+
+namespace ah::server {
+
+/// Which answer a cache entry holds. Distance and path answers for the same
+/// (s, t) are distinct entries — a path reply cannot be served from a
+/// distance-only entry.
+enum class CachedKind : std::uint8_t { kDistance = 0, kPath = 1 };
+
+struct CacheKey {
+  NodeId s = 0;
+  NodeId t = 0;
+  CachedKind kind = CachedKind::kDistance;
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+/// A cached answer: `dist` always (kInfDist = unreachable); `nodes` only
+/// for kPath entries (empty when unreachable).
+struct CachedResult {
+  Dist dist = kInfDist;
+  std::vector<NodeId> nodes;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;
+
+  double HitRate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+class ResultCache {
+ public:
+  /// `capacity` is the total entry budget (0 disables the cache: every
+  /// Lookup misses, Insert is a no-op). `shards` is rounded up to at least
+  /// 1; each shard gets ceil(capacity / shards) entries.
+  explicit ResultCache(std::size_t capacity, std::size_t shards = 16);
+
+  bool Enabled() const { return per_shard_capacity_ > 0; }
+  std::size_t NumShards() const { return shards_.size(); }
+
+  /// On hit, copies the entry into *out, promotes it to most-recently-used,
+  /// and returns true. Thread-safe.
+  bool Lookup(const CacheKey& key, CachedResult* out);
+
+  /// Inserts or refreshes an entry (most-recently-used position), evicting
+  /// the shard's least-recently-used entry when over budget. Thread-safe.
+  void Insert(const CacheKey& key, CachedResult value);
+
+  /// Explicit invalidation: drops every entry. Hit/miss counters persist;
+  /// the invalidation counter increments. Thread-safe.
+  void Clear();
+
+  /// Entries currently cached (sums shard sizes; approximate under
+  /// concurrent mutation). Thread-safe.
+  std::size_t Size() const;
+
+  /// Aggregated counters across all shards. Thread-safe.
+  CacheStats Totals() const;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const CacheKey& k) const {
+      // SplitMix64 finalizer over the packed 72-bit key.
+      std::uint64_t z = (static_cast<std::uint64_t>(k.s) << 32) | k.t;
+      z ^= static_cast<std::uint64_t>(k.kind) << 1;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return static_cast<std::size_t>(z ^ (z >> 31));
+    }
+  };
+
+  struct Entry {
+    CacheKey key;
+    CachedResult value;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index;
+    CacheStats stats;
+  };
+
+  Shard& ShardFor(const CacheKey& key) {
+    return *shards_[KeyHash{}(key) % shards_.size()];
+  }
+
+  std::size_t per_shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace ah::server

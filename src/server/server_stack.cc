@@ -1,0 +1,293 @@
+#include "server/server_stack.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <future>
+#include <utility>
+
+#include "util/timer.h"
+
+namespace ah::server {
+
+namespace {
+
+/// Appends " key=value" (no leading space for the first pair).
+void AppendKv(std::string* out, std::string_view key, std::string value) {
+  if (!out->empty()) out->push_back(' ');
+  out->append(key);
+  out->push_back('=');
+  out->append(value);
+}
+
+std::string Fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+/// Below this many cache-missed pairs a multi-pair request stays on the
+/// worker's own session; at or above it, the engine's multi-thread batch
+/// fan-out outweighs its thread spawn/join overhead.
+constexpr std::size_t kParallelMissThreshold = 64;
+
+}  // namespace
+
+ServerStack::ServerStack(std::unique_ptr<DistanceOracle> oracle,
+                         const ServerConfig& config)
+    : config_(config),
+      engine_(std::move(oracle), config.num_threads),
+      cache_(config.cache_capacity, config.cache_shards),
+      admission_(AdmissionConfig{config.admission_capacity,
+                                 config.request_timeout}) {}
+
+ServerStack::~ServerStack() { WaitIdle(); }
+
+void ServerStack::Submit(std::string_view line, ReplyCallback done) {
+  ParseResult parsed = ParseRequest(
+      line, ParseLimits{graph().NumNodes(), config_.max_batch});
+  if (!parsed.ok) {
+    stats_.RecordError();
+    done(FormatError(parsed.code, parsed.message), false);
+    return;
+  }
+  Request& req = parsed.request;
+
+  switch (req.kind) {
+    case RequestKind::kQuit:
+      done("OK bye", true);
+      return;
+    case RequestKind::kStats:
+      done("OK stats " + StatsLine(), false);
+      return;
+    case RequestKind::kInvalidate:
+      cache_.Clear();
+      done("OK inv", false);
+      return;
+    default:
+      break;
+  }
+
+  // Cache-hit fast path: distance and path answers are served inline on the
+  // front-end thread, skipping admission and the engine entirely.
+  if (req.kind == RequestKind::kDistance || req.kind == RequestKind::kPath) {
+    Timer timer;
+    const bool is_distance = req.kind == RequestKind::kDistance;
+    const CacheKey key{req.s, req.t,
+                       is_distance ? CachedKind::kDistance : CachedKind::kPath};
+    CachedResult hit;
+    if (cache_.Lookup(key, &hit)) {
+      std::string reply;
+      if (is_distance) {
+        reply = FormatDistance(hit.dist);
+      } else {
+        PathResult path;
+        path.length = hit.dist;
+        path.nodes = std::move(hit.nodes);
+        reply = FormatPath(path);
+      }
+      stats_.RecordOk(
+          is_distance ? RequestClass::kDistance : RequestClass::kPath,
+          timer.Micros());
+      done(std::move(reply), false);
+      return;
+    }
+  }
+
+  if (!admission_.TryAdmit()) {
+    done(FormatError(ErrorCode::kOverload,
+                     "server at capacity (" +
+                         std::to_string(admission_.Capacity()) +
+                         " in flight), retry later"),
+         false);
+    return;
+  }
+  const AdmissionController::Deadline deadline = admission_.MakeDeadline();
+  engine_.SubmitAsync([this, request = std::move(req), deadline,
+                       done = std::move(done)](QuerySession& session) mutable {
+    std::string reply;
+    if (AdmissionController::Expired(deadline)) {
+      admission_.CountExpired();
+      reply = FormatError(ErrorCode::kTimeout,
+                          "deadline expired before execution");
+    } else {
+      reply = Execute(request, session);
+    }
+    done(std::move(reply), false);
+    // Release after the reply is delivered so WaitIdle() implies every
+    // callback has finished — front-ends rely on that during teardown.
+    admission_.Release();
+  });
+}
+
+std::string ServerStack::HandleLine(std::string_view line, bool* close) {
+  std::promise<std::pair<std::string, bool>> promise;
+  std::future<std::pair<std::string, bool>> future = promise.get_future();
+  Submit(line, [&promise](std::string reply, bool do_close) {
+    promise.set_value({std::move(reply), do_close});
+  });
+  auto [reply, do_close] = future.get();
+  if (close != nullptr) *close = do_close;
+  return reply;
+}
+
+void ServerStack::WaitIdle() { admission_.WaitIdle(); }
+
+std::string ServerStack::Greeting() const {
+  return server::Greeting(graph().NumNodes(), graph().NumArcs());
+}
+
+void ServerStack::SetPois(std::vector<NodeId> pois) {
+  pois_ = std::move(pois);
+}
+
+std::string ServerStack::Execute(const Request& request,
+                                 QuerySession& session) {
+  try {
+    switch (request.kind) {
+      case RequestKind::kDistance:
+        return ExecuteDistance(request.s, request.t, session);
+      case RequestKind::kPath:
+        return ExecutePath(request.s, request.t, session);
+      case RequestKind::kKNearest:
+        return ExecuteKNearest(request.s, request.k, session);
+      case RequestKind::kBatch:
+        return ExecuteBatch(request.pairs, session);
+      default:
+        stats_.RecordError();
+        return FormatError(ErrorCode::kInternal, "unexecutable request kind");
+    }
+  } catch (const std::exception& e) {
+    stats_.RecordError();
+    return FormatError(ErrorCode::kInternal, e.what());
+  } catch (...) {
+    stats_.RecordError();
+    return FormatError(ErrorCode::kInternal, "unknown failure");
+  }
+}
+
+std::string ServerStack::ExecuteDistance(NodeId s, NodeId t,
+                                         QuerySession& session) {
+  Timer timer;
+  const Dist d = session.Distance(s, t);
+  cache_.Insert(CacheKey{s, t, CachedKind::kDistance}, CachedResult{d, {}});
+  stats_.RecordOk(RequestClass::kDistance, timer.Micros());
+  return FormatDistance(d);
+}
+
+std::string ServerStack::ExecutePath(NodeId s, NodeId t,
+                                     QuerySession& session) {
+  Timer timer;
+  const PathResult path = session.ShortestPath(s, t);
+  cache_.Insert(CacheKey{s, t, CachedKind::kPath},
+                CachedResult{path.length, path.nodes});
+  stats_.RecordOk(RequestClass::kPath, timer.Micros());
+  return FormatPath(path);
+}
+
+std::vector<Dist> ServerStack::CachedDistances(
+    const std::vector<std::pair<NodeId, NodeId>>& pairs,
+    QuerySession& session) {
+  std::vector<Dist> dists(pairs.size(), kInfDist);
+  std::vector<std::size_t> miss_index;
+  std::vector<QueryPair> miss_pairs;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const CacheKey key{pairs[i].first, pairs[i].second, CachedKind::kDistance};
+    CachedResult cached;
+    if (cache_.Lookup(key, &cached)) {
+      dists[i] = cached.dist;
+    } else {
+      miss_index.push_back(i);
+      miss_pairs.push_back(pairs[i]);
+    }
+  }
+  if (miss_pairs.empty()) return dists;
+  // Few misses: answer on this worker's own session. Many: fan out across
+  // the engine's worker threads so one big batch request does not pin a
+  // single async worker for its whole duration.
+  std::vector<Dist> computed;
+  if (miss_pairs.size() >= kParallelMissThreshold) {
+    computed = engine_.BatchDistance(miss_pairs);
+  } else {
+    computed.reserve(miss_pairs.size());
+    for (const auto& [s, t] : miss_pairs) {
+      computed.push_back(session.Distance(s, t));
+    }
+  }
+  for (std::size_t j = 0; j < miss_pairs.size(); ++j) {
+    dists[miss_index[j]] = computed[j];
+    cache_.Insert(
+        CacheKey{miss_pairs[j].first, miss_pairs[j].second,
+                 CachedKind::kDistance},
+        CachedResult{computed[j], {}});
+  }
+  return dists;
+}
+
+std::string ServerStack::ExecuteKNearest(NodeId s, std::uint32_t k,
+                                         QuerySession& session) {
+  if (pois_.empty()) {
+    stats_.RecordError();
+    return FormatError(ErrorCode::kBadRequest,
+                       "no POI set configured on this server");
+  }
+  Timer timer;
+  // One distance per POI, each answered through the shared result cache so
+  // a popular origin warms every later k-nearest from it.
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(pois_.size());
+  for (const NodeId poi : pois_) pairs.emplace_back(s, poi);
+  const std::vector<Dist> dists = CachedDistances(pairs, session);
+  std::vector<std::pair<Dist, NodeId>> reachable;
+  reachable.reserve(pois_.size());
+  for (std::size_t i = 0; i < pois_.size(); ++i) {
+    if (dists[i] != kInfDist) reachable.emplace_back(dists[i], pois_[i]);
+  }
+  const std::size_t take = std::min<std::size_t>(k, reachable.size());
+  std::partial_sort(reachable.begin(), reachable.begin() + take,
+                    reachable.end());
+  reachable.resize(take);
+  stats_.RecordOk(RequestClass::kKNearest, timer.Micros());
+  return FormatKNearest(reachable);
+}
+
+std::string ServerStack::ExecuteBatch(
+    const std::vector<std::pair<NodeId, NodeId>>& pairs,
+    QuerySession& session) {
+  Timer timer;
+  const std::vector<Dist> dists = CachedDistances(pairs, session);
+  stats_.RecordOk(RequestClass::kBatch, timer.Micros());
+  return FormatBatch(dists);
+}
+
+std::string ServerStack::StatsLine() const {
+  const CacheStats cache = cache_.Totals();
+  const AdmissionStats admission = admission_.Totals();
+  std::string out;
+  AppendKv(&out, "v", std::to_string(kProtocolVersion));
+  AppendKv(&out, "uptime_s", Fixed(stats_.UptimeSeconds(), 1));
+  AppendKv(&out, "served", std::to_string(stats_.OkCount()));
+  AppendKv(&out, "errors", std::to_string(stats_.ErrorCount()));
+  AppendKv(&out, "shed", std::to_string(admission.shed));
+  AppendKv(&out, "expired", std::to_string(admission.expired));
+  AppendKv(&out, "qps", Fixed(stats_.Qps(), 1));
+  AppendKv(&out, "in_flight", std::to_string(admission_.InFlight()));
+  AppendKv(&out, "queue_depth", std::to_string(engine_.AsyncQueueDepth()));
+  AppendKv(&out, "cache_size", std::to_string(cache_.Size()));
+  AppendKv(&out, "cache_hits", std::to_string(cache.hits));
+  AppendKv(&out, "cache_misses", std::to_string(cache.misses));
+  AppendKv(&out, "cache_hit_rate", Fixed(cache.HitRate(), 3));
+  AppendKv(&out, "cache_evictions", std::to_string(cache.evictions));
+  AppendKv(&out, "cache_invalidations", std::to_string(cache.invalidations));
+  for (std::size_t c = 0; c < kNumRequestClasses; ++c) {
+    const auto request_class = static_cast<RequestClass>(c);
+    const LatencyHistogram& hist = stats_.Histogram(request_class);
+    const std::string prefix(RequestClassName(request_class));
+    AppendKv(&out, prefix + "_count", std::to_string(hist.Count()));
+    AppendKv(&out, prefix + "_p50_us", Fixed(hist.Quantile(0.5), 0));
+    AppendKv(&out, prefix + "_p99_us", Fixed(hist.Quantile(0.99), 0));
+  }
+  return out;
+}
+
+}  // namespace ah::server

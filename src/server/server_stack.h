@@ -1,0 +1,120 @@
+// The layered serving stack — the piece that turns the query library into a
+// servable system:
+//
+//   front-end (TCP / stdin / tests)
+//     -> protocol.h        parse + strict validation, structured errors
+//     -> result_cache.h    sharded LRU over (src, dst, kind)
+//     -> admission.h       bounded in-flight budget + per-request deadlines
+//     -> ConcurrentEngine  callback-style submit onto pooled sessions
+//
+// One ServerStack serves any number of front-end threads concurrently. The
+// primary entry point is the callback-style Submit(): parse errors, cache
+// hits, and load sheds are answered synchronously on the calling thread
+// (they never cost an index query), everything else is executed on the
+// engine's async workers and answered through the callback. HandleLine()
+// is the blocking convenience the stdin REPL and simple tests use.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/concurrent_engine.h"
+#include "api/distance_oracle.h"
+#include "server/admission.h"
+#include "server/protocol.h"
+#include "server/request_stats.h"
+#include "server/result_cache.h"
+#include "util/types.h"
+
+namespace ah::server {
+
+struct ServerConfig {
+  /// Result-cache entry budget (0 disables caching) and shard count.
+  std::size_t cache_capacity = 1 << 16;
+  std::size_t cache_shards = 16;
+  /// Admission: max in-flight requests and per-request deadline (0 = none).
+  std::size_t admission_capacity = 256;
+  std::chrono::milliseconds request_timeout{1000};
+  /// Max pairs accepted in one batch request.
+  std::size_t max_batch = 4096;
+  /// Engine fan-out (0 = WorkerThreads() default).
+  std::size_t num_threads = 0;
+};
+
+class ServerStack {
+ public:
+  /// Reply text plus whether the front-end should close the session (quit).
+  using ReplyCallback = std::function<void(std::string reply, bool close)>;
+
+  /// Builds the stack over a built oracle. The graph behind the oracle must
+  /// outlive the stack. Throws std::invalid_argument on a null oracle.
+  explicit ServerStack(std::unique_ptr<DistanceOracle> oracle,
+                       const ServerConfig& config = {});
+
+  /// Drains in-flight requests before the engine is torn down.
+  ~ServerStack();
+
+  /// Handles one protocol line. `done` is invoked exactly once — inline for
+  /// parse errors, cache hits, sheds, and admin requests; from an engine
+  /// worker thread otherwise. `done` must not block for long and must stay
+  /// callable until invoked. Thread-safe.
+  void Submit(std::string_view line, ReplyCallback done);
+
+  /// Blocking convenience: Submit() + wait. Sets *close for a quit request
+  /// when `close` is non-null. Thread-safe (callers on their own threads).
+  std::string HandleLine(std::string_view line, bool* close = nullptr);
+
+  /// Blocks until every admitted request has been answered.
+  void WaitIdle();
+
+  /// The banner a front-end sends when a session opens.
+  std::string Greeting() const;
+
+  /// POI set served by k-nearest requests. Set before serving traffic; not
+  /// synchronized against in-flight k-nearest execution.
+  void SetPois(std::vector<NodeId> pois);
+  const std::vector<NodeId>& Pois() const { return pois_; }
+
+  /// One-line key=value stats snapshot (the `stats` reply body).
+  std::string StatsLine() const;
+
+  ConcurrentEngine& engine() { return engine_; }
+  ResultCache& cache() { return cache_; }
+  AdmissionController& admission() { return admission_; }
+  RequestStats& stats() { return stats_; }
+  const Graph& graph() const { return engine_.oracle().graph(); }
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  /// Executes an admitted query request on a session, formats the reply,
+  /// and updates cache + stats. Never throws.
+  std::string Execute(const Request& request, QuerySession& session);
+
+  std::string ExecuteDistance(NodeId s, NodeId t, QuerySession& session);
+  std::string ExecutePath(NodeId s, NodeId t, QuerySession& session);
+  std::string ExecuteKNearest(NodeId s, std::uint32_t k,
+                              QuerySession& session);
+  std::string ExecuteBatch(const std::vector<std::pair<NodeId, NodeId>>& pairs,
+                           QuerySession& session);
+
+  /// Cache-through distances for a pair list: hits from the cache, misses
+  /// computed (on `session`, or fanned across the engine's batch threads
+  /// when there are many) and inserted.
+  std::vector<Dist> CachedDistances(
+      const std::vector<std::pair<NodeId, NodeId>>& pairs,
+      QuerySession& session);
+
+  ServerConfig config_;
+  ConcurrentEngine engine_;
+  ResultCache cache_;
+  AdmissionController admission_;
+  RequestStats stats_;
+  std::vector<NodeId> pois_;
+};
+
+}  // namespace ah::server

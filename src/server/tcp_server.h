@@ -1,0 +1,139 @@
+// TCP front-end over a ServerStack: one poll()-driven I/O thread, plain
+// POSIX sockets, no external dependencies. The I/O thread never executes a
+// query — it parses nothing and blocks on nothing; complete request lines
+// are handed to ServerStack::Submit and replies come back through a
+// self-pipe-woken queue, so slow queries on the engine workers cannot stall
+// accepting connections or reading other clients.
+//
+// Per-connection ordering: requests on one connection are answered in the
+// order they arrive (one in flight per connection; further pipelined lines
+// queue). Concurrency comes from many connections sharing the engine's
+// worker pool. Connections beyond `max_connections` are greeted with an
+// ERR overload reply and closed — front-end load shedding, the same policy
+// admission control applies per request behind it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "server/server_stack.h"
+
+namespace ah::server {
+
+struct TcpServerConfig {
+  /// Port to bind; 0 picks an ephemeral port (read it back via Port()).
+  std::uint16_t port = 0;
+  /// Bind loopback only by default; set true to serve on all interfaces.
+  bool bind_any = false;
+  int backlog = 64;
+  /// Connections beyond this are rejected with ERR overload.
+  std::size_t max_connections = 64;
+  /// A connection sending a longer unterminated line is errored and closed.
+  std::size_t max_line_bytes = 1 << 20;
+  /// Backpressure for pipelining clients: a connection stops being read
+  /// while it has this many parsed-but-unanswered lines queued, and one
+  /// that will not drain its replies (outbuf beyond max_outbuf_bytes) is
+  /// closed — so one client cannot grow server memory without limit.
+  std::size_t max_pending_lines = 128;
+  std::size_t max_outbuf_bytes = 4 << 20;
+};
+
+class TcpServer {
+ public:
+  /// The stack must outlive the server. Construction does not bind —
+  /// call Start().
+  TcpServer(ServerStack& stack, const TcpServerConfig& config = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens, and starts the I/O thread. On failure returns false
+  /// and fills *error (when non-null) with the failing call and errno text.
+  bool Start(std::string* error = nullptr);
+
+  /// Stops accepting, waits for in-flight requests to finish, closes every
+  /// connection, and joins the I/O thread. Idempotent; also run by the
+  /// destructor.
+  void Stop();
+
+  bool Running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (the ephemeral one when config.port was 0); 0 before
+  /// Start() succeeds.
+  std::uint16_t Port() const { return port_; }
+  std::size_t NumConnections() const {
+    return num_connections_.load(std::memory_order_relaxed);
+  }
+  /// Connections rejected because max_connections was reached.
+  std::uint64_t RejectedConnections() const {
+    return rejected_connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    std::uint64_t id = 0;
+    int fd = -1;
+    std::string inbuf;
+    std::string outbuf;
+    std::deque<std::string> pending_lines;  // parsed-off, not yet submitted
+    /// Error reply held back until every already-parsed request has been
+    /// answered, so the one-reply-per-request stream stays in sync.
+    std::string deferred_error;
+    bool awaiting_reply = false;            // one request in flight per conn
+    bool closing = false;                   // close once outbuf drains
+  };
+
+  struct PendingReply {
+    std::uint64_t conn_id = 0;
+    std::string reply;
+    bool close = false;
+  };
+
+  void IoLoop();
+  void AcceptNew();
+  void HandleReadable(Connection& conn);
+  /// Submits queued lines while the connection has no request in flight.
+  void PumpRequests(Connection& conn);
+  /// Non-blocking flush of outbuf; returns false if the conn must close.
+  bool FlushWrites(Connection& conn);
+  /// Emits any deferred error once pending requests are answered, flushes,
+  /// and closes the connection when it is finished or misbehaving. Returns
+  /// false when the connection was closed (the reference is then dangling).
+  bool SettleConnection(Connection& conn);
+  void CloseConnection(int fd);
+  /// Called from engine workers (or inline): queue a reply and wake poll.
+  void EnqueueReply(std::uint64_t conn_id, std::string reply, bool close);
+  void DrainReplies();
+  void WakeIoThread();
+
+  ServerStack& stack_;
+  TcpServerConfig config_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::uint16_t port_ = 0;
+  std::thread io_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+
+  // Owned by the I/O thread exclusively.
+  std::unordered_map<int, Connection> connections_;        // by fd
+  std::unordered_map<std::uint64_t, int> conn_fd_by_id_;
+  std::uint64_t next_conn_id_ = 1;
+
+  // Crossed between engine workers and the I/O thread.
+  std::mutex replies_mu_;
+  std::vector<PendingReply> pending_replies_;
+
+  std::atomic<std::size_t> num_connections_{0};
+  std::atomic<std::uint64_t> rejected_connections_{0};
+};
+
+}  // namespace ah::server

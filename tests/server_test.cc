@@ -1,0 +1,615 @@
+// The serving stack: protocol round-trip (including malformed input),
+// result-cache correctness (cached answers cross-checked against Dijkstra),
+// admission-control shedding and deadlines under a saturated bounded queue,
+// the latency histogram, and a localhost TCP end-to-end smoke test. The CI
+// tsan job runs this suite under -fsanitize=thread.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/distance_oracle.h"
+#include "routing/dijkstra.h"
+#include "routing/path.h"
+#include "server/admission.h"
+#include "server/line_client.h"
+#include "server/protocol.h"
+#include "server/request_stats.h"
+#include "server/result_cache.h"
+#include "server/server_stack.h"
+#include "server/tcp_server.h"
+#include "test_util.h"
+
+namespace ah::server {
+namespace {
+
+constexpr ParseLimits kLimits{/*num_nodes=*/100, /*max_batch=*/8};
+
+bool StartsWith(const std::string& s, std::string_view prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolTest, ParsesEveryRequestKind) {
+  ParseResult r = ParseRequest("d 3 99", kLimits);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.request.kind, RequestKind::kDistance);
+  EXPECT_EQ(r.request.s, 3u);
+  EXPECT_EQ(r.request.t, 99u);
+
+  r = ParseRequest("p 0 1", kLimits);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.request.kind, RequestKind::kPath);
+
+  r = ParseRequest("k 5 3", kLimits);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.request.kind, RequestKind::kKNearest);
+  EXPECT_EQ(r.request.s, 5u);
+  EXPECT_EQ(r.request.k, 3u);
+
+  r = ParseRequest("b 2 0 1 2 3", kLimits);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.request.kind, RequestKind::kBatch);
+  ASSERT_EQ(r.request.pairs.size(), 2u);
+  EXPECT_EQ(r.request.pairs[0], (std::pair<NodeId, NodeId>{0, 1}));
+  EXPECT_EQ(r.request.pairs[1], (std::pair<NodeId, NodeId>{2, 3}));
+
+  EXPECT_EQ(ParseRequest("stats", kLimits).request.kind, RequestKind::kStats);
+  EXPECT_EQ(ParseRequest("inv", kLimits).request.kind,
+            RequestKind::kInvalidate);
+  EXPECT_EQ(ParseRequest("q", kLimits).request.kind, RequestKind::kQuit);
+  // Whitespace tolerance.
+  EXPECT_TRUE(ParseRequest("  d \t 1   2  ", kLimits).ok);
+}
+
+TEST(ProtocolTest, VersionPrefixAcceptedAndRejected) {
+  EXPECT_TRUE(ParseRequest("AH/1 d 0 1", kLimits).ok);
+  const ParseResult bad = ParseRequest("AH/2 d 0 1", kLimits);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.code, ErrorCode::kUnsupportedVersion);
+  EXPECT_FALSE(ParseRequest("AH/x d 0 1", kLimits).ok);
+}
+
+TEST(ProtocolTest, MalformedInputYieldsStructuredErrors) {
+  const struct {
+    const char* line;
+    ErrorCode code;
+  } cases[] = {
+      {"", ErrorCode::kBadRequest},
+      {"   ", ErrorCode::kBadRequest},
+      {"zzz 1 2", ErrorCode::kBadRequest},
+      {"d 1", ErrorCode::kBadRequest},        // missing arg
+      {"d 1 2 3", ErrorCode::kBadRequest},    // trailing junk
+      {"d -1 2", ErrorCode::kBadNode},        // negative: no clamping
+      {"d 1e3 2", ErrorCode::kBadNode},       // non-decimal
+      {"d 0x10 2", ErrorCode::kBadNode},
+      {"d 1 100", ErrorCode::kBadNode},       // == num_nodes: out of range
+      {"d 1 18446744073709551616", ErrorCode::kBadNode},  // > uint64
+      {"k 1 0", ErrorCode::kBadRequest},      // k must be positive
+      {"k 1 -3", ErrorCode::kBadRequest},
+      {"b 0", ErrorCode::kBadRequest},        // empty batch
+      {"b 2 0 1", ErrorCode::kBadRequest},    // wrong pair count
+      {"b 2 0 1 2 3 4", ErrorCode::kBadRequest},
+      {"b 9 0 1 0 1 0 1 0 1 0 1 0 1 0 1 0 1 0 1",
+       ErrorCode::kBadRequest},               // over max_batch = 8
+      {"stats now", ErrorCode::kBadRequest},
+      {"q please", ErrorCode::kBadRequest},
+  };
+  for (const auto& c : cases) {
+    const ParseResult r = ParseRequest(c.line, kLimits);
+    EXPECT_FALSE(r.ok) << "line: '" << c.line << "'";
+    EXPECT_EQ(r.code, c.code) << "line: '" << c.line << "'";
+    EXPECT_FALSE(r.message.empty()) << "line: '" << c.line << "'";
+  }
+}
+
+TEST(ProtocolTest, FormatsDistinguishUnreachableFromErrors) {
+  EXPECT_EQ(FormatDistance(42), "OK d 42");
+  EXPECT_EQ(FormatDistance(kInfDist), "OK d unreachable");
+
+  PathResult path;
+  EXPECT_EQ(FormatPath(path), "OK p unreachable");
+  path.length = 7;
+  path.nodes = {1, 5, 9};
+  EXPECT_EQ(FormatPath(path), "OK p 7 3 1 5 9");
+
+  EXPECT_EQ(FormatBatch({3, kInfDist, 0}), "OK b 3 3 unreachable 0");
+  EXPECT_EQ(FormatKNearest({{5, 2}, {9, 7}}), "OK k 2 2 5 7 9");
+
+  EXPECT_EQ(FormatError(ErrorCode::kBadNode, "node id 7 out of range"),
+            "ERR bad-node node id 7 out of range");
+  EXPECT_EQ(FormatError(ErrorCode::kOverload, ""), "ERR overload");
+  EXPECT_EQ(Greeting(10, 20), "AH/1 ready 10 nodes 20 arcs");
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogramTest, ExactForSmallValuesAndBoundedErrorAbove) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.Quantile(0.5), 0);
+  for (int v : {0, 1, 2, 3, 4, 5, 6, 7}) hist.Record(v);
+  EXPECT_EQ(hist.Count(), 8u);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.0), 0);   // rank clamps to 1st sample
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), 3);   // nearest rank: 4th of 8
+  EXPECT_DOUBLE_EQ(hist.Quantile(1.0), 7);
+
+  LatencyHistogram coarse;
+  coarse.Record(1000.0);
+  const double q = coarse.Quantile(0.99);
+  EXPECT_GE(q, 1000.0);
+  EXPECT_LE(q, 1000.0 * 1.125 + 1);  // log-linear bucket width
+}
+
+TEST(LatencyHistogramTest, MergeAndReset) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (int i = 0; i < 50; ++i) a.Record(1);
+  for (int i = 0; i < 50; ++i) b.Record(1 << 20);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 100u);
+  EXPECT_DOUBLE_EQ(a.Quantile(0.25), 1);
+  EXPECT_GE(a.Quantile(0.99), 1 << 20);
+  a.Reset();
+  EXPECT_EQ(a.Count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache
+// ---------------------------------------------------------------------------
+
+TEST(ResultCacheTest, HitMissInsertAndStats) {
+  ResultCache cache(64, 4);
+  const CacheKey key{1, 2, CachedKind::kDistance};
+  CachedResult out;
+  EXPECT_FALSE(cache.Lookup(key, &out));
+  cache.Insert(key, CachedResult{77, {}});
+  ASSERT_TRUE(cache.Lookup(key, &out));
+  EXPECT_EQ(out.dist, 77u);
+  // Same pair, path kind: a distinct entry.
+  EXPECT_FALSE(cache.Lookup(CacheKey{1, 2, CachedKind::kPath}, &out));
+
+  const CacheStats stats = cache.Totals();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_NEAR(stats.HitRate(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  // One shard, two entries, so recency is global and deterministic.
+  ResultCache cache(2, 1);
+  const CacheKey a{0, 1, CachedKind::kDistance};
+  const CacheKey b{0, 2, CachedKind::kDistance};
+  const CacheKey c{0, 3, CachedKind::kDistance};
+  cache.Insert(a, CachedResult{1, {}});
+  cache.Insert(b, CachedResult{2, {}});
+  CachedResult out;
+  ASSERT_TRUE(cache.Lookup(a, &out));  // promote a; b is now LRU
+  cache.Insert(c, CachedResult{3, {}});
+  EXPECT_EQ(cache.Totals().evictions, 1u);
+  EXPECT_TRUE(cache.Lookup(a, &out));
+  EXPECT_FALSE(cache.Lookup(b, &out));  // evicted
+  EXPECT_TRUE(cache.Lookup(c, &out));
+  EXPECT_EQ(cache.Size(), 2u);
+}
+
+TEST(ResultCacheTest, ClearInvalidatesEverythingAndCounts) {
+  ResultCache cache(64, 4);
+  for (NodeId i = 0; i < 10; ++i) {
+    cache.Insert(CacheKey{i, i, CachedKind::kDistance}, CachedResult{i, {}});
+  }
+  EXPECT_EQ(cache.Size(), 10u);
+  cache.Clear();
+  EXPECT_EQ(cache.Size(), 0u);
+  CachedResult out;
+  EXPECT_FALSE(cache.Lookup(CacheKey{1, 1, CachedKind::kDistance}, &out));
+  EXPECT_EQ(cache.Totals().invalidations, 1u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisables) {
+  ResultCache cache(0);
+  EXPECT_FALSE(cache.Enabled());
+  cache.Insert(CacheKey{1, 2, CachedKind::kDistance}, CachedResult{7, {}});
+  CachedResult out;
+  EXPECT_FALSE(cache.Lookup(CacheKey{1, 2, CachedKind::kDistance}, &out));
+  EXPECT_EQ(cache.Size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionTest, BoundsInFlightAndCountsSheds) {
+  AdmissionController admission(AdmissionConfig{2, std::chrono::milliseconds(0)});
+  EXPECT_TRUE(admission.TryAdmit());
+  EXPECT_TRUE(admission.TryAdmit());
+  EXPECT_FALSE(admission.TryAdmit());  // full
+  EXPECT_EQ(admission.InFlight(), 2u);
+  admission.Release();
+  EXPECT_TRUE(admission.TryAdmit());
+  admission.Release();
+  admission.Release();
+  const AdmissionStats stats = admission.Totals();
+  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.shed, 1u);
+  admission.WaitIdle();  // returns immediately at zero in flight
+}
+
+TEST(AdmissionTest, DeadlinesRespectTimeoutConfig) {
+  AdmissionController no_deadline(
+      AdmissionConfig{1, std::chrono::milliseconds(0)});
+  EXPECT_EQ(no_deadline.MakeDeadline(), AdmissionController::Deadline::max());
+  EXPECT_FALSE(AdmissionController::Expired(no_deadline.MakeDeadline()));
+
+  AdmissionController tight(AdmissionConfig{1, std::chrono::milliseconds(1)});
+  const auto deadline = tight.MakeDeadline();
+  EXPECT_FALSE(AdmissionController::Expired(
+      AdmissionController::Clock::now() + std::chrono::seconds(1)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(AdmissionController::Expired(deadline));
+}
+
+// ---------------------------------------------------------------------------
+// ServerStack
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> Tokens(const std::string& reply) {
+  std::istringstream in(reply);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+class ServerStackTest : public ::testing::Test {
+ protected:
+  ServerStackTest() : graph_(testing::MakeRoadGraph(8, 17)) {}
+
+  ServerConfig SmallConfig() const {
+    ServerConfig config;
+    config.cache_capacity = 256;
+    config.cache_shards = 4;
+    config.admission_capacity = 8;
+    config.request_timeout = std::chrono::milliseconds(0);  // no deadlines
+    config.max_batch = 64;
+    config.num_threads = 2;
+    return config;
+  }
+
+  Graph graph_;
+};
+
+TEST_F(ServerStackTest, AnswersMatchDijkstraAndRepeatsHitTheCache) {
+  ServerStack stack(MakeOracle("ch", graph_), SmallConfig());
+  Dijkstra reference(graph_);
+  const NodeId n = static_cast<NodeId>(graph_.NumNodes());
+
+  std::vector<std::string> first_replies;
+  for (NodeId t = 0; t < n; t += 7) {
+    const std::string query = "d 3 " + std::to_string(t);
+    const std::string reply = stack.HandleLine(query);
+    EXPECT_EQ(reply, FormatDistance(reference.Distance(3, t))) << query;
+    first_replies.push_back(reply);
+  }
+  const CacheStats cold = stack.cache().Totals();
+  EXPECT_EQ(cold.hits, 0u);
+  EXPECT_GT(cold.insertions, 0u);
+
+  // Second pass: identical replies, all from the cache.
+  std::size_t i = 0;
+  for (NodeId t = 0; t < n; t += 7) {
+    EXPECT_EQ(stack.HandleLine("d 3 " + std::to_string(t)),
+              first_replies[i++]);
+  }
+  const CacheStats warm = stack.cache().Totals();
+  EXPECT_EQ(warm.hits, cold.misses);
+  EXPECT_GT(warm.HitRate(), 0.0);
+  EXPECT_EQ(warm.insertions, cold.insertions);  // no recompute on hits
+}
+
+TEST_F(ServerStackTest, PathRepliesAreValidCachedAndIdentical) {
+  ServerStack stack(MakeOracle("ch", graph_), SmallConfig());
+  Dijkstra reference(graph_);
+  const NodeId t = static_cast<NodeId>(graph_.NumNodes() - 1);
+  const std::string query = "p 0 " + std::to_string(t);
+
+  const std::string uncached = stack.HandleLine(query);
+  const std::string cached = stack.HandleLine(query);
+  EXPECT_EQ(uncached, cached);  // bit-identical from the cache
+  EXPECT_GT(stack.cache().Totals().hits, 0u);
+
+  const std::vector<std::string> tokens = Tokens(uncached);
+  ASSERT_GE(tokens.size(), 4u);
+  ASSERT_EQ(tokens[0], "OK");
+  ASSERT_EQ(tokens[1], "p");
+  const Dist length = std::stoull(tokens[2]);
+  EXPECT_EQ(length, reference.Distance(0, t));
+  const std::size_t count = std::stoull(tokens[3]);
+  ASSERT_EQ(tokens.size(), 4 + count);
+  std::vector<NodeId> nodes;
+  for (std::size_t i = 0; i < count; ++i) {
+    nodes.push_back(static_cast<NodeId>(std::stoul(tokens[4 + i])));
+  }
+  EXPECT_TRUE(IsValidPath(graph_, nodes, 0, t, length));
+}
+
+TEST_F(ServerStackTest, BatchAndKNearestMatchReference) {
+  ServerStack stack(MakeOracle("ch", graph_), SmallConfig());
+  stack.SetPois({1, 5, 9, 13, 17});
+  Dijkstra reference(graph_);
+
+  EXPECT_EQ(stack.HandleLine("b 3 0 9 9 0 0 0"),
+            FormatBatch({reference.Distance(0, 9), reference.Distance(9, 0),
+                         reference.Distance(0, 0)}));
+
+  // k-nearest cross-check: recompute the expected (dist, node) ranking.
+  std::vector<std::pair<Dist, NodeId>> expected;
+  for (const NodeId poi : stack.Pois()) {
+    const Dist d = reference.Distance(2, poi);
+    if (d != kInfDist) expected.emplace_back(d, poi);
+  }
+  std::sort(expected.begin(), expected.end());
+  expected.resize(std::min<std::size_t>(3, expected.size()));
+  EXPECT_EQ(stack.HandleLine("k 2 3"), FormatKNearest(expected));
+}
+
+TEST_F(ServerStackTest, UnreachableIsAnAnswerNotAnError) {
+  const Graph disconnected = testing::MakeDisconnectedGraph(12, 29);
+  ServerConfig config = SmallConfig();
+  ServerStack stack(MakeOracle("ch", disconnected), config);
+  const std::string cross = "d 0 " + std::to_string(12);  // other cluster
+  EXPECT_EQ(stack.HandleLine(cross), "OK d unreachable");
+  EXPECT_EQ(stack.HandleLine("p 0 12"), "OK p unreachable");
+  // Same ids out of range on a smaller graph would be an error instead.
+  EXPECT_TRUE(StartsWith(stack.HandleLine("d 0 99999"), "ERR bad-node"));
+  EXPECT_EQ(stack.stats().ErrorCount(), 1u);
+}
+
+TEST_F(ServerStackTest, MalformedLinesAreErrorsAndCounted) {
+  ServerStack stack(MakeOracle("dijkstra", graph_), SmallConfig());
+  EXPECT_TRUE(StartsWith(stack.HandleLine("d -1 2"), "ERR bad-node"));
+  EXPECT_TRUE(StartsWith(stack.HandleLine("nope"), "ERR bad-request"));
+  EXPECT_TRUE(StartsWith(stack.HandleLine("AH/3 d 0 1"),
+                         "ERR unsupported-version"));
+  EXPECT_TRUE(StartsWith(stack.HandleLine("k 0 2"), "ERR bad-request"))
+      << "k-nearest without a POI set must be rejected";
+  EXPECT_EQ(stack.stats().ErrorCount(), 4u);
+  EXPECT_EQ(stack.stats().OkCount(), 0u);
+}
+
+TEST_F(ServerStackTest, SaturatedAdmissionQueueShedsInsteadOfHanging) {
+  ServerConfig config = SmallConfig();
+  config.cache_capacity = 0;       // force every request through admission
+  config.admission_capacity = 1;   // one in flight
+  config.num_threads = 1;          // one engine worker to saturate
+  ServerStack stack(MakeOracle("dijkstra", graph_), config);
+
+  // Block the only engine worker so the admitted request cannot start.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  stack.engine().SubmitAsync([gate](QuerySession&) { gate.wait(); });
+
+  std::promise<std::string> admitted;
+  std::future<std::string> admitted_reply = admitted.get_future();
+  stack.Submit("d 0 1", [&admitted](std::string reply, bool) {
+    admitted.set_value(std::move(reply));
+  });
+
+  // The budget is exhausted: the next request is shed synchronously.
+  const std::string shed = stack.HandleLine("d 0 2");
+  EXPECT_TRUE(StartsWith(shed, "ERR overload")) << shed;
+  EXPECT_EQ(stack.admission().Totals().shed, 1u);
+
+  release.set_value();
+  EXPECT_TRUE(StartsWith(admitted_reply.get(), "OK d"));
+  stack.WaitIdle();
+  EXPECT_EQ(stack.admission().Totals().admitted, 1u);
+}
+
+TEST_F(ServerStackTest, ZeroCapacityShedsEverything) {
+  ServerConfig config = SmallConfig();
+  config.cache_capacity = 0;
+  config.admission_capacity = 0;
+  ServerStack stack(MakeOracle("dijkstra", graph_), config);
+  EXPECT_TRUE(StartsWith(stack.HandleLine("d 0 1"), "ERR overload"));
+  EXPECT_TRUE(StartsWith(stack.HandleLine("b 1 0 1"), "ERR overload"));
+  // Admin requests bypass admission.
+  EXPECT_TRUE(StartsWith(stack.HandleLine("stats"), "OK stats"));
+  EXPECT_EQ(stack.HandleLine("inv"), "OK inv");
+}
+
+TEST_F(ServerStackTest, ExpiredDeadlineAnswersTimeout) {
+  ServerConfig config = SmallConfig();
+  config.cache_capacity = 0;
+  config.num_threads = 1;
+  config.request_timeout = std::chrono::milliseconds(1);
+  ServerStack stack(MakeOracle("dijkstra", graph_), config);
+
+  // Hold the single worker well past the 1ms deadline.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  stack.engine().SubmitAsync([gate](QuerySession&) { gate.wait(); });
+
+  std::promise<std::string> delayed;
+  std::future<std::string> delayed_reply = delayed.get_future();
+  stack.Submit("d 0 1", [&delayed](std::string reply, bool) {
+    delayed.set_value(std::move(reply));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release.set_value();
+
+  EXPECT_TRUE(StartsWith(delayed_reply.get(), "ERR timeout"));
+  stack.WaitIdle();
+  EXPECT_EQ(stack.admission().Totals().expired, 1u);
+}
+
+// Many front-end threads sharing one stack: every reply must still be
+// exactly the single-threaded Dijkstra answer (TSan-checked in CI).
+TEST_F(ServerStackTest, ConcurrentClientsGetConsistentAnswers) {
+  ServerStack stack(MakeOracle("ch", graph_), SmallConfig());
+  Dijkstra reference(graph_);
+  const NodeId n = static_cast<NodeId>(graph_.NumNodes());
+
+  std::vector<std::string> expected;
+  for (NodeId t = 0; t < 40; ++t) {
+    expected.push_back(FormatDistance(reference.Distance(t % n, (t * 7) % n)));
+  }
+
+  constexpr std::size_t kClients = 4;
+  std::vector<std::thread> clients;
+  std::vector<std::size_t> failures(kClients, 0);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t round = 0; round < 3; ++round) {
+        for (NodeId t = 0; t < 40; ++t) {
+          const std::string query = "d " + std::to_string(t % n) + " " +
+                                    std::to_string((t * 7) % n);
+          if (stack.HandleLine(query) != expected[t]) ++failures[c];
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  for (std::size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], 0u) << "client " << c;
+  }
+  const CacheStats cache = stack.cache().Totals();
+  EXPECT_GT(cache.hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// TCP end-to-end
+// ---------------------------------------------------------------------------
+
+class TcpServerTest : public ::testing::Test {
+ protected:
+  TcpServerTest() : graph_(testing::MakeRoadGraph(7, 11)) {}
+
+  Graph graph_;
+};
+
+TEST_F(TcpServerTest, EndToEndQueriesOverLocalhost) {
+  ServerConfig config;
+  config.num_threads = 2;
+  ServerStack stack(MakeOracle("ch", graph_), config);
+  stack.SetPois({0, 3, 6, 9});
+  Dijkstra reference(graph_);
+
+  TcpServer tcp(stack, TcpServerConfig{});
+  std::string error;
+  ASSERT_TRUE(tcp.Start(&error)) << error;
+  ASSERT_NE(tcp.Port(), 0);
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect(tcp.Port()));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, stack.Greeting());
+
+  const NodeId far = static_cast<NodeId>(graph_.NumNodes() - 1);
+  ASSERT_TRUE(client.Send("d 0 " + std::to_string(far) + "\n"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, FormatDistance(reference.Distance(0, far)));
+
+  // Pipelined requests come back in request order.
+  ASSERT_TRUE(client.Send("d 0 1\nd 2 3\nbogus\nd 4 5\n"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, FormatDistance(reference.Distance(0, 1)));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, FormatDistance(reference.Distance(2, 3)));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_TRUE(StartsWith(line, "ERR bad-request"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, FormatDistance(reference.Distance(4, 5)));
+
+  // CRLF line endings are accepted.
+  ASSERT_TRUE(client.Send("d 1 2\r\n"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, FormatDistance(reference.Distance(1, 2)));
+
+  // Quit: one farewell line, then the server closes the connection.
+  ASSERT_TRUE(client.Send("q\n"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "OK bye");
+  EXPECT_TRUE(client.AtEof());
+
+  tcp.Stop();
+  EXPECT_FALSE(tcp.Running());
+}
+
+TEST_F(TcpServerTest, ConcurrentConnectionsAndConnectionLimit) {
+  ServerConfig config;
+  config.num_threads = 2;
+  ServerStack stack(MakeOracle("dijkstra", graph_), config);
+  Dijkstra reference(graph_);
+
+  TcpServerConfig tcp_config;
+  tcp_config.max_connections = 2;
+  TcpServer tcp(stack, tcp_config);
+  ASSERT_TRUE(tcp.Start());
+
+  LineClient a;
+  LineClient b;
+  ASSERT_TRUE(a.Connect(tcp.Port()));
+  ASSERT_TRUE(b.Connect(tcp.Port()));
+  std::string line;
+  ASSERT_TRUE(a.ReadLine(&line));
+  ASSERT_TRUE(b.ReadLine(&line));
+
+  // Both serve queries concurrently.
+  ASSERT_TRUE(a.Send("d 0 5\n"));
+  ASSERT_TRUE(b.Send("d 5 0\n"));
+  ASSERT_TRUE(a.ReadLine(&line));
+  EXPECT_EQ(line, FormatDistance(reference.Distance(0, 5)));
+  ASSERT_TRUE(b.ReadLine(&line));
+  EXPECT_EQ(line, FormatDistance(reference.Distance(5, 0)));
+
+  // A third connection is shed at the front door.
+  LineClient c;
+  ASSERT_TRUE(c.Connect(tcp.Port()));
+  ASSERT_TRUE(c.ReadLine(&line));
+  EXPECT_TRUE(StartsWith(line, "ERR overload")) << line;
+  EXPECT_TRUE(c.AtEof());
+  EXPECT_EQ(tcp.RejectedConnections(), 1u);
+
+  // Abrupt client disconnect (no quit) must not wedge the server.
+  ASSERT_TRUE(b.Send("d 1 2\n"));
+  ASSERT_TRUE(b.ReadLine(&line));
+  tcp.Stop();
+}
+
+// Stop() with requests still in flight: every admitted request finishes and
+// teardown does not race the engine workers (TSan-checked in CI).
+TEST_F(TcpServerTest, StopWhileBusyIsClean) {
+  ServerConfig config;
+  config.num_threads = 2;
+  ServerStack stack(MakeOracle("dijkstra", graph_), config);
+  TcpServer tcp(stack, TcpServerConfig{});
+  ASSERT_TRUE(tcp.Start());
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect(tcp.Port()));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  std::string burst;
+  for (int i = 0; i < 50; ++i) {
+    burst += "d " + std::to_string(i % 20) + " " + std::to_string(i % 13) +
+             "\n";
+  }
+  ASSERT_TRUE(client.Send(burst));
+  tcp.Stop();  // replies may or may not have been flushed; must not hang
+  EXPECT_FALSE(tcp.Running());
+}
+
+}  // namespace
+}  // namespace ah::server
