@@ -1,17 +1,24 @@
 // fig_throughput: aggregate query throughput and tail latency of one shared
 // immutable index served to 1/2/4/8 threads through per-thread sessions
-// (ConcurrentEngine) — the serving-side counterpart of the paper's
-// per-query latency figures (Fig. 8/9).
+// (ConcurrentEngine over an epoch-versioned IndexRegistry) — the
+// serving-side counterpart of the paper's per-query latency figures
+// (Fig. 8/9).
 //
-// For every backend, two series: distance queries and path queries. The
-// index is built once; the same batch of uniform random queries is answered
-// at each thread count, reporting queries/sec, speedup vs the smallest
-// configured thread count, and the p50/p99 per-query latency from the
-// serving stack's log-linear histogram (server/request_stats.h). The
-// checksum must be identical at every thread count (each query is answered
-// independently, so results are positionally deterministic); any mismatch
-// fails the run. Path checksums fold in the node count, so a same-length
-// different-shape answer is caught too.
+// For every backend, three series: distance queries, path queries, and a
+// swap-under-load distance series ("dist+swap") measured while the
+// registry's background worker rebuilds the backend and hot-swaps the new
+// epoch in — the p50/p99 delta between "dist" and "dist+swap" is the
+// latency cost of a live reload. The reload is delta-free (no weight
+// change queued), so the rebuild cost is real but answers (and checksums)
+// stay comparable across all series cells. The index is built once per
+// backend; the same batch of uniform random queries is answered at each
+// thread count, reporting queries/sec, speedup vs the smallest configured
+// thread count, and the p50/p99 per-query latency from the serving stack's
+// log-linear histogram (server/request_stats.h). The checksum must be
+// identical at every thread count (each query is answered independently, so
+// results are positionally deterministic); any mismatch fails the run. Path
+// checksums fold in the node count, so a same-length different-shape answer
+// is caught too.
 //
 // Env knobs (on top of bench_common.h's AH_BENCH_SCALE / AH_BENCH_DATASETS):
 //   AH_BENCH_PAIRS    — queries per batch (default 2000).
@@ -20,11 +27,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "api/concurrent_engine.h"
 #include "api/distance_oracle.h"
+#include "api/index_registry.h"
 #include "bench_common.h"
 #include "server/request_stats.h"
 #include "util/parallel.h"
@@ -134,7 +144,9 @@ int main() {
                      "queries/s", "speedup", "p50 us", "p99 us", "checksum"});
     for (const std::string& backend : OracleNames()) {
       Timer build;
-      ConcurrentEngine engine(MakeOracle(backend, d.graph));
+      auto registry = std::make_shared<IndexRegistry>(
+          d.graph, std::vector<std::string>{backend});
+      ConcurrentEngine engine(registry);
       std::printf("[build] %-10s %.2fs\n", backend.c_str(), build.Seconds());
       std::fflush(stdout);
 
@@ -156,6 +168,7 @@ int main() {
            }},
       };
 
+      Dist dist_checksum = 0;
       for (const auto& s : series) {
         double base_qps = 0;
         Dist base_checksum = 0;
@@ -168,10 +181,46 @@ int main() {
           if (threads == thread_counts.front()) {
             base_qps = qps;
             base_checksum = cell.checksum;
+            if (std::string_view(s.kind) == "dist") {
+              dist_checksum = cell.checksum;
+            }
           } else if (cell.checksum != base_checksum) {
             ++mismatches;
           }
           table.AddRow({d.spec.name, backend, s.kind, std::to_string(threads),
+                        TextTable::Num(cell.best_seconds * 1e3, 2),
+                        TextTable::Int(static_cast<long long>(qps)),
+                        TextTable::Num(base_qps > 0 ? qps / base_qps : 0, 2),
+                        TextTable::Int(static_cast<long long>(cell.p50_us)),
+                        TextTable::Int(static_cast<long long>(cell.p99_us)),
+                        TextTable::Int(static_cast<long long>(cell.checksum))});
+        }
+      }
+
+      // Swap-under-load: the same distance batch measured while the
+      // registry's background worker rebuilds this backend and swaps the
+      // fresh epoch in (a delta-free reload: full rebuild cost, unchanged
+      // answers, so the checksum must match the steady-state dist series).
+      // A cell is marked "dist+swap~" when the rebuild had already finished
+      // by the end of the timed window (fast-building backend): its numbers
+      // may be partly steady state, so read the unmarked cells for the true
+      // reload cost.
+      {
+        double base_qps = 0;
+        for (const std::size_t threads : thread_counts) {
+          registry->RequestReload();
+          const Cell cell = RunCell(engine, batch, threads, 1, series[0].query);
+          const bool overlapped = registry->RebuildInFlight();
+          registry->WaitForRebuild();
+          const double qps =
+              cell.best_seconds > 0
+                  ? static_cast<double>(batch.size()) / cell.best_seconds
+                  : 0;
+          if (threads == thread_counts.front()) base_qps = qps;
+          if (cell.checksum != dist_checksum) ++mismatches;
+          table.AddRow({d.spec.name, backend,
+                        overlapped ? "dist+swap" : "dist+swap~",
+                        std::to_string(threads),
                         TextTable::Num(cell.best_seconds * 1e3, 2),
                         TextTable::Int(static_cast<long long>(qps)),
                         TextTable::Num(base_qps > 0 ? qps / base_qps : 0, 2),

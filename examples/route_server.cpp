@@ -1,25 +1,31 @@
-// route_server: the serving stack behind a real front-end. The index is
-// built once into a ServerStack (src/server/) — protocol parsing, sharded
-// LRU result cache, admission control, and request stats — and served
-// either to stdin (REPL mode, the default) or over TCP (--listen).
+// route_server: the serving stack behind a real front-end. The configured
+// backends are built once into an epoch-versioned IndexRegistry served
+// through a ServerStack (src/server/) — protocol parsing, generation-tagged
+// LRU result cache, admission control, and request stats — either to stdin
+// (REPL mode, the default) or over TCP (--listen).
 //
 // Protocol (see src/server/protocol.h; same grammar on stdin and TCP):
-//   d <s> <t>                       distance
-//   p <s> <t>                       shortest path
-//   k <s> <k>                       k nearest POIs
-//   b <n> <s1> <t1> ...             batch of n distance queries
-//   stats | inv | q                 stats / cache invalidation / quit
-// REPL extra (client-side convenience, not part of the protocol):
+//   [@<backend>] d <s> <t>          distance (on a named backend, or default)
+//   [@<backend>] p <s> <t>          shortest path
+//   [@<backend>] k <s> <k>          k nearest POIs
+//   [@<backend>] b <n> <s1> <t1>... batch of n distance queries
+//   use <backend>                   switch the server default backend
+//   upd <u> <v> <w>                 queue weight w for arc u->v
+//   reload                          rebuild + hot-swap all backends (async)
+//   stats | inv | q                 stats / cache clear / quit
+// REPL extras (client-side convenience, not part of the protocol):
 //   bench <n>                       n random queries as one batch, prints QPS
+//   wait                            block until a pending rebuild finishes
 //
 // Usage:
-//   route_server [dimacs-base] [--backend <name>] [--listen <port>]
-//                [--cache <entries>] [--admission <n>] [--timeout-ms <n>]
-//   route_server --smoke    # self-test: TCP round-trip on an ephemeral port
+//   route_server [dimacs-base] [--backends ch,alt,...] [--listen <port>]
+//                [--cache <entries>] [--cache-ttl-ms <n>] [--admission <n>]
+//                [--timeout-ms <n>]
+//   route_server --smoke    # self-test: TCP round-trip + live-reload swap
 //
 // Demo:
-//   printf 'd 0 500\np 0 500\nk 0 3\nbench 1000\nstats\nq\n' |
-//       ./build/examples/route_server
+//   printf 'd 0 500\nupd 0 1 9\nreload\nwait\nd 0 500\nq\n' |
+//       ./build/examples/route_server --backends ch,alt
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +35,7 @@
 #include <vector>
 
 #include "api/distance_oracle.h"
+#include "api/index_registry.h"
 #include "gen/road_gen.h"
 #include "graph/dimacs.h"
 #include "routing/dijkstra.h"
@@ -44,15 +51,28 @@ namespace {
 using namespace ah;
 using namespace ah::server;
 
-std::vector<NodeId> MakePois(const Graph& graph, std::size_t count,
+std::vector<NodeId> MakePois(std::size_t num_nodes, std::size_t count,
                              std::uint64_t seed) {
   Rng rng(seed);
   std::vector<NodeId> pois;
   pois.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    pois.push_back(static_cast<NodeId>(rng.Uniform(graph.NumNodes())));
+    pois.push_back(static_cast<NodeId>(rng.Uniform(num_nodes)));
   }
   return pois;
+}
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t comma = csv.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > begin) out.push_back(csv.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return out;
 }
 
 // REPL convenience: `bench <n>` issues n random queries as one protocol
@@ -63,7 +83,7 @@ void RunBenchCommand(ServerStack& stack, std::size_t count) {
     std::printf("? usage: bench <n> with 0 < n <= %zu\n", kMaxBench);
     return;
   }
-  const std::size_t num_nodes = stack.graph().NumNodes();
+  const std::size_t num_nodes = stack.NumNodes();
   const std::size_t max_batch = stack.config().max_batch;
   Rng rng(count);
   Timer timer;
@@ -97,6 +117,12 @@ void ReplLoop(ServerStack& stack) {
       RunBenchCommand(stack, n);
       continue;
     }
+    if (line == "wait") {
+      Timer timer;
+      stack.registry().WaitForRebuild();
+      std::printf("rebuild idle after %.1f ms\n", timer.Seconds() * 1e3);
+      continue;
+    }
     bool close = false;
     const std::string reply = stack.HandleLine(line, &close);
     std::printf("%s\n", reply.c_str());
@@ -105,10 +131,14 @@ void ReplLoop(ServerStack& stack) {
 }
 
 // ---------------------------------------------------------------------------
-// --smoke: end-to-end self-test over a real loopback socket. Starts the TCP
-// server on an ephemeral port, runs a scripted request batch (valid,
-// malformed, cached, versioned), and cross-checks replies against a
-// Dijkstra reference. Exit code 0 iff every check passes.
+// --smoke: end-to-end self-test over a real loopback socket. Starts a
+// two-backend registry behind the TCP server on an ephemeral port, runs a
+// scripted request batch (valid, malformed, cached, versioned,
+// backend-prefixed), then drives a live weight update through
+// upd/reload — continuous correctness is cross-checked against Dijkstra
+// references built on the original and the updated graph, and the swap must
+// retire cache entries by generation, not via Clear(). Exit code 0 iff
+// every check passes.
 // ---------------------------------------------------------------------------
 
 #define SMOKE_CHECK(cond, what)                                  \
@@ -119,7 +149,7 @@ void ReplLoop(ServerStack& stack) {
     }                                                            \
   } while (0)
 
-int RunSmoke(const std::string& backend) {
+int RunSmoke(const std::vector<std::string>& backends) {
   RoadGenParams gen;
   gen.cols = gen.rows = 12;
   gen.seed = 8;
@@ -129,14 +159,23 @@ int RunSmoke(const std::string& backend) {
   ServerConfig config;
   config.cache_capacity = 1024;
   config.admission_capacity = 16;
-  ServerStack stack(MakeOracle(backend, graph), config);
-  stack.SetPois(MakePois(graph, 20, 4));
+  std::shared_ptr<IndexRegistry> registry;
+  try {
+    registry = std::make_shared<IndexRegistry>(graph, backends);
+  } catch (const std::exception& e) {
+    std::printf("SMOKE FAIL: %s\n", e.what());
+    return 1;
+  }
+  ServerStack stack(registry, config);
+  stack.SetPois(MakePois(graph.NumNodes(), 20, 4));
 
   TcpServer tcp(stack, TcpServerConfig{});
   std::string error;
   SMOKE_CHECK(tcp.Start(&error), error.c_str());
-  std::printf("smoke: %s on 127.0.0.1:%u over %zu nodes\n", backend.c_str(),
-              tcp.Port(), graph.NumNodes());
+  std::printf("smoke: %zu backend(s), default %s, on 127.0.0.1:%u over %zu "
+              "nodes\n",
+              backends.size(), registry->DefaultBackend().c_str(), tcp.Port(),
+              graph.NumNodes());
 
   LineClient client;
   SMOKE_CHECK(client.Connect(tcp.Port()), "connect");
@@ -147,6 +186,7 @@ int RunSmoke(const std::string& backend) {
   const NodeId far = static_cast<NodeId>(graph.NumNodes() - 1);
   const Dist expected = reference.Distance(0, far);
   const std::string dist_query = "d 0 " + std::to_string(far);
+  const std::string second = backends.size() > 1 ? backends[1] : backends[0];
 
   struct Step {
     std::string request;
@@ -156,12 +196,19 @@ int RunSmoke(const std::string& backend) {
       // Valid traffic, cross-checked against the Dijkstra reference.
       {dist_query, FormatDistance(expected)},
       {"AH/1 " + dist_query, FormatDistance(expected)},  // versioned form
+      // Every configured backend answers identically via the @ prefix.
+      {"@" + backends.front() + " " + dist_query, FormatDistance(expected)},
+      {"@" + second + " " + dist_query, FormatDistance(expected)},
       {"p 0 " + std::to_string(far), "OK p " + std::to_string(expected) + " *"},
       {"k 0 3", "OK k 3 *"},
       {"b 2 0 " + std::to_string(far) + " " + std::to_string(far) + " 0",
        "OK b 2 *"},
       // Repeat: must now be a cache hit, bit-identical reply.
       {dist_query, FormatDistance(expected)},
+      // Admin: switch the default backend and back.
+      {"use " + second, "OK use " + second},
+      {dist_query, FormatDistance(expected)},
+      {"use " + backends.front(), "OK use " + backends.front()},
       // Malformed traffic: structured errors, not clamping or hangs.
       {"d 0", "ERR bad-request*"},
       {"d -1 5", "ERR bad-node*"},
@@ -169,29 +216,79 @@ int RunSmoke(const std::string& backend) {
       {"AH/9 d 0 1", "ERR unsupported-version*"},
       {"fly 0 1", "ERR bad-request*"},
       {"", "ERR bad-request*"},
+      {"@nosuch d 0 1", "ERR bad-backend*"},
+      {"use nosuch", "ERR bad-backend*"},
+      {"upd 0 0 7", "ERR bad-arc*"},          // no self-loop in the network
+      {"upd 0 1 0", "ERR bad-request*"},      // zero weight
+      {"upd 0 999999 5", "ERR bad-node*"},
+      {"@" + second + " reload", "ERR bad-request*"},  // selector misuse
       // Cache invalidation then stats.
       {"inv", "OK inv"},
       {"stats", "OK stats *"},
   };
-  for (const Step& step : steps) {
-    SMOKE_CHECK(client.SendLine(step.request), "send");
-    SMOKE_CHECK(client.ReadLine(&line), "read reply");
-    const bool prefix = !step.expect.empty() && step.expect.back() == '*';
-    const std::string want =
-        prefix ? step.expect.substr(0, step.expect.size() - 1) : step.expect;
-    const bool match = prefix ? line.rfind(want, 0) == 0 : line == want;
-    if (!match) {
-      std::printf("SMOKE FAIL: request '%s'\n  want %s'%s'\n  got  '%s'\n",
-                  step.request.c_str(), prefix ? "prefix " : "", want.c_str(),
-                  line.c_str());
-      return 1;
+  auto run_steps = [&](const std::vector<Step>& script) -> bool {
+    for (const Step& step : script) {
+      if (!client.SendLine(step.request)) return false;
+      if (!client.ReadLine(&line)) return false;
+      const bool prefix = !step.expect.empty() && step.expect.back() == '*';
+      const std::string want =
+          prefix ? step.expect.substr(0, step.expect.size() - 1) : step.expect;
+      const bool match = prefix ? line.rfind(want, 0) == 0 : line == want;
+      if (!match) {
+        std::printf("SMOKE FAIL: request '%s'\n  want %s'%s'\n  got  '%s'\n",
+                    step.request.c_str(), prefix ? "prefix " : "",
+                    want.c_str(), line.c_str());
+        return false;
+      }
     }
-  }
+    return true;
+  };
+  SMOKE_CHECK(run_steps(steps), "scripted request batch");
 
-  // The repeated distance query must have hit the cache.
-  const CacheStats cache = stack.cache().Totals();
+  // The repeated distance query must have hit the cache; `inv` counts as a
+  // clear (generation invalidations come later, from the swap).
+  CacheStats cache = stack.cache().Totals();
   SMOKE_CHECK(cache.hits > 0, "expected cache hits");
-  SMOKE_CHECK(cache.invalidations == 1, "expected one invalidation");
+  SMOKE_CHECK(cache.clears == 1, "expected one cache clear");
+  SMOKE_CHECK(cache.invalidations == 0, "no generation drops before swap");
+
+  // ---- Live weight update + zero-downtime hot swap ----------------------
+  // Make the first arc out of node 0 drastically heavier, reload, and wait
+  // for the background rebuild to swap every backend. Replies before the
+  // swap match the old Dijkstra, after it the updated one; the stale cache
+  // entry for dist_query must be retired by its generation tag (no Clear).
+  SMOKE_CHECK(graph.OutArcs(0).size() > 0, "node 0 has an out-arc");
+  const NodeId via = graph.OutArcs(0)[0].head;
+  const Weight new_weight =
+      static_cast<Weight>(graph.OutArcs(0)[0].weight * 1000 + 1);
+  Graph updated = graph;
+  updated.SetArcWeight(0, via, new_weight);
+  Dijkstra updated_reference(updated);
+  const Dist updated_expected = updated_reference.Distance(0, far);
+
+  // Warm the cache with the pre-swap answer so the swap has something to
+  // invalidate by generation.
+  SMOKE_CHECK(run_steps({{dist_query, FormatDistance(expected)}}),
+              "pre-swap query");
+  const std::string upd_request = "upd 0 " + std::to_string(via) + " " +
+                                  std::to_string(new_weight);
+  SMOKE_CHECK(run_steps({{upd_request, "OK upd 1"}, {"reload", "OK reload 1"}}),
+              "queue update + reload");
+  registry->WaitForRebuild();
+  for (const std::string& backend : backends) {
+    SMOKE_CHECK(registry->Generation(backend) == 2, "generation bumped to 2");
+  }
+  // Same query, every backend: now the updated answer — the old epoch's
+  // cached entry must not leak through.
+  SMOKE_CHECK(run_steps({{dist_query, FormatDistance(updated_expected)},
+                         {"@" + second + " " + dist_query,
+                          FormatDistance(updated_expected)}}),
+              "post-swap queries");
+  cache = stack.cache().Totals();
+  SMOKE_CHECK(cache.invalidations >= 1, "swap retired stale entry by tag");
+  SMOKE_CHECK(cache.clears == 1, "swap did not Clear() the cache");
+  SMOKE_CHECK(stack.registry().GetStats().updates_applied == 1,
+              "one update applied");
 
   SMOKE_CHECK(client.SendLine("q"), "send quit");
   SMOKE_CHECK(client.ReadLine(&line), "read bye");
@@ -199,8 +296,10 @@ int RunSmoke(const std::string& backend) {
   SMOKE_CHECK(client.AtEof(), "server closes after quit");
 
   tcp.Stop();
-  std::printf("smoke: all %zu scripted replies correct, %llu cache hits\n",
-              steps.size(), static_cast<unsigned long long>(cache.hits));
+  std::printf(
+      "smoke: all scripted replies correct across %zu backend(s), %llu cache "
+      "hits, swap to generation 2 verified\n",
+      backends.size(), static_cast<unsigned long long>(cache.hits));
   return 0;
 }
 
@@ -208,7 +307,8 @@ int RunSmoke(const std::string& backend) {
 
 int main(int argc, char** argv) {
   std::string dimacs_base;
-  std::string backend = "ah";
+  std::vector<std::string> backends = {"ah"};
+  bool backends_set = false;
   bool smoke = false;
   bool listen = false;
   std::uint16_t port = 0;
@@ -225,8 +325,14 @@ int main(int argc, char** argv) {
     };
     if (arg == "--smoke") {
       smoke = true;
-    } else if (arg == "--backend") {
-      backend = next_value("--backend");
+    } else if (arg == "--backend" || arg == "--backends") {
+      backends = SplitCsv(next_value(arg.c_str()));
+      backends_set = true;
+      if (backends.empty()) {
+        std::fprintf(stderr, "%s needs at least one backend name\n",
+                     arg.c_str());
+        return 2;
+      }
     } else if (arg == "--listen") {
       listen = true;
       port = static_cast<std::uint16_t>(
@@ -234,6 +340,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--cache") {
       config.cache_capacity = static_cast<std::size_t>(
           std::strtoull(next_value("--cache"), nullptr, 10));
+    } else if (arg == "--cache-ttl-ms") {
+      config.cache_ttl = std::chrono::milliseconds(
+          std::strtoull(next_value("--cache-ttl-ms"), nullptr, 10));
     } else if (arg == "--admission") {
       config.admission_capacity = static_cast<std::size_t>(
           std::strtoull(next_value("--admission"), nullptr, 10));
@@ -248,7 +357,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (smoke) return RunSmoke(backend);
+  if (smoke) {
+    // Two fast-building backends by default so the swap scenario exercises
+    // multi-backend routing; --backends overrides.
+    if (!backends_set) backends = {"ch", "alt"};
+    return RunSmoke(backends);
+  }
 
   Graph graph;
   if (!dimacs_base.empty()) {
@@ -264,16 +378,33 @@ int main(int argc, char** argv) {
               graph.NumArcs());
 
   Timer build;
-  ServerStack stack(MakeOracle(backend, graph), config);
-  stack.SetPois(MakePois(graph, 50, 4));
-  std::printf(
-      "%s index ready in %.2fs (%.1f MB); cache %zu entries, admission %zu "
-      "in flight, %lld ms deadline\n",
-      backend.c_str(), build.Seconds(),
-      static_cast<double>(stack.engine().oracle().BuildStats().index_bytes) /
-          (1024.0 * 1024.0),
-      config.cache_capacity, config.admission_capacity,
-      static_cast<long long>(config.request_timeout.count()));
+  std::shared_ptr<IndexRegistry> registry;
+  try {
+    registry = std::make_shared<IndexRegistry>(std::move(graph), backends);
+  } catch (const std::exception& e) {
+    // Duplicate or unknown names in --backends land here: a clean CLI
+    // error, not an uncaught throw.
+    std::fprintf(stderr, "cannot build backends: %s\n", e.what());
+    return 2;
+  }
+  ServerStack stack(registry, config);
+  stack.SetPois(MakePois(stack.NumNodes(), 50, 4));
+  std::printf("%zu backend(s) ready in %.2fs; cache %zu entries (ttl %lld "
+              "ms), admission %zu in flight, %lld ms deadline\n",
+              backends.size(), build.Seconds(), config.cache_capacity,
+              static_cast<long long>(config.cache_ttl.count()),
+              config.admission_capacity,
+              static_cast<long long>(config.request_timeout.count()));
+  for (const std::string& backend : backends) {
+    const EpochHandle epoch = registry->Current(backend);
+    std::printf("  %-10s gen %llu, %.1f MB, built in %.2fs%s\n",
+                backend.c_str(),
+                static_cast<unsigned long long>(epoch->generation),
+                static_cast<double>(epoch->oracle->BuildStats().index_bytes) /
+                    (1024.0 * 1024.0),
+                epoch->oracle->BuildStats().seconds,
+                backend == registry->DefaultBackend() ? "  [default]" : "");
+  }
 
   if (listen) {
     TcpServerConfig tcp_config;
@@ -294,7 +425,9 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("commands: d|p|k|b|stats|inv|q (protocol), bench <n> (REPL)\n");
+  std::printf(
+      "commands: d|p|k|b|use|upd|reload|stats|inv|q (protocol), bench <n> / "
+      "wait (REPL)\n");
   ReplLoop(stack);
   return 0;
 }

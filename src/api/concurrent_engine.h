@@ -1,18 +1,26 @@
-// Shared-index query engine: one built DistanceOracle (immutable) served to
-// many threads through pooled QuerySessions — the serving-side counterpart
-// of the index/session split in api/distance_oracle.h.
+// Shared-index query engine over an epoch-versioned IndexRegistry: queries
+// from many threads are answered through pooled QuerySessions, each pinned
+// to the epoch (graph snapshot + built oracle) it was created over — the
+// serving-side counterpart of the index/session split in
+// api/distance_oracle.h, now lifecycle-aware (api/index_registry.h).
 //
-// Two ways in:
+// Three ways in:
 //   * Batch: BatchDistance / BatchShortestPath fan a query vector across
 //     WorkerThreads() via util/parallel.h, one leased session per worker.
 //     Results are positionally deterministic (each query is answered
 //     independently), so output is identical at any thread count.
-//   * Interactive: Lease() hands out an RAII session for a caller-managed
-//     thread (e.g. one per server connection); Distance/ShortestPath are
-//     one-shot conveniences that lease internally.
+//   * Interactive: Lease(backend) hands out an RAII session for a
+//     caller-managed thread; Distance/ShortestPath are one-shot
+//     conveniences that lease internally.
+//   * Async: SubmitAsync enqueues a job onto a lazily started long-lived
+//     worker pool (server front-ends; jobs lease their own sessions).
 //
-// The engine owns the oracle; the graph behind the oracle must outlive the
-// engine. All public methods are thread-safe.
+// Epoch discipline: a lease holds an EpochHandle, so the index it queries
+// cannot be retired mid-query. When the registry swaps a new epoch in, the
+// engine's swap listener purges pooled sessions of the retired epoch —
+// released leases against the old epoch are dropped rather than pooled, so
+// the old index is destroyed as soon as its last in-flight lease returns.
+// All public methods are thread-safe.
 #pragma once
 
 #include <condition_variable>
@@ -21,11 +29,13 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "api/distance_oracle.h"
+#include "api/index_registry.h"
 #include "routing/path.h"
 #include "util/types.h"
 
@@ -36,27 +46,35 @@ using QueryPair = std::pair<NodeId, NodeId>;
 
 class ConcurrentEngine {
  public:
-  /// Wraps a built oracle. `num_threads` caps batch fan-out (0 = the
-  /// util/parallel.h WorkerThreads() default). Throws std::invalid_argument
-  /// on a null oracle.
+  /// Serves the registry's backends. `num_threads` caps batch fan-out and
+  /// the async worker pool (0 = the util/parallel.h WorkerThreads()
+  /// default). Throws std::invalid_argument on a null registry.
+  explicit ConcurrentEngine(std::shared_ptr<IndexRegistry> registry,
+                            std::size_t num_threads = 0);
+
+  /// Convenience: wraps one externally built oracle in a static
+  /// single-backend registry (IndexRegistry::AdoptStatic). The oracle's
+  /// graph must outlive the engine. Throws on a null oracle.
   explicit ConcurrentEngine(std::unique_ptr<DistanceOracle> oracle,
                             std::size_t num_threads = 0);
 
-  /// Joins the async worker pool (draining any queued jobs) before the
-  /// oracle is destroyed. All SessionLeases must already be gone.
+  /// Joins the async worker pool (draining any queued jobs). All
+  /// SessionLeases must already be gone.
   ~ConcurrentEngine();
 
-  const DistanceOracle& oracle() const { return *oracle_; }
+  IndexRegistry& registry() const { return *registry_; }
   std::size_t NumThreads() const { return num_threads_; }
 
-  /// RAII lease of a pooled session: dereference to query, destroy (or move
-  /// from) to return the session to the pool for reuse. A lease holds a
-  /// pointer back into the engine and MUST NOT outlive it — destroy all
-  /// leases (e.g. per-connection handles) before tearing the engine down.
+  /// RAII lease of a pooled session over one pinned epoch: dereference to
+  /// query, inspect epoch() for the backend/generation answered from,
+  /// destroy (or move from) to return the session to the pool. A lease
+  /// holds a pointer back into the engine and MUST NOT outlive it.
   class SessionLease {
    public:
     SessionLease(SessionLease&& other) noexcept
-        : engine_(other.engine_), session_(std::move(other.session_)) {
+        : engine_(other.engine_),
+          epoch_(std::move(other.epoch_)),
+          session_(std::move(other.session_)) {
       other.engine_ = nullptr;
     }
     SessionLease& operator=(SessionLease&&) = delete;
@@ -67,65 +85,88 @@ class ConcurrentEngine {
     QuerySession& operator*() const { return *session_; }
     QuerySession* operator->() const { return session_.get(); }
 
+    /// The epoch this session answers from — stable for the lease's
+    /// lifetime even if the registry swaps underneath.
+    const IndexEpoch& epoch() const { return *epoch_; }
+
    private:
     friend class ConcurrentEngine;
-    SessionLease(ConcurrentEngine* engine,
+    SessionLease(ConcurrentEngine* engine, EpochHandle epoch,
                  std::unique_ptr<QuerySession> session)
-        : engine_(engine), session_(std::move(session)) {}
+        : engine_(engine),
+          epoch_(std::move(epoch)),
+          session_(std::move(session)) {}
 
     ConcurrentEngine* engine_;
+    EpochHandle epoch_;
     std::unique_ptr<QuerySession> session_;
   };
 
-  /// Leases a session from the pool (creating one if none is free).
-  SessionLease Lease();
+  /// Leases a session over the current epoch of `backend` (empty = the
+  /// registry's default backend), reusing a pooled session when one exists
+  /// for that epoch. Throws std::invalid_argument on an unknown backend.
+  SessionLease Lease(std::string_view backend = {});
 
-  /// One-shot conveniences; thread-safe (each call leases a session).
+  /// One-shot conveniences on the default backend; thread-safe.
   Dist Distance(NodeId s, NodeId t);
   PathResult ShortestPath(NodeId s, NodeId t);
 
-  /// Answers all queries, fanned across worker threads; results[i] matches
-  /// queries[i]. `num_threads` overrides the engine's fan-out for this call
-  /// (0 = engine default) — the bench sweeps it; servers leave it alone.
+  /// Answers all queries on `backend` (empty = default), fanned across
+  /// worker threads; results[i] matches queries[i]. `num_threads` overrides
+  /// the engine's fan-out for this call (0 = engine default) — the bench
+  /// sweeps it; servers leave it alone. The whole batch is answered from
+  /// one epoch (acquired once up front).
   std::vector<Dist> BatchDistance(const std::vector<QueryPair>& queries,
-                                  std::size_t num_threads = 0);
+                                  std::size_t num_threads = 0,
+                                  std::string_view backend = {});
   std::vector<PathResult> BatchShortestPath(
-      const std::vector<QueryPair>& queries, std::size_t num_threads = 0);
+      const std::vector<QueryPair>& queries, std::size_t num_threads = 0,
+      std::string_view backend = {});
 
   /// Callback-style submit for server front-ends: enqueues `fn` to run on a
-  /// lazily started pool of NumThreads() long-lived workers, each holding
-  /// one pooled session for its lifetime. Jobs run FIFO; `fn` must not
-  /// throw (wrap fallible work in its own try/catch). The queue is
-  /// unbounded — callers wanting load shedding put an admission controller
-  /// in front (src/server/admission.h).
-  void SubmitAsync(std::function<void(QuerySession&)> fn);
+  /// lazily started pool of NumThreads() long-lived workers. Jobs run FIFO
+  /// and lease sessions themselves (so each job picks up the freshest
+  /// epoch); `fn` must not throw. The queue is unbounded — callers wanting
+  /// load shedding put an admission controller in front
+  /// (src/server/admission.h).
+  void SubmitAsync(std::function<void()> fn);
 
   /// Jobs submitted via SubmitAsync that have not yet started executing —
   /// the queue-depth signal admission control and stats export read.
   std::size_t AsyncQueueDepth() const;
 
  private:
+  /// A pooled idle session together with the epoch it was created over.
+  struct PooledSession {
+    EpochHandle epoch;
+    std::unique_ptr<QuerySession> session;
+  };
+
   // Runs body(session, begin, end) over chunks of [0, n) on `num_threads`
   // workers, each holding one leased session for the whole batch.
   template <typename Body>
-  void RunBatch(std::size_t n, std::size_t num_threads, const Body& body);
+  void RunBatch(std::size_t n, std::size_t num_threads,
+                std::string_view backend, const Body& body);
 
-  std::unique_ptr<QuerySession> Acquire();
-  void Release(std::unique_ptr<QuerySession> session);
+  PooledSession Acquire(std::string_view backend);
+  void Release(PooledSession entry);
+  /// Drops pooled sessions whose epoch is not `fresh` for that backend.
+  void PurgeStale(const EpochHandle& fresh);
 
   // Body of each async worker thread: pop jobs FIFO until stop.
   void AsyncWorkerLoop();
 
-  std::unique_ptr<DistanceOracle> oracle_;
+  std::shared_ptr<IndexRegistry> registry_;
+  std::uint64_t swap_listener_token_ = 0;
   std::size_t num_threads_;
   std::mutex mu_;
-  std::vector<std::unique_ptr<QuerySession>> pool_;
+  std::vector<PooledSession> pool_;
 
   // Async submit state: workers are spawned on the first SubmitAsync and
   // joined by the destructor after draining the queue.
   mutable std::mutex async_mu_;
   std::condition_variable async_cv_;
-  std::deque<std::function<void(QuerySession&)>> async_queue_;
+  std::deque<std::function<void()>> async_queue_;
   std::vector<std::thread> async_workers_;
   bool async_stop_ = false;
 };

@@ -1,0 +1,287 @@
+#include "api/index_registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace ah {
+
+namespace {
+
+/// A non-owning shared_ptr view of an externally owned graph (adopted
+/// registries; the caller guarantees the graph outlives every epoch).
+std::shared_ptr<const Graph> UnownedGraph(const Graph& g) {
+  return std::shared_ptr<const Graph>(std::shared_ptr<const Graph>(), &g);
+}
+
+}  // namespace
+
+IndexRegistry::IndexRegistry(Graph base,
+                             const std::vector<std::string>& backends,
+                             const OracleOptions& options)
+    : names_(backends), options_(options) {
+  if (names_.empty()) {
+    throw std::invalid_argument("IndexRegistry: no backends");
+  }
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    for (std::size_t j = i + 1; j < names_.size(); ++j) {
+      if (names_[i] == names_[j]) {
+        throw std::invalid_argument("IndexRegistry: duplicate backend '" +
+                                    names_[i] + "'");
+      }
+    }
+  }
+  num_nodes_ = base.NumNodes();
+  num_arcs_ = base.NumArcs();
+  base_ = std::make_shared<const Graph>(std::move(base));
+  default_backend_ = names_.front();
+  current_.resize(names_.size());
+  // First generation builds synchronously: a registry is never observable
+  // half-built. MakeOracle throws on an unknown name, surfacing it here.
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    auto epoch = std::make_shared<IndexEpoch>();
+    epoch->backend = names_[i];
+    epoch->backend_id = static_cast<std::uint32_t>(i);
+    epoch->generation = 1;
+    epoch->graph = base_;
+    epoch->oracle = MakeOracle(names_[i], *base_, options_);
+    current_[i] = std::move(epoch);
+  }
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+std::shared_ptr<IndexRegistry> IndexRegistry::AdoptStatic(
+    std::unique_ptr<DistanceOracle> oracle) {
+  if (!oracle) {
+    throw std::invalid_argument("IndexRegistry::AdoptStatic: null oracle");
+  }
+  auto registry = std::shared_ptr<IndexRegistry>(new IndexRegistry());
+  registry->is_static_ = true;
+  registry->names_ = {std::string(oracle->Name())};
+  registry->default_backend_ = registry->names_.front();
+  registry->num_nodes_ = oracle->graph().NumNodes();
+  registry->num_arcs_ = oracle->graph().NumArcs();
+  auto epoch = std::make_shared<IndexEpoch>();
+  epoch->backend = registry->names_.front();
+  epoch->backend_id = 0;
+  epoch->generation = 1;
+  epoch->graph = UnownedGraph(oracle->graph());
+  epoch->oracle = std::move(oracle);
+  registry->current_.push_back(std::move(epoch));
+  return registry;
+}
+
+IndexRegistry::~IndexRegistry() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+bool IndexRegistry::HasBackend(std::string_view name) const {
+  return BackendId(name) != kInvalidBackend;
+}
+
+std::uint32_t IndexRegistry::BackendId(std::string_view name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  return kInvalidBackend;
+}
+
+std::string IndexRegistry::DefaultBackend() const {
+  std::shared_lock<std::shared_mutex> lock(epochs_mu_);
+  return default_backend_;
+}
+
+bool IndexRegistry::SetDefaultBackend(std::string_view name) {
+  if (!HasBackend(name)) return false;
+  std::unique_lock<std::shared_mutex> lock(epochs_mu_);
+  default_backend_ = std::string(name);
+  return true;
+}
+
+EpochHandle IndexRegistry::Current(std::string_view backend) const {
+  std::shared_lock<std::shared_mutex> lock(epochs_mu_);
+  std::string_view name = backend.empty() ? default_backend_ : backend;
+  const std::uint32_t id = BackendId(name);
+  if (id == kInvalidBackend) return nullptr;
+  return current_[id];
+}
+
+std::uint64_t IndexRegistry::Generation(std::string_view backend) const {
+  const EpochHandle epoch = Current(backend);
+  return epoch ? epoch->generation : 0;
+}
+
+IndexRegistry::UpdateStatus IndexRegistry::QueueWeightUpdate(NodeId u, NodeId v,
+                                                             Weight w) {
+  if (is_static_) return UpdateStatus::kStatic;
+  const WeightDelta delta{u, v, w};
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (ValidateWeightDelta(*base_, delta)) {
+    case DeltaStatus::kBadNode:
+      return UpdateStatus::kBadNode;
+    case DeltaStatus::kBadWeight:
+      return UpdateStatus::kBadWeight;
+    case DeltaStatus::kNoSuchArc:
+      return UpdateStatus::kNoSuchArc;
+    case DeltaStatus::kOk:
+      break;
+  }
+  // Coalesce per arc (last weight wins): the pending set stays bounded by
+  // the arc count even under a continuous update stream.
+  const std::uint64_t arc_key =
+      (static_cast<std::uint64_t>(u) << 32) | static_cast<std::uint64_t>(v);
+  pending_[arc_key] = delta;
+  return UpdateStatus::kQueued;
+}
+
+std::size_t IndexRegistry::PendingUpdates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+bool IndexRegistry::RequestReload(std::string* error) {
+  if (is_static_) {
+    if (error != nullptr) {
+      *error = "registry is static (adopted oracle, no owned base graph)";
+    }
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    reload_requested_ = true;
+  }
+  cv_.notify_all();
+  return true;
+}
+
+void IndexRegistry::WaitForRebuild() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !reload_requested_ && !rebuild_in_flight_; });
+}
+
+bool IndexRegistry::RebuildInFlight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rebuild_in_flight_ || reload_requested_;
+}
+
+IndexRegistry::RegistryStats IndexRegistry::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistryStats stats;
+  stats.reloads = reloads_;
+  stats.swaps = swaps_;
+  stats.updates_applied = updates_applied_;
+  stats.pending_updates = pending_.size();
+  stats.rebuild_in_flight = rebuild_in_flight_ || reload_requested_;
+  stats.last_error = last_error_;
+  return stats;
+}
+
+std::uint64_t IndexRegistry::AddSwapListener(SwapListener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t token = next_listener_token_++;
+  listeners_.emplace_back(token, std::move(listener));
+  return token;
+}
+
+void IndexRegistry::RemoveSwapListener(std::uint64_t token) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Block while a notification round holds copies of the listeners, so a
+  // listener's owner (e.g. an engine being destroyed) can rely on its
+  // callback never running after removal returns.
+  cv_.wait(lock, [this] { return !notifying_; });
+  std::erase_if(listeners_,
+                [token](const auto& entry) { return entry.first == token; });
+}
+
+void IndexRegistry::Publish(EpochHandle epoch) {
+  {
+    std::unique_lock<std::shared_mutex> lock(epochs_mu_);
+    current_[epoch->backend_id] = epoch;
+  }
+  std::vector<SwapListener> to_notify;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++swaps_;
+    to_notify.reserve(listeners_.size());
+    for (const auto& [token, listener] : listeners_) {
+      to_notify.push_back(listener);
+    }
+    notifying_ = true;
+  }
+  // Listeners run without the registry lock: they may re-enter Current()
+  // (and take their own locks, e.g. the engine's session-pool mutex).
+  for (const SwapListener& listener : to_notify) listener(epoch);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    notifying_ = false;
+  }
+  cv_.notify_all();
+}
+
+void IndexRegistry::WorkerLoop() {
+  while (true) {
+    std::vector<WeightDelta> deltas;
+    std::shared_ptr<const Graph> old_base;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || reload_requested_; });
+      if (stop_) return;
+      reload_requested_ = false;
+      rebuild_in_flight_ = true;
+      deltas.reserve(pending_.size());
+      for (auto& [arc_key, delta] : pending_) deltas.push_back(delta);
+      pending_.clear();
+      old_base = base_;
+    }
+
+    // Everything expensive happens lock-free: copy + delta application,
+    // then one full index build per backend. Queries keep flowing against
+    // the old epochs the whole time.
+    std::shared_ptr<const Graph> next_base = old_base;
+    if (!deltas.empty()) {
+      Graph updated = *old_base;
+      ApplyWeightDeltas(&updated, deltas);
+      next_base = std::make_shared<const Graph>(std::move(updated));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // New weight updates queued from here on validate against (and later
+      // apply on top of) the updated base.
+      base_ = next_base;
+      updates_applied_ += deltas.size();
+    }
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      auto epoch = std::make_shared<IndexEpoch>();
+      epoch->backend = names_[i];
+      epoch->backend_id = static_cast<std::uint32_t>(i);
+      epoch->graph = next_base;
+      {
+        std::shared_lock<std::shared_mutex> lock(epochs_mu_);
+        epoch->generation = current_[i]->generation + 1;
+      }
+      try {
+        epoch->oracle = MakeOracle(names_[i], *next_base, options_);
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(mu_);
+        last_error_ = names_[i] + ": " + e.what();
+        continue;  // keep the old epoch serving
+      }
+      // Swap this backend in as soon as it is ready — faster backends go
+      // live while slower ones are still rebuilding.
+      Publish(std::move(epoch));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++reloads_;
+      rebuild_in_flight_ = false;
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace ah

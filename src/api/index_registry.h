@@ -1,0 +1,204 @@
+// Epoch-versioned index lifecycle: the layer that turns "build once, serve
+// forever" into a living system. A registry owns one base road network and
+// any number of named backends over it (the multi-variant serving setting of
+// SALT, Efentakis et al. 2014, and of the VLDB'12 multi-method evaluation);
+// for each backend it publishes an immutable *epoch* — a (graph snapshot,
+// built oracle, generation) triple behind a shared_ptr.
+//
+// Lifecycle, RCU-style:
+//   * Readers call Current(backend) and get an EpochHandle; everything the
+//     handle reaches is immutable, so any number of threads query it
+//     concurrently. The handle pins the epoch: an old epoch is destroyed
+//     only when the last handle (session lease, pooled session, cache-free
+//     reader) drops — never under a live query.
+//   * Writers queue batched edge-weight deltas (QueueWeightUpdate) and then
+//     RequestReload(). A single background worker copies the base graph,
+//     applies the deltas, rebuilds every backend off-thread, and atomically
+//     swaps each new epoch in as it becomes ready. No reader ever blocks on
+//     a rebuild and no request is dropped by a swap.
+//   * Each swap bumps the backend's generation. Downstream caches key
+//     entries by (backend, generation), so a swap implicitly invalidates
+//     only the stale backend's entries — no global flush.
+//
+// Adopted (static) registries wrap one externally built oracle so the
+// engine/server layers run uniformly on handles; they serve queries but
+// reject lifecycle operations (no owned base graph to mutate).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "api/distance_oracle.h"
+#include "graph/graph.h"
+#include "graph/weight_update.h"
+#include "util/types.h"
+
+namespace ah {
+
+/// One published (graph, oracle, generation) snapshot of a backend.
+/// Immutable after publication; reached only through shared_ptr handles.
+/// `graph` is declared before `oracle` so the oracle (which references the
+/// graph) is destroyed first.
+struct IndexEpoch {
+  std::string backend;              ///< Factory name (e.g. "ch").
+  std::uint32_t backend_id = 0;     ///< Dense registry index — cache key part.
+  std::uint64_t generation = 0;     ///< 1 on first build, bumped per swap.
+  std::shared_ptr<const Graph> graph;
+  std::unique_ptr<const DistanceOracle> oracle;
+
+  /// Per-thread query session over this epoch's index (thread-safe).
+  std::unique_ptr<QuerySession> NewSession() const {
+    return oracle->NewSession();
+  }
+};
+
+/// Shared, lifetime-pinning reference to an epoch.
+using EpochHandle = std::shared_ptr<const IndexEpoch>;
+
+class IndexRegistry {
+ public:
+  /// Outcome of queueing one weight update.
+  enum class UpdateStatus {
+    kQueued,     ///< Accepted; applies on the next reload.
+    kBadNode,    ///< Endpoint out of range.
+    kNoSuchArc,  ///< No arc tail→head in the base graph.
+    kBadWeight,  ///< Zero or kMaxWeight weight.
+    kStatic,     ///< Adopted registry: no owned base graph to mutate.
+  };
+
+  struct RegistryStats {
+    std::uint64_t reloads = 0;          ///< Completed reload cycles.
+    std::uint64_t swaps = 0;            ///< Epoch publications after the first.
+    std::uint64_t updates_applied = 0;  ///< Deltas folded into a reload.
+    std::size_t pending_updates = 0;    ///< Queued, not yet applied.
+    bool rebuild_in_flight = false;
+    std::string last_error;             ///< Last failed backend rebuild, if any.
+  };
+
+  /// Builds every backend in `backends` (distinct MakeOracle names; the
+  /// first is the default backend) over a private copy of `base`,
+  /// synchronously. Throws std::invalid_argument on an empty or duplicated
+  /// backend list or an unknown name.
+  IndexRegistry(Graph base, const std::vector<std::string>& backends,
+                const OracleOptions& options = {});
+
+  /// Wraps one externally built oracle as a static single-backend registry.
+  /// The oracle's graph must outlive the registry (same contract the oracle
+  /// itself has). Lifecycle operations report kStatic / failure.
+  static std::shared_ptr<IndexRegistry> AdoptStatic(
+      std::unique_ptr<DistanceOracle> oracle);
+
+  /// Joins the background build worker. All epoch handles may outlive the
+  /// registry (they are self-contained snapshots).
+  ~IndexRegistry();
+
+  IndexRegistry(const IndexRegistry&) = delete;
+  IndexRegistry& operator=(const IndexRegistry&) = delete;
+
+  // --- Backends -----------------------------------------------------------
+
+  const std::vector<std::string>& Backends() const { return names_; }
+  bool HasBackend(std::string_view name) const;
+  /// Dense id of a backend (cache-key component); kInvalidBackend if unknown.
+  std::uint32_t BackendId(std::string_view name) const;
+  static constexpr std::uint32_t kInvalidBackend = 0xffffffffu;
+
+  /// The backend unprefixed requests route to (the `use` admin verb).
+  std::string DefaultBackend() const;
+  bool SetDefaultBackend(std::string_view name);
+
+  // --- Epoch acquisition --------------------------------------------------
+
+  /// Current epoch of `backend` (empty = default backend); nullptr if the
+  /// backend is unknown. Thread-safe; O(#backends).
+  EpochHandle Current(std::string_view backend = {}) const;
+
+  /// Current generation of `backend` (0 if unknown).
+  std::uint64_t Generation(std::string_view backend) const;
+
+  /// Node/arc counts — invariant across epochs (weight-only updates).
+  std::size_t NumNodes() const { return num_nodes_; }
+  std::size_t NumArcs() const { return num_arcs_; }
+
+  // --- Lifecycle ----------------------------------------------------------
+
+  /// Queues one edge-weight delta for the next reload. Validated against
+  /// the base graph (topology never changes, so validity is stable).
+  /// Deltas coalesce per arc — the last queued weight for (u, v) wins — so
+  /// the pending set is bounded by the arc count no matter how fast a
+  /// traffic feed (or a hostile client) streams updates between reloads.
+  UpdateStatus QueueWeightUpdate(NodeId u, NodeId v, Weight w);
+  std::size_t PendingUpdates() const;
+
+  /// Asks the background worker to apply queued deltas and rebuild + swap
+  /// every backend. Returns immediately; false (with *error filled when
+  /// non-null) on a static registry. Reloads requested while one is running
+  /// coalesce into one further cycle.
+  bool RequestReload(std::string* error = nullptr);
+
+  /// Blocks until no reload is requested or running (tests, smoke, REPL).
+  void WaitForRebuild() const;
+  bool RebuildInFlight() const;
+
+  RegistryStats GetStats() const;
+
+  /// Registers a callback invoked (on the build worker thread, no registry
+  /// lock held) after each epoch swap, with the new epoch. ConcurrentEngine
+  /// uses this to purge pooled sessions of retired epochs so an idle pool
+  /// cannot pin an old index alive. Returns a token for RemoveSwapListener.
+  using SwapListener = std::function<void(const EpochHandle& published)>;
+  std::uint64_t AddSwapListener(SwapListener listener);
+  void RemoveSwapListener(std::uint64_t token);
+
+ private:
+  IndexRegistry() = default;  // AdoptStatic body.
+
+  void WorkerLoop();
+  /// Publishes `epoch` as current for its backend and notifies listeners.
+  void Publish(EpochHandle epoch);
+
+  std::vector<std::string> names_;
+  OracleOptions options_;
+  bool is_static_ = false;
+  std::size_t num_nodes_ = 0;
+  std::size_t num_arcs_ = 0;
+
+  /// Read-mostly epoch state on the per-query hot path (Current() runs on
+  /// every lease acquire/release): readers take a shared lock and do not
+  /// serialize each other; only a swap or `use` takes it exclusively.
+  mutable std::shared_mutex epochs_mu_;
+  std::vector<EpochHandle> current_;        // by backend id
+  std::string default_backend_;
+
+  /// Lifecycle coordination (updates, reload requests, worker handshake,
+  /// stats) — never taken while epochs_mu_ is held, or vice versa.
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::shared_ptr<const Graph> base_;       // latest-weight snapshot
+  /// Pending deltas keyed by packed (tail, head): one slot per arc (deltas
+  /// to distinct arcs commute, so application order does not matter).
+  std::unordered_map<std::uint64_t, WeightDelta> pending_;
+  bool reload_requested_ = false;
+  bool rebuild_in_flight_ = false;
+  bool notifying_ = false;  ///< A swap-listener round is running unlocked.
+  bool stop_ = false;
+  std::uint64_t reloads_ = 0;
+  std::uint64_t swaps_ = 0;
+  std::uint64_t updates_applied_ = 0;
+  std::string last_error_;
+  std::vector<std::pair<std::uint64_t, SwapListener>> listeners_;
+  std::uint64_t next_listener_token_ = 1;
+
+  std::thread worker_;  // dynamic registries only
+};
+
+}  // namespace ah

@@ -23,6 +23,28 @@ Weight Graph::ArcWeight(NodeId u, NodeId v) const {
   return best;
 }
 
+std::size_t Graph::SetArcWeight(NodeId u, NodeId v, Weight w) {
+  std::size_t updated = 0;
+  for (std::uint64_t i = out_first_[u]; i < out_first_[u + 1]; ++i) {
+    if (out_arcs_[i].head == v) {
+      out_arcs_[i].weight = w;
+      ++updated;
+    }
+  }
+  // Mirror: InArcs(v) stores the original arc's tail in Arc::head.
+  std::size_t mirrored = 0;
+  for (std::uint64_t i = in_first_[v]; i < in_first_[v + 1]; ++i) {
+    if (in_arcs_[i].head == u) {
+      in_arcs_[i].weight = w;
+      ++mirrored;
+    }
+  }
+  if (mirrored != updated) {
+    throw std::logic_error("Graph::SetArcWeight: out/in adjacency out of sync");
+  }
+  return updated;
+}
+
 Box Graph::BoundingBox() const {
   Box box;
   for (const Point& p : coords_) box.Extend(p);

@@ -60,6 +60,18 @@ class Graph {
   /// when parallel arcs exist, the minimum weight is returned.
   Weight ArcWeight(NodeId u, NodeId v) const;
 
+  /// True iff at least one arc u→v exists. Linear in OutDegree(u).
+  bool HasArc(NodeId u, NodeId v) const { return ArcWeight(u, v) != kMaxWeight; }
+
+  /// Index-lifecycle hook (graph/weight_update.h): sets the weight of every
+  /// arc u→v, keeping the out- and in-adjacency mirrored, and returns the
+  /// number of arcs updated (0 = no such arc; the structure never changes).
+  /// `w` must be positive. The CSR layout, node set, and coordinates are
+  /// untouched, so indexes built over equal-topology snapshots stay
+  /// node-id-compatible. Must only be called on a graph no built index
+  /// references — the registry mutates a private copy, then rebuilds.
+  std::size_t SetArcWeight(NodeId u, NodeId v, Weight w);
+
   /// Bounding box of all node coordinates.
   Box BoundingBox() const;
 

@@ -1,0 +1,25 @@
+#include "graph/weight_update.h"
+
+namespace ah {
+
+DeltaStatus ValidateWeightDelta(const Graph& g, const WeightDelta& delta) {
+  if (delta.tail >= g.NumNodes() || delta.head >= g.NumNodes()) {
+    return DeltaStatus::kBadNode;
+  }
+  if (delta.weight == 0 || delta.weight == kMaxWeight) {
+    return DeltaStatus::kBadWeight;
+  }
+  if (!g.HasArc(delta.tail, delta.head)) return DeltaStatus::kNoSuchArc;
+  return DeltaStatus::kOk;
+}
+
+std::size_t ApplyWeightDeltas(Graph* g, std::span<const WeightDelta> deltas) {
+  std::size_t applied = 0;
+  for (const WeightDelta& delta : deltas) {
+    if (ValidateWeightDelta(*g, delta) != DeltaStatus::kOk) continue;
+    applied += g->SetArcWeight(delta.tail, delta.head, delta.weight);
+  }
+  return applied;
+}
+
+}  // namespace ah

@@ -1,0 +1,44 @@
+// Batched edge-weight deltas — the mutation vocabulary of the index
+// lifecycle (api/index_registry.h). Road-network serving sees weights move
+// constantly (traffic) while the topology stays put, so a delta names an
+// existing arc and its new weight; arcs are never added or removed. The
+// registry queues deltas, applies them to a private copy of the base graph,
+// and rebuilds indexes over the result — queries never observe a
+// half-applied batch.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace ah {
+
+/// One edge-weight change: every arc tail→head takes weight `weight`.
+struct WeightDelta {
+  NodeId tail = kInvalidNode;
+  NodeId head = kInvalidNode;
+  Weight weight = 0;
+
+  bool operator==(const WeightDelta&) const = default;
+};
+
+/// Validation outcome for one delta against a graph (no mutation).
+enum class DeltaStatus {
+  kOk,         ///< Names an existing arc with a positive weight.
+  kBadNode,    ///< tail or head out of [0, NumNodes()).
+  kNoSuchArc,  ///< Both endpoints exist but no arc tail→head does.
+  kBadWeight,  ///< Zero weight (Section 2 assumes positive) or kMaxWeight.
+};
+
+/// Checks that `delta` could be applied to `g`.
+DeltaStatus ValidateWeightDelta(const Graph& g, const WeightDelta& delta);
+
+/// Applies deltas in order (later deltas to the same arc win) and returns
+/// the number of arcs updated. Invalid deltas are skipped — callers wanting
+/// per-delta errors validate first. `g` must not be referenced by any built
+/// index (see Graph::SetArcWeight).
+std::size_t ApplyWeightDeltas(Graph* g, std::span<const WeightDelta> deltas);
+
+}  // namespace ah

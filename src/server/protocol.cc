@@ -74,6 +74,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
   switch (code) {
     case ErrorCode::kBadRequest: return "bad-request";
     case ErrorCode::kBadNode: return "bad-node";
+    case ErrorCode::kBadBackend: return "bad-backend";
+    case ErrorCode::kBadArc: return "bad-arc";
     case ErrorCode::kUnsupportedVersion: return "unsupported-version";
     case ErrorCode::kOverload: return "overload";
     case ErrorCode::kTimeout: return "timeout";
@@ -96,6 +98,12 @@ ParseResult ParseRequest(std::string_view line, const ParseLimits& limits) {
     }
     ++at;
   }
+  // Optional backend selector "@<backend>" (existence checked server-side).
+  std::string_view backend_prefix;
+  if (at < tokens.size() && tokens[at].size() > 1 && tokens[at][0] == '@') {
+    backend_prefix = tokens[at].substr(1);
+    ++at;
+  }
   if (at >= tokens.size()) {
     return Fail(ErrorCode::kBadRequest, "empty request");
   }
@@ -105,6 +113,7 @@ ParseResult ParseRequest(std::string_view line, const ParseLimits& limits) {
   ParseResult result;
   result.ok = true;
   Request& req = result.request;
+  req.backend = std::string(backend_prefix);
 
   if (verb == "d" || verb == "p") {
     if (argc != 2) {
@@ -162,6 +171,41 @@ ParseResult ParseRequest(std::string_view line, const ParseLimits& limits) {
     }
     return result;
   }
+  // Everything below is backend-independent: a "@..." selector in front of
+  // it is a contradiction, not something to silently ignore.
+  if (!backend_prefix.empty()) {
+    return Fail(ErrorCode::kBadRequest,
+                "the @<backend> selector only applies to d|p|k|b requests");
+  }
+  if (verb == "use") {
+    if (argc != 1) return Fail(ErrorCode::kBadRequest, "usage: use <backend>");
+    req.kind = RequestKind::kUse;
+    req.backend = std::string(tokens[at]);
+    return result;
+  }
+  if (verb == "upd") {
+    if (argc != 3) {
+      return Fail(ErrorCode::kBadRequest, "usage: upd <u> <v> <weight>");
+    }
+    req.kind = RequestKind::kUpdate;
+    ParseResult error;
+    if (!ParseNode(tokens[at], limits, &req.s, &error)) return error;
+    if (!ParseNode(tokens[at + 1], limits, &req.t, &error)) return error;
+    std::uint64_t w = 0;
+    if (!ParseU64(tokens[at + 2], &w) || w == 0 ||
+        w >= static_cast<std::uint64_t>(kMaxWeight)) {
+      return Fail(ErrorCode::kBadRequest,
+                  "weight '" + std::string(tokens[at + 2]) +
+                      "' must be a positive integer below " +
+                      std::to_string(kMaxWeight));
+    }
+    req.weight = static_cast<Weight>(w);
+    return result;
+  }
+  if (verb == "reload" && argc == 0) {
+    req.kind = RequestKind::kReload;
+    return result;
+  }
   if (verb == "stats" && argc == 0) {
     req.kind = RequestKind::kStats;
     return result;
@@ -176,7 +220,7 @@ ParseResult ParseRequest(std::string_view line, const ParseLimits& limits) {
   }
   return Fail(ErrorCode::kBadRequest,
               "unknown request '" + std::string(verb) +
-                  "' (expected d|p|k|b|stats|inv|q)");
+                  "' (expected d|p|k|b|stats|inv|use|upd|reload|q)");
 }
 
 std::string FormatError(ErrorCode code, std::string_view detail) {

@@ -2,7 +2,8 @@
 // with structured single-line replies — the contract between any front-end
 // (TCP, stdin REPL, tests) and the ServerStack that answers it.
 //
-// Requests (one per line, optionally prefixed by the version token "AH/1"):
+// Requests (one per line, optionally prefixed by the version token "AH/1"
+// and/or a backend selector "@<backend>" in that order):
 //   d <s> <t>                       distance from s to t
 //   p <s> <t>                       shortest path from s to t
 //   k <s> <k>                       k nearest POIs from s (server POI set)
@@ -10,6 +11,10 @@
 //   stats                           server counters and latency quantiles
 //   inv                             invalidate (clear) the result cache
 //   q                               end the session
+// Admin verbs (the index-lifecycle surface; same line grammar):
+//   use <backend>                   switch the server default backend
+//   upd <u> <v> <w>                 queue weight w for arc u→v (next reload)
+//   reload                          rebuild + hot-swap all backends async
 //
 // Replies (one line per request):
 //   OK d <dist|unreachable>
@@ -18,14 +23,19 @@
 //   OK b <n> <d1> ... <dn>          (unreachable entries print "unreachable")
 //   OK stats <key>=<value> ...
 //   OK inv / OK bye
+//   OK use <backend>
+//   OK upd <pending>                (queued updates after this one)
+//   OK reload <pending>             (updates the background rebuild folds in)
 //   ERR <code> <detail>
 //
 // "unreachable" is a successful answer about the graph; ERR codes
-// (bad-request, bad-node, unsupported-version, overload, timeout, internal)
-// are request or server failures — clients must never conflate the two.
-// Node ids are validated strictly: any non-numeric, negative, or
-// out-of-range id is rejected with an error naming the offending token
-// instead of being silently clamped.
+// (bad-request, bad-node, bad-backend, bad-arc, unsupported-version,
+// overload, timeout, internal) are request or server failures — clients
+// must never conflate the two. Node ids are validated strictly: any
+// non-numeric, negative, or out-of-range id is rejected with an error
+// naming the offending token instead of being silently clamped. Backend
+// names in "@..." / "use" are validated by the server against its registry
+// (bad-backend); "upd" arcs must exist in the base graph (bad-arc).
 #pragma once
 
 #include <cstddef>
@@ -51,6 +61,9 @@ enum class RequestKind {
   kBatch,
   kStats,
   kInvalidate,
+  kUse,     ///< Switch the server default backend.
+  kUpdate,  ///< Queue one edge-weight delta.
+  kReload,  ///< Trigger the background rebuild + hot swap.
   kQuit,
 };
 
@@ -58,6 +71,8 @@ enum class RequestKind {
 enum class ErrorCode {
   kBadRequest,          ///< malformed line: unknown verb, wrong arity, junk
   kBadNode,             ///< node id non-numeric, negative, or out of range
+  kBadBackend,          ///< backend name not in the server's registry
+  kBadArc,              ///< upd names an arc absent from the base graph
   kUnsupportedVersion,  ///< AH/<v> prefix with an unknown version
   kOverload,            ///< load shed: admission queue full
   kTimeout,             ///< request deadline expired before execution
@@ -68,12 +83,16 @@ enum class ErrorCode {
 std::string_view ErrorCodeName(ErrorCode code);
 
 /// A parsed request. Only the fields of the parsed kind are meaningful:
-/// s/t for distance and path, s/k for k-nearest, pairs for batch.
+/// s/t for distance and path, s/k for k-nearest, pairs for batch, backend
+/// for use (and, from the "@..." prefix, any query kind; empty = server
+/// default), s/t/weight for upd.
 struct Request {
   RequestKind kind = RequestKind::kQuit;
   NodeId s = 0;
   NodeId t = 0;
   std::uint32_t k = 0;
+  Weight weight = 0;
+  std::string backend;
   std::vector<std::pair<NodeId, NodeId>> pairs;
 };
 
@@ -95,7 +114,9 @@ struct ParseLimits {
 };
 
 /// Parses one request line. Leading/trailing whitespace is ignored; an
-/// empty line is a kBadRequest. Never throws.
+/// empty line is a kBadRequest. Backend-name *existence* is not checked
+/// here (the parser has no registry) — the server maps unknown names to
+/// kBadBackend. Never throws.
 ParseResult ParseRequest(std::string_view line, const ParseLimits& limits);
 
 std::string FormatError(ErrorCode code, std::string_view detail);

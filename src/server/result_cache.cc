@@ -5,7 +5,9 @@
 
 namespace ah::server {
 
-ResultCache::ResultCache(std::size_t capacity, std::size_t shards) {
+ResultCache::ResultCache(std::size_t capacity, std::size_t shards,
+                         std::chrono::milliseconds ttl)
+    : ttl_(ttl) {
   const std::size_t shard_count = std::max<std::size_t>(1, shards);
   per_shard_capacity_ =
       capacity == 0 ? 0 : (capacity + shard_count - 1) / shard_count;
@@ -15,12 +17,38 @@ ResultCache::ResultCache(std::size_t capacity, std::size_t shards) {
   }
 }
 
-bool ResultCache::Lookup(const CacheKey& key, CachedResult* out) {
+bool ResultCache::Lookup(const CacheKey& key, std::uint64_t generation,
+                         CachedResult* out) {
   if (!Enabled()) return false;
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
+    ++shard.stats.misses;
+    return false;
+  }
+  // Drop-on-sight for entries a swap has retired (entry older than the
+  // reader's generation): the entry is erased so it cannot shadow a fresh
+  // insert, and the drop is counted so operators can see swap-driven
+  // invalidation happening without Clear(). The opposite skew — a reader
+  // still leased to a retired epoch finding a *newer* entry — is a plain
+  // miss: erasing fresh data on behalf of a stale reader would churn the
+  // cache during exactly the reload window it is meant to smooth.
+  if (it->second->generation != generation) {
+    if (it->second->generation < generation) {
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+      ++shard.stats.invalidations;
+    }
+    ++shard.stats.misses;
+    return false;
+  }
+  // The clock is only read when a TTL is configured — TTL-free deployments
+  // (the default) keep the hit path free of steady_clock calls.
+  if (ttl_.count() != 0 && Clock::now() >= it->second->expiry) {
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    ++shard.stats.expirations;
     ++shard.stats.misses;
     return false;
   }
@@ -30,17 +58,24 @@ bool ResultCache::Lookup(const CacheKey& key, CachedResult* out) {
   return true;
 }
 
-void ResultCache::Insert(const CacheKey& key, CachedResult value) {
+void ResultCache::Insert(const CacheKey& key, std::uint64_t generation,
+                         CachedResult value) {
   if (!Enabled()) return;
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.index.find(key);
   if (it != shard.index.end()) {
+    // Never downgrade: a writer still leased to a retired epoch must not
+    // overwrite an entry a fresher epoch already computed.
+    if (generation < it->second->generation) return;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     it->second->value = std::move(value);
+    it->second->generation = generation;
+    it->second->expiry = ExpiryFromNow();
     return;
   }
-  shard.lru.push_front(Entry{key, std::move(value)});
+  shard.lru.push_front(
+      Entry{key, std::move(value), generation, ExpiryFromNow()});
   shard.index.emplace(key, shard.lru.begin());
   ++shard.stats.insertions;
   if (shard.lru.size() > per_shard_capacity_) {
@@ -55,7 +90,7 @@ void ResultCache::Clear() {
     std::lock_guard<std::mutex> lock(shard->mu);
     shard->lru.clear();
     shard->index.clear();
-    ++shard->stats.invalidations;
+    ++shard->stats.clears;
   }
 }
 
@@ -76,11 +111,13 @@ CacheStats ResultCache::Totals() const {
     totals.misses += shard->stats.misses;
     totals.insertions += shard->stats.insertions;
     totals.evictions += shard->stats.evictions;
+    totals.invalidations += shard->stats.invalidations;
+    totals.expirations += shard->stats.expirations;
   }
-  // Clear() bumps every shard's invalidation counter; report calls, not
+  // Clear() bumps every shard's clear counter; report calls, not
   // shard-calls.
   std::lock_guard<std::mutex> lock(shards_.front()->mu);
-  totals.invalidations = shards_.front()->stats.invalidations;
+  totals.clears = shards_.front()->stats.clears;
   return totals;
 }
 

@@ -31,21 +31,35 @@ std::string Fixed(double v, int decimals) {
 /// fan-out outweighs its thread spawn/join overhead.
 constexpr std::size_t kParallelMissThreshold = 64;
 
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out.append(", ");
+    out.append(name);
+  }
+  return out;
+}
+
 }  // namespace
+
+ServerStack::ServerStack(std::shared_ptr<IndexRegistry> registry,
+                         const ServerConfig& config)
+    : config_(config),
+      registry_(std::move(registry)),
+      engine_(registry_, config.num_threads),
+      cache_(config.cache_capacity, config.cache_shards, config.cache_ttl),
+      admission_(AdmissionConfig{config.admission_capacity,
+                                 config.request_timeout}) {}
 
 ServerStack::ServerStack(std::unique_ptr<DistanceOracle> oracle,
                          const ServerConfig& config)
-    : config_(config),
-      engine_(std::move(oracle), config.num_threads),
-      cache_(config.cache_capacity, config.cache_shards),
-      admission_(AdmissionConfig{config.admission_capacity,
-                                 config.request_timeout}) {}
+    : ServerStack(IndexRegistry::AdoptStatic(std::move(oracle)), config) {}
 
 ServerStack::~ServerStack() { WaitIdle(); }
 
 void ServerStack::Submit(std::string_view line, ReplyCallback done) {
-  ParseResult parsed = ParseRequest(
-      line, ParseLimits{graph().NumNodes(), config_.max_batch});
+  ParseResult parsed =
+      ParseRequest(line, ParseLimits{registry_->NumNodes(), config_.max_batch});
   if (!parsed.ok) {
     stats_.RecordError();
     done(FormatError(parsed.code, parsed.message), false);
@@ -64,8 +78,25 @@ void ServerStack::Submit(std::string_view line, ReplyCallback done) {
       cache_.Clear();
       done("OK inv", false);
       return;
+    case RequestKind::kUse:
+    case RequestKind::kUpdate:
+    case RequestKind::kReload:
+      done(ExecuteAdmin(req), false);
+      return;
     default:
       break;
+  }
+
+  // Resolve the backend now so an unknown "@..." name is answered inline
+  // (and so the cache fast path knows the backend id + generation to match).
+  const EpochHandle epoch = registry_->Current(req.backend);
+  if (!epoch) {
+    stats_.RecordError();
+    done(FormatError(ErrorCode::kBadBackend,
+                     "unknown backend '" + req.backend + "' (serving: " +
+                         JoinNames(registry_->Backends()) + ")"),
+         false);
+    return;
   }
 
   // Cache-hit fast path: distance and path answers are served inline on the
@@ -74,9 +105,10 @@ void ServerStack::Submit(std::string_view line, ReplyCallback done) {
     Timer timer;
     const bool is_distance = req.kind == RequestKind::kDistance;
     const CacheKey key{req.s, req.t,
-                       is_distance ? CachedKind::kDistance : CachedKind::kPath};
+                       is_distance ? CachedKind::kDistance : CachedKind::kPath,
+                       epoch->backend_id};
     CachedResult hit;
-    if (cache_.Lookup(key, &hit)) {
+    if (cache_.Lookup(key, epoch->generation, &hit)) {
       std::string reply;
       if (is_distance) {
         reply = FormatDistance(hit.dist);
@@ -104,14 +136,23 @@ void ServerStack::Submit(std::string_view line, ReplyCallback done) {
   }
   const AdmissionController::Deadline deadline = admission_.MakeDeadline();
   engine_.SubmitAsync([this, request = std::move(req), deadline,
-                       done = std::move(done)](QuerySession& session) mutable {
+                       done = std::move(done)]() mutable {
     std::string reply;
     if (AdmissionController::Expired(deadline)) {
       admission_.CountExpired();
       reply = FormatError(ErrorCode::kTimeout,
                           "deadline expired before execution");
     } else {
-      reply = Execute(request, session);
+      // The lease pins whatever epoch is current at execution time — a swap
+      // landing between submit and execution simply answers from the fresh
+      // index, and the cache insert below is tagged with that generation.
+      try {
+        ConcurrentEngine::SessionLease lease = engine_.Lease(request.backend);
+        reply = Execute(request, lease);
+      } catch (const std::exception& e) {
+        stats_.RecordError();
+        reply = FormatError(ErrorCode::kInternal, e.what());
+      }
     }
     done(std::move(reply), false);
     // Release after the reply is delivered so WaitIdle() implies every
@@ -134,25 +175,78 @@ std::string ServerStack::HandleLine(std::string_view line, bool* close) {
 void ServerStack::WaitIdle() { admission_.WaitIdle(); }
 
 std::string ServerStack::Greeting() const {
-  return server::Greeting(graph().NumNodes(), graph().NumArcs());
+  return server::Greeting(registry_->NumNodes(), registry_->NumArcs());
 }
 
 void ServerStack::SetPois(std::vector<NodeId> pois) {
   pois_ = std::move(pois);
 }
 
+std::string ServerStack::ExecuteAdmin(const Request& request) {
+  switch (request.kind) {
+    case RequestKind::kUse:
+      if (!registry_->SetDefaultBackend(request.backend)) {
+        stats_.RecordError();
+        return FormatError(ErrorCode::kBadBackend,
+                           "unknown backend '" + request.backend +
+                               "' (serving: " +
+                               JoinNames(registry_->Backends()) + ")");
+      }
+      return "OK use " + request.backend;
+    case RequestKind::kUpdate:
+      switch (registry_->QueueWeightUpdate(request.s, request.t,
+                                           request.weight)) {
+        case IndexRegistry::UpdateStatus::kQueued:
+          return "OK upd " + std::to_string(registry_->PendingUpdates());
+        case IndexRegistry::UpdateStatus::kNoSuchArc:
+          stats_.RecordError();
+          return FormatError(ErrorCode::kBadArc,
+                             "no arc " + std::to_string(request.s) + "->" +
+                                 std::to_string(request.t) +
+                                 " in the base graph");
+        case IndexRegistry::UpdateStatus::kBadNode:
+          stats_.RecordError();
+          return FormatError(ErrorCode::kBadNode, "endpoint out of range");
+        case IndexRegistry::UpdateStatus::kBadWeight:
+          stats_.RecordError();
+          return FormatError(ErrorCode::kBadRequest,
+                             "weight must be positive and below " +
+                                 std::to_string(kMaxWeight));
+        case IndexRegistry::UpdateStatus::kStatic:
+          stats_.RecordError();
+          return FormatError(
+              ErrorCode::kBadRequest,
+              "this server wraps a static index (no live updates)");
+      }
+      stats_.RecordError();
+      return FormatError(ErrorCode::kInternal, "unhandled update status");
+    case RequestKind::kReload: {
+      const std::size_t pending = registry_->PendingUpdates();
+      std::string error;
+      if (!registry_->RequestReload(&error)) {
+        stats_.RecordError();
+        return FormatError(ErrorCode::kBadRequest, error);
+      }
+      return "OK reload " + std::to_string(pending);
+    }
+    default:
+      stats_.RecordError();
+      return FormatError(ErrorCode::kInternal, "not an admin request");
+  }
+}
+
 std::string ServerStack::Execute(const Request& request,
-                                 QuerySession& session) {
+                                 ConcurrentEngine::SessionLease& lease) {
   try {
     switch (request.kind) {
       case RequestKind::kDistance:
-        return ExecuteDistance(request.s, request.t, session);
+        return ExecuteDistance(request.s, request.t, lease);
       case RequestKind::kPath:
-        return ExecutePath(request.s, request.t, session);
+        return ExecutePath(request.s, request.t, lease);
       case RequestKind::kKNearest:
-        return ExecuteKNearest(request.s, request.k, session);
+        return ExecuteKNearest(request.s, request.k, lease);
       case RequestKind::kBatch:
-        return ExecuteBatch(request.pairs, session);
+        return ExecuteBatch(request.pairs, lease);
       default:
         stats_.RecordError();
         return FormatError(ErrorCode::kInternal, "unexecutable request kind");
@@ -167,34 +261,38 @@ std::string ServerStack::Execute(const Request& request,
 }
 
 std::string ServerStack::ExecuteDistance(NodeId s, NodeId t,
-                                         QuerySession& session) {
+                                         ConcurrentEngine::SessionLease& lease) {
   Timer timer;
-  const Dist d = session.Distance(s, t);
-  cache_.Insert(CacheKey{s, t, CachedKind::kDistance}, CachedResult{d, {}});
+  const Dist d = lease->Distance(s, t);
+  cache_.Insert(CacheKey{s, t, CachedKind::kDistance, lease.epoch().backend_id},
+                lease.epoch().generation, CachedResult{d, {}});
   stats_.RecordOk(RequestClass::kDistance, timer.Micros());
   return FormatDistance(d);
 }
 
 std::string ServerStack::ExecutePath(NodeId s, NodeId t,
-                                     QuerySession& session) {
+                                     ConcurrentEngine::SessionLease& lease) {
   Timer timer;
-  const PathResult path = session.ShortestPath(s, t);
-  cache_.Insert(CacheKey{s, t, CachedKind::kPath},
-                CachedResult{path.length, path.nodes});
+  const PathResult path = lease->ShortestPath(s, t);
+  cache_.Insert(CacheKey{s, t, CachedKind::kPath, lease.epoch().backend_id},
+                lease.epoch().generation, CachedResult{path.length, path.nodes});
   stats_.RecordOk(RequestClass::kPath, timer.Micros());
   return FormatPath(path);
 }
 
 std::vector<Dist> ServerStack::CachedDistances(
     const std::vector<std::pair<NodeId, NodeId>>& pairs,
-    QuerySession& session) {
+    ConcurrentEngine::SessionLease& lease) {
+  const std::uint32_t backend_id = lease.epoch().backend_id;
+  const std::uint64_t generation = lease.epoch().generation;
   std::vector<Dist> dists(pairs.size(), kInfDist);
   std::vector<std::size_t> miss_index;
   std::vector<QueryPair> miss_pairs;
   for (std::size_t i = 0; i < pairs.size(); ++i) {
-    const CacheKey key{pairs[i].first, pairs[i].second, CachedKind::kDistance};
+    const CacheKey key{pairs[i].first, pairs[i].second, CachedKind::kDistance,
+                       backend_id};
     CachedResult cached;
-    if (cache_.Lookup(key, &cached)) {
+    if (cache_.Lookup(key, generation, &cached)) {
       dists[i] = cached.dist;
     } else {
       miss_index.push_back(i);
@@ -204,28 +302,39 @@ std::vector<Dist> ServerStack::CachedDistances(
   if (miss_pairs.empty()) return dists;
   // Few misses: answer on this worker's own session. Many: fan out across
   // the engine's worker threads so one big batch request does not pin a
-  // single async worker for its whole duration.
+  // single async worker for its whole duration. (The fan-out leases
+  // current-epoch sessions; a swap racing a big batch may answer some pairs
+  // from the fresh epoch — each pair is still exact on one of the two.)
   std::vector<Dist> computed;
+  bool insertable = true;
   if (miss_pairs.size() >= kParallelMissThreshold) {
-    computed = engine_.BatchDistance(miss_pairs);
+    computed = engine_.BatchDistance(miss_pairs, 0, lease.epoch().backend);
+    // Only cache the fan-out's answers if no swap landed: generations are
+    // monotone, so an unchanged generation read *after* the batch proves
+    // the batch leased this same epoch. Otherwise the values may belong to
+    // the fresh epoch and tagging them with the stale lease's generation
+    // would poison readers still pinned to it.
+    insertable = engine_.registry().Generation(lease.epoch().backend) ==
+                 generation;
   } else {
     computed.reserve(miss_pairs.size());
     for (const auto& [s, t] : miss_pairs) {
-      computed.push_back(session.Distance(s, t));
+      computed.push_back(lease->Distance(s, t));
     }
   }
   for (std::size_t j = 0; j < miss_pairs.size(); ++j) {
     dists[miss_index[j]] = computed[j];
-    cache_.Insert(
-        CacheKey{miss_pairs[j].first, miss_pairs[j].second,
-                 CachedKind::kDistance},
-        CachedResult{computed[j], {}});
+    if (insertable) {
+      cache_.Insert(CacheKey{miss_pairs[j].first, miss_pairs[j].second,
+                             CachedKind::kDistance, backend_id},
+                    generation, CachedResult{computed[j], {}});
+    }
   }
   return dists;
 }
 
 std::string ServerStack::ExecuteKNearest(NodeId s, std::uint32_t k,
-                                         QuerySession& session) {
+                                         ConcurrentEngine::SessionLease& lease) {
   if (pois_.empty()) {
     stats_.RecordError();
     return FormatError(ErrorCode::kBadRequest,
@@ -237,7 +346,7 @@ std::string ServerStack::ExecuteKNearest(NodeId s, std::uint32_t k,
   std::vector<std::pair<NodeId, NodeId>> pairs;
   pairs.reserve(pois_.size());
   for (const NodeId poi : pois_) pairs.emplace_back(s, poi);
-  const std::vector<Dist> dists = CachedDistances(pairs, session);
+  const std::vector<Dist> dists = CachedDistances(pairs, lease);
   std::vector<std::pair<Dist, NodeId>> reachable;
   reachable.reserve(pois_.size());
   for (std::size_t i = 0; i < pois_.size(); ++i) {
@@ -253,9 +362,9 @@ std::string ServerStack::ExecuteKNearest(NodeId s, std::uint32_t k,
 
 std::string ServerStack::ExecuteBatch(
     const std::vector<std::pair<NodeId, NodeId>>& pairs,
-    QuerySession& session) {
+    ConcurrentEngine::SessionLease& lease) {
   Timer timer;
-  const std::vector<Dist> dists = CachedDistances(pairs, session);
+  const std::vector<Dist> dists = CachedDistances(pairs, lease);
   stats_.RecordOk(RequestClass::kBatch, timer.Micros());
   return FormatBatch(dists);
 }
@@ -263,6 +372,7 @@ std::string ServerStack::ExecuteBatch(
 std::string ServerStack::StatsLine() const {
   const CacheStats cache = cache_.Totals();
   const AdmissionStats admission = admission_.Totals();
+  const IndexRegistry::RegistryStats registry = registry_->GetStats();
   std::string out;
   AppendKv(&out, "v", std::to_string(kProtocolVersion));
   AppendKv(&out, "uptime_s", Fixed(stats_.UptimeSeconds(), 1));
@@ -273,12 +383,25 @@ std::string ServerStack::StatsLine() const {
   AppendKv(&out, "qps", Fixed(stats_.Qps(), 1));
   AppendKv(&out, "in_flight", std::to_string(admission_.InFlight()));
   AppendKv(&out, "queue_depth", std::to_string(engine_.AsyncQueueDepth()));
+  AppendKv(&out, "backend", registry_->DefaultBackend());
+  for (const std::string& name : registry_->Backends()) {
+    AppendKv(&out, "epoch_" + name,
+             std::to_string(registry_->Generation(name)));
+  }
+  AppendKv(&out, "pending_updates", std::to_string(registry.pending_updates));
+  AppendKv(&out, "updates_applied", std::to_string(registry.updates_applied));
+  AppendKv(&out, "reloads", std::to_string(registry.reloads));
+  AppendKv(&out, "swaps", std::to_string(registry.swaps));
+  AppendKv(&out, "rebuild_in_flight",
+           registry.rebuild_in_flight ? "1" : "0");
   AppendKv(&out, "cache_size", std::to_string(cache_.Size()));
   AppendKv(&out, "cache_hits", std::to_string(cache.hits));
   AppendKv(&out, "cache_misses", std::to_string(cache.misses));
   AppendKv(&out, "cache_hit_rate", Fixed(cache.HitRate(), 3));
   AppendKv(&out, "cache_evictions", std::to_string(cache.evictions));
   AppendKv(&out, "cache_invalidations", std::to_string(cache.invalidations));
+  AppendKv(&out, "cache_expirations", std::to_string(cache.expirations));
+  AppendKv(&out, "cache_clears", std::to_string(cache.clears));
   for (std::size_t c = 0; c < kNumRequestClasses; ++c) {
     const auto request_class = static_cast<RequestClass>(c);
     const LatencyHistogram& hist = stats_.Histogram(request_class);

@@ -3,16 +3,26 @@
 //
 //   front-end (TCP / stdin / tests)
 //     -> protocol.h        parse + strict validation, structured errors
-//     -> result_cache.h    sharded LRU over (src, dst, kind)
+//     -> result_cache.h    sharded LRU over (src, dst, kind, backend),
+//                          generation-tagged entries + optional TTL
 //     -> admission.h       bounded in-flight budget + per-request deadlines
-//     -> ConcurrentEngine  callback-style submit onto pooled sessions
+//     -> ConcurrentEngine  epoch-pinned session leases over IndexRegistry
 //
-// One ServerStack serves any number of front-end threads concurrently. The
-// primary entry point is the callback-style Submit(): parse errors, cache
-// hits, and load sheds are answered synchronously on the calling thread
-// (they never cost an index query), everything else is executed on the
-// engine's async workers and answered through the callback. HandleLine()
-// is the blocking convenience the stdin REPL and simple tests use.
+// One ServerStack serves any number of front-end threads concurrently, over
+// one or more backends published by an epoch-versioned IndexRegistry
+// (api/index_registry.h). Queries name a backend with the "@<backend>"
+// prefix or fall through to the server default (the `use` admin verb); the
+// `upd` and `reload` admin verbs drive live weight updates and zero-
+// downtime hot swaps — in-flight requests finish on the epoch they leased,
+// new requests pick up the fresh epoch, and cache entries of the swapped
+// backend retire by generation tag without a global flush.
+//
+// The primary entry point is the callback-style Submit(): parse errors,
+// cache hits, load sheds, and admin verbs are answered synchronously on the
+// calling thread (they never cost an index query), everything else is
+// executed on the engine's async workers and answered through the callback.
+// HandleLine() is the blocking convenience the stdin REPL and simple tests
+// use.
 #pragma once
 
 #include <chrono>
@@ -25,6 +35,7 @@
 
 #include "api/concurrent_engine.h"
 #include "api/distance_oracle.h"
+#include "api/index_registry.h"
 #include "server/admission.h"
 #include "server/protocol.h"
 #include "server/request_stats.h"
@@ -37,6 +48,9 @@ struct ServerConfig {
   /// Result-cache entry budget (0 disables caching) and shard count.
   std::size_t cache_capacity = 1 << 16;
   std::size_t cache_shards = 16;
+  /// Per-entry time-to-live (0 = entries never expire) — the freshness
+  /// backstop between weight updates and the reload that applies them.
+  std::chrono::milliseconds cache_ttl{0};
   /// Admission: max in-flight requests and per-request deadline (0 = none).
   std::size_t admission_capacity = 256;
   std::chrono::milliseconds request_timeout{1000};
@@ -51,8 +65,15 @@ class ServerStack {
   /// Reply text plus whether the front-end should close the session (quit).
   using ReplyCallback = std::function<void(std::string reply, bool close)>;
 
-  /// Builds the stack over a built oracle. The graph behind the oracle must
-  /// outlive the stack. Throws std::invalid_argument on a null oracle.
+  /// Builds the stack over a registry (shared so operators can also drive
+  /// the registry directly, e.g. WaitForRebuild in a REPL). Throws
+  /// std::invalid_argument on a null registry.
+  explicit ServerStack(std::shared_ptr<IndexRegistry> registry,
+                       const ServerConfig& config = {});
+
+  /// Convenience: wraps one externally built oracle in a static
+  /// single-backend registry (queries work; `upd`/`reload` answer errors).
+  /// The oracle's graph must outlive the stack.
   explicit ServerStack(std::unique_ptr<DistanceOracle> oracle,
                        const ServerConfig& config = {});
 
@@ -83,33 +104,45 @@ class ServerStack {
   /// One-line key=value stats snapshot (the `stats` reply body).
   std::string StatsLine() const;
 
+  /// Node/arc counts of the served network (invariant across epochs).
+  std::size_t NumNodes() const { return registry_->NumNodes(); }
+  std::size_t NumArcs() const { return registry_->NumArcs(); }
+
+  IndexRegistry& registry() { return *registry_; }
   ConcurrentEngine& engine() { return engine_; }
   ResultCache& cache() { return cache_; }
   AdmissionController& admission() { return admission_; }
   RequestStats& stats() { return stats_; }
-  const Graph& graph() const { return engine_.oracle().graph(); }
   const ServerConfig& config() const { return config_; }
 
  private:
-  /// Executes an admitted query request on a session, formats the reply,
-  /// and updates cache + stats. Never throws.
-  std::string Execute(const Request& request, QuerySession& session);
+  /// Answers the admin verbs (use/upd/reload) inline. Never throws.
+  std::string ExecuteAdmin(const Request& request);
 
-  std::string ExecuteDistance(NodeId s, NodeId t, QuerySession& session);
-  std::string ExecutePath(NodeId s, NodeId t, QuerySession& session);
+  /// Executes an admitted query request on an epoch-pinned session lease,
+  /// formats the reply, and updates cache + stats. Never throws.
+  std::string Execute(const Request& request,
+                      ConcurrentEngine::SessionLease& lease);
+
+  std::string ExecuteDistance(NodeId s, NodeId t,
+                              ConcurrentEngine::SessionLease& lease);
+  std::string ExecutePath(NodeId s, NodeId t,
+                          ConcurrentEngine::SessionLease& lease);
   std::string ExecuteKNearest(NodeId s, std::uint32_t k,
-                              QuerySession& session);
+                              ConcurrentEngine::SessionLease& lease);
   std::string ExecuteBatch(const std::vector<std::pair<NodeId, NodeId>>& pairs,
-                           QuerySession& session);
+                           ConcurrentEngine::SessionLease& lease);
 
-  /// Cache-through distances for a pair list: hits from the cache, misses
-  /// computed (on `session`, or fanned across the engine's batch threads
-  /// when there are many) and inserted.
+  /// Cache-through distances for a pair list: hits from the cache (keyed by
+  /// the lease's backend + generation), misses computed (on the lease, or
+  /// fanned across the engine's batch threads when there are many) and
+  /// inserted under the lease's generation.
   std::vector<Dist> CachedDistances(
       const std::vector<std::pair<NodeId, NodeId>>& pairs,
-      QuerySession& session);
+      ConcurrentEngine::SessionLease& lease);
 
   ServerConfig config_;
+  std::shared_ptr<IndexRegistry> registry_;
   ConcurrentEngine engine_;
   ResultCache cache_;
   AdmissionController admission_;

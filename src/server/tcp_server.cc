@@ -173,9 +173,11 @@ void TcpServer::AcceptNew() {
                           std::to_string(config_.max_connections) +
                           ") reached") +
           "\n";
+      // Count before replying: a client that has read the overload reply
+      // must already observe the incremented counter.
+      rejected_connections_.fetch_add(1, std::memory_order_relaxed);
       ::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
       ::close(fd);
-      rejected_connections_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     if (!SetNonBlocking(fd)) {

@@ -42,6 +42,8 @@ struct QuadBlock {
   std::uint64_t start = 0;
   NodeId color = kInvalidNode;  ///< First hop (kInvalidNode = unreachable).
   std::uint8_t depth = 0;       ///< 0 = whole space, 32 = single code.
+
+  bool operator==(const QuadBlock&) const = default;
 };
 
 /// Decomposes `colors_by_pos` (aligned with `sorted_mortons`, both in

@@ -1,14 +1,36 @@
 #include "silc/silc_index.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
 #include "routing/dijkstra.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace ah {
 
-SilcIndex SilcIndex::Build(const Graph& g) {
+namespace {
+
+/// Per-thread scratch for the per-source sweep: one Dijkstra engine plus
+/// the first-hop/color buffers it fills for each source.
+struct SourceScratch {
+  explicit SourceScratch(const Graph& g)
+      : dijkstra(g), first_hop(g.NumNodes()), colors_by_pos(g.NumNodes()) {}
+
+  Dijkstra dijkstra;
+  std::vector<NodeId> first_hop;
+  std::vector<NodeId> colors_by_pos;
+};
+
+/// Sources are swept in fixed chunks of this many; each chunk's blocks land
+/// in chunk-private storage and are concatenated in chunk order, so the
+/// final table is bit-identical at any thread count.
+constexpr std::size_t kSourceChunk = 64;
+
+}  // namespace
+
+SilcIndex SilcIndex::Build(const Graph& g, const SilcParams& params) {
   Timer timer;
   SilcIndex index;
   index.graph_ = &g;
@@ -36,31 +58,72 @@ SilcIndex SilcIndex::Build(const Graph& g) {
     pos_of[by_morton[i]] = i;
   }
 
-  Dijkstra dijkstra(g);
-  std::vector<NodeId> first_hop(n);
-  std::vector<NodeId> colors_by_pos(n);
-  index.src_first_.assign(n + 1, 0);
+  // One full Dijkstra per source — the build's O(n² log n) core and, until
+  // it was chunk-parallelized, its last single-threaded loop (the piece
+  // that made SILC rebuilds impractical inside the registry's background
+  // build worker). Each chunk appends to private storage.
+  const std::size_t threads =
+      params.build_threads == 0 ? WorkerThreads() : params.build_threads;
+  struct ChunkOut {
+    std::vector<QuadBlock> blocks;
+    std::vector<std::uint32_t> per_source;  // block count per source
+  };
+  const std::size_t num_chunks =
+      n == 0 ? 0 : (n + kSourceChunk - 1) / kSourceChunk;
+  std::vector<ChunkOut> chunks(num_chunks);
+  std::vector<std::unique_ptr<SourceScratch>> scratch(
+      std::max<std::size_t>(1, std::min(threads, num_chunks)));
 
-  for (NodeId s = 0; s < n; ++s) {
-    dijkstra.Run(s);
-    // First hop per destination, propagated along the settle order (parents
-    // settle before children).
-    first_hop[s] = s;
-    for (NodeId v : dijkstra.SettledNodes()) {
-      if (v == s) continue;
-      const NodeId p = dijkstra.ParentOf(v);
-      first_hop[v] = p == s ? v : first_hop[p];
+  ParallelChunks(
+      n, kSourceChunk,
+      [&](std::size_t chunk_index, std::size_t begin, std::size_t end,
+          std::size_t tid) {
+        if (!scratch[tid]) scratch[tid] = std::make_unique<SourceScratch>(g);
+        SourceScratch& local = *scratch[tid];
+        ChunkOut& out = chunks[chunk_index];
+        out.per_source.reserve(end - begin);
+        for (NodeId s = static_cast<NodeId>(begin); s < end; ++s) {
+          local.dijkstra.Run(s);
+          // First hop per destination, propagated along the settle order
+          // (parents settle before children).
+          local.first_hop[s] = s;
+          for (NodeId v : local.dijkstra.SettledNodes()) {
+            if (v == s) continue;
+            const NodeId p = local.dijkstra.ParentOf(v);
+            local.first_hop[v] = p == s ? v : local.first_hop[p];
+          }
+          for (NodeId v = 0; v < n; ++v) {
+            local.colors_by_pos[pos_of[v]] =
+                local.dijkstra.DistTo(v) == kInfDist ? kInvalidNode
+                                                     : local.first_hop[v];
+          }
+          const std::size_t before = out.blocks.size();
+          BuildColorBlocks(sorted_mortons, local.colors_by_pos, &out.blocks);
+          out.per_source.push_back(
+              static_cast<std::uint32_t>(out.blocks.size() - before));
+        }
+      },
+      threads);
+
+  // Chunk-ordered merge: concatenating chunk outputs in index order yields
+  // exactly the sequential sweep's table.
+  index.src_first_.assign(n + 1, 0);
+  std::size_t total_blocks = 0;
+  for (const ChunkOut& chunk : chunks) total_blocks += chunk.blocks.size();
+  index.blocks_.reserve(total_blocks);
+  NodeId s = 0;
+  for (ChunkOut& chunk : chunks) {
+    std::size_t offset = 0;
+    for (const std::uint32_t count : chunk.per_source) {
+      index.src_first_[s++] = index.blocks_.size();
+      index.blocks_.insert(index.blocks_.end(), chunk.blocks.begin() + offset,
+                           chunk.blocks.begin() + offset + count);
+      offset += count;
     }
-    for (NodeId v = 0; v < n; ++v) {
-      colors_by_pos[pos_of[v]] =
-          dijkstra.DistTo(v) == kInfDist ? kInvalidNode : first_hop[v];
-    }
-    index.src_first_[s] = index.blocks_.size();
-    BuildColorBlocks(sorted_mortons, colors_by_pos, &index.blocks_);
+    chunk.blocks.clear();
+    chunk.blocks.shrink_to_fit();
   }
   index.src_first_[n] = index.blocks_.size();
-  // src_first_ currently holds start offsets; already monotone by
-  // construction (sources processed in id order).
 
   index.build_stats_.seconds = timer.Seconds();
   index.build_stats_.total_blocks = index.blocks_.size();

@@ -27,13 +27,26 @@ struct SilcBuildStats {
   std::size_t total_blocks = 0;
 };
 
+struct SilcParams {
+  /// Worker threads for the per-source Dijkstra sweep (0 = the
+  /// util/parallel.h WorkerThreads() default). The index is bit-identical
+  /// at any thread count: sources are processed in fixed chunks whose block
+  /// lists are merged in chunk order.
+  std::size_t build_threads = 0;
+};
+
 class SilcIndex {
  public:
   /// Builds first-hop quadtrees for all sources. `g` must outlive the index.
-  static SilcIndex Build(const Graph& g);
+  static SilcIndex Build(const Graph& g, const SilcParams& params = {});
 
   std::size_t NumNodes() const { return src_first_.size() - 1; }
   const SilcBuildStats& build_stats() const { return build_stats_; }
+
+  /// Raw index tables, exposed so the build-determinism test can assert
+  /// bit-identity across thread counts.
+  const std::vector<QuadBlock>& blocks() const { return blocks_; }
+  const std::vector<std::uint64_t>& src_offsets() const { return src_first_; }
 
   /// First hop on the shortest path s→t (kInvalidNode if t is unreachable
   /// or s == t).

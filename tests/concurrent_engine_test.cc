@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "api/distance_oracle.h"
+#include "api/index_registry.h"
 #include "routing/dijkstra.h"
 #include "routing/path.h"
 #include "test_util.h"
@@ -45,8 +46,25 @@ std::vector<Dist> ReferenceDistances(const Graph& g,
   return expected;
 }
 
-TEST(ConcurrentEngineTest, NullOracleThrows) {
-  EXPECT_THROW(ConcurrentEngine(nullptr), std::invalid_argument);
+TEST(ConcurrentEngineTest, NullOracleOrRegistryThrows) {
+  EXPECT_THROW(ConcurrentEngine(std::unique_ptr<DistanceOracle>()),
+               std::invalid_argument);
+  EXPECT_THROW(ConcurrentEngine(std::shared_ptr<IndexRegistry>()),
+               std::invalid_argument);
+}
+
+// The unique_ptr convenience constructor wraps the oracle in a static
+// single-backend registry: queries and leases work, epoch metadata is
+// visible, lifecycle operations are rejected.
+TEST(ConcurrentEngineTest, AdoptedOracleServesThroughStaticRegistry) {
+  const Graph g = testing::MakeRoadGraph(6, 3);
+  ConcurrentEngine engine(MakeOracle("ch", g), 2);
+  EXPECT_EQ(engine.registry().Backends(), std::vector<std::string>{"ch"});
+  auto lease = engine.Lease();
+  EXPECT_EQ(lease.epoch().backend, "ch");
+  EXPECT_EQ(lease.epoch().generation, 1u);
+  EXPECT_THROW(engine.Lease("alt"), std::invalid_argument);
+  EXPECT_FALSE(engine.registry().RequestReload());
 }
 
 TEST(ConcurrentEngineTest, ThreadCountDefaultsAndOverrides) {

@@ -1,0 +1,346 @@
+// The epoch-versioned index lifecycle (api/index_registry.h): weight-delta
+// validation and application at the graph layer, registry construction over
+// multiple backends, live weight updates driving background rebuild + hot
+// swap, RCU-style epoch retirement (an old epoch dies only when its last
+// lease drops), and engine/registry interaction under concurrent load (the
+// TSan CI job runs this suite).
+#include "api/index_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/concurrent_engine.h"
+#include "api/distance_oracle.h"
+#include "graph/weight_update.h"
+#include "routing/dijkstra.h"
+#include "test_util.h"
+
+namespace ah {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Graph-layer delta application
+// ---------------------------------------------------------------------------
+
+TEST(WeightUpdateTest, SetArcWeightKeepsOutAndInAdjacencyMirrored) {
+  const Graph g = testing::MakeRoadGraph(5, 3);
+  ASSERT_GT(g.OutArcs(0).size(), 0u);
+  const NodeId head = g.OutArcs(0)[0].head;
+  Graph updated = g;
+  EXPECT_EQ(updated.SetArcWeight(0, head, 777), 1u);
+  EXPECT_EQ(updated.ArcWeight(0, head), 777u);
+  bool found_in_mirror = false;
+  for (const Arc& a : updated.InArcs(head)) {
+    if (a.head == 0) {
+      EXPECT_EQ(a.weight, 777u);
+      found_in_mirror = true;
+    }
+  }
+  EXPECT_TRUE(found_in_mirror);
+  // Absent arc: no mutation, zero count.
+  EXPECT_EQ(updated.SetArcWeight(0, 0, 5), 0u);
+  // Structure untouched.
+  EXPECT_EQ(updated.NumNodes(), g.NumNodes());
+  EXPECT_EQ(updated.NumArcs(), g.NumArcs());
+}
+
+TEST(WeightUpdateTest, ValidateAndApplyDeltas) {
+  const Graph g = testing::MakeRoadGraph(5, 3);
+  const NodeId head = g.OutArcs(0)[0].head;
+  const NodeId n = static_cast<NodeId>(g.NumNodes());
+
+  EXPECT_EQ(ValidateWeightDelta(g, {0, head, 9}), DeltaStatus::kOk);
+  EXPECT_EQ(ValidateWeightDelta(g, {n, head, 9}), DeltaStatus::kBadNode);
+  EXPECT_EQ(ValidateWeightDelta(g, {0, head, 0}), DeltaStatus::kBadWeight);
+  EXPECT_EQ(ValidateWeightDelta(g, {0, head, kMaxWeight}),
+            DeltaStatus::kBadWeight);
+  EXPECT_EQ(ValidateWeightDelta(g, {0, 0, 9}), DeltaStatus::kNoSuchArc);
+
+  Graph updated = g;
+  // Later deltas to the same arc win; invalid deltas are skipped.
+  const std::vector<WeightDelta> deltas = {
+      {0, head, 5}, {0, 0, 9}, {0, head, 11}};
+  EXPECT_EQ(ApplyWeightDeltas(&updated, deltas), 2u);
+  EXPECT_EQ(updated.ArcWeight(0, head), 11u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry construction and epoch acquisition
+// ---------------------------------------------------------------------------
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  RegistryTest() : graph_(testing::MakeRoadGraph(7, 11)) {}
+
+  std::shared_ptr<IndexRegistry> MakeRegistry(
+      std::vector<std::string> backends = {"dijkstra", "ch"}) {
+    return std::make_shared<IndexRegistry>(graph_, backends);
+  }
+
+  /// The graph with one arc made heavier, plus the delta that does it.
+  std::pair<Graph, WeightDelta> UpdatedGraph() const {
+    const NodeId head = graph_.OutArcs(0)[0].head;
+    const WeightDelta delta{
+        0, head, static_cast<Weight>(graph_.OutArcs(0)[0].weight * 1000 + 1)};
+    Graph updated = graph_;
+    updated.SetArcWeight(delta.tail, delta.head, delta.weight);
+    return {std::move(updated), delta};
+  }
+
+  Graph graph_;
+};
+
+TEST_F(RegistryTest, BuildsEveryBackendAndAnswersThroughHandles) {
+  auto registry = MakeRegistry({"dijkstra", "ch", "alt"});
+  EXPECT_EQ(registry->Backends().size(), 3u);
+  EXPECT_EQ(registry->DefaultBackend(), "dijkstra");
+  EXPECT_EQ(registry->NumNodes(), graph_.NumNodes());
+  EXPECT_EQ(registry->NumArcs(), graph_.NumArcs());
+
+  Dijkstra reference(graph_);
+  const NodeId far = static_cast<NodeId>(graph_.NumNodes() - 1);
+  for (const std::string& name : registry->Backends()) {
+    const EpochHandle epoch = registry->Current(name);
+    ASSERT_NE(epoch, nullptr);
+    EXPECT_EQ(epoch->backend, name);
+    EXPECT_EQ(epoch->generation, 1u);
+    EXPECT_EQ(epoch->backend_id, registry->BackendId(name));
+    auto session = epoch->NewSession();
+    EXPECT_EQ(session->Distance(0, far), reference.Distance(0, far));
+  }
+  // Empty name routes to the default backend.
+  EXPECT_EQ(registry->Current()->backend, "dijkstra");
+  EXPECT_TRUE(registry->SetDefaultBackend("ch"));
+  EXPECT_EQ(registry->Current()->backend, "ch");
+}
+
+TEST_F(RegistryTest, RejectsBadConstructionAndUnknownBackends) {
+  EXPECT_THROW(IndexRegistry(graph_, {}), std::invalid_argument);
+  EXPECT_THROW(IndexRegistry(graph_, {"ch", "ch"}), std::invalid_argument);
+  EXPECT_THROW(IndexRegistry(graph_, {"nope"}), std::invalid_argument);
+
+  auto registry = MakeRegistry();
+  EXPECT_FALSE(registry->HasBackend("alt"));
+  EXPECT_EQ(registry->Current("alt"), nullptr);
+  EXPECT_EQ(registry->Generation("alt"), 0u);
+  EXPECT_EQ(registry->BackendId("alt"), IndexRegistry::kInvalidBackend);
+  EXPECT_FALSE(registry->SetDefaultBackend("alt"));
+  EXPECT_EQ(registry->DefaultBackend(), "dijkstra");
+
+  ConcurrentEngine engine(registry);
+  EXPECT_THROW(engine.Lease("alt"), std::invalid_argument);
+}
+
+TEST_F(RegistryTest, QueueWeightUpdateValidatesAgainstBaseGraph) {
+  auto registry = MakeRegistry();
+  const NodeId head = graph_.OutArcs(0)[0].head;
+  EXPECT_EQ(registry->QueueWeightUpdate(0, head, 9),
+            IndexRegistry::UpdateStatus::kQueued);
+  EXPECT_EQ(registry->QueueWeightUpdate(0, 0, 9),
+            IndexRegistry::UpdateStatus::kNoSuchArc);
+  EXPECT_EQ(registry->QueueWeightUpdate(0, head, 0),
+            IndexRegistry::UpdateStatus::kBadWeight);
+  EXPECT_EQ(
+      registry->QueueWeightUpdate(static_cast<NodeId>(graph_.NumNodes()), 0, 9),
+      IndexRegistry::UpdateStatus::kBadNode);
+  EXPECT_EQ(registry->PendingUpdates(), 1u);
+}
+
+TEST_F(RegistryTest, StaticRegistryServesButRejectsLifecycle) {
+  auto registry = IndexRegistry::AdoptStatic(MakeOracle("ch", graph_));
+  EXPECT_EQ(registry->Backends(), std::vector<std::string>{"ch"});
+  const EpochHandle epoch = registry->Current();
+  ASSERT_NE(epoch, nullptr);
+  EXPECT_EQ(epoch->generation, 1u);
+
+  EXPECT_EQ(registry->QueueWeightUpdate(0, 1, 9),
+            IndexRegistry::UpdateStatus::kStatic);
+  std::string error;
+  EXPECT_FALSE(registry->RequestReload(&error));
+  EXPECT_FALSE(error.empty());
+  registry->WaitForRebuild();  // trivially idle; must not hang
+}
+
+// ---------------------------------------------------------------------------
+// Reload: delta application, rebuild, swap
+// ---------------------------------------------------------------------------
+
+TEST_F(RegistryTest, ReloadAppliesDeltasRebuildsAndBumpsGenerations) {
+  auto registry = MakeRegistry({"dijkstra", "ch"});
+  auto [updated, delta] = UpdatedGraph();
+  Dijkstra before(graph_);
+  Dijkstra after(updated);
+
+  ASSERT_EQ(registry->QueueWeightUpdate(delta.tail, delta.head, delta.weight),
+            IndexRegistry::UpdateStatus::kQueued);
+  ASSERT_TRUE(registry->RequestReload());
+  registry->WaitForRebuild();
+
+  const IndexRegistry::RegistryStats stats = registry->GetStats();
+  EXPECT_EQ(stats.reloads, 1u);
+  EXPECT_EQ(stats.swaps, 2u);  // one per backend
+  EXPECT_EQ(stats.updates_applied, 1u);
+  EXPECT_EQ(stats.pending_updates, 0u);
+  EXPECT_FALSE(stats.rebuild_in_flight);
+  EXPECT_TRUE(stats.last_error.empty());
+
+  const NodeId far = static_cast<NodeId>(graph_.NumNodes() - 1);
+  for (const std::string& name : registry->Backends()) {
+    const EpochHandle epoch = registry->Current(name);
+    EXPECT_EQ(epoch->generation, 2u) << name;
+    auto session = epoch->NewSession();
+    for (NodeId t = 0; t < far; t += 5) {
+      EXPECT_EQ(session->Distance(0, t), after.Distance(0, t))
+          << name << " d(0, " << t << ")";
+    }
+  }
+  // The update must actually have changed something, or this test proves
+  // nothing about which graph answered.
+  EXPECT_NE(before.Distance(0, delta.head), after.Distance(0, delta.head));
+
+  // A reload with no pending deltas still rebuilds (generation 3).
+  ASSERT_TRUE(registry->RequestReload());
+  registry->WaitForRebuild();
+  EXPECT_EQ(registry->Generation("ch"), 3u);
+}
+
+TEST_F(RegistryTest, OldEpochRetiresOnlyAfterLastLeaseDrops) {
+  auto registry = MakeRegistry({"dijkstra", "ch"});
+  ConcurrentEngine engine(registry, 2);
+  auto [updated, delta] = UpdatedGraph();
+  Dijkstra before(graph_);
+  Dijkstra after(updated);
+  const NodeId probe = delta.head;
+
+  std::weak_ptr<const IndexEpoch> old_epoch = registry->Current("ch");
+  {
+    ConcurrentEngine::SessionLease lease = engine.Lease("ch");
+    EXPECT_EQ(lease.epoch().generation, 1u);
+
+    ASSERT_EQ(registry->QueueWeightUpdate(delta.tail, delta.head, delta.weight),
+              IndexRegistry::UpdateStatus::kQueued);
+    ASSERT_TRUE(registry->RequestReload());
+    registry->WaitForRebuild();
+    EXPECT_EQ(registry->Generation("ch"), 2u);
+
+    // The held lease is pinned to the retired epoch: it still answers, with
+    // the OLD graph's distances, and keeps the epoch alive.
+    EXPECT_EQ(lease->Distance(0, probe), before.Distance(0, probe));
+    EXPECT_FALSE(old_epoch.expired());
+
+    // A fresh lease picks up the new epoch and the new answer.
+    ConcurrentEngine::SessionLease fresh = engine.Lease("ch");
+    EXPECT_EQ(fresh.epoch().generation, 2u);
+    EXPECT_EQ(fresh->Distance(0, probe), after.Distance(0, probe));
+  }
+  // Both leases returned; the stale session is dropped, not pooled, so the
+  // old epoch is destroyed now.
+  EXPECT_TRUE(old_epoch.expired());
+}
+
+TEST_F(RegistryTest, SwapPurgesPooledSessionsOfRetiredEpochs) {
+  auto registry = MakeRegistry({"ch"});
+  ConcurrentEngine engine(registry, 2);
+  // Pool a few idle sessions over generation 1.
+  { auto a = engine.Lease(); auto b = engine.Lease(); }
+  std::weak_ptr<const IndexEpoch> old_epoch = registry->Current("ch");
+  ASSERT_FALSE(old_epoch.expired());
+
+  ASSERT_TRUE(registry->RequestReload());
+  registry->WaitForRebuild();
+  // No lease is outstanding, so the swap listener's purge is the only thing
+  // standing between the idle pool and a pinned old index.
+  EXPECT_TRUE(old_epoch.expired());
+  EXPECT_EQ(engine.Lease().epoch().generation, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine batches + concurrent load across swaps (TSan-checked in CI)
+// ---------------------------------------------------------------------------
+
+TEST_F(RegistryTest, BatchesRouteToNamedBackends) {
+  auto registry = MakeRegistry({"dijkstra", "ch"});
+  ConcurrentEngine engine(registry, 2);
+  Dijkstra reference(graph_);
+  std::vector<QueryPair> pairs;
+  for (NodeId t = 0; t < 40; t += 3) {
+    pairs.emplace_back(t % 7, (t * 5) % static_cast<NodeId>(graph_.NumNodes()));
+  }
+  std::vector<Dist> expected;
+  for (const auto& [s, t] : pairs) expected.push_back(reference.Distance(s, t));
+
+  EXPECT_EQ(engine.BatchDistance(pairs), expected);  // default backend
+  EXPECT_EQ(engine.BatchDistance(pairs, 2, "ch"), expected);
+  const auto paths = engine.BatchShortestPath(pairs, 0, "ch");
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(paths[i].length, expected[i]);
+  }
+}
+
+TEST_F(RegistryTest, ConcurrentQueriesStayExactAcrossHotSwap) {
+  auto registry = MakeRegistry({"dijkstra", "ch"});
+  ConcurrentEngine engine(registry, 4);
+  auto [updated, delta] = UpdatedGraph();
+  Dijkstra before(graph_);
+  Dijkstra after(updated);
+
+  // Probe pairs with precomputed old/new answers: during the swap every
+  // reply must be one of the two (an index is exact on the snapshot it was
+  // built over); never garbage, never a dropped query.
+  const NodeId n = static_cast<NodeId>(graph_.NumNodes());
+  std::vector<QueryPair> probes;
+  std::vector<Dist> old_expected;
+  std::vector<Dist> new_expected;
+  for (NodeId i = 0; i < 12; ++i) {
+    const QueryPair pair{(i * 3) % n, (i * 17 + 1) % n};
+    probes.push_back(pair);
+    old_expected.push_back(before.Distance(pair.first, pair.second));
+    new_expected.push_back(after.Distance(pair.first, pair.second));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> bad{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      const std::string backend = c % 2 == 0 ? "dijkstra" : "ch";
+      std::size_t i = c;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t j = i++ % probes.size();
+        const Dist d =
+            engine.Lease(backend)->Distance(probes[j].first, probes[j].second);
+        if (d != old_expected[j] && d != new_expected[j]) {
+          bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  ASSERT_EQ(registry->QueueWeightUpdate(delta.tail, delta.head, delta.weight),
+            IndexRegistry::UpdateStatus::kQueued);
+  ASSERT_TRUE(registry->RequestReload());
+  registry->WaitForRebuild();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& client : clients) client.join();
+
+  EXPECT_EQ(bad.load(), 0u);
+  // After the swap settles, every backend answers the updated graph.
+  for (const std::string& name : registry->Backends()) {
+    auto lease = engine.Lease(name);
+    EXPECT_EQ(lease.epoch().generation, 2u);
+    for (std::size_t j = 0; j < probes.size(); ++j) {
+      EXPECT_EQ(lease->Distance(probes[j].first, probes[j].second),
+                new_expected[j])
+          << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ah

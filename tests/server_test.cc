@@ -1,19 +1,24 @@
-// The serving stack: protocol round-trip (including malformed input),
-// result-cache correctness (cached answers cross-checked against Dijkstra),
-// admission-control shedding and deadlines under a saturated bounded queue,
-// the latency histogram, and a localhost TCP end-to-end smoke test. The CI
-// tsan job runs this suite under -fsanitize=thread.
+// The serving stack: protocol round-trip (including malformed input and the
+// use/upd/reload admin verbs), result-cache correctness with generation
+// tags and TTL (cached answers cross-checked against Dijkstra), admission-
+// control shedding and deadlines under a saturated bounded queue, the
+// latency histogram, a localhost TCP end-to-end smoke test, and a hot swap
+// under live concurrent TCP load. The CI tsan job runs this suite under
+// -fsanitize=thread.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <future>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "api/distance_oracle.h"
+#include "api/index_registry.h"
 #include "routing/dijkstra.h"
 #include "routing/path.h"
 #include "server/admission.h"
@@ -68,6 +73,60 @@ TEST(ProtocolTest, ParsesEveryRequestKind) {
   EXPECT_EQ(ParseRequest("q", kLimits).request.kind, RequestKind::kQuit);
   // Whitespace tolerance.
   EXPECT_TRUE(ParseRequest("  d \t 1   2  ", kLimits).ok);
+}
+
+TEST(ProtocolTest, ParsesAdminVerbsAndBackendSelector) {
+  ParseResult r = ParseRequest("use ch", kLimits);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.request.kind, RequestKind::kUse);
+  EXPECT_EQ(r.request.backend, "ch");
+
+  r = ParseRequest("upd 3 7 42", kLimits);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.request.kind, RequestKind::kUpdate);
+  EXPECT_EQ(r.request.s, 3u);
+  EXPECT_EQ(r.request.t, 7u);
+  EXPECT_EQ(r.request.weight, 42u);
+
+  EXPECT_EQ(ParseRequest("reload", kLimits).request.kind, RequestKind::kReload);
+
+  // Backend selector prefix, alone and after the version token.
+  r = ParseRequest("@alt d 1 2", kLimits);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.request.kind, RequestKind::kDistance);
+  EXPECT_EQ(r.request.backend, "alt");
+  r = ParseRequest("AH/1 @alt b 1 0 1", kLimits);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.request.kind, RequestKind::kBatch);
+  EXPECT_EQ(r.request.backend, "alt");
+  // No selector: backend stays empty (= server default).
+  EXPECT_TRUE(ParseRequest("d 1 2", kLimits).request.backend.empty());
+}
+
+TEST(ProtocolTest, MalformedAdminVerbsAreRejected) {
+  const struct {
+    const char* line;
+    ErrorCode code;
+  } cases[] = {
+      {"use", ErrorCode::kBadRequest},
+      {"use ch alt", ErrorCode::kBadRequest},
+      {"upd 1 2", ErrorCode::kBadRequest},      // missing weight
+      {"upd 1 2 3 4", ErrorCode::kBadRequest},  // trailing junk
+      {"upd 1 2 0", ErrorCode::kBadRequest},    // zero weight
+      {"upd 1 2 -5", ErrorCode::kBadRequest},   // negative weight
+      {"upd -1 2 5", ErrorCode::kBadNode},
+      {"upd 1 100 5", ErrorCode::kBadNode},     // out of range
+      {"reload now", ErrorCode::kBadRequest},
+      {"@ d 1 2", ErrorCode::kBadRequest},      // empty selector token
+      {"@ch stats", ErrorCode::kBadRequest},    // selector on admin verb
+      {"@ch use alt", ErrorCode::kBadRequest},
+      {"@ch reload", ErrorCode::kBadRequest},
+  };
+  for (const auto& c : cases) {
+    const ParseResult r = ParseRequest(c.line, kLimits);
+    EXPECT_FALSE(r.ok) << "line: '" << c.line << "'";
+    EXPECT_EQ(r.code, c.code) << "line: '" << c.line << "'";
+  }
 }
 
 TEST(ProtocolTest, VersionPrefixAcceptedAndRejected) {
@@ -171,18 +230,22 @@ TEST(ResultCacheTest, HitMissInsertAndStats) {
   ResultCache cache(64, 4);
   const CacheKey key{1, 2, CachedKind::kDistance};
   CachedResult out;
-  EXPECT_FALSE(cache.Lookup(key, &out));
-  cache.Insert(key, CachedResult{77, {}});
-  ASSERT_TRUE(cache.Lookup(key, &out));
+  EXPECT_FALSE(cache.Lookup(key, 1, &out));
+  cache.Insert(key, 1, CachedResult{77, {}});
+  ASSERT_TRUE(cache.Lookup(key, 1, &out));
   EXPECT_EQ(out.dist, 77u);
   // Same pair, path kind: a distinct entry.
-  EXPECT_FALSE(cache.Lookup(CacheKey{1, 2, CachedKind::kPath}, &out));
+  EXPECT_FALSE(cache.Lookup(CacheKey{1, 2, CachedKind::kPath}, 1, &out));
+  // Same pair and kind, other backend: also a distinct entry.
+  EXPECT_FALSE(
+      cache.Lookup(CacheKey{1, 2, CachedKind::kDistance, /*backend=*/1}, 1,
+                   &out));
 
   const CacheStats stats = cache.Totals();
   EXPECT_EQ(stats.hits, 1u);
-  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.misses, 3u);
   EXPECT_EQ(stats.insertions, 1u);
-  EXPECT_NEAR(stats.HitRate(), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(stats.HitRate(), 1.0 / 4.0, 1e-9);
 }
 
 TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
@@ -191,37 +254,83 @@ TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
   const CacheKey a{0, 1, CachedKind::kDistance};
   const CacheKey b{0, 2, CachedKind::kDistance};
   const CacheKey c{0, 3, CachedKind::kDistance};
-  cache.Insert(a, CachedResult{1, {}});
-  cache.Insert(b, CachedResult{2, {}});
+  cache.Insert(a, 1, CachedResult{1, {}});
+  cache.Insert(b, 1, CachedResult{2, {}});
   CachedResult out;
-  ASSERT_TRUE(cache.Lookup(a, &out));  // promote a; b is now LRU
-  cache.Insert(c, CachedResult{3, {}});
+  ASSERT_TRUE(cache.Lookup(a, 1, &out));  // promote a; b is now LRU
+  cache.Insert(c, 1, CachedResult{3, {}});
   EXPECT_EQ(cache.Totals().evictions, 1u);
-  EXPECT_TRUE(cache.Lookup(a, &out));
-  EXPECT_FALSE(cache.Lookup(b, &out));  // evicted
-  EXPECT_TRUE(cache.Lookup(c, &out));
+  EXPECT_TRUE(cache.Lookup(a, 1, &out));
+  EXPECT_FALSE(cache.Lookup(b, 1, &out));  // evicted
+  EXPECT_TRUE(cache.Lookup(c, 1, &out));
   EXPECT_EQ(cache.Size(), 2u);
+}
+
+TEST(ResultCacheTest, StaleGenerationIsDroppedAndCounted) {
+  ResultCache cache(64, 4);
+  const CacheKey ch_key{1, 2, CachedKind::kDistance, /*backend=*/0};
+  const CacheKey alt_key{1, 2, CachedKind::kDistance, /*backend=*/1};
+  cache.Insert(ch_key, 1, CachedResult{10, {}});
+  cache.Insert(alt_key, 1, CachedResult{10, {}});
+
+  // Backend 0 swapped to generation 2: its entry is invalidated on sight;
+  // backend 1 (still generation 1) keeps hitting — no global flush.
+  CachedResult out;
+  EXPECT_FALSE(cache.Lookup(ch_key, 2, &out));
+  EXPECT_EQ(cache.Totals().invalidations, 1u);
+  EXPECT_TRUE(cache.Lookup(alt_key, 1, &out));
+  // The stale entry was erased, so a fresh-generation insert takes over.
+  cache.Insert(ch_key, 2, CachedResult{20, {}});
+  ASSERT_TRUE(cache.Lookup(ch_key, 2, &out));
+  EXPECT_EQ(out.dist, 20u);
+  EXPECT_EQ(cache.Totals().clears, 0u);
+
+  // A reader/writer still leased to the retired generation 1 must neither
+  // erase nor overwrite the fresh entry: plain miss, dropped insert.
+  EXPECT_FALSE(cache.Lookup(ch_key, 1, &out));
+  cache.Insert(ch_key, 1, CachedResult{99, {}});
+  ASSERT_TRUE(cache.Lookup(ch_key, 2, &out));
+  EXPECT_EQ(out.dist, 20u);
+  EXPECT_EQ(cache.Totals().invalidations, 1u);  // only the original drop
+}
+
+TEST(ResultCacheTest, TtlExpiresEntries) {
+  // Generous TTL so a loaded machine cannot expire the entry before the
+  // "fresh" lookup below; the expiry check then sleeps past it for sure.
+  ResultCache cache(64, 4, std::chrono::milliseconds(200));
+  EXPECT_EQ(cache.Ttl().count(), 200);
+  const CacheKey key{3, 4, CachedKind::kDistance};
+  cache.Insert(key, 1, CachedResult{9, {}});
+  CachedResult out;
+  ASSERT_TRUE(cache.Lookup(key, 1, &out));  // fresh
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  EXPECT_FALSE(cache.Lookup(key, 1, &out));  // expired + dropped
+  const CacheStats stats = cache.Totals();
+  EXPECT_EQ(stats.expirations, 1u);
+  EXPECT_EQ(stats.invalidations, 0u);
+  EXPECT_EQ(cache.Size(), 0u);
 }
 
 TEST(ResultCacheTest, ClearInvalidatesEverythingAndCounts) {
   ResultCache cache(64, 4);
   for (NodeId i = 0; i < 10; ++i) {
-    cache.Insert(CacheKey{i, i, CachedKind::kDistance}, CachedResult{i, {}});
+    cache.Insert(CacheKey{i, i, CachedKind::kDistance}, 1, CachedResult{i, {}});
   }
   EXPECT_EQ(cache.Size(), 10u);
   cache.Clear();
   EXPECT_EQ(cache.Size(), 0u);
   CachedResult out;
-  EXPECT_FALSE(cache.Lookup(CacheKey{1, 1, CachedKind::kDistance}, &out));
-  EXPECT_EQ(cache.Totals().invalidations, 1u);
+  EXPECT_FALSE(cache.Lookup(CacheKey{1, 1, CachedKind::kDistance}, 1, &out));
+  EXPECT_EQ(cache.Totals().clears, 1u);
+  EXPECT_EQ(cache.Totals().invalidations, 0u);
 }
 
 TEST(ResultCacheTest, ZeroCapacityDisables) {
   ResultCache cache(0);
   EXPECT_FALSE(cache.Enabled());
-  cache.Insert(CacheKey{1, 2, CachedKind::kDistance}, CachedResult{7, {}});
+  cache.Insert(CacheKey{1, 2, CachedKind::kDistance}, 1, CachedResult{7, {}});
   CachedResult out;
-  EXPECT_FALSE(cache.Lookup(CacheKey{1, 2, CachedKind::kDistance}, &out));
+  EXPECT_FALSE(cache.Lookup(CacheKey{1, 2, CachedKind::kDistance}, 1, &out));
   EXPECT_EQ(cache.Size(), 0u);
 }
 
@@ -397,7 +506,7 @@ TEST_F(ServerStackTest, SaturatedAdmissionQueueShedsInsteadOfHanging) {
   // Block the only engine worker so the admitted request cannot start.
   std::promise<void> release;
   std::shared_future<void> gate = release.get_future().share();
-  stack.engine().SubmitAsync([gate](QuerySession&) { gate.wait(); });
+  stack.engine().SubmitAsync([gate]() { gate.wait(); });
 
   std::promise<std::string> admitted;
   std::future<std::string> admitted_reply = admitted.get_future();
@@ -438,7 +547,7 @@ TEST_F(ServerStackTest, ExpiredDeadlineAnswersTimeout) {
   // Hold the single worker well past the 1ms deadline.
   std::promise<void> release;
   std::shared_future<void> gate = release.get_future().share();
-  stack.engine().SubmitAsync([gate](QuerySession&) { gate.wait(); });
+  stack.engine().SubmitAsync([gate]() { gate.wait(); });
 
   std::promise<std::string> delayed;
   std::future<std::string> delayed_reply = delayed.get_future();
@@ -485,6 +594,142 @@ TEST_F(ServerStackTest, ConcurrentClientsGetConsistentAnswers) {
   }
   const CacheStats cache = stack.cache().Totals();
   EXPECT_GT(cache.hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-backend routing + index lifecycle through the stack
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerStackTest, RoutesRequestsToNamedBackendsAndSwitchesDefault) {
+  auto registry = std::make_shared<IndexRegistry>(
+      graph_, std::vector<std::string>{"dijkstra", "ch"});
+  ServerStack stack(registry, SmallConfig());
+  Dijkstra reference(graph_);
+  const NodeId far = static_cast<NodeId>(graph_.NumNodes() - 1);
+  const std::string expect = FormatDistance(reference.Distance(0, far));
+  const std::string query = "d 0 " + std::to_string(far);
+
+  EXPECT_EQ(stack.HandleLine(query), expect);                    // default
+  EXPECT_EQ(stack.HandleLine("@ch " + query), expect);           // named
+  EXPECT_EQ(stack.HandleLine("@dijkstra " + query), expect);
+  EXPECT_EQ(stack.HandleLine("use ch"), "OK use ch");
+  EXPECT_EQ(registry->DefaultBackend(), "ch");
+  EXPECT_EQ(stack.HandleLine(query), expect);
+
+  // Unknown backends: structured errors from selector and `use` alike.
+  EXPECT_TRUE(StartsWith(stack.HandleLine("@nosuch " + query),
+                         "ERR bad-backend"));
+  EXPECT_TRUE(StartsWith(stack.HandleLine("use nosuch"), "ERR bad-backend"));
+
+  // Each backend caches under its own id: the same pair answered via both
+  // backends inserts two distance entries.
+  const CacheStats cache = stack.cache().Totals();
+  EXPECT_GE(cache.insertions, 2u);
+}
+
+TEST_F(ServerStackTest, UpdateAndReloadErrorsAreStructured) {
+  // Static stack (adopted oracle): lifecycle verbs answer errors, queries
+  // still work.
+  ServerStack fixed(MakeOracle("dijkstra", graph_), SmallConfig());
+  EXPECT_TRUE(StartsWith(fixed.HandleLine("upd 0 1 5"), "ERR bad-request"));
+  EXPECT_TRUE(StartsWith(fixed.HandleLine("reload"), "ERR bad-request"));
+  EXPECT_TRUE(StartsWith(fixed.HandleLine("d 0 1"), "OK d"));
+  // `use` with the wrapped backend's own name is fine.
+  EXPECT_EQ(fixed.HandleLine("use dijkstra"), "OK use dijkstra");
+
+  // Dynamic stack: malformed arcs and weights get typed errors.
+  auto registry = std::make_shared<IndexRegistry>(
+      graph_, std::vector<std::string>{"dijkstra"});
+  ServerStack stack(registry, SmallConfig());
+  ASSERT_GT(graph_.OutArcs(0).size(), 0u);
+  const NodeId via = graph_.OutArcs(0)[0].head;
+  EXPECT_TRUE(StartsWith(stack.HandleLine("upd 0 0 5"), "ERR bad-arc"));
+  EXPECT_TRUE(StartsWith(stack.HandleLine("upd 0 1000000 5"), "ERR bad-node"));
+  EXPECT_TRUE(StartsWith(stack.HandleLine("upd 0 1 0"), "ERR bad-request"));
+  EXPECT_EQ(stack.HandleLine("upd 0 " + std::to_string(via) + " 123"),
+            "OK upd 1");
+  EXPECT_EQ(stack.HandleLine("reload"), "OK reload 1");
+  registry->WaitForRebuild();
+  EXPECT_EQ(registry->Generation("dijkstra"), 2u);
+}
+
+// The acceptance scenario, in-process: continuous traffic on two backends
+// while a weight delta triggers a background rebuild and epoch swap — every
+// reply exact on the pre- or post-update graph, stale cache entries retired
+// by generation (no Clear()), updated answers after the swap.
+TEST_F(ServerStackTest, HotSwapKeepsServingExactAnswers) {
+  auto registry = std::make_shared<IndexRegistry>(
+      graph_, std::vector<std::string>{"dijkstra", "ch"});
+  ServerConfig config = SmallConfig();
+  ServerStack stack(registry, config);
+
+  ASSERT_GT(graph_.OutArcs(0).size(), 0u);
+  const NodeId via = graph_.OutArcs(0)[0].head;
+  const Weight new_weight =
+      static_cast<Weight>(graph_.OutArcs(0)[0].weight * 1000 + 1);
+  Graph updated = graph_;
+  updated.SetArcWeight(0, via, new_weight);
+  Dijkstra before(graph_);
+  Dijkstra after(updated);
+
+  const NodeId n = static_cast<NodeId>(graph_.NumNodes());
+  std::vector<std::string> queries;
+  std::vector<std::string> old_replies;
+  std::vector<std::string> new_replies;
+  for (NodeId i = 0; i < 16; ++i) {
+    const NodeId s = (i * 3) % n;
+    const NodeId t = (i * 11 + 1) % n;
+    queries.push_back("d " + std::to_string(s) + " " + std::to_string(t));
+    old_replies.push_back(FormatDistance(before.Distance(s, t)));
+    new_replies.push_back(FormatDistance(after.Distance(s, t)));
+  }
+
+  // Warm the cache with pre-swap answers (so the swap has stale entries to
+  // retire), then keep clients hammering across the swap.
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(stack.HandleLine(queries[i]), old_replies[i]);
+    ASSERT_EQ(stack.HandleLine("@ch " + queries[i]), old_replies[i]);
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> bad{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      const std::string prefix = c % 2 == 0 ? "" : "@ch ";
+      std::size_t i = c;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t j = i++ % queries.size();
+        const std::string reply = stack.HandleLine(prefix + queries[j]);
+        if (reply != old_replies[j] && reply != new_replies[j]) {
+          bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  ASSERT_EQ(stack.HandleLine("upd 0 " + std::to_string(via) + " " +
+                             std::to_string(new_weight)),
+            "OK upd 1");
+  ASSERT_EQ(stack.HandleLine("reload"), "OK reload 1");
+  registry->WaitForRebuild();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(bad.load(), 0u);
+
+  // Post-swap: both backends answer the updated graph; the stale entries
+  // were retired by generation tag, never via Clear().
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(stack.HandleLine(queries[i]), new_replies[i]) << queries[i];
+    EXPECT_EQ(stack.HandleLine("@ch " + queries[i]), new_replies[i])
+        << queries[i];
+  }
+  const CacheStats cache = stack.cache().Totals();
+  EXPECT_EQ(cache.clears, 0u);
+  EXPECT_GT(cache.invalidations, 0u);
+  const IndexRegistry::RegistryStats registry_stats = registry->GetStats();
+  EXPECT_EQ(registry_stats.updates_applied, 1u);
+  EXPECT_EQ(registry_stats.reloads, 1u);
 }
 
 // ---------------------------------------------------------------------------
@@ -585,6 +830,107 @@ TEST_F(TcpServerTest, ConcurrentConnectionsAndConnectionLimit) {
   // Abrupt client disconnect (no quit) must not wedge the server.
   ASSERT_TRUE(b.Send("d 1 2\n"));
   ASSERT_TRUE(b.ReadLine(&line));
+  tcp.Stop();
+}
+
+// Hot swap under live concurrent TCP load: multiple socket clients stream
+// distance queries on two backends while the admin connection queues a
+// weight delta and reloads. Every reply must match the Dijkstra reference
+// on the pre- or post-update graph; after the swap, the post-update one
+// (TSan-checked in CI).
+TEST_F(TcpServerTest, HotSwapUnderLiveTcpLoad) {
+  auto registry = std::make_shared<IndexRegistry>(
+      graph_, std::vector<std::string>{"dijkstra", "ch"});
+  ServerConfig config;
+  config.num_threads = 2;
+  config.request_timeout = std::chrono::milliseconds(0);
+  ServerStack stack(registry, config);
+
+  ASSERT_GT(graph_.OutArcs(0).size(), 0u);
+  const NodeId via = graph_.OutArcs(0)[0].head;
+  const Weight new_weight =
+      static_cast<Weight>(graph_.OutArcs(0)[0].weight * 1000 + 1);
+  Graph updated = graph_;
+  updated.SetArcWeight(0, via, new_weight);
+  Dijkstra before(graph_);
+  Dijkstra after(updated);
+
+  const NodeId n = static_cast<NodeId>(graph_.NumNodes());
+  std::vector<std::string> queries;
+  std::vector<std::string> old_replies;
+  std::vector<std::string> new_replies;
+  for (NodeId i = 0; i < 12; ++i) {
+    const NodeId s = (i * 5) % n;
+    const NodeId t = (i * 13 + 2) % n;
+    queries.push_back("d " + std::to_string(s) + " " + std::to_string(t));
+    old_replies.push_back(FormatDistance(before.Distance(s, t)));
+    new_replies.push_back(FormatDistance(after.Distance(s, t)));
+  }
+
+  TcpServer tcp(stack, TcpServerConfig{});
+  ASSERT_TRUE(tcp.Start());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> bad{0};
+  std::atomic<std::size_t> io_failures{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      LineClient client;
+      std::string line;
+      if (!client.Connect(tcp.Port()) || !client.ReadLine(&line)) {
+        io_failures.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      const std::string prefix = c % 2 == 0 ? "" : "@ch ";
+      std::size_t i = c;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t j = i++ % queries.size();
+        if (!client.SendLine(prefix + queries[j]) || !client.ReadLine(&line)) {
+          io_failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        if (line != old_replies[j] && line != new_replies[j]) {
+          bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      client.SendLine("q");
+    });
+  }
+
+  // Admin connection: queue the delta and reload while traffic flows.
+  {
+    LineClient admin;
+    std::string line;
+    ASSERT_TRUE(admin.Connect(tcp.Port()));
+    ASSERT_TRUE(admin.ReadLine(&line));
+    ASSERT_TRUE(admin.SendLine("upd 0 " + std::to_string(via) + " " +
+                               std::to_string(new_weight)));
+    ASSERT_TRUE(admin.ReadLine(&line));
+    EXPECT_EQ(line, "OK upd 1");
+    ASSERT_TRUE(admin.SendLine("reload"));
+    ASSERT_TRUE(admin.ReadLine(&line));
+    EXPECT_EQ(line, "OK reload 1");
+    registry->WaitForRebuild();
+
+    // Post-swap, on a fresh connection stream: updated answers only.
+    for (std::size_t j = 0; j < queries.size(); ++j) {
+      ASSERT_TRUE(admin.SendLine(queries[j]));
+      ASSERT_TRUE(admin.ReadLine(&line));
+      EXPECT_EQ(line, new_replies[j]) << queries[j];
+      ASSERT_TRUE(admin.SendLine("@ch " + queries[j]));
+      ASSERT_TRUE(admin.ReadLine(&line));
+      EXPECT_EQ(line, new_replies[j]) << "@ch " << queries[j];
+    }
+    admin.SendLine("q");
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& client : clients) client.join();
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_EQ(io_failures.load(), 0u);
+  EXPECT_EQ(stack.cache().Totals().clears, 0u);  // swap never Clear()s
+
   tcp.Stop();
 }
 

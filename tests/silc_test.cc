@@ -140,6 +140,29 @@ TEST(SilcTest, BuildStatsAndSize) {
   EXPECT_GT(index.SizeBytes(), 0u);
 }
 
+// The build's per-source Dijkstra sweep runs on ParallelChunks with
+// chunk-ordered merging: the index tables must be bit-identical at any
+// thread count (what makes parallel SILC rebuilds safe inside the
+// registry's background build worker).
+TEST(SilcTest, ParallelBuildIsBitIdenticalAtAnyThreadCount) {
+  // Sources not a multiple of the 64-source chunk, so the last chunk is
+  // ragged; disconnected pairs exercise the kInvalidNode color path.
+  const Graph road = testing::MakeRoadGraph(13, 21);
+  const Graph split = testing::MakeDisconnectedGraph(40, 5);
+  for (const Graph* g : {&road, &split}) {
+    const SilcIndex sequential = SilcIndex::Build(*g, SilcParams{1});
+    for (const std::size_t threads : {2u, 3u, 8u}) {
+      const SilcIndex parallel = SilcIndex::Build(*g, SilcParams{threads});
+      ASSERT_EQ(parallel.src_offsets(), sequential.src_offsets())
+          << threads << " threads";
+      ASSERT_EQ(parallel.blocks(), sequential.blocks()) << threads
+                                                        << " threads";
+      EXPECT_EQ(parallel.build_stats().total_blocks,
+                sequential.build_stats().total_blocks);
+    }
+  }
+}
+
 TEST(SilcTest, SuperLinearBlockGrowth) {
   // The reason the paper drops SILC on big inputs: block count per node
   // grows with n.

@@ -1,0 +1,158 @@
+// Label-gated stress tier: randomized conformance plus swap-under-load on a
+// ~50k-node road network — an order of magnitude above the unit-test
+// graphs, sized to shake out scale-dependent bugs the small property tests
+// cannot see. Gated behind the AH_STRESS env var so tier-1 (`ctest`)
+// reports it as a fast skip; run the real thing with
+//   AH_STRESS=1 ctest -L stress
+// (the CI workflow_dispatch `stress` job does exactly that). AH_STRESS_SIDE
+// overrides the grid side (default 224 -> ~50k nodes).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/concurrent_engine.h"
+#include "api/index_registry.h"
+#include "gen/road_gen.h"
+#include "routing/dijkstra.h"
+#include "util/rng.h"
+
+namespace ah {
+namespace {
+
+bool StressEnabled() { return std::getenv("AH_STRESS") != nullptr; }
+
+std::uint32_t GridSide() {
+  if (const char* raw = std::getenv("AH_STRESS_SIDE")) {
+    const long v = std::strtol(raw, nullptr, 10);
+    if (v > 0) return static_cast<std::uint32_t>(v);
+  }
+  return 224;  // ~50k nodes
+}
+
+Graph MakeStressGraph() {
+  RoadGenParams params;
+  params.cols = params.rows = GridSide();
+  params.seed = 50331;
+  return GenerateRoadNetwork(params);
+}
+
+#define SKIP_UNLESS_STRESS()                                            \
+  do {                                                                  \
+    if (!StressEnabled()) {                                             \
+      GTEST_SKIP() << "stress tier disabled (set AH_STRESS=1; run via " \
+                      "`AH_STRESS=1 ctest -L stress`)";                 \
+    }                                                                   \
+  } while (0)
+
+// Randomized conformance at ~50k nodes: ch and alt cross-checked against
+// the Dijkstra oracle on uniform random pairs (distances) and a path-
+// feasibility spot check.
+TEST(StressTier, RandomizedConformanceAt50kNodes) {
+  SKIP_UNLESS_STRESS();
+  const Graph g = MakeStressGraph();
+  // ~one node per grid cell at the default side of 224 (≈ 50k nodes).
+  ASSERT_GT(g.NumNodes(), static_cast<std::size_t>(GridSide()) * GridSide() / 2);
+  Dijkstra reference(g);
+  Rng rng(7);
+  std::vector<QueryPair> pairs;
+  for (int i = 0; i < 200; ++i) {
+    pairs.emplace_back(static_cast<NodeId>(rng.Uniform(g.NumNodes())),
+                       static_cast<NodeId>(rng.Uniform(g.NumNodes())));
+  }
+  for (const char* backend : {"ch", "alt"}) {
+    SCOPED_TRACE(backend);
+    auto oracle = MakeOracle(backend, g);
+    auto session = oracle->NewSession();
+    for (const auto& [s, t] : pairs) {
+      ASSERT_EQ(session->Distance(s, t), reference.Distance(s, t))
+          << "d(" << s << ", " << t << ")";
+    }
+    // Paths: spot-check length agreement on a subset (feasibility is
+    // asserted exhaustively by the small-graph conformance suite).
+    for (std::size_t i = 0; i < pairs.size(); i += 10) {
+      const PathResult p = session->ShortestPath(pairs[i].first,
+                                                 pairs[i].second);
+      ASSERT_EQ(p.length, reference.Distance(pairs[i].first, pairs[i].second));
+    }
+  }
+}
+
+// Swap under load at scale: concurrent clients hammer a two-backend
+// registry while a weight delta triggers a background rebuild + hot swap.
+// Every reply must be exact on the pre- or post-update graph; after the
+// swap settles, every backend must answer the updated graph exactly.
+TEST(StressTier, HotSwapUnderConcurrentLoadAt50kNodes) {
+  SKIP_UNLESS_STRESS();
+  Graph g = MakeStressGraph();
+  const NodeId via = g.OutArcs(0)[0].head;
+  const Weight new_weight =
+      static_cast<Weight>(g.OutArcs(0)[0].weight * 1000 + 1);
+  Graph updated = g;
+  updated.SetArcWeight(0, via, new_weight);
+  Dijkstra before(g);
+  Dijkstra after(updated);
+
+  Rng rng(13);
+  std::vector<QueryPair> probes;
+  std::vector<Dist> old_expected;
+  std::vector<Dist> new_expected;
+  for (int i = 0; i < 64; ++i) {
+    const QueryPair pair{static_cast<NodeId>(rng.Uniform(g.NumNodes())),
+                         static_cast<NodeId>(rng.Uniform(g.NumNodes()))};
+    probes.push_back(pair);
+    old_expected.push_back(before.Distance(pair.first, pair.second));
+    new_expected.push_back(after.Distance(pair.first, pair.second));
+  }
+
+  auto registry =
+      std::make_shared<IndexRegistry>(std::move(g), std::vector<std::string>{
+                                                        "ch", "alt"});
+  ConcurrentEngine engine(registry, 4);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> bad{0};
+  std::atomic<std::size_t> answered{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      const std::string backend = c % 2 == 0 ? "ch" : "alt";
+      std::size_t i = c;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::size_t j = i++ % probes.size();
+        const Dist d =
+            engine.Lease(backend)->Distance(probes[j].first, probes[j].second);
+        answered.fetch_add(1, std::memory_order_relaxed);
+        if (d != old_expected[j] && d != new_expected[j]) {
+          bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  ASSERT_EQ(registry->QueueWeightUpdate(0, via, new_weight),
+            IndexRegistry::UpdateStatus::kQueued);
+  ASSERT_TRUE(registry->RequestReload());
+  registry->WaitForRebuild();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& client : clients) client.join();
+
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_GT(answered.load(), 0u);
+  for (const char* backend : {"ch", "alt"}) {
+    auto lease = engine.Lease(backend);
+    EXPECT_EQ(lease.epoch().generation, 2u) << backend;
+    for (std::size_t j = 0; j < probes.size(); ++j) {
+      ASSERT_EQ(lease->Distance(probes[j].first, probes[j].second),
+                new_expected[j])
+          << backend << " probe " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ah
