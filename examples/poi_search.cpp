@@ -53,8 +53,11 @@ int main() {
   std::printf("user at node %u (%d, %d); %zu candidate restaurants\n\n", user,
               graph.Coord(user).x, graph.Coord(user).y, pois.size());
 
-  std::sort(pois.begin(), pois.end(),
-            [](const Poi& a, const Poi& b) { return a.network < b.network; });
+  // Ties broken by node id so the printed ranking is deterministic.
+  std::sort(pois.begin(), pois.end(), [](const Poi& a, const Poi& b) {
+    if (a.network != b.network) return a.network < b.network;
+    return a.node < b.node;
+  });
   std::printf("top 5 by NETWORK distance (what the service should return):\n");
   for (std::size_t i = 0; i < 5 && i < pois.size(); ++i) {
     std::printf("  #%zu node %-6u travel time %-8llu (euclid %.0f)\n", i + 1,
@@ -65,7 +68,10 @@ int main() {
 
   auto by_euclid = pois;
   std::sort(by_euclid.begin(), by_euclid.end(),
-            [](const Poi& a, const Poi& b) { return a.euclid < b.euclid; });
+            [](const Poi& a, const Poi& b) {
+              if (a.euclid != b.euclid) return a.euclid < b.euclid;
+              return a.node < b.node;
+            });
   std::printf("\ntop 5 by EUCLIDEAN distance (naive ranking):\n");
   int disagreements = 0;
   for (std::size_t i = 0; i < 5 && i < by_euclid.size(); ++i) {

@@ -20,7 +20,7 @@
 // Usage:
 //   route_server [dimacs-base] [--backends ch,alt,...] [--listen <port>]
 //                [--cache <entries>] [--cache-ttl-ms <n>] [--admission <n>]
-//                [--timeout-ms <n>]
+//                [--admission-per-client <n>] [--timeout-ms <n>]
 //   route_server --smoke    # self-test: TCP round-trip + live-reload swap
 //
 // Demo:
@@ -346,6 +346,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--admission") {
       config.admission_capacity = static_cast<std::size_t>(
           std::strtoull(next_value("--admission"), nullptr, 10));
+    } else if (arg == "--admission-per-client") {
+      config.admission_per_client = static_cast<std::size_t>(
+          std::strtoull(next_value("--admission-per-client"), nullptr, 10));
     } else if (arg == "--timeout-ms") {
       config.request_timeout = std::chrono::milliseconds(
           std::strtoull(next_value("--timeout-ms"), nullptr, 10));
@@ -358,9 +361,10 @@ int main(int argc, char** argv) {
   }
 
   if (smoke) {
-    // Two fast-building backends by default so the swap scenario exercises
-    // multi-backend routing; --backends overrides.
-    if (!backends_set) backends = {"ch", "alt"};
+    // Fast-building backends by default so the swap scenario exercises
+    // multi-backend routing; hl second so the @-prefix and `use` steps
+    // route through the label tables. --backends overrides.
+    if (!backends_set) backends = {"ch", "hl", "alt"};
     return RunSmoke(backends);
   }
 

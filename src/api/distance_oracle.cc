@@ -8,6 +8,7 @@
 #include "ch/ch_index.h"
 #include "core/ah_query.h"
 #include "fc/fc_index.h"
+#include "hl/hl_index.h"
 #include "routing/bidirectional.h"
 #include "routing/dijkstra.h"
 #include "silc/silc_index.h"
@@ -270,11 +271,44 @@ class AhOracle final : public DistanceOracle {
   AhQueryOptions query_options_;
 };
 
+// Hub-label queries are pure reads of the sorted label arrays (the merge
+// join and the parent-chain walks carry no search scratch), so the session
+// is a stateless forwarder like SILC's.
+class HlSession final : public QuerySession {
+ public:
+  explicit HlSession(const HlIndex& index) : index_(index) {}
+
+  Dist Distance(NodeId s, NodeId t) override { return index_.Distance(s, t); }
+  PathResult ShortestPath(NodeId s, NodeId t) override {
+    return index_.Path(s, t);
+  }
+
+ private:
+  const HlIndex& index_;
+};
+
+class HlOracle final : public DistanceOracle {
+ public:
+  explicit HlOracle(const Graph& g)
+      : DistanceOracle(g), index_(HlIndex::Build(g)) {
+    build_stats_.seconds = index_.build_stats().seconds;
+    build_stats_.index_bytes = index_.SizeBytes();
+  }
+
+  std::string_view Name() const override { return "hl"; }
+  std::unique_ptr<QuerySession> NewSession() const override {
+    return std::make_unique<HlSession>(index_);
+  }
+
+ private:
+  HlIndex index_;
+};
+
 }  // namespace
 
 const std::vector<std::string>& OracleNames() {
   static const std::vector<std::string> kNames = {
-      "dijkstra", "bidijkstra", "ch", "alt", "silc", "fc", "ah"};
+      "dijkstra", "bidijkstra", "ch", "alt", "silc", "fc", "ah", "hl"};
   return kNames;
 }
 
@@ -288,6 +322,7 @@ std::unique_ptr<DistanceOracle> MakeOracle(std::string_view name,
   if (name == "silc") return std::make_unique<SilcOracle>(g);
   if (name == "fc") return std::make_unique<FcOracle>(g, options);
   if (name == "ah") return std::make_unique<AhOracle>(g, options);
+  if (name == "hl") return std::make_unique<HlOracle>(g);
   throw std::invalid_argument("MakeOracle: unknown backend '" +
                               std::string(name) + "'");
 }

@@ -28,6 +28,8 @@
 //                   by default, so it is exact on arbitrary graphs.
 //   ah            — Arterial Hierarchies (§4); exact rank-constrained mode by
 //                   default, the paper's pruned mode behind an option.
+//   hl            — 2-hop hub labels (pruned landmark labeling); distance =
+//                   one sorted-label merge join, paths via hub parents.
 #pragma once
 
 #include <atomic>

@@ -2,12 +2,24 @@
 
 namespace ah::server {
 
-bool AdmissionController::TryAdmit() {
+bool AdmissionController::TryAdmit(std::optional<std::uint64_t> client) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (in_flight_ >= config_.capacity) {
       shed_.fetch_add(1, std::memory_order_relaxed);
       return false;
+    }
+    if (client.has_value() && config_.per_client_capacity > 0) {
+      std::size_t& mine = client_in_flight_[*client];
+      if (mine >= config_.per_client_capacity) {
+        // Erase-on-zero discipline: the entry we just touched may be a
+        // fresh zero for a client being rejected by a zero per-client cap.
+        if (mine == 0) client_in_flight_.erase(*client);
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        shed_per_client_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      ++mine;
     }
     ++in_flight_;
   }
@@ -15,10 +27,22 @@ bool AdmissionController::TryAdmit() {
   return true;
 }
 
-void AdmissionController::Release() {
+void AdmissionController::Release(std::optional<std::uint64_t> client) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (client.has_value() && config_.per_client_capacity > 0) {
+    const auto it = client_in_flight_.find(*client);
+    if (it != client_in_flight_.end() && --it->second == 0) {
+      client_in_flight_.erase(it);
+    }
+  }
   --in_flight_;
   if (in_flight_ == 0) idle_cv_.notify_all();
+}
+
+std::size_t AdmissionController::ClientInFlight(std::uint64_t client) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = client_in_flight_.find(client);
+  return it == client_in_flight_.end() ? 0 : it->second;
 }
 
 void AdmissionController::WaitIdle() {
@@ -35,6 +59,7 @@ AdmissionStats AdmissionController::Totals() const {
   AdmissionStats totals;
   totals.admitted = admitted_.load(std::memory_order_relaxed);
   totals.shed = shed_.load(std::memory_order_relaxed);
+  totals.shed_per_client = shed_per_client_.load(std::memory_order_relaxed);
   totals.expired = expired_.load(std::memory_order_relaxed);
   return totals;
 }

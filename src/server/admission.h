@@ -22,6 +22,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <optional>
+#include <unordered_map>
 
 namespace ah::server {
 
@@ -31,11 +33,18 @@ struct AdmissionConfig {
   std::size_t capacity = 256;
   /// Per-request deadline measured from admission; 0 disables deadlines.
   std::chrono::milliseconds timeout{1000};
+  /// Max in-flight requests per client id (0 = no per-client limit). This
+  /// is the fairness backstop: without it one greedy pipelining client can
+  /// consume the whole global budget and starve every other connection.
+  std::size_t per_client_capacity = 0;
 };
 
 struct AdmissionStats {
   std::uint64_t admitted = 0;
   std::uint64_t shed = 0;
+  /// Sheds caused by a client exceeding its own cap while the global budget
+  /// still had room (also counted in `shed`).
+  std::uint64_t shed_per_client = 0;
   std::uint64_t expired = 0;
 };
 
@@ -49,12 +58,18 @@ class AdmissionController {
       : config_(config) {}
 
   /// Admits one request if the in-flight budget allows, else records a shed
-  /// and returns false. Every true return must be paired with Release().
-  bool TryAdmit();
+  /// and returns false. When `client` is set and per_client_capacity is
+  /// configured, the client's own in-flight count must also be under its
+  /// cap. Every true return must be paired with Release() carrying the same
+  /// client id.
+  bool TryAdmit(std::optional<std::uint64_t> client = std::nullopt);
 
   /// Marks one admitted request finished (however it ended). Wakes
   /// WaitIdle() when the last in-flight request finishes.
-  void Release();
+  void Release(std::optional<std::uint64_t> client = std::nullopt);
+
+  /// In-flight count for one client id (0 for unknown clients).
+  std::size_t ClientInFlight(std::uint64_t client) const;
 
   /// Deadline for a request admitted now.
   Deadline MakeDeadline() const {
@@ -84,8 +99,12 @@ class AdmissionController {
   mutable std::mutex mu_;
   std::condition_variable idle_cv_;
   std::size_t in_flight_ = 0;
+  /// In-flight count per client id; entries erased when they reach zero so
+  /// the map stays bounded by the number of *active* clients.
+  std::unordered_map<std::uint64_t, std::size_t> client_in_flight_;
   std::atomic<std::uint64_t> admitted_{0};
   std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> shed_per_client_{0};
   std::atomic<std::uint64_t> expired_{0};
 };
 

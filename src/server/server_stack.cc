@@ -49,7 +49,8 @@ ServerStack::ServerStack(std::shared_ptr<IndexRegistry> registry,
       engine_(registry_, config.num_threads),
       cache_(config.cache_capacity, config.cache_shards, config.cache_ttl),
       admission_(AdmissionConfig{config.admission_capacity,
-                                 config.request_timeout}) {}
+                                 config.request_timeout,
+                                 config.admission_per_client}) {}
 
 ServerStack::ServerStack(std::unique_ptr<DistanceOracle> oracle,
                          const ServerConfig& config)
@@ -58,6 +59,17 @@ ServerStack::ServerStack(std::unique_ptr<DistanceOracle> oracle,
 ServerStack::~ServerStack() { WaitIdle(); }
 
 void ServerStack::Submit(std::string_view line, ReplyCallback done) {
+  SubmitInternal(line, std::nullopt, std::move(done));
+}
+
+void ServerStack::Submit(std::string_view line, std::uint64_t client_id,
+                         ReplyCallback done) {
+  SubmitInternal(line, client_id, std::move(done));
+}
+
+void ServerStack::SubmitInternal(std::string_view line,
+                                 std::optional<std::uint64_t> client,
+                                 ReplyCallback done) {
   ParseResult parsed =
       ParseRequest(line, ParseLimits{registry_->NumNodes(), config_.max_batch});
   if (!parsed.ok) {
@@ -126,7 +138,7 @@ void ServerStack::Submit(std::string_view line, ReplyCallback done) {
     }
   }
 
-  if (!admission_.TryAdmit()) {
+  if (!admission_.TryAdmit(client)) {
     done(FormatError(ErrorCode::kOverload,
                      "server at capacity (" +
                          std::to_string(admission_.Capacity()) +
@@ -135,7 +147,7 @@ void ServerStack::Submit(std::string_view line, ReplyCallback done) {
     return;
   }
   const AdmissionController::Deadline deadline = admission_.MakeDeadline();
-  engine_.SubmitAsync([this, request = std::move(req), deadline,
+  engine_.SubmitAsync([this, request = std::move(req), deadline, client,
                        done = std::move(done)]() mutable {
     std::string reply;
     if (AdmissionController::Expired(deadline)) {
@@ -157,7 +169,7 @@ void ServerStack::Submit(std::string_view line, ReplyCallback done) {
     done(std::move(reply), false);
     // Release after the reply is delivered so WaitIdle() implies every
     // callback has finished — front-ends rely on that during teardown.
-    admission_.Release();
+    admission_.Release(client);
   });
 }
 
@@ -353,8 +365,16 @@ std::string ServerStack::ExecuteKNearest(NodeId s, std::uint32_t k,
     if (dists[i] != kInfDist) reachable.emplace_back(dists[i], pois_[i]);
   }
   const std::size_t take = std::min<std::size_t>(k, reachable.size());
+  // Explicit (distance, node id) order: equidistant POIs must rank the same
+  // on every backend and every run, or the result cache and cross-backend
+  // conformance checks would see spurious diffs.
   std::partial_sort(reachable.begin(), reachable.begin() + take,
-                    reachable.end());
+                    reachable.end(),
+                    [](const std::pair<Dist, NodeId>& a,
+                       const std::pair<Dist, NodeId>& b) {
+                      if (a.first != b.first) return a.first < b.first;
+                      return a.second < b.second;
+                    });
   reachable.resize(take);
   stats_.RecordOk(RequestClass::kKNearest, timer.Micros());
   return FormatKNearest(reachable);

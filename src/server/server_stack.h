@@ -27,8 +27,10 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -54,6 +56,12 @@ struct ServerConfig {
   /// Admission: max in-flight requests and per-request deadline (0 = none).
   std::size_t admission_capacity = 256;
   std::chrono::milliseconds request_timeout{1000};
+  /// Max in-flight requests a single client (TCP connection) may hold
+  /// (0 = no per-client cap). Keeps one greedy pipelining client from
+  /// consuming the whole admission budget and starving everyone else;
+  /// excess requests from that client are shed with ERR overload while
+  /// other clients keep being admitted.
+  std::size_t admission_per_client = 64;
   /// Max pairs accepted in one batch request.
   std::size_t max_batch = 4096;
   /// Engine fan-out (0 = WorkerThreads() default).
@@ -86,6 +94,12 @@ class ServerStack {
   /// callable until invoked. Thread-safe.
   void Submit(std::string_view line, ReplyCallback done);
 
+  /// Same, attributing the request to a client id (a TCP connection id) so
+  /// admission can enforce the per-client in-flight cap. Unattributed
+  /// Submit() calls only count against the global budget.
+  void Submit(std::string_view line, std::uint64_t client_id,
+              ReplyCallback done);
+
   /// Blocking convenience: Submit() + wait. Sets *close for a quit request
   /// when `close` is non-null. Thread-safe (callers on their own threads).
   std::string HandleLine(std::string_view line, bool* close = nullptr);
@@ -116,6 +130,10 @@ class ServerStack {
   const ServerConfig& config() const { return config_; }
 
  private:
+  /// The shared Submit() body; `client` attributes admission accounting.
+  void SubmitInternal(std::string_view line,
+                      std::optional<std::uint64_t> client, ReplyCallback done);
+
   /// Answers the admin verbs (use/upd/reload) inline. Never throws.
   std::string ExecuteAdmin(const Request& request);
 

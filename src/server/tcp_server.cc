@@ -247,7 +247,7 @@ void TcpServer::PumpRequests(Connection& conn) {
   // captured. The callback always goes through the reply queue — even when
   // Submit answers inline on this thread — so there is exactly one
   // reply-delivery path.
-  stack_.Submit(line, [this, id](std::string reply, bool close) {
+  stack_.Submit(line, id, [this, id](std::string reply, bool close) {
     EnqueueReply(id, std::move(reply), close);
   });
 }

@@ -61,7 +61,11 @@ SilcIndex SilcIndex::Build(const Graph& g, const SilcParams& params) {
   // One full Dijkstra per source — the build's O(n² log n) core and, until
   // it was chunk-parallelized, its last single-threaded loop (the piece
   // that made SILC rebuilds impractical inside the registry's background
-  // build worker). Each chunk appends to private storage.
+  // build worker). Chunks land in a small ring of reusable slot buffers and
+  // are merged in chunk order as soon as they are ready: producers may run
+  // at most `window` chunks ahead of the merge, so the transient block
+  // storage is O(threads) chunks instead of all of them at once, while the
+  // in-order merge keeps the table bit-identical at any thread count.
   const std::size_t threads =
       params.build_threads == 0 ? WorkerThreads() : params.build_threads;
   struct ChunkOut {
@@ -70,17 +74,23 @@ SilcIndex SilcIndex::Build(const Graph& g, const SilcParams& params) {
   };
   const std::size_t num_chunks =
       n == 0 ? 0 : (n + kSourceChunk - 1) / kSourceChunk;
-  std::vector<ChunkOut> chunks(num_chunks);
+  const std::size_t window = std::max<std::size_t>(2, 2 * threads);
+  std::vector<ChunkOut> slots(std::min(window, std::max<std::size_t>(
+                                                   1, num_chunks)));
   std::vector<std::unique_ptr<SourceScratch>> scratch(
       std::max<std::size_t>(1, std::min(threads, num_chunks)));
 
-  ParallelChunks(
-      n, kSourceChunk,
+  index.src_first_.assign(n + 1, 0);
+  NodeId merged_source = 0;
+  const WindowedChunkStats chunk_stats = ParallelChunksWindowed(
+      n, kSourceChunk, window,
       [&](std::size_t chunk_index, std::size_t begin, std::size_t end,
           std::size_t tid) {
         if (!scratch[tid]) scratch[tid] = std::make_unique<SourceScratch>(g);
         SourceScratch& local = *scratch[tid];
-        ChunkOut& out = chunks[chunk_index];
+        ChunkOut& out = slots[chunk_index % slots.size()];
+        out.blocks.clear();
+        out.per_source.clear();
         out.per_source.reserve(end - begin);
         for (NodeId s = static_cast<NodeId>(begin); s < end; ++s) {
           local.dijkstra.Run(s);
@@ -103,30 +113,25 @@ SilcIndex SilcIndex::Build(const Graph& g, const SilcParams& params) {
               static_cast<std::uint32_t>(out.blocks.size() - before));
         }
       },
+      [&](std::size_t chunk_index, std::size_t /*begin*/,
+          std::size_t /*end*/) {
+        ChunkOut& chunk = slots[chunk_index % slots.size()];
+        std::size_t offset = 0;
+        for (const std::uint32_t count : chunk.per_source) {
+          index.src_first_[merged_source++] = index.blocks_.size();
+          index.blocks_.insert(index.blocks_.end(),
+                               chunk.blocks.begin() + offset,
+                               chunk.blocks.begin() + offset + count);
+          offset += count;
+        }
+      },
       threads);
-
-  // Chunk-ordered merge: concatenating chunk outputs in index order yields
-  // exactly the sequential sweep's table.
-  index.src_first_.assign(n + 1, 0);
-  std::size_t total_blocks = 0;
-  for (const ChunkOut& chunk : chunks) total_blocks += chunk.blocks.size();
-  index.blocks_.reserve(total_blocks);
-  NodeId s = 0;
-  for (ChunkOut& chunk : chunks) {
-    std::size_t offset = 0;
-    for (const std::uint32_t count : chunk.per_source) {
-      index.src_first_[s++] = index.blocks_.size();
-      index.blocks_.insert(index.blocks_.end(), chunk.blocks.begin() + offset,
-                           chunk.blocks.begin() + offset + count);
-      offset += count;
-    }
-    chunk.blocks.clear();
-    chunk.blocks.shrink_to_fit();
-  }
   index.src_first_[n] = index.blocks_.size();
 
   index.build_stats_.seconds = timer.Seconds();
   index.build_stats_.total_blocks = index.blocks_.size();
+  index.build_stats_.max_live_chunks = chunk_stats.max_live_chunks;
+  index.build_stats_.chunk_window = window;
   return index;
 }
 

@@ -25,6 +25,13 @@ namespace ah {
 struct SilcBuildStats {
   double seconds = 0;
   std::size_t total_blocks = 0;
+  /// Peak number of per-chunk block buffers live during the build — bounded
+  /// by the claim window (O(build threads)), not by the chunk count, so the
+  /// build's transient RSS no longer scales with the graph size.
+  std::size_t max_live_chunks = 0;
+  /// The claim window the build ran with (how far producers may run ahead
+  /// of the in-order merge).
+  std::size_t chunk_window = 0;
 };
 
 struct SilcParams {

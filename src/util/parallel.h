@@ -7,7 +7,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstdlib>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -60,6 +62,98 @@ void ParallelChunks(std::size_t n, std::size_t chunk_size, Body&& body,
     });
   }
   for (std::thread& w : workers) w.join();
+}
+
+struct WindowedChunkStats {
+  /// Peak number of chunks simultaneously produced-but-unconsumed (claimed
+  /// chunks count from the moment a worker starts filling their buffer).
+  /// Bounded by the window, never by the chunk count.
+  std::size_t max_live_chunks = 0;
+};
+
+/// ParallelChunks with bounded in-flight output: workers may run at most
+/// `window` chunks ahead of a serial, in-chunk-order consumer. `body` fills
+/// chunk-private output exactly as in ParallelChunks; `consume(chunk_index,
+/// begin, end)` is invoked for every chunk in increasing index order (on
+/// whichever worker completed the gating chunk) and is never re-entered, so
+/// it may append to shared output without locking. Because consumption is
+/// in chunk order, results are bit-identical at any thread count — and
+/// because claims stall past the window, at most `window` chunk buffers are
+/// ever live, which is what bounds the peak RSS of builds whose per-chunk
+/// output is large (SILC quadtrees, HL label deltas). Callers that reuse
+/// buffers may index them by `chunk_index % window`: two chunks at the same
+/// slot are never live together.
+template <typename Body, typename Consume>
+WindowedChunkStats ParallelChunksWindowed(std::size_t n, std::size_t chunk_size,
+                                          std::size_t window, Body&& body,
+                                          Consume&& consume,
+                                          std::size_t num_threads = 0) {
+  WindowedChunkStats stats;
+  if (n == 0) return stats;
+  if (chunk_size == 0) chunk_size = 1;
+  if (window == 0) window = 1;
+  const std::size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+  if (num_threads == 0) num_threads = WorkerThreads();
+  num_threads = std::min(num_threads, num_chunks);
+
+  if (num_threads <= 1) {
+    stats.max_live_chunks = 1;
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::size_t begin = c * chunk_size;
+      const std::size_t end = std::min(n, begin + chunk_size);
+      body(c, begin, end, std::size_t{0});
+      consume(c, begin, end);
+    }
+    return stats;
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t next_claim = 0;    // next chunk index to hand to a worker
+  std::size_t next_consume = 0;  // next chunk index the consumer needs
+  std::size_t live = 0;          // claimed but not yet consumed
+  bool consuming = false;        // one worker at a time plays consumer
+  std::vector<char> done(num_chunks, 0);
+
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (std::size_t tid = 0; tid < num_threads; ++tid) {
+    workers.emplace_back([&, tid] {
+      while (true) {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] {
+          return next_claim >= num_chunks ||
+                 next_claim < next_consume + window;
+        });
+        if (next_claim >= num_chunks) return;
+        const std::size_t c = next_claim++;
+        ++live;
+        stats.max_live_chunks = std::max(stats.max_live_chunks, live);
+        lock.unlock();
+        const std::size_t begin = c * chunk_size;
+        body(c, begin, std::min(n, begin + chunk_size), tid);
+        lock.lock();
+        done[c] = 1;
+        // Drain every ready in-order chunk; whoever completes the chunk the
+        // consumer is waiting on (or is already the consumer) does it.
+        while (!consuming && next_consume < num_chunks &&
+               done[next_consume] != 0) {
+          consuming = true;
+          const std::size_t ready = next_consume;
+          lock.unlock();
+          const std::size_t ready_begin = ready * chunk_size;
+          consume(ready, ready_begin, std::min(n, ready_begin + chunk_size));
+          lock.lock();
+          consuming = false;
+          ++next_consume;
+          --live;
+          cv.notify_all();
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  return stats;
 }
 
 }  // namespace ah

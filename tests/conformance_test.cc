@@ -230,7 +230,7 @@ TEST(ConformancePrunedModesTest, FcProximityMatchesDijkstraOnRoadGraph) {
 TEST(OracleFactoryTest, NamesAreCanonicalAndComplete) {
   const std::vector<std::string> expected = {"dijkstra", "bidijkstra", "ch",
                                              "alt",      "silc",       "fc",
-                                             "ah"};
+                                             "ah",       "hl"};
   EXPECT_EQ(OracleNames(), expected);
 }
 
@@ -241,7 +241,7 @@ TEST(OracleFactoryTest, UnknownBackendThrows) {
 
 TEST(OracleFactoryTest, BuildStatsReportIndexFootprint) {
   const Graph g = testing::MakeRandomGraph(40, 120, 17);
-  for (const char* name : {"ch", "alt", "silc", "fc", "ah"}) {
+  for (const char* name : {"ch", "alt", "silc", "fc", "ah", "hl"}) {
     std::unique_ptr<DistanceOracle> oracle = MakeOracle(name, g);
     EXPECT_GT(oracle->BuildStats().index_bytes, 0u) << name;
   }

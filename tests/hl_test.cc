@@ -1,0 +1,168 @@
+// Hub labeling: exactness against Dijkstra, label-array invariants, native
+// path recovery, build determinism across thread counts, and the bounded
+// in-flight delta-buffer guarantee of the windowed parallel build.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hl/hl_index.h"
+#include "routing/dijkstra.h"
+#include "routing/path.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ah {
+namespace {
+
+class HlSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HlSeedTest, DistanceMatchesDijkstra) {
+  const Graph g = testing::MakeRoadGraph(14, GetParam());
+  const HlIndex index = HlIndex::Build(g);
+  Dijkstra dijkstra(g);
+  Rng rng(GetParam());
+  for (int q = 0; q < 80; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    ASSERT_EQ(index.Distance(s, t), dijkstra.Distance(s, t))
+        << "s=" << s << " t=" << t;
+  }
+}
+
+TEST_P(HlSeedTest, PathsValidAndOptimal) {
+  const Graph g = testing::MakeRoadGraph(12, GetParam() + 9);
+  const HlIndex index = HlIndex::Build(g);
+  Dijkstra dijkstra(g);
+  Rng rng(GetParam());
+  for (int q = 0; q < 40; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const PathResult path = index.Path(s, t);
+    const Dist ref = dijkstra.Distance(s, t);
+    ASSERT_EQ(path.length, ref);
+    if (ref != kInfDist) {
+      EXPECT_TRUE(IsValidPath(g, path.nodes, s, t, ref));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HlSeedTest, ::testing::Values(1, 2, 3));
+
+TEST(HlTest, ExactOnAdversarialGraphs) {
+  const Graph graphs[] = {
+      testing::MakeRandomGraph(60, 180, 7),
+      testing::MakeDisconnectedGraph(25, 8),
+      testing::MakeParallelArcGraph(24, 9),
+  };
+  for (const Graph& g : graphs) {
+    const HlIndex index = HlIndex::Build(g);
+    Dijkstra dijkstra(g);
+    Rng rng(5);
+    for (int q = 0; q < 120; ++q) {
+      const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+      const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+      ASSERT_EQ(index.Distance(s, t), dijkstra.Distance(s, t))
+          << "n=" << g.NumNodes() << " s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(HlTest, UnreachablePairsAnswerInfAndEmptyPath) {
+  const Graph g = testing::MakeDisconnectedGraph(20, 11);
+  const HlIndex index = HlIndex::Build(g);
+  EXPECT_EQ(index.Distance(0, 20), kInfDist);
+  const PathResult p = index.Path(0, 20);
+  EXPECT_EQ(p.length, kInfDist);
+  EXPECT_TRUE(p.nodes.empty());
+}
+
+TEST(HlTest, SelfQueryAndSingleNode) {
+  const Graph g = testing::MakeRoadGraph(8, 1);
+  const HlIndex index = HlIndex::Build(g);
+  EXPECT_EQ(index.Distance(3, 3), 0u);
+  const PathResult p = index.Path(3, 3);
+  EXPECT_EQ(p.nodes, std::vector<NodeId>{3});
+  EXPECT_EQ(p.length, 0u);
+
+  const Graph single = testing::MakeSingleNodeGraph();
+  const HlIndex tiny = HlIndex::Build(single);
+  EXPECT_EQ(tiny.Distance(0, 0), 0u);
+  EXPECT_EQ(tiny.Path(0, 0).nodes, std::vector<NodeId>{0});
+}
+
+TEST(HlTest, LabelArraysAreSortedByHubRank) {
+  const Graph g = testing::MakeRoadGraph(10, 3);
+  const HlIndex index = HlIndex::Build(g);
+  std::size_t root_in = 0, root_out = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (const auto labels : {index.OutLabels(v), index.InLabels(v)}) {
+      for (std::size_t i = 1; i < labels.size(); ++i) {
+        ASSERT_LT(labels[i - 1].hub, labels[i].hub) << "node " << v;
+      }
+    }
+    // Every node carries its own rank as a hub at distance 0 on both sides.
+    for (const HlLabel& l : index.InLabels(v)) {
+      if (l.dist == 0 && index.hub_of_rank()[l.hub] == v) ++root_in;
+    }
+    for (const HlLabel& l : index.OutLabels(v)) {
+      if (l.dist == 0 && index.hub_of_rank()[l.hub] == v) ++root_out;
+    }
+  }
+  EXPECT_EQ(root_in, g.NumNodes());
+  EXPECT_EQ(root_out, g.NumNodes());
+  EXPECT_EQ(index.build_stats().in_labels, index.in_labels().size());
+  EXPECT_GT(index.SizeBytes(), 0u);
+}
+
+// The build processes hubs in fixed rounds and commits deltas serially in
+// hub-rank order, so the tables must be bit-identical at any thread count
+// (what makes parallel HL rebuilds safe inside the registry's background
+// build worker).
+TEST(HlTest, ParallelBuildIsBitIdenticalAtAnyThreadCount) {
+  const Graph road = testing::MakeRoadGraph(13, 21);
+  const Graph split = testing::MakeDisconnectedGraph(40, 5);
+  for (const Graph* g : {&road, &split}) {
+    const HlIndex sequential = HlIndex::Build(*g, HlParams{1});
+    for (const std::size_t threads : {2u, 3u, 8u}) {
+      const HlIndex parallel = HlIndex::Build(*g, HlParams{threads});
+      ASSERT_EQ(parallel.hub_of_rank(), sequential.hub_of_rank())
+          << threads << " threads";
+      ASSERT_EQ(parallel.in_offsets(), sequential.in_offsets())
+          << threads << " threads";
+      ASSERT_EQ(parallel.out_offsets(), sequential.out_offsets())
+          << threads << " threads";
+      ASSERT_EQ(parallel.in_labels(), sequential.in_labels())
+          << threads << " threads";
+      ASSERT_EQ(parallel.out_labels(), sequential.out_labels())
+          << threads << " threads";
+    }
+  }
+}
+
+// The windowed build holds at most O(threads) per-hub delta buffers live,
+// no matter how many hubs (= nodes) the graph has.
+TEST(HlTest, ParallelBuildBoundsLiveDeltaBuffers) {
+  const Graph g = testing::MakeRandomGraph(300, 900, 13);
+  for (const std::size_t threads : {2u, 4u}) {
+    const HlIndex index = HlIndex::Build(g, HlParams{threads});
+    const HlBuildStats& stats = index.build_stats();
+    EXPECT_EQ(stats.label_window, 2 * threads);
+    EXPECT_LE(stats.max_live_label_buffers, stats.label_window)
+        << threads << " threads";
+    EXPECT_GE(stats.max_live_label_buffers, 1u);
+  }
+}
+
+TEST(HlTest, PruningKeepsLabelsSublinear) {
+  // On a road-like graph the per-node label count must stay far below n —
+  // the entire point of pruned labeling (without pruning every node would
+  // carry ~n labels).
+  const Graph g = testing::MakeRoadGraph(16, 4);
+  const HlIndex index = HlIndex::Build(g);
+  const double n = static_cast<double>(g.NumNodes());
+  const double avg_in = static_cast<double>(index.build_stats().in_labels) / n;
+  EXPECT_LT(avg_in, n / 4) << "pruning is not biting";
+}
+
+}  // namespace
+}  // namespace ah

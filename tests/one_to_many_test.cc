@@ -85,6 +85,35 @@ TEST(OneToManyTest, KNearestSortedAndCorrect) {
   }
 }
 
+// A hub-and-spoke fixture where every spoke is exactly the same distance
+// from the hub: the (dist, node id) tie-break must pick the lowest ids, in
+// id order, on every run — downstream caches and conformance diffs depend
+// on k-nearest answers being a pure function of the graph.
+TEST(OneToManyTest, KNearestBreaksTiesByNodeId) {
+  constexpr std::size_t kSpokes = 12;
+  GraphBuilder builder(kSpokes + 1);
+  builder.AddNode(Point{0, 0});  // hub = node 0
+  for (std::size_t i = 1; i <= kSpokes; ++i) {
+    builder.AddNode(Point{static_cast<std::int32_t>(100 * i), 100});
+    builder.AddArc(0, static_cast<NodeId>(i), 10);
+    builder.AddArc(static_cast<NodeId>(i), 0, 10);
+  }
+  Graph g = builder.Build();
+  ChIndex ch = ChIndex::Build(g);
+  // Targets deliberately out of id order: output order must not follow it.
+  std::vector<NodeId> targets;
+  for (std::size_t i = kSpokes; i >= 1; --i) {
+    targets.push_back(static_cast<NodeId>(i));
+  }
+  OneToMany otm(ch.search_graph(), targets);
+  const auto top5 = otm.KNearest(0, 5);
+  ASSERT_EQ(top5.size(), 5u);
+  for (std::size_t i = 0; i < top5.size(); ++i) {
+    EXPECT_EQ(top5[i].first, static_cast<NodeId>(i + 1));
+    EXPECT_EQ(top5[i].second, 10u);
+  }
+}
+
 TEST(OneToManyTest, TargetAtSourceIsZero) {
   Graph g = testing::MakeRoadGraph(10, 4);
   ChIndex ch = ChIndex::Build(g);

@@ -1,5 +1,6 @@
 // Save/load round-trips for every artifact with util/serialize.h-based
-// persistence (Graph, SearchGraph, ChIndex, AhIndex, FcIndex): the loaded
+// persistence (Graph, SearchGraph, ChIndex, AhIndex, FcIndex, HlIndex): the
+// loaded
 // copy must answer queries identically, and re-saving it must reproduce the
 // original byte stream (so the format has no hidden state).
 #include <gtest/gtest.h>
@@ -13,6 +14,7 @@
 #include "fc/fc_index.h"
 #include "graph/graph.h"
 #include "hier/search_graph.h"
+#include "hl/hl_index.h"
 #include "routing/dijkstra.h"
 #include "routing/path.h"
 #include "test_util.h"
@@ -145,10 +147,32 @@ TEST(SerializeRoundTripTest, FcIndexAnswersIdentically) {
   }
 }
 
+TEST(SerializeRoundTripTest, HlIndexAnswersIdentically) {
+  const Graph g = testing::MakeRoadGraph(14, 47);
+  const HlIndex built = HlIndex::Build(g);
+  const HlIndex loaded = ReloadAndCheckBytes(built);
+
+  ASSERT_EQ(loaded.NumNodes(), built.NumNodes());
+  Rng rng(47);
+  for (int i = 0; i < 80; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    ASSERT_EQ(loaded.Distance(s, t), built.Distance(s, t));
+    const PathResult p1 = built.Path(s, t);
+    const PathResult p2 = loaded.Path(s, t);
+    ASSERT_EQ(p2.length, p1.length);
+    EXPECT_EQ(p2.nodes, p1.nodes);  // label parents load back exactly
+    if (p1.Found()) {
+      EXPECT_TRUE(IsValidPath(g, p2.nodes, s, t, p2.length));
+    }
+  }
+}
+
 TEST(SerializeRoundTripTest, TruncatedStreamsAreRejected) {
   const Graph g = testing::MakeRandomGraph(30, 90, 45);
   const ChIndex ch = ChIndex::Build(g);
   const FcIndex fc = FcIndex::Build(g);
+  const HlIndex hl = HlIndex::Build(g);
 
   struct Case {
     std::string bytes;
@@ -158,6 +182,7 @@ TEST(SerializeRoundTripTest, TruncatedStreamsAreRejected) {
       {Bytes(g), [](std::istream& in) { Graph::Load(in); }},
       {Bytes(ch), [](std::istream& in) { ChIndex::Load(in); }},
       {Bytes(fc), [](std::istream& in) { FcIndex::Load(in); }},
+      {Bytes(hl), [](std::istream& in) { HlIndex::Load(in); }},
   };
   for (const Case& c : cases) {
     // Chop the stream at several depths; every prefix must throw, never

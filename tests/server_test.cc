@@ -354,6 +354,35 @@ TEST(AdmissionTest, BoundsInFlightAndCountsSheds) {
   admission.WaitIdle();  // returns immediately at zero in flight
 }
 
+TEST(AdmissionTest, PerClientCapShedsTheGreedyClientOnly) {
+  // Global budget 8, per-client cap 2: client 1 floods, client 2 trickles.
+  AdmissionController admission(
+      AdmissionConfig{8, std::chrono::milliseconds(0), 2});
+  EXPECT_TRUE(admission.TryAdmit(1));
+  EXPECT_TRUE(admission.TryAdmit(1));
+  EXPECT_FALSE(admission.TryAdmit(1));  // over its own cap...
+  EXPECT_TRUE(admission.TryAdmit(2));   // ...while others still get in
+  EXPECT_TRUE(admission.TryAdmit());    // unattributed: global budget only
+  EXPECT_EQ(admission.ClientInFlight(1), 2u);
+  EXPECT_EQ(admission.ClientInFlight(2), 1u);
+  EXPECT_EQ(admission.InFlight(), 4u);
+
+  const AdmissionStats stats = admission.Totals();
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.shed_per_client, 1u);
+
+  // Releasing one of the flooder's slots readmits it.
+  admission.Release(1);
+  EXPECT_TRUE(admission.TryAdmit(1));
+  admission.Release(1);
+  admission.Release(1);
+  admission.Release(2);
+  admission.Release();
+  EXPECT_EQ(admission.ClientInFlight(1), 0u);  // entry erased at zero
+  EXPECT_EQ(admission.InFlight(), 0u);
+  admission.WaitIdle();
+}
+
 TEST(AdmissionTest, DeadlinesRespectTimeoutConfig) {
   AdmissionController no_deadline(
       AdmissionConfig{1, std::chrono::milliseconds(0)});
@@ -472,6 +501,34 @@ TEST_F(ServerStackTest, BatchAndKNearestMatchReference) {
   EXPECT_EQ(stack.HandleLine("k 2 3"), FormatKNearest(expected));
 }
 
+// Tie-heavy k-nearest through the protocol: every POI is equidistant from
+// the queried hub, so the reply order is decided purely by the (dist, node
+// id) tie-break — it must be ascending ids regardless of the POI set order
+// or the backend that served it.
+TEST_F(ServerStackTest, KNearestBreaksTiesByNodeIdThroughTheProtocol) {
+  constexpr std::size_t kSpokes = 10;
+  GraphBuilder builder(kSpokes + 1);
+  builder.AddNode(Point{0, 0});
+  for (std::size_t i = 1; i <= kSpokes; ++i) {
+    builder.AddNode(Point{static_cast<std::int32_t>(100 * i), 100});
+    builder.AddArc(0, static_cast<NodeId>(i), 7);
+    builder.AddArc(static_cast<NodeId>(i), 0, 7);
+  }
+  const Graph star = builder.Build();
+  for (const char* backend : {"ch", "hl", "dijkstra"}) {
+    ServerStack stack(MakeOracle(backend, star), SmallConfig());
+    // POIs in descending id order: the reply must not echo it.
+    std::vector<NodeId> pois;
+    for (std::size_t i = kSpokes; i >= 1; --i) {
+      pois.push_back(static_cast<NodeId>(i));
+    }
+    stack.SetPois(std::move(pois));
+    EXPECT_EQ(stack.HandleLine("k 0 4"),
+              FormatKNearest({{7, 1}, {7, 2}, {7, 3}, {7, 4}}))
+        << backend;
+  }
+}
+
 TEST_F(ServerStackTest, UnreachableIsAnAnswerNotAnError) {
   const Graph disconnected = testing::MakeDisconnectedGraph(12, 29);
   ServerConfig config = SmallConfig();
@@ -523,6 +580,62 @@ TEST_F(ServerStackTest, SaturatedAdmissionQueueShedsInsteadOfHanging) {
   EXPECT_TRUE(StartsWith(admitted_reply.get(), "OK d"));
   stack.WaitIdle();
   EXPECT_EQ(stack.admission().Totals().admitted, 1u);
+}
+
+// The fairness regression: a flooding client must not consume the whole
+// admission budget — its excess is shed with ERR overload while a second
+// client's request is still admitted and served.
+TEST_F(ServerStackTest, FloodingClientIsShedWhileOthersAreServed) {
+  ServerConfig config = SmallConfig();
+  config.cache_capacity = 0;        // force every request through admission
+  config.admission_capacity = 8;    // global budget with headroom
+  config.admission_per_client = 2;  // tight per-client cap
+  config.num_threads = 1;           // one engine worker to saturate
+  ServerStack stack(MakeOracle("dijkstra", graph_), config);
+
+  // Block the only engine worker so admitted requests stay in flight.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  stack.engine().SubmitAsync([gate]() { gate.wait(); });
+
+  constexpr std::uint64_t kFlooder = 1, kPolite = 2;
+  std::vector<std::future<std::string>> admitted;
+  auto submit = [&stack](std::uint64_t client) {
+    auto reply = std::make_shared<std::promise<std::string>>();
+    std::future<std::string> result = reply->get_future();
+    stack.Submit("d 0 1", client, [reply](std::string text, bool) {
+      reply->set_value(std::move(text));
+    });
+    return result;
+  };
+
+  // Client 1 floods: the first two are admitted, the rest shed inline.
+  admitted.push_back(submit(kFlooder));
+  admitted.push_back(submit(kFlooder));
+  for (int i = 0; i < 4; ++i) {
+    std::future<std::string> shed = submit(kFlooder);
+    ASSERT_EQ(shed.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "per-client sheds must be answered synchronously";
+    EXPECT_TRUE(StartsWith(shed.get(), "ERR overload"));
+  }
+  EXPECT_EQ(stack.admission().Totals().shed_per_client, 4u);
+  EXPECT_EQ(stack.admission().ClientInFlight(kFlooder), 2u);
+
+  // Client 2 is still admitted — the global budget was never exhausted.
+  admitted.push_back(submit(kPolite));
+  EXPECT_EQ(stack.admission().ClientInFlight(kPolite), 1u);
+  EXPECT_EQ(stack.admission().Totals().shed,
+            stack.admission().Totals().shed_per_client)
+      << "no request hit the global cap";
+
+  release.set_value();
+  for (std::future<std::string>& reply : admitted) {
+    EXPECT_TRUE(StartsWith(reply.get(), "OK d"));
+  }
+  stack.WaitIdle();
+  EXPECT_EQ(stack.admission().Totals().admitted, 3u);
+  EXPECT_EQ(stack.admission().ClientInFlight(kFlooder), 0u);
 }
 
 TEST_F(ServerStackTest, ZeroCapacityShedsEverything) {

@@ -163,6 +163,26 @@ TEST(SilcTest, ParallelBuildIsBitIdenticalAtAnyThreadCount) {
   }
 }
 
+// The windowed build may run at most `chunk_window` chunks ahead of the
+// in-order merge, so the transient per-chunk block buffers stay O(threads)
+// no matter how many 64-source chunks the graph has — the peak-RSS bound
+// that makes big SILC builds viable.
+TEST(SilcTest, ParallelBuildBoundsLiveChunkBuffers) {
+  // 700 nodes = 11 chunks, comfortably more than the window at 2-4 threads.
+  const Graph g = testing::MakeRandomGraph(700, 1400, 19);
+  for (const std::size_t threads : {2u, 4u}) {
+    const SilcIndex index = SilcIndex::Build(g, SilcParams{threads});
+    const SilcBuildStats& stats = index.build_stats();
+    EXPECT_EQ(stats.chunk_window, 2 * threads);
+    EXPECT_LE(stats.max_live_chunks, stats.chunk_window)
+        << threads << " threads";
+    EXPECT_GE(stats.max_live_chunks, 1u);
+  }
+  // The sequential build pipelines one chunk at a time.
+  const SilcIndex sequential = SilcIndex::Build(g, SilcParams{1});
+  EXPECT_EQ(sequential.build_stats().max_live_chunks, 1u);
+}
+
 TEST(SilcTest, SuperLinearBlockGrowth) {
   // The reason the paper drops SILC on big inputs: block count per node
   // grows with n.

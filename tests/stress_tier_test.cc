@@ -49,9 +49,11 @@ Graph MakeStressGraph() {
     }                                                                   \
   } while (0)
 
-// Randomized conformance at ~50k nodes: ch and alt cross-checked against
-// the Dijkstra oracle on uniform random pairs (distances) and a path-
-// feasibility spot check.
+// Randomized conformance at ~50k nodes: ch, alt, and hl cross-checked
+// against the Dijkstra oracle on uniform random pairs (distances) and a
+// path-feasibility spot check. hl also exercises the round-synchronous
+// parallel label build at a scale where the chunk window genuinely gates
+// memory.
 TEST(StressTier, RandomizedConformanceAt50kNodes) {
   SKIP_UNLESS_STRESS();
   const Graph g = MakeStressGraph();
@@ -64,7 +66,7 @@ TEST(StressTier, RandomizedConformanceAt50kNodes) {
     pairs.emplace_back(static_cast<NodeId>(rng.Uniform(g.NumNodes())),
                        static_cast<NodeId>(rng.Uniform(g.NumNodes())));
   }
-  for (const char* backend : {"ch", "alt"}) {
+  for (const char* backend : {"ch", "alt", "hl"}) {
     SCOPED_TRACE(backend);
     auto oracle = MakeOracle(backend, g);
     auto session = oracle->NewSession();
