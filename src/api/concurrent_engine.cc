@@ -27,16 +27,16 @@ ConcurrentEngine::ConcurrentEngine(std::unique_ptr<DistanceOracle> oracle,
 ConcurrentEngine::~ConcurrentEngine() {
   registry_->RemoveSwapListener(swap_listener_token_);
   {
-    std::lock_guard<std::mutex> lock(async_mu_);
+    MutexLock lock(async_mu_);
     async_stop_ = true;
   }
-  async_cv_.notify_all();
+  async_cv_.NotifyAll();
   for (std::thread& worker : async_workers_) worker.join();
 }
 
 void ConcurrentEngine::SubmitAsync(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(async_mu_);
+    MutexLock lock(async_mu_);
     if (async_workers_.empty()) {
       async_workers_.reserve(num_threads_);
       for (std::size_t i = 0; i < num_threads_; ++i) {
@@ -45,11 +45,11 @@ void ConcurrentEngine::SubmitAsync(std::function<void()> fn) {
     }
     async_queue_.push_back(std::move(fn));
   }
-  async_cv_.notify_one();
+  async_cv_.NotifyOne();
 }
 
 std::size_t ConcurrentEngine::AsyncQueueDepth() const {
-  std::lock_guard<std::mutex> lock(async_mu_);
+  MutexLock lock(async_mu_);
   return async_queue_.size();
 }
 
@@ -57,9 +57,8 @@ void ConcurrentEngine::AsyncWorkerLoop() {
   while (true) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(async_mu_);
-      async_cv_.wait(lock,
-                     [this] { return async_stop_ || !async_queue_.empty(); });
+      MutexLock lock(async_mu_);
+      while (!async_stop_ && async_queue_.empty()) async_cv_.Wait(lock);
       // Drain the queue even when stopping: every submitted job runs, so a
       // callback-carrying job can always deliver its reply.
       if (async_queue_.empty()) break;
@@ -157,7 +156,7 @@ ConcurrentEngine::PooledSession ConcurrentEngine::Acquire(
                                 std::string(backend) + "'");
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (std::size_t i = 0; i < pool_.size(); ++i) {
       if (pool_[i].epoch == epoch) {
         PooledSession entry = std::move(pool_[i]);
@@ -173,7 +172,7 @@ ConcurrentEngine::PooledSession ConcurrentEngine::Acquire(
 
 void ConcurrentEngine::Release(PooledSession entry) {
   if (entry.session == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Pool only sessions over the still-current epoch: a stale session
   // returning from a lease is dropped here, releasing its epoch pin — this
   // (plus PurgeStale on swap) is what retires an old index as soon as its
@@ -192,7 +191,7 @@ void ConcurrentEngine::Release(PooledSession entry) {
 
 void ConcurrentEngine::PurgeStale(const EpochHandle& fresh) {
   std::vector<PooledSession> dropped;  // destroyed after the lock releases
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (std::size_t i = 0; i < pool_.size();) {
     if (pool_[i].epoch->backend_id == fresh->backend_id &&
         pool_[i].epoch != fresh) {

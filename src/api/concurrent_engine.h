@@ -23,12 +23,10 @@
 // All public methods are thread-safe.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <thread>
 #include <utility>
@@ -37,6 +35,7 @@
 #include "api/distance_oracle.h"
 #include "api/index_registry.h"
 #include "routing/path.h"
+#include "util/thread_annotations.h"
 #include "util/types.h"
 
 namespace ah {
@@ -129,11 +128,11 @@ class ConcurrentEngine {
   /// epoch); `fn` must not throw. The queue is unbounded — callers wanting
   /// load shedding put an admission controller in front
   /// (src/server/admission.h).
-  void SubmitAsync(std::function<void()> fn);
+  void SubmitAsync(std::function<void()> fn) AH_EXCLUDES(async_mu_);
 
   /// Jobs submitted via SubmitAsync that have not yet started executing —
   /// the queue-depth signal admission control and stats export read.
-  std::size_t AsyncQueueDepth() const;
+  std::size_t AsyncQueueDepth() const AH_EXCLUDES(async_mu_);
 
  private:
   /// A pooled idle session together with the epoch it was created over.
@@ -148,27 +147,30 @@ class ConcurrentEngine {
   void RunBatch(std::size_t n, std::size_t num_threads,
                 std::string_view backend, const Body& body);
 
-  PooledSession Acquire(std::string_view backend);
-  void Release(PooledSession entry);
+  PooledSession Acquire(std::string_view backend) AH_EXCLUDES(mu_);
+  void Release(PooledSession entry) AH_EXCLUDES(mu_);
   /// Drops pooled sessions whose epoch is not `fresh` for that backend.
-  void PurgeStale(const EpochHandle& fresh);
+  void PurgeStale(const EpochHandle& fresh) AH_EXCLUDES(mu_);
 
   // Body of each async worker thread: pop jobs FIFO until stop.
-  void AsyncWorkerLoop();
+  void AsyncWorkerLoop() AH_EXCLUDES(async_mu_);
 
   std::shared_ptr<IndexRegistry> registry_;
   std::uint64_t swap_listener_token_ = 0;
   std::size_t num_threads_;
-  std::mutex mu_;
-  std::vector<PooledSession> pool_;
+  Mutex mu_;
+  std::vector<PooledSession> pool_ AH_GUARDED_BY(mu_);
 
   // Async submit state: workers are spawned on the first SubmitAsync and
   // joined by the destructor after draining the queue.
-  mutable std::mutex async_mu_;
-  std::condition_variable async_cv_;
-  std::deque<std::function<void()>> async_queue_;
+  mutable Mutex async_mu_;
+  CondVar async_cv_;
+  std::deque<std::function<void()>> async_queue_ AH_GUARDED_BY(async_mu_);
+  /// Mutated only by the first SubmitAsync (under async_mu_) and joined by
+  /// the destructor, which runs single-threaded by contract — the one
+  /// access pattern the analysis cannot express, so left unannotated.
   std::vector<std::thread> async_workers_;
-  bool async_stop_ = false;
+  bool async_stop_ AH_GUARDED_BY(async_mu_) = false;
 };
 
 }  // namespace ah

@@ -58,7 +58,6 @@ std::shared_ptr<IndexRegistry> IndexRegistry::AdoptStatic(
   auto registry = std::shared_ptr<IndexRegistry>(new IndexRegistry());
   registry->is_static_ = true;
   registry->names_ = {std::string(oracle->Name())};
-  registry->default_backend_ = registry->names_.front();
   registry->num_nodes_ = oracle->graph().NumNodes();
   registry->num_arcs_ = oracle->graph().NumArcs();
   auto epoch = std::make_shared<IndexEpoch>();
@@ -67,16 +66,20 @@ std::shared_ptr<IndexRegistry> IndexRegistry::AdoptStatic(
   epoch->generation = 1;
   epoch->graph = UnownedGraph(oracle->graph());
   epoch->oracle = std::move(oracle);
+  // Not a constructor body, so the analysis checks guarded fields here:
+  // take the (uncontended) writer lock rather than suppressing it.
+  WriterMutexLock lock(registry->epochs_mu_);
+  registry->default_backend_ = registry->names_.front();
   registry->current_.push_back(std::move(epoch));
   return registry;
 }
 
 IndexRegistry::~IndexRegistry() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (worker_.joinable()) worker_.join();
 }
 
@@ -92,19 +95,19 @@ std::uint32_t IndexRegistry::BackendId(std::string_view name) const {
 }
 
 std::string IndexRegistry::DefaultBackend() const {
-  std::shared_lock<std::shared_mutex> lock(epochs_mu_);
+  ReaderMutexLock lock(epochs_mu_);
   return default_backend_;
 }
 
 bool IndexRegistry::SetDefaultBackend(std::string_view name) {
   if (!HasBackend(name)) return false;
-  std::unique_lock<std::shared_mutex> lock(epochs_mu_);
+  WriterMutexLock lock(epochs_mu_);
   default_backend_ = std::string(name);
   return true;
 }
 
 EpochHandle IndexRegistry::Current(std::string_view backend) const {
-  std::shared_lock<std::shared_mutex> lock(epochs_mu_);
+  ReaderMutexLock lock(epochs_mu_);
   std::string_view name = backend.empty() ? default_backend_ : backend;
   const std::uint32_t id = BackendId(name);
   if (id == kInvalidBackend) return nullptr;
@@ -120,7 +123,7 @@ IndexRegistry::UpdateStatus IndexRegistry::QueueWeightUpdate(NodeId u, NodeId v,
                                                              Weight w) {
   if (is_static_) return UpdateStatus::kStatic;
   const WeightDelta delta{u, v, w};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   switch (ValidateWeightDelta(*base_, delta)) {
     case DeltaStatus::kBadNode:
       return UpdateStatus::kBadNode;
@@ -140,7 +143,7 @@ IndexRegistry::UpdateStatus IndexRegistry::QueueWeightUpdate(NodeId u, NodeId v,
 }
 
 std::size_t IndexRegistry::PendingUpdates() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pending_.size();
 }
 
@@ -152,25 +155,25 @@ bool IndexRegistry::RequestReload(std::string* error) {
     return false;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     reload_requested_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   return true;
 }
 
 void IndexRegistry::WaitForRebuild() const {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return !reload_requested_ && !rebuild_in_flight_; });
+  MutexLock lock(mu_);
+  while (reload_requested_ || rebuild_in_flight_) cv_.Wait(lock);
 }
 
 bool IndexRegistry::RebuildInFlight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rebuild_in_flight_ || reload_requested_;
 }
 
 IndexRegistry::RegistryStats IndexRegistry::GetStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   RegistryStats stats;
   stats.reloads = reloads_;
   stats.swaps = swaps_;
@@ -182,30 +185,30 @@ IndexRegistry::RegistryStats IndexRegistry::GetStats() const {
 }
 
 std::uint64_t IndexRegistry::AddSwapListener(SwapListener listener) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::uint64_t token = next_listener_token_++;
   listeners_.emplace_back(token, std::move(listener));
   return token;
 }
 
 void IndexRegistry::RemoveSwapListener(std::uint64_t token) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Block while a notification round holds copies of the listeners, so a
   // listener's owner (e.g. an engine being destroyed) can rely on its
   // callback never running after removal returns.
-  cv_.wait(lock, [this] { return !notifying_; });
+  while (notifying_) cv_.Wait(lock);
   std::erase_if(listeners_,
                 [token](const auto& entry) { return entry.first == token; });
 }
 
 void IndexRegistry::Publish(EpochHandle epoch) {
   {
-    std::unique_lock<std::shared_mutex> lock(epochs_mu_);
+    WriterMutexLock lock(epochs_mu_);
     current_[epoch->backend_id] = epoch;
   }
   std::vector<SwapListener> to_notify;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++swaps_;
     to_notify.reserve(listeners_.size());
     for (const auto& [token, listener] : listeners_) {
@@ -217,10 +220,10 @@ void IndexRegistry::Publish(EpochHandle epoch) {
   // (and take their own locks, e.g. the engine's session-pool mutex).
   for (const SwapListener& listener : to_notify) listener(epoch);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     notifying_ = false;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void IndexRegistry::WorkerLoop() {
@@ -228,16 +231,25 @@ void IndexRegistry::WorkerLoop() {
     std::vector<WeightDelta> deltas;
     std::shared_ptr<const Graph> old_base;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || reload_requested_; });
+      MutexLock lock(mu_);
+      while (!stop_ && !reload_requested_) cv_.Wait(lock);
       if (stop_) return;
       reload_requested_ = false;
       rebuild_in_flight_ = true;
       deltas.reserve(pending_.size());
+      // lint:ordered-commit — hash-order collection is sorted canonically
+      // below; coalesced deltas touch distinct arcs, so application also
+      // commutes.
       for (auto& [arc_key, delta] : pending_) deltas.push_back(delta);
       pending_.clear();
       old_base = base_;
     }
+    // Canonical order for application and for the updates_applied_ ledger:
+    // never let unordered_map iteration order leak into anything observable.
+    std::sort(deltas.begin(), deltas.end(),
+              [](const WeightDelta& a, const WeightDelta& b) {
+                return std::pair(a.tail, a.head) < std::pair(b.tail, b.head);
+              });
 
     // Everything expensive happens lock-free: copy + delta application,
     // then one full index build per backend. Queries keep flowing against
@@ -249,7 +261,7 @@ void IndexRegistry::WorkerLoop() {
       next_base = std::make_shared<const Graph>(std::move(updated));
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       // New weight updates queued from here on validate against (and later
       // apply on top of) the updated base.
       base_ = next_base;
@@ -261,13 +273,13 @@ void IndexRegistry::WorkerLoop() {
       epoch->backend_id = static_cast<std::uint32_t>(i);
       epoch->graph = next_base;
       {
-        std::shared_lock<std::shared_mutex> lock(epochs_mu_);
+        ReaderMutexLock lock(epochs_mu_);
         epoch->generation = current_[i]->generation + 1;
       }
       try {
         epoch->oracle = MakeOracle(names_[i], *next_base, options_);
       } catch (const std::exception& e) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         last_error_ = names_[i] + ": " + e.what();
         continue;  // keep the old epoch serving
       }
@@ -276,11 +288,11 @@ void IndexRegistry::WorkerLoop() {
       Publish(std::move(epoch));
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++reloads_;
       rebuild_in_flight_ = false;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 }
 

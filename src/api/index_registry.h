@@ -25,12 +25,9 @@
 // reject lifecycle operations (no owned base graph to mutate).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -40,6 +37,7 @@
 #include "api/distance_oracle.h"
 #include "graph/graph.h"
 #include "graph/weight_update.h"
+#include "util/thread_annotations.h"
 #include "util/types.h"
 
 namespace ah {
@@ -113,14 +111,15 @@ class IndexRegistry {
   static constexpr std::uint32_t kInvalidBackend = 0xffffffffu;
 
   /// The backend unprefixed requests route to (the `use` admin verb).
-  std::string DefaultBackend() const;
-  bool SetDefaultBackend(std::string_view name);
+  std::string DefaultBackend() const AH_EXCLUDES(epochs_mu_);
+  bool SetDefaultBackend(std::string_view name) AH_EXCLUDES(epochs_mu_);
 
   // --- Epoch acquisition --------------------------------------------------
 
   /// Current epoch of `backend` (empty = default backend); nullptr if the
   /// backend is unknown. Thread-safe; O(#backends).
-  EpochHandle Current(std::string_view backend = {}) const;
+  EpochHandle Current(std::string_view backend = {}) const
+      AH_EXCLUDES(epochs_mu_);
 
   /// Current generation of `backend` (0 if unknown).
   std::uint64_t Generation(std::string_view backend) const;
@@ -136,35 +135,36 @@ class IndexRegistry {
   /// Deltas coalesce per arc — the last queued weight for (u, v) wins — so
   /// the pending set is bounded by the arc count no matter how fast a
   /// traffic feed (or a hostile client) streams updates between reloads.
-  UpdateStatus QueueWeightUpdate(NodeId u, NodeId v, Weight w);
-  std::size_t PendingUpdates() const;
+  UpdateStatus QueueWeightUpdate(NodeId u, NodeId v, Weight w)
+      AH_EXCLUDES(mu_);
+  std::size_t PendingUpdates() const AH_EXCLUDES(mu_);
 
   /// Asks the background worker to apply queued deltas and rebuild + swap
   /// every backend. Returns immediately; false (with *error filled when
   /// non-null) on a static registry. Reloads requested while one is running
   /// coalesce into one further cycle.
-  bool RequestReload(std::string* error = nullptr);
+  bool RequestReload(std::string* error = nullptr) AH_EXCLUDES(mu_);
 
   /// Blocks until no reload is requested or running (tests, smoke, REPL).
-  void WaitForRebuild() const;
-  bool RebuildInFlight() const;
+  void WaitForRebuild() const AH_EXCLUDES(mu_);
+  bool RebuildInFlight() const AH_EXCLUDES(mu_);
 
-  RegistryStats GetStats() const;
+  RegistryStats GetStats() const AH_EXCLUDES(mu_);
 
   /// Registers a callback invoked (on the build worker thread, no registry
   /// lock held) after each epoch swap, with the new epoch. ConcurrentEngine
   /// uses this to purge pooled sessions of retired epochs so an idle pool
   /// cannot pin an old index alive. Returns a token for RemoveSwapListener.
   using SwapListener = std::function<void(const EpochHandle& published)>;
-  std::uint64_t AddSwapListener(SwapListener listener);
-  void RemoveSwapListener(std::uint64_t token);
+  std::uint64_t AddSwapListener(SwapListener listener) AH_EXCLUDES(mu_);
+  void RemoveSwapListener(std::uint64_t token) AH_EXCLUDES(mu_);
 
  private:
   IndexRegistry() = default;  // AdoptStatic body.
 
-  void WorkerLoop();
+  void WorkerLoop() AH_EXCLUDES(mu_, epochs_mu_);
   /// Publishes `epoch` as current for its backend and notifies listeners.
-  void Publish(EpochHandle epoch);
+  void Publish(EpochHandle epoch) AH_EXCLUDES(mu_, epochs_mu_);
 
   std::vector<std::string> names_;
   OracleOptions options_;
@@ -175,28 +175,31 @@ class IndexRegistry {
   /// Read-mostly epoch state on the per-query hot path (Current() runs on
   /// every lease acquire/release): readers take a shared lock and do not
   /// serialize each other; only a swap or `use` takes it exclusively.
-  mutable std::shared_mutex epochs_mu_;
-  std::vector<EpochHandle> current_;        // by backend id
-  std::string default_backend_;
+  mutable SharedMutex epochs_mu_;
+  std::vector<EpochHandle> current_ AH_GUARDED_BY(epochs_mu_);  // by id
+  std::string default_backend_ AH_GUARDED_BY(epochs_mu_);
 
   /// Lifecycle coordination (updates, reload requests, worker handshake,
   /// stats) — never taken while epochs_mu_ is held, or vice versa.
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  std::shared_ptr<const Graph> base_;       // latest-weight snapshot
+  mutable Mutex mu_;
+  mutable CondVar cv_;
+  /// Latest-weight snapshot.
+  std::shared_ptr<const Graph> base_ AH_GUARDED_BY(mu_);
   /// Pending deltas keyed by packed (tail, head): one slot per arc (deltas
   /// to distinct arcs commute, so application order does not matter).
-  std::unordered_map<std::uint64_t, WeightDelta> pending_;
-  bool reload_requested_ = false;
-  bool rebuild_in_flight_ = false;
-  bool notifying_ = false;  ///< A swap-listener round is running unlocked.
-  bool stop_ = false;
-  std::uint64_t reloads_ = 0;
-  std::uint64_t swaps_ = 0;
-  std::uint64_t updates_applied_ = 0;
-  std::string last_error_;
-  std::vector<std::pair<std::uint64_t, SwapListener>> listeners_;
-  std::uint64_t next_listener_token_ = 1;
+  std::unordered_map<std::uint64_t, WeightDelta> pending_ AH_GUARDED_BY(mu_);
+  bool reload_requested_ AH_GUARDED_BY(mu_) = false;
+  bool rebuild_in_flight_ AH_GUARDED_BY(mu_) = false;
+  /// A swap-listener round is running unlocked.
+  bool notifying_ AH_GUARDED_BY(mu_) = false;
+  bool stop_ AH_GUARDED_BY(mu_) = false;
+  std::uint64_t reloads_ AH_GUARDED_BY(mu_) = 0;
+  std::uint64_t swaps_ AH_GUARDED_BY(mu_) = 0;
+  std::uint64_t updates_applied_ AH_GUARDED_BY(mu_) = 0;
+  std::string last_error_ AH_GUARDED_BY(mu_);
+  std::vector<std::pair<std::uint64_t, SwapListener>> listeners_
+      AH_GUARDED_BY(mu_);
+  std::uint64_t next_listener_token_ AH_GUARDED_BY(mu_) = 1;
 
   std::thread worker_;  // dynamic registries only
 };

@@ -17,6 +17,8 @@ double CollisionFraction(const std::vector<Point>& coords,
   for (const Point& p : coords) ++occupancy[CellKey(grid.CellOf(p))];
   if (occupancy.empty()) return 0.0;
   std::size_t multi = 0;
+  // lint:ordered-commit pure reduction (count of cells with count > 1);
+  // the result is independent of visitation order.
   for (const auto& [key, count] : occupancy) {
     if (count > 1) ++multi;
   }

@@ -4,7 +4,7 @@ namespace ah::server {
 
 bool AdmissionController::TryAdmit(std::optional<std::uint64_t> client) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (in_flight_ >= config_.capacity) {
       shed_.fetch_add(1, std::memory_order_relaxed);
       return false;
@@ -28,7 +28,7 @@ bool AdmissionController::TryAdmit(std::optional<std::uint64_t> client) {
 }
 
 void AdmissionController::Release(std::optional<std::uint64_t> client) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (client.has_value() && config_.per_client_capacity > 0) {
     const auto it = client_in_flight_.find(*client);
     if (it != client_in_flight_.end() && --it->second == 0) {
@@ -36,22 +36,22 @@ void AdmissionController::Release(std::optional<std::uint64_t> client) {
     }
   }
   --in_flight_;
-  if (in_flight_ == 0) idle_cv_.notify_all();
+  if (in_flight_ == 0) idle_cv_.NotifyAll();
 }
 
 std::size_t AdmissionController::ClientInFlight(std::uint64_t client) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = client_in_flight_.find(client);
   return it == client_in_flight_.end() ? 0 : it->second;
 }
 
 void AdmissionController::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) idle_cv_.Wait(lock);
 }
 
 std::size_t AdmissionController::InFlight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return in_flight_;
 }
 

@@ -18,12 +18,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
+
+#include "util/thread_annotations.h"
 
 namespace ah::server {
 
@@ -62,14 +62,16 @@ class AdmissionController {
   /// configured, the client's own in-flight count must also be under its
   /// cap. Every true return must be paired with Release() carrying the same
   /// client id.
-  bool TryAdmit(std::optional<std::uint64_t> client = std::nullopt);
+  bool TryAdmit(std::optional<std::uint64_t> client = std::nullopt)
+      AH_EXCLUDES(mu_);
 
   /// Marks one admitted request finished (however it ended). Wakes
   /// WaitIdle() when the last in-flight request finishes.
-  void Release(std::optional<std::uint64_t> client = std::nullopt);
+  void Release(std::optional<std::uint64_t> client = std::nullopt)
+      AH_EXCLUDES(mu_);
 
   /// In-flight count for one client id (0 for unknown clients).
-  std::size_t ClientInFlight(std::uint64_t client) const;
+  std::size_t ClientInFlight(std::uint64_t client) const AH_EXCLUDES(mu_);
 
   /// Deadline for a request admitted now.
   Deadline MakeDeadline() const {
@@ -88,20 +90,21 @@ class AdmissionController {
 
   /// Blocks until no admitted request is in flight. Front-ends call this
   /// before tearing down state that completion callbacks touch.
-  void WaitIdle();
+  void WaitIdle() AH_EXCLUDES(mu_);
 
-  std::size_t InFlight() const;
+  std::size_t InFlight() const AH_EXCLUDES(mu_);
   std::size_t Capacity() const { return config_.capacity; }
   AdmissionStats Totals() const;
 
  private:
   AdmissionConfig config_;
-  mutable std::mutex mu_;
-  std::condition_variable idle_cv_;
-  std::size_t in_flight_ = 0;
+  mutable Mutex mu_;
+  CondVar idle_cv_;
+  std::size_t in_flight_ AH_GUARDED_BY(mu_) = 0;
   /// In-flight count per client id; entries erased when they reach zero so
   /// the map stays bounded by the number of *active* clients.
-  std::unordered_map<std::uint64_t, std::size_t> client_in_flight_;
+  std::unordered_map<std::uint64_t, std::size_t> client_in_flight_
+      AH_GUARDED_BY(mu_);
   std::atomic<std::uint64_t> admitted_{0};
   std::atomic<std::uint64_t> shed_{0};
   std::atomic<std::uint64_t> shed_per_client_{0};

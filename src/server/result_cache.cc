@@ -21,7 +21,7 @@ bool ResultCache::Lookup(const CacheKey& key, std::uint64_t generation,
                          CachedResult* out) {
   if (!Enabled()) return false;
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.stats.misses;
@@ -62,7 +62,7 @@ void ResultCache::Insert(const CacheKey& key, std::uint64_t generation,
                          CachedResult value) {
   if (!Enabled()) return;
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   const auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // Never downgrade: a writer still leased to a retired epoch must not
@@ -86,38 +86,42 @@ void ResultCache::Insert(const CacheKey& key, std::uint64_t generation,
 }
 
 void ResultCache::Clear() {
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    shard->lru.clear();
-    shard->index.clear();
-    ++shard->stats.clears;
+  for (const auto& entry : shards_) {
+    Shard& shard = *entry;
+    MutexLock lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+    ++shard.stats.clears;
   }
 }
 
 std::size_t ResultCache::Size() const {
   std::size_t total = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    total += shard->lru.size();
+  for (const auto& entry : shards_) {
+    const Shard& shard = *entry;
+    MutexLock lock(shard.mu);
+    total += shard.lru.size();
   }
   return total;
 }
 
 CacheStats ResultCache::Totals() const {
   CacheStats totals;
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
-    totals.hits += shard->stats.hits;
-    totals.misses += shard->stats.misses;
-    totals.insertions += shard->stats.insertions;
-    totals.evictions += shard->stats.evictions;
-    totals.invalidations += shard->stats.invalidations;
-    totals.expirations += shard->stats.expirations;
+  for (const auto& entry : shards_) {
+    const Shard& shard = *entry;
+    MutexLock lock(shard.mu);
+    totals.hits += shard.stats.hits;
+    totals.misses += shard.stats.misses;
+    totals.insertions += shard.stats.insertions;
+    totals.evictions += shard.stats.evictions;
+    totals.invalidations += shard.stats.invalidations;
+    totals.expirations += shard.stats.expirations;
   }
   // Clear() bumps every shard's clear counter; report calls, not
   // shard-calls.
-  std::lock_guard<std::mutex> lock(shards_.front()->mu);
-  totals.clears = shards_.front()->stats.clears;
+  const Shard& first = *shards_.front();
+  MutexLock lock(first.mu);
+  totals.clears = first.stats.clears;
   return totals;
 }
 

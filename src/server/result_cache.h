@@ -22,10 +22,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "util/thread_annotations.h"
 #include "util/types.h"
 
 namespace ah::server {
@@ -136,10 +136,11 @@ class ResultCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recent
-    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index;
-    CacheStats stats;
+    mutable Mutex mu;
+    std::list<Entry> lru AH_GUARDED_BY(mu);  // front = most recent
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, KeyHash> index
+        AH_GUARDED_BY(mu);
+    CacheStats stats AH_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const CacheKey& key) {

@@ -96,7 +96,7 @@ void TcpServer::Stop() {
   conn_fd_by_id_.clear();
   num_connections_.store(0, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(replies_mu_);
+    MutexLock lock(replies_mu_);
     pending_replies_.clear();
   }
   ::close(listen_fd_);
@@ -303,7 +303,7 @@ void TcpServer::CloseConnection(int fd) {
 void TcpServer::EnqueueReply(std::uint64_t conn_id, std::string reply,
                              bool close) {
   {
-    std::lock_guard<std::mutex> lock(replies_mu_);
+    MutexLock lock(replies_mu_);
     pending_replies_.push_back(PendingReply{conn_id, std::move(reply), close});
   }
   WakeIoThread();
@@ -312,7 +312,7 @@ void TcpServer::EnqueueReply(std::uint64_t conn_id, std::string reply,
 void TcpServer::DrainReplies() {
   std::vector<PendingReply> replies;
   {
-    std::lock_guard<std::mutex> lock(replies_mu_);
+    MutexLock lock(replies_mu_);
     replies.swap(pending_replies_);
   }
   for (PendingReply& reply : replies) {

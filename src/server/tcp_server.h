@@ -17,13 +17,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "server/server_stack.h"
+#include "util/thread_annotations.h"
 
 namespace ah::server {
 
@@ -109,8 +109,9 @@ class TcpServer {
   bool SettleConnection(Connection& conn);
   void CloseConnection(int fd);
   /// Called from engine workers (or inline): queue a reply and wake poll.
-  void EnqueueReply(std::uint64_t conn_id, std::string reply, bool close);
-  void DrainReplies();
+  void EnqueueReply(std::uint64_t conn_id, std::string reply, bool close)
+      AH_EXCLUDES(replies_mu_);
+  void DrainReplies() AH_EXCLUDES(replies_mu_);
   void WakeIoThread();
 
   ServerStack& stack_;
@@ -129,8 +130,8 @@ class TcpServer {
   std::uint64_t next_conn_id_ = 1;
 
   // Crossed between engine workers and the I/O thread.
-  std::mutex replies_mu_;
-  std::vector<PendingReply> pending_replies_;
+  Mutex replies_mu_;
+  std::vector<PendingReply> pending_replies_ AH_GUARDED_BY(replies_mu_);
 
   std::atomic<std::size_t> num_connections_{0};
   std::atomic<std::uint64_t> rejected_connections_{0};

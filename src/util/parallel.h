@@ -7,11 +7,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace ah {
 
@@ -107,8 +107,11 @@ WindowedChunkStats ParallelChunksWindowed(std::size_t n, std::size_t chunk_size,
     return stats;
   }
 
-  std::mutex mu;
-  std::condition_variable cv;
+  // Locals cannot carry AH_GUARDED_BY (the analysis only tracks members
+  // and globals); every access below is inside a MutexLock scope, which the
+  // analysis does verify against the Unlock()/Lock() pairing.
+  Mutex mu;
+  CondVar cv;
   std::size_t next_claim = 0;    // next chunk index to hand to a worker
   std::size_t next_consume = 0;  // next chunk index the consumer needs
   std::size_t live = 0;          // claimed but not yet consumed
@@ -120,19 +123,19 @@ WindowedChunkStats ParallelChunksWindowed(std::size_t n, std::size_t chunk_size,
   for (std::size_t tid = 0; tid < num_threads; ++tid) {
     workers.emplace_back([&, tid] {
       while (true) {
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [&] {
-          return next_claim >= num_chunks ||
-                 next_claim < next_consume + window;
-        });
+        MutexLock lock(mu);
+        while (next_claim < num_chunks &&
+               next_claim >= next_consume + window) {
+          cv.Wait(lock);
+        }
         if (next_claim >= num_chunks) return;
         const std::size_t c = next_claim++;
         ++live;
         stats.max_live_chunks = std::max(stats.max_live_chunks, live);
-        lock.unlock();
+        lock.Unlock();
         const std::size_t begin = c * chunk_size;
         body(c, begin, std::min(n, begin + chunk_size), tid);
-        lock.lock();
+        lock.Lock();
         done[c] = 1;
         // Drain every ready in-order chunk; whoever completes the chunk the
         // consumer is waiting on (or is already the consumer) does it.
@@ -140,14 +143,14 @@ WindowedChunkStats ParallelChunksWindowed(std::size_t n, std::size_t chunk_size,
                done[next_consume] != 0) {
           consuming = true;
           const std::size_t ready = next_consume;
-          lock.unlock();
+          lock.Unlock();
           const std::size_t ready_begin = ready * chunk_size;
           consume(ready, ready_begin, std::min(n, ready_begin + chunk_size));
-          lock.lock();
+          lock.Lock();
           consuming = false;
           ++next_consume;
           --live;
-          cv.notify_all();
+          cv.NotifyAll();
         }
       }
     });

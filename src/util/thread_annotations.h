@@ -1,0 +1,171 @@
+// Clang thread-safety annotations plus annotated mutex wrappers: the
+// compile-time half of the repo's concurrency story. Every mutex-guarded
+// structure in src/ declares *which* mutex guards it (AH_GUARDED_BY) and
+// every helper that assumes a lock declares so (AH_REQUIRES /
+// AH_EXCLUDES), so clang's -Wthread-safety analysis turns a forgotten lock
+// into a build error instead of a tsan sample. Under GCC (which has no
+// such analysis) every macro expands to nothing and the wrappers compile
+// down to the plain std types — zero runtime cost either way.
+//
+// Conventions (see clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+//   * Fields:   Foo foo_ AH_GUARDED_BY(mu_);
+//   * Helpers:  void RehashLocked() AH_REQUIRES(mu_);   // caller holds mu_
+//               void Publish() AH_EXCLUDES(mu_);        // caller must NOT
+//   * Locking:  ah::MutexLock lock(mu_);                // RAII, annotated
+//   * Waiting:  while (!done_) cv_.Wait(lock);          // NOT the predicate
+//     overload: a predicate lambda is analyzed as a separate function that
+//     does not hold the capability, so guarded reads inside it would warn.
+//     The explicit while loop keeps the guarded read in the annotated scope.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__)
+#define AH_THREAD_ANNOTATION_ATTR(x) __attribute__((x))
+#else
+#define AH_THREAD_ANNOTATION_ATTR(x)  // no-op: GCC has no analysis
+#endif
+
+/// Declares a type to be a capability (lockable).
+#define AH_CAPABILITY(x) AH_THREAD_ANNOTATION_ATTR(capability(x))
+/// Declares an RAII type that acquires on construction, releases on scope
+/// exit.
+#define AH_SCOPED_CAPABILITY AH_THREAD_ANNOTATION_ATTR(scoped_lockable)
+/// Field is protected by the given mutex.
+#define AH_GUARDED_BY(x) AH_THREAD_ANNOTATION_ATTR(guarded_by(x))
+/// Pointed-to data (not the pointer itself) is protected by the mutex.
+#define AH_PT_GUARDED_BY(x) AH_THREAD_ANNOTATION_ATTR(pt_guarded_by(x))
+/// Function requires the caller to hold the mutex (exclusive / shared).
+#define AH_REQUIRES(...) \
+  AH_THREAD_ANNOTATION_ATTR(requires_capability(__VA_ARGS__))
+#define AH_REQUIRES_SHARED(...) \
+  AH_THREAD_ANNOTATION_ATTR(requires_shared_capability(__VA_ARGS__))
+/// Function acquires the mutex (and does not release it).
+#define AH_ACQUIRE(...) \
+  AH_THREAD_ANNOTATION_ATTR(acquire_capability(__VA_ARGS__))
+#define AH_ACQUIRE_SHARED(...) \
+  AH_THREAD_ANNOTATION_ATTR(acquire_shared_capability(__VA_ARGS__))
+/// Function releases a held mutex. _GENERIC releases either mode — the RAII
+/// destructors use it so one destructor serves shared and exclusive locks.
+#define AH_RELEASE(...) \
+  AH_THREAD_ANNOTATION_ATTR(release_capability(__VA_ARGS__))
+#define AH_RELEASE_SHARED(...) \
+  AH_THREAD_ANNOTATION_ATTR(release_shared_capability(__VA_ARGS__))
+#define AH_RELEASE_GENERIC(...) \
+  AH_THREAD_ANNOTATION_ATTR(release_generic_capability(__VA_ARGS__))
+#define AH_TRY_ACQUIRE(...) \
+  AH_THREAD_ANNOTATION_ATTR(try_acquire_capability(__VA_ARGS__))
+/// Function must be called WITHOUT the mutex held (it acquires internally).
+#define AH_EXCLUDES(...) AH_THREAD_ANNOTATION_ATTR(locks_excluded(__VA_ARGS__))
+/// Function returns a reference to the given mutex.
+#define AH_RETURN_CAPABILITY(x) AH_THREAD_ANNOTATION_ATTR(lock_returned(x))
+/// Escape hatch: disables the analysis for one function. Every use carries
+/// a comment saying why the analysis cannot see the invariant.
+#define AH_NO_THREAD_SAFETY_ANALYSIS \
+  AH_THREAD_ANNOTATION_ATTR(no_thread_safety_analysis)
+
+namespace ah {
+
+/// std::mutex with the capability annotation the analysis keys on.
+/// Lock/Unlock are for the analysis' benefit; normal code uses MutexLock.
+class AH_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() AH_ACQUIRE() { mu_.lock(); }
+  void Unlock() AH_RELEASE() { mu_.unlock(); }
+  bool TryLock() AH_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with the capability annotation (read-mostly state:
+/// many shared readers, exclusive writers).
+class AH_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() AH_ACQUIRE() { mu_.lock(); }
+  void Unlock() AH_RELEASE() { mu_.unlock(); }
+  void LockShared() AH_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() AH_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  friend class ReaderMutexLock;
+  friend class WriterMutexLock;
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over ah::Mutex. Supports the two-phase
+/// Unlock()/Lock() dance (windowed parallel consumers) and CondVar waits.
+class AH_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) AH_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() AH_RELEASE_GENERIC() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Mid-scope release/reacquire; the destructor only unlocks if held.
+  void Unlock() AH_RELEASE() { lock_.unlock(); }
+  void Lock() AH_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// RAII shared (reader) lock over ah::SharedMutex.
+class AH_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) AH_ACQUIRE_SHARED(mu)
+      : lock_(mu.mu_) {}
+  ~ReaderMutexLock() AH_RELEASE_GENERIC() {}
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
+};
+
+/// RAII exclusive (writer) lock over ah::SharedMutex.
+class AH_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) AH_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~WriterMutexLock() AH_RELEASE_GENERIC() {}
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  std::unique_lock<std::shared_mutex> lock_;
+};
+
+/// Condition variable paired with ah::Mutex/MutexLock. Wait releases and
+/// reacquires the lock; from the analysis' point of view the capability is
+/// held throughout, which is exactly the guarantee the caller observes.
+/// No predicate overload on purpose — see the header comment.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void NotifyOne() noexcept { cv_.notify_one(); }
+  void NotifyAll() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ah

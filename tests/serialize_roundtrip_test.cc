@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <map>
 #include <sstream>
 #include <string>
 
+#include "api/distance_oracle.h"
 #include "ch/ch_index.h"
 #include "core/ah_query.h"
 #include "fc/fc_index.h"
@@ -165,6 +167,32 @@ TEST(SerializeRoundTripTest, HlIndexAnswersIdentically) {
     if (p1.Found()) {
       EXPECT_TRUE(IsValidPath(g, p2.nodes, s, t, p2.length));
     }
+  }
+}
+
+// Every factory backend must be explicitly accounted for here, so adding a
+// backend forces a recorded serialization decision (round-trip test above,
+// or a deliberate "search-only, no artifact" entry). tools/lint_invariants.py
+// enforces that each name appears in this file as a quoted literal; this
+// test enforces that the table below tracks the factory exactly.
+TEST(SerializeRoundTripTest, EveryBackendHasASerializationDecision) {
+  // name -> has a persisted artifact exercised by a round-trip test above.
+  const std::map<std::string, bool> decisions = {
+      {"dijkstra", false},    // search-only: rebuilt from the Graph artifact
+      {"bidijkstra", false},  // search-only: rebuilt from the Graph artifact
+      {"ch", true},           // ChIndexAnswersIdentically
+      {"alt", false},         // landmarks recomputed deterministically on load
+      {"silc", false},        // tiles recomputed deterministically on load
+      {"fc", true},           // FcIndexAnswersIdentically
+      {"ah", true},           // AhIndexAnswersIdentically
+      {"hl", true},           // HlIndexAnswersIdentically
+  };
+  const std::vector<std::string>& names = OracleNames();
+  ASSERT_EQ(decisions.size(), names.size())
+      << "backend added or removed without updating the serialization table";
+  for (const std::string& name : names) {
+    EXPECT_TRUE(decisions.count(name))
+        << "backend \"" << name << "\" has no serialization decision";
   }
 }
 
