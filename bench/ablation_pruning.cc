@@ -57,7 +57,7 @@ int main() {
       const auto [dij_us, ref_sum] = TimeQueries(
           qs.pairs, [&](NodeId s, NodeId t) { return dijkstra.Distance(s, t); });
       (void)dij_us;
-      std::vector<std::string> row = {"Q" + std::to_string(qs.index),
+      std::vector<std::string> row = {QuerySetLabel(qs.index),
                                       std::to_string(qs.pairs.size())};
       bool all_ok = true;
       for (const Mode& m : modes) {

@@ -29,6 +29,15 @@ inline void PrintHeader(const std::string& title, const std::string& what) {
   std::printf("================================================================\n");
 }
 
+/// "Qi" row label for a query set. Built with append rather than operator+
+/// (GCC 12's -Wrestrict false-positives on `const char* + std::string&&`
+/// inlined into large mains, and the tree builds with -Werror).
+inline std::string QuerySetLabel(int index) {
+  std::string label = "Q";
+  label += std::to_string(index);
+  return label;
+}
+
 struct PreparedDataset {
   DatasetSpec spec;
   Graph graph;

@@ -53,7 +53,7 @@ int main() {
           qs.pairs, [&](NodeId s, NodeId t) { return dijkstra.Distance(s, t); });
       const bool ok =
           ah_sum == dij_sum && ch_sum == dij_sum && alt_sum == dij_sum;
-      table.AddRow({"Q" + std::to_string(qs.index),
+      table.AddRow({QuerySetLabel(qs.index),
                     std::to_string(qs.pairs.size()), TextTable::Num(ah_us, 2),
                     TextTable::Num(ch_us, 2), TextTable::Num(alt_us, 2),
                     TextTable::Num(dij_us, 2), ok ? "yes" : "MISMATCH"});

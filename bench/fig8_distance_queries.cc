@@ -103,7 +103,7 @@ int main() {
         hl_speedup_base += hl_us * np;
         ++hl_speedup_sets;
       }
-      table.AddRow({"Q" + std::to_string(qs.index),
+      table.AddRow({QuerySetLabel(qs.index),
                     std::to_string(qs.pairs.size()), TextTable::Num(ah_us, 2),
                     TextTable::Num(ch_us, 2), TextTable::Num(hl_us, 2),
                     silc_cell, TextTable::Num(dij_us, 2),

@@ -147,7 +147,7 @@ int main() {
           qs.pairs.empty() ? 0.0
                            : static_cast<double>(edge_total) /
                                  static_cast<double>(qs.pairs.size());
-      table.AddRow({"Q" + std::to_string(qs.index),
+      table.AddRow({QuerySetLabel(qs.index),
                     std::to_string(qs.pairs.size()), TextTable::Num(ah_us, 2),
                     TextTable::Num(ch_us, 2), TextTable::Num(hl_us, 2),
                     fc_cell, fc_probe_cell, silc_cell,

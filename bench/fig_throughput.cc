@@ -20,10 +20,23 @@
 // checksums fold in the node count, so a same-length different-shape answer
 // is caught too.
 //
+// A fourth series benches the many-to-many matrix engine: an N×N distance
+// matrix answered as ONE request (DistanceOracle::DistanceMatrix — the
+// bucket technique on ch/ah, a hub bucket join on hl) vs the same N² pairs
+// answered as point-query batches ("matrix-b", the `b`-verb equivalent).
+// Both must produce the same checksum; the speedup_vs_batch ratio is the
+// matrix engine's whole reason to exist (target ≥10x at 100×100 on a
+// road-like graph for the hierarchy backends).
+//
 // Env knobs (on top of bench_common.h's AH_BENCH_SCALE / AH_BENCH_DATASETS):
 //   AH_BENCH_PAIRS    — queries per batch (default 2000).
 //   AH_BENCH_REPS     — batch repetitions per cell, best taken (default 3).
 //   AH_BENCH_THREADS  — space-separated thread counts (default "1 2 4 8").
+//   AH_BENCH_BACKENDS — comma-separated backend subset (default: all).
+//   AH_BENCH_MATRIX   — matrix side N for the N×N series (default 100;
+//                       0 disables the matrix series).
+//   AH_BENCH_JSON     — path to write the machine-readable series JSON
+//                       (bench_json.h; the CI perf gate input).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -36,6 +49,7 @@
 #include "api/distance_oracle.h"
 #include "api/index_registry.h"
 #include "bench_common.h"
+#include "bench_json.h"
 #include "server/request_stats.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -65,6 +79,30 @@ std::vector<std::size_t> ThreadCountsFromEnv() {
   std::sort(counts.begin(), counts.end());
   counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
   return counts;
+}
+
+// Comma-separated AH_BENCH_BACKENDS subset (preserving the canonical
+// OracleNames() order); unset or empty = every backend.
+std::vector<std::string> BackendsFromEnv() {
+  std::vector<std::string> filter;
+  if (const char* raw = std::getenv("AH_BENCH_BACKENDS")) {
+    std::string_view rest(raw);
+    while (!rest.empty()) {
+      const std::size_t comma = rest.find(',');
+      const std::string_view name = rest.substr(0, comma);
+      if (!name.empty()) filter.emplace_back(name);
+      if (comma == std::string_view::npos) break;
+      rest.remove_prefix(comma + 1);
+    }
+  }
+  std::vector<std::string> backends;
+  for (const std::string& name : OracleNames()) {
+    if (filter.empty() ||
+        std::find(filter.begin(), filter.end(), name) != filter.end()) {
+      backends.push_back(name);
+    }
+  }
+  return backends;
 }
 
 std::vector<QueryPair> RandomPairs(const Graph& g, std::size_t count) {
@@ -124,17 +162,62 @@ Cell RunCell(ConcurrentEngine& engine, const std::vector<QueryPair>& batch,
   return cell;
 }
 
+/// Deterministic matrix locations: the first `n` draws become sources, the
+/// next `n` targets (one seeded stream, independent of the pair batch).
+void MatrixLocations(const Graph& g, std::size_t n,
+                     std::vector<NodeId>* sources,
+                     std::vector<NodeId>* targets) {
+  Rng rng(20130624);
+  for (std::size_t i = 0; i < n; ++i) {
+    sources->push_back(static_cast<NodeId>(rng.Uniform(g.NumNodes())));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    targets->push_back(static_cast<NodeId>(rng.Uniform(g.NumNodes())));
+  }
+}
+
+/// Same checksum folding as the dist series: unreachable contributes 0.
+Dist FoldCells(const std::vector<Dist>& cells) {
+  Dist sum = 0;
+  for (const Dist c : cells) sum += c == kInfDist ? Dist{0} : c;
+  return sum;
+}
+
+/// One N×N matrix answered as a single request, `reps` times, best taken.
+Cell RunMatrixCell(ConcurrentEngine& engine,
+                   const std::vector<NodeId>& sources,
+                   const std::vector<NodeId>& targets, std::size_t threads,
+                   std::size_t reps) {
+  Cell cell;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    Timer timer;
+    const std::vector<Dist> cells =
+        engine.DistanceMatrix(sources, targets, threads);
+    const double seconds = timer.Seconds();
+    if (rep == 0 || seconds < cell.best_seconds) {
+      cell.best_seconds = seconds;
+      // One matrix = one request: its whole-request latency is the quantile.
+      cell.p50_us = cell.p99_us = seconds * 1e6;
+    }
+    if (rep == 0) cell.checksum = FoldCells(cells);
+  }
+  return cell;
+}
+
 }  // namespace
 
 int main() {
   const std::size_t pairs_per_batch = EnvSizeT("AH_BENCH_PAIRS", 2000);
   const std::size_t reps = EnvSizeT("AH_BENCH_REPS", 3);
+  const std::size_t matrix_n = EnvSizeT("AH_BENCH_MATRIX", 100);
   const std::vector<std::size_t> thread_counts = ThreadCountsFromEnv();
+  const std::vector<std::string> backends = BackendsFromEnv();
+  BenchJson json("fig_throughput");
 
   PrintHeader("fig_throughput — concurrent query scaling",
               "one shared index, N threads with per-thread sessions "
               "(queries/sec + p50/p99 latency; speedup vs the smallest "
-              "thread count; distance and path series)");
+              "thread count; distance, path, and NxN matrix series)");
 
   std::size_t mismatches = 0;
   for (const PreparedDataset& d : PrepareDatasets(BenchDatasetCountFromEnv(1))) {
@@ -142,7 +225,7 @@ int main() {
 
     TextTable table({"dataset", "backend", "kind", "threads", "batch ms",
                      "queries/s", "speedup", "p50 us", "p99 us", "checksum"});
-    for (const std::string& backend : OracleNames()) {
+    for (const std::string& backend : backends) {
       Timer build;
       auto registry = std::make_shared<IndexRegistry>(
           d.graph, std::vector<std::string>{backend});
@@ -194,6 +277,90 @@ int main() {
                         TextTable::Int(static_cast<long long>(cell.p50_us)),
                         TextTable::Int(static_cast<long long>(cell.p99_us)),
                         TextTable::Int(static_cast<long long>(cell.checksum))});
+          json.AddSeries(d.spec.name + "/" + backend + "/" + s.kind + "/t" +
+                             std::to_string(threads),
+                         qps, cell.p50_us, cell.p99_us, cell.checksum);
+        }
+      }
+
+      // N×N matrix: one request through the matrix engine vs the same N²
+      // pairs as point-query batches (what a `b`-only client would send).
+      // Checksums must agree between the two and across thread counts.
+      if (matrix_n > 0) {
+        std::vector<NodeId> msources;
+        std::vector<NodeId> mtargets;
+        MatrixLocations(d.graph, matrix_n, &msources, &mtargets);
+        std::vector<QueryPair> cross;
+        cross.reserve(matrix_n * matrix_n);
+        for (const NodeId s : msources) {
+          for (const NodeId t : mtargets) cross.emplace_back(s, t);
+        }
+        const auto dist_query = [](QuerySession& session, const QueryPair& q) {
+          const Dist dist = session.Distance(q.first, q.second);
+          return dist == kInfDist ? Dist{0} : dist;
+        };
+        const std::string shape =
+            std::to_string(matrix_n) + "x" + std::to_string(matrix_n);
+        double matrix_base_qps = 0;
+        double batch_base_qps = 0;
+        Dist matrix_base_checksum = 0;
+        for (const std::size_t threads : thread_counts) {
+          const Cell mcell =
+              RunMatrixCell(engine, msources, mtargets, threads, reps);
+          // The pairs side is the slow one by design: a single rep bounds
+          // the bench's runtime without touching the matrix measurement.
+          const Cell bcell = RunCell(engine, cross, threads, 1, dist_query);
+          const double mqps =
+              mcell.best_seconds > 0
+                  ? static_cast<double>(cross.size()) / mcell.best_seconds
+                  : 0;
+          const double bqps =
+              bcell.best_seconds > 0
+                  ? static_cast<double>(cross.size()) / bcell.best_seconds
+                  : 0;
+          const double speedup_vs_batch = bqps > 0 ? mqps / bqps : 0;
+          if (threads == thread_counts.front()) {
+            matrix_base_qps = mqps;
+            batch_base_qps = bqps;
+            matrix_base_checksum = mcell.checksum;
+            std::printf("[matrix] %-10s %s: one request %.2f ms vs b-batch "
+                        "%.2f ms -> %.1fx\n",
+                        backend.c_str(), shape.c_str(),
+                        mcell.best_seconds * 1e3, bcell.best_seconds * 1e3,
+                        speedup_vs_batch);
+            std::fflush(stdout);
+          } else if (mcell.checksum != matrix_base_checksum) {
+            ++mismatches;
+          }
+          if (mcell.checksum != bcell.checksum) ++mismatches;
+          table.AddRow(
+              {d.spec.name, backend, "matrix " + shape,
+               std::to_string(threads),
+               TextTable::Num(mcell.best_seconds * 1e3, 2),
+               TextTable::Int(static_cast<long long>(mqps)),
+               TextTable::Num(matrix_base_qps > 0 ? mqps / matrix_base_qps : 0,
+                              2),
+               TextTable::Int(static_cast<long long>(mcell.p50_us)),
+               TextTable::Int(static_cast<long long>(mcell.p99_us)),
+               TextTable::Int(static_cast<long long>(mcell.checksum))});
+          table.AddRow(
+              {d.spec.name, backend, "matrix-b " + shape,
+               std::to_string(threads),
+               TextTable::Num(bcell.best_seconds * 1e3, 2),
+               TextTable::Int(static_cast<long long>(bqps)),
+               TextTable::Num(batch_base_qps > 0 ? bqps / batch_base_qps : 0,
+                              2),
+               TextTable::Int(static_cast<long long>(bcell.p50_us)),
+               TextTable::Int(static_cast<long long>(bcell.p99_us)),
+               TextTable::Int(static_cast<long long>(bcell.checksum))});
+          json.AddSeries(
+              d.spec.name + "/" + backend + "/matrix/t" +
+                  std::to_string(threads),
+              mqps, mcell.p50_us, mcell.p99_us, mcell.checksum,
+              {{"speedup_vs_batch", speedup_vs_batch}});
+          json.AddSeries(d.spec.name + "/" + backend + "/matrix-b/t" +
+                             std::to_string(threads),
+                         bqps, bcell.p50_us, bcell.p99_us, bcell.checksum);
         }
       }
 
@@ -234,11 +401,14 @@ int main() {
   }
 
   if (mismatches != 0) {
-    std::printf("\nFAIL: %zu thread-count checksum mismatches\n", mismatches);
+    std::printf("\nFAIL: %zu checksum mismatches (thread counts or "
+                "matrix-vs-batch)\n",
+                mismatches);
     return 1;
   }
+  if (!json.WriteToEnvPath()) return 1;
   std::printf(
-      "\nall thread counts agree on every backend's distance and path "
-      "checksums\n");
+      "\nall thread counts agree on every backend's distance, path, and "
+      "matrix checksums\n");
   return 0;
 }

@@ -36,7 +36,7 @@ int main() {
     if (r != user) restaurants.push_back(r);
   }
   OneToMany poi_oracle(index.search_graph(), restaurants);
-  const std::vector<Dist>& network_dists = poi_oracle.DistancesFrom(user);
+  const std::vector<Dist> network_dists = poi_oracle.DistancesFrom(user);
 
   struct Poi {
     NodeId node;

@@ -9,6 +9,7 @@
 //   [@<backend>] p <s> <t>          shortest path
 //   [@<backend>] k <s> <k>          k nearest POIs
 //   [@<backend>] b <n> <s1> <t1>... batch of n distance queries
+//   [@<backend>] m <ns> <nt> <s...> <t...>   ns x nt distance matrix
 //   use <backend>                   switch the server default backend
 //   upd <u> <v> <w>                 queue weight w for arc u->v
 //   reload                          rebuild + hot-swap all backends (async)
@@ -21,6 +22,7 @@
 //   route_server [dimacs-base] [--backends ch,alt,...] [--listen <port>]
 //                [--cache <entries>] [--cache-ttl-ms <n>] [--admission <n>]
 //                [--admission-per-client <n>] [--timeout-ms <n>]
+//                [--matrix-max-locations <n>]
 //   route_server --smoke    # self-test: TCP round-trip + live-reload swap
 //
 // Demo:
@@ -159,6 +161,8 @@ int RunSmoke(const std::vector<std::string>& backends) {
   ServerConfig config;
   config.cache_capacity = 1024;
   config.admission_capacity = 16;
+  // Tiny matrix cap so the smoke exercises the too-large policy reply.
+  config.max_matrix_locations = 4;
   std::shared_ptr<IndexRegistry> registry;
   try {
     registry = std::make_shared<IndexRegistry>(graph, backends);
@@ -188,6 +192,18 @@ int RunSmoke(const std::vector<std::string>& backends) {
   const std::string dist_query = "d 0 " + std::to_string(far);
   const std::string second = backends.size() > 1 ? backends[1] : backends[0];
 
+  // A 2x2 matrix over {0, mid} x {far, mid}, checked cell by cell against
+  // the Dijkstra reference (row-major by source).
+  const NodeId mid = static_cast<NodeId>(graph.NumNodes() / 2);
+  const std::string matrix_query = "m 2 2 0 " + std::to_string(mid) + " " +
+                                   std::to_string(far) + " " +
+                                   std::to_string(mid);
+  auto matrix_reply = [&](Dijkstra& dij) {
+    return FormatMatrix(2, 2,
+                        {dij.Distance(0, far), dij.Distance(0, mid),
+                         dij.Distance(mid, far), dij.Distance(mid, mid)});
+  };
+
   struct Step {
     std::string request;
     std::string expect;  // exact reply, or prefix when ends with '*'
@@ -203,6 +219,11 @@ int RunSmoke(const std::vector<std::string>& backends) {
       {"k 0 3", "OK k 3 *"},
       {"b 2 0 " + std::to_string(far) + " " + std::to_string(far) + " 0",
        "OK b 2 *"},
+      // Many-to-many matrix: exact cells on the default and on a named
+      // backend; a repeat must be answered from per-pair cache entries.
+      {matrix_query, matrix_reply(reference)},
+      {"@" + second + " " + matrix_query, matrix_reply(reference)},
+      {matrix_query, matrix_reply(reference)},
       // Repeat: must now be a cache hit, bit-identical reply.
       {dist_query, FormatDistance(expected)},
       // Admin: switch the default backend and back.
@@ -222,6 +243,11 @@ int RunSmoke(const std::vector<std::string>& backends) {
       {"upd 0 1 0", "ERR bad-request*"},      // zero weight
       {"upd 0 999999 5", "ERR bad-node*"},
       {"@" + second + " reload", "ERR bad-request*"},  // selector misuse
+      // Matrix policy + validation errors.
+      {"m 5 1 0 1 2 3 4 5", "ERR too-large*"},   // side over the cap of 4
+      {"m 2 2 0 1 2", "ERR bad-request*"},       // wrong token count
+      {"m 0 2 1 2", "ERR bad-request*"},         // zero-sized side
+      {"m 2 2 0 1 2 999999", "ERR bad-node*"},   // node out of range
       // Cache invalidation then stats.
       {"inv", "OK inv"},
       {"stats", "OK stats *"},
@@ -279,10 +305,11 @@ int RunSmoke(const std::vector<std::string>& backends) {
     SMOKE_CHECK(registry->Generation(backend) == 2, "generation bumped to 2");
   }
   // Same query, every backend: now the updated answer — the old epoch's
-  // cached entry must not leak through.
+  // cached entries (point and matrix alike) must not leak through.
   SMOKE_CHECK(run_steps({{dist_query, FormatDistance(updated_expected)},
                          {"@" + second + " " + dist_query,
-                          FormatDistance(updated_expected)}}),
+                          FormatDistance(updated_expected)},
+                         {matrix_query, matrix_reply(updated_reference)}}),
               "post-swap queries");
   cache = stack.cache().Totals();
   SMOKE_CHECK(cache.invalidations >= 1, "swap retired stale entry by tag");
@@ -352,6 +379,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--timeout-ms") {
       config.request_timeout = std::chrono::milliseconds(
           std::strtoull(next_value("--timeout-ms"), nullptr, 10));
+    } else if (arg == "--matrix-max-locations") {
+      config.max_matrix_locations = static_cast<std::size_t>(
+          std::strtoull(next_value("--matrix-max-locations"), nullptr, 10));
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
@@ -430,7 +460,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "commands: d|p|k|b|use|upd|reload|stats|inv|q (protocol), bench <n> / "
+      "commands: d|p|k|b|m|use|upd|reload|stats|inv|q (protocol), bench <n> / "
       "wait (REPL)\n");
   ReplLoop(stack);
   return 0;

@@ -27,6 +27,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string_view>
 #include <thread>
 #include <utility>
@@ -34,6 +35,7 @@
 
 #include "api/distance_oracle.h"
 #include "api/index_registry.h"
+#include "api/matrix_oracle.h"
 #include "routing/path.h"
 #include "util/thread_annotations.h"
 #include "util/types.h"
@@ -121,6 +123,21 @@ class ConcurrentEngine {
   std::vector<PathResult> BatchShortestPath(
       const std::vector<QueryPair>& queries, std::size_t num_threads = 0,
       std::string_view backend = {});
+
+  /// Many-to-many surface: pins the current epoch of `backend` (empty =
+  /// default) in a MatrixOracle whose Distances() fan out across
+  /// NumThreads() workers. Throws std::invalid_argument on an unknown
+  /// backend. Thread-safe.
+  MatrixOracle Matrix(std::string_view backend = {}) const;
+
+  /// One-shot convenience: the row-major |sources| × |targets| matrix on
+  /// `backend`'s current epoch (see DistanceOracle::DistanceMatrix).
+  /// `num_threads` overrides the engine fan-out for this call (0 = engine
+  /// default). Thread-safe.
+  std::vector<Dist> DistanceMatrix(std::span<const NodeId> sources,
+                                   std::span<const NodeId> targets,
+                                   std::size_t num_threads = 0,
+                                   std::string_view backend = {}) const;
 
   /// Callback-style submit for server front-ends: enqueues `fn` to run on a
   /// lazily started pool of NumThreads() long-lived workers. Jobs run FIFO

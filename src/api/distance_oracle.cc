@@ -1,5 +1,6 @@
 #include "api/distance_oracle.h"
 
+#include <algorithm>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -8,14 +9,26 @@
 #include "ch/ch_index.h"
 #include "core/ah_query.h"
 #include "fc/fc_index.h"
+#include "hier/many_to_many.h"
 #include "hl/hl_index.h"
 #include "routing/bidirectional.h"
 #include "routing/dijkstra.h"
 #include "silc/silc_index.h"
+#include "util/parallel.h"
 
 namespace ah {
 
 namespace {
+
+/// Shared matrix path for oracles built on an upward SearchGraph (ch/ah):
+/// the bucket technique, O(|S|+|T|) upward searches total.
+std::vector<Dist> BucketMatrix(const SearchGraph& sg,
+                               std::span<const NodeId> sources,
+                               std::span<const NodeId> targets,
+                               std::size_t num_threads) {
+  ManyToMany engine(sg, {targets.begin(), targets.end()}, num_threads);
+  return engine.DistancesFrom(sources, num_threads);
+}
 
 // Each oracle below owns only the immutable index; all mutable search state
 // (heaps, timestamped labels, parent arrays) lives in the session types, so
@@ -46,6 +59,34 @@ class DijkstraOracle final : public DistanceOracle {
   std::string_view Name() const override { return "dijkstra"; }
   std::unique_ptr<QuerySession> NewSession() const override {
     return std::make_unique<DijkstraSession>(graph());
+  }
+
+  /// One full one-to-all search per source row beats |T| early-stopping
+  /// point queries for any non-trivial target set — and this is the oracle
+  /// the conformance matrix sweep cross-checks everything against.
+  std::vector<Dist> DistanceMatrix(std::span<const NodeId> sources,
+                                   std::span<const NodeId> targets,
+                                   std::size_t num_threads) const override {
+    const std::size_t num_targets = targets.size();
+    std::vector<Dist> result(sources.size() * num_targets, kInfDist);
+    if (result.empty()) return result;
+    if (num_threads == 0) num_threads = WorkerThreads();
+    std::vector<std::unique_ptr<Dijkstra>> engines(num_threads);
+    ParallelChunks(
+        sources.size(),
+        std::max<std::size_t>(1, sources.size() / (num_threads * 4)),
+        [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end,
+            std::size_t tid) {
+          if (!engines[tid]) engines[tid] = std::make_unique<Dijkstra>(graph());
+          for (std::size_t i = begin; i < end; ++i) {
+            engines[tid]->Run(sources[i]);
+            for (std::size_t j = 0; j < num_targets; ++j) {
+              result[i * num_targets + j] = engines[tid]->DistTo(targets[j]);
+            }
+          }
+        },
+        num_threads);
+    return result;
   }
 };
 
@@ -100,6 +141,15 @@ class ChOracle final : public DistanceOracle {
   std::string_view Name() const override { return "ch"; }
   std::unique_ptr<QuerySession> NewSession() const override {
     return std::make_unique<ChSession>(index_);
+  }
+
+  std::vector<Dist> DistanceMatrix(std::span<const NodeId> sources,
+                                   std::span<const NodeId> targets,
+                                   std::size_t num_threads) const override {
+    return BucketMatrix(index_.search_graph(), sources, targets, num_threads);
+  }
+  const SearchGraph* UpwardSearchGraph() const override {
+    return &index_.search_graph();
   }
 
  private:
@@ -257,6 +307,17 @@ class AhOracle final : public DistanceOracle {
     return std::make_unique<AhSession>(index_, query_options_);
   }
 
+  /// The bucket matrix runs on the rank-ordered upward graph and is exact on
+  /// any input, independent of the pruned point-query mode.
+  std::vector<Dist> DistanceMatrix(std::span<const NodeId> sources,
+                                   std::span<const NodeId> targets,
+                                   std::size_t num_threads) const override {
+    return BucketMatrix(index_.search_graph(), sources, targets, num_threads);
+  }
+  const SearchGraph* UpwardSearchGraph() const override {
+    return &index_.search_graph();
+  }
+
  private:
   static AhParams MakeParams(const OracleOptions& options) {
     AhParams params;
@@ -300,11 +361,96 @@ class HlOracle final : public DistanceOracle {
     return std::make_unique<HlSession>(index_);
   }
 
+  /// Label analogue of the bucket technique (batched PLL): index the
+  /// targets' in-labels by hub rank once, then each source joins its
+  /// out-labels against those hub buckets — |S|+|T| label scans instead of
+  /// |S|·|T| merge joins.
+  std::vector<Dist> DistanceMatrix(std::span<const NodeId> sources,
+                                   std::span<const NodeId> targets,
+                                   std::size_t num_threads) const override {
+    const std::size_t num_targets = targets.size();
+    std::vector<Dist> result(sources.size() * num_targets, kInfDist);
+    if (result.empty()) return result;
+    if (num_threads == 0) num_threads = WorkerThreads();
+
+    // CSR buckets over hub ranks: entry (j, d) at rank r means
+    // d(hub_of_rank(r) → targets[j]) = d. Filled in target order, so the
+    // layout is a pure function of the label arrays.
+    struct HubEntry {
+      std::uint32_t target_index;
+      Dist dist;
+    };
+    const std::size_t n = index_.NumNodes();
+    std::vector<std::uint64_t> first(n + 1, 0);
+    for (NodeId t : targets) {
+      for (const HlLabel& label : index_.InLabels(t)) ++first[label.hub + 1];
+    }
+    for (std::size_t r = 0; r < n; ++r) first[r + 1] += first[r];
+    std::vector<HubEntry> entries(first[n]);
+    std::vector<std::uint64_t> cursor(first.begin(), first.end() - 1);
+    for (std::uint32_t j = 0; j < num_targets; ++j) {
+      for (const HlLabel& label : index_.InLabels(targets[j])) {
+        entries[cursor[label.hub]++] = {j, label.dist};
+      }
+    }
+
+    ParallelChunks(
+        sources.size(),
+        std::max<std::size_t>(1, sources.size() / (num_threads * 4)),
+        [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end,
+            std::size_t /*tid*/) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const std::span<Dist> row{result.data() + i * num_targets,
+                                      num_targets};
+            for (const HlLabel& label : index_.OutLabels(sources[i])) {
+              for (std::uint64_t e = first[label.hub];
+                   e < first[label.hub + 1]; ++e) {
+                const Dist via = label.dist + entries[e].dist;
+                if (via < row[entries[e].target_index]) {
+                  row[entries[e].target_index] = via;
+                }
+              }
+            }
+          }
+        },
+        num_threads);
+    return result;
+  }
+
  private:
   HlIndex index_;
 };
 
 }  // namespace
+
+std::vector<Dist> DistanceOracle::DistanceMatrix(
+    std::span<const NodeId> sources, std::span<const NodeId> targets,
+    std::size_t num_threads) const {
+  // Base case: pairwise point queries through per-thread sessions. Correct
+  // for every backend; each source owns its result row, so output is
+  // deterministic at any thread count. Hierarchy/label backends override
+  // this with sub-quadratic joins.
+  const std::size_t num_targets = targets.size();
+  std::vector<Dist> result(sources.size() * num_targets, kInfDist);
+  if (result.empty()) return result;
+  if (num_threads == 0) num_threads = WorkerThreads();
+  std::vector<std::unique_ptr<QuerySession>> sessions(num_threads);
+  ParallelChunks(
+      sources.size(),
+      std::max<std::size_t>(1, sources.size() / (num_threads * 4)),
+      [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end,
+          std::size_t tid) {
+        if (!sessions[tid]) sessions[tid] = NewSession();
+        for (std::size_t i = begin; i < end; ++i) {
+          for (std::size_t j = 0; j < num_targets; ++j) {
+            result[i * num_targets + j] =
+                sessions[tid]->Distance(sources[i], targets[j]);
+          }
+        }
+      },
+      num_threads);
+  return result;
+}
 
 const std::vector<std::string>& OracleNames() {
   static const std::vector<std::string> kNames = {

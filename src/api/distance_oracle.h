@@ -34,6 +34,7 @@
 
 #include <atomic>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -43,6 +44,8 @@
 #include "util/types.h"
 
 namespace ah {
+
+class SearchGraph;
 
 /// Preprocessing cost of an oracle, uniform across backends.
 struct OracleBuildStats {
@@ -89,6 +92,23 @@ class DistanceOracle {
   PathResult ShortestPath(NodeId s, NodeId t) {
     return DefaultSession().ShortestPath(s, t);
   }
+
+  /// Row-major |sources| × |targets| distance matrix; kInfDist for
+  /// unreachable cells. Rows fan out across `num_threads` workers (0 =
+  /// WorkerThreads()). Thread-safe (const) and deterministic at any thread
+  /// count. The base implementation runs per-thread sessions pairwise;
+  /// hierarchy backends override it with the bucket technique
+  /// (hier/many_to_many.h — O(|S|+|T|) upward searches instead of
+  /// |S|·|T| point queries), hl with a hub-rank bucket join, dijkstra with
+  /// one one-to-all search per source.
+  virtual std::vector<Dist> DistanceMatrix(std::span<const NodeId> sources,
+                                           std::span<const NodeId> targets,
+                                           std::size_t num_threads = 0) const;
+
+  /// The upward SearchGraph behind this oracle, if it is built on one
+  /// (ch/ah); nullptr otherwise. Lets callers construct bucket engines
+  /// (hier/many_to_many.h) with custom target lifetimes.
+  virtual const SearchGraph* UpwardSearchGraph() const { return nullptr; }
 
   /// Preprocessing cost (zeros for search-only backends).
   virtual const OracleBuildStats& BuildStats() const { return build_stats_; }

@@ -1,0 +1,23 @@
+#include "api/matrix_oracle.h"
+
+#include <stdexcept>
+
+namespace ah {
+
+MatrixOracle::MatrixOracle(EpochHandle epoch, std::size_t num_threads)
+    : epoch_(std::move(epoch)), num_threads_(num_threads) {
+  if (!epoch_) {
+    throw std::invalid_argument("MatrixOracle: null epoch");
+  }
+}
+
+MatrixResult MatrixOracle::Distances(std::span<const NodeId> sources,
+                                     std::span<const NodeId> targets) const {
+  MatrixResult result;
+  result.num_sources = sources.size();
+  result.num_targets = targets.size();
+  result.cells = epoch_->oracle->DistanceMatrix(sources, targets, num_threads_);
+  return result;
+}
+
+}  // namespace ah

@@ -1,0 +1,55 @@
+// Epoch-pinned many-to-many query surface over the registry lifecycle
+// (api/index_registry.h): a MatrixOracle holds an EpochHandle, so the index
+// it answers from cannot be retired mid-computation even while hot swaps
+// land, and every cell of one matrix is answered from the same snapshot.
+// Distances() forwards to DistanceOracle::DistanceMatrix — the bucket
+// technique on ch/ah, a hub-rank bucket join on hl, one-to-all rows on
+// dijkstra, pairwise sessions elsewhere — so callers get the sub-quadratic
+// path wherever one exists without naming it. Immutable after construction;
+// thread-safe.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "api/index_registry.h"
+#include "util/types.h"
+
+namespace ah {
+
+/// Row-major |sources| × |targets| distance matrix.
+struct MatrixResult {
+  std::size_t num_sources = 0;
+  std::size_t num_targets = 0;
+  std::vector<Dist> cells;  ///< cells[i * num_targets + j]; kInfDist cells
+                            ///< mark unreachable pairs.
+
+  Dist At(std::size_t i, std::size_t j) const {
+    return cells[i * num_targets + j];
+  }
+};
+
+class MatrixOracle {
+ public:
+  /// Pins `epoch` for this oracle's lifetime. `num_threads` caps the row
+  /// fan-out of each Distances call (0 = WorkerThreads()). Throws
+  /// std::invalid_argument on a null epoch.
+  explicit MatrixOracle(EpochHandle epoch, std::size_t num_threads = 0);
+
+  /// The epoch every matrix is answered from — stable for this oracle's
+  /// lifetime even if the registry swaps underneath.
+  const IndexEpoch& epoch() const { return *epoch_; }
+
+  /// Computes the full matrix. Deterministic at any thread count;
+  /// thread-safe (const).
+  MatrixResult Distances(std::span<const NodeId> sources,
+                         std::span<const NodeId> targets) const;
+
+ private:
+  EpochHandle epoch_;
+  std::size_t num_threads_;
+};
+
+}  // namespace ah

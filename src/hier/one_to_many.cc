@@ -7,80 +7,18 @@ namespace ah {
 OneToMany::OneToMany(const SearchGraph& sg, std::vector<NodeId> targets)
     : sg_(sg),
       targets_(std::move(targets)),
-      heap_(sg.NumNodes()),
-      dist_(sg.NumNodes(), kInfDist),
-      stamp_(sg.NumNodes(), 0) {
-  const std::size_t n = sg_.NumNodes();
+      buckets_(sg, targets_, /*num_threads=*/1),
+      scratch_(sg.NumNodes()) {}
 
-  // One backward upward search per target; collect raw (node, entry) pairs,
-  // then pack into CSR buckets.
-  std::vector<std::pair<NodeId, BucketEntry>> raw;
-  for (std::uint32_t k = 0; k < targets_.size(); ++k) {
-    ++round_;
-    heap_.Clear();
-    const NodeId t = targets_[k];
-    stamp_[t] = round_;
-    dist_[t] = 0;
-    heap_.PushOrDecrease(t, 0);
-    while (!heap_.Empty()) {
-      auto [d, u] = heap_.PopMin();
-      raw.push_back({u, BucketEntry{k, d}});
-      for (const UpArc& a : sg_.UpIn(u)) {
-        const Dist nd = d + a.weight;
-        if (stamp_[a.node] != round_ || nd < dist_[a.node]) {
-          stamp_[a.node] = round_;
-          dist_[a.node] = nd;
-          heap_.PushOrDecrease(a.node, nd);
-        }
-      }
-    }
-  }
-
-  std::sort(raw.begin(), raw.end(), [](const auto& a, const auto& b) {
-    if (a.first != b.first) return a.first < b.first;
-    return a.second.target_index < b.second.target_index;
-  });
-  bucket_first_.assign(n + 1, 0);
-  for (const auto& [node, entry] : raw) ++bucket_first_[node + 1];
-  for (std::size_t v = 0; v < n; ++v) bucket_first_[v + 1] += bucket_first_[v];
-  bucket_entries_.resize(raw.size());
-  for (std::size_t i = 0; i < raw.size(); ++i) {
-    bucket_entries_[i] = raw[i].second;
-  }
-}
-
-const std::vector<Dist>& OneToMany::DistancesFrom(NodeId s) {
-  result_.assign(targets_.size(), kInfDist);
-  ++round_;
-  heap_.Clear();
-  stamp_[s] = round_;
-  dist_[s] = 0;
-  heap_.PushOrDecrease(s, 0);
-  while (!heap_.Empty()) {
-    auto [d, u] = heap_.PopMin();
-    // Scan u's bucket: candidate distance via the up-down path peaking at u.
-    for (std::uint64_t i = bucket_first_[u]; i < bucket_first_[u + 1]; ++i) {
-      const BucketEntry& entry = bucket_entries_[i];
-      const Dist via = d + entry.dist;
-      if (via < result_[entry.target_index]) {
-        result_[entry.target_index] = via;
-      }
-    }
-    for (const UpArc& a : sg_.UpOut(u)) {
-      const Dist nd = d + a.weight;
-      if (stamp_[a.node] != round_ || nd < dist_[a.node]) {
-        stamp_[a.node] = round_;
-        dist_[a.node] = nd;
-        heap_.PushOrDecrease(a.node, nd);
-      }
-    }
-  }
-  return result_;
+std::vector<Dist> OneToMany::DistancesFrom(NodeId s) {
+  std::vector<Dist> result(targets_.size(), kInfDist);
+  CombineFromSource(sg_, buckets_, s, scratch_, result);
+  return result;
 }
 
 std::vector<std::pair<NodeId, Dist>> OneToMany::KNearest(NodeId s,
                                                          std::size_t k) {
-  const std::vector<Dist>& dists = DistancesFrom(s);
+  const std::vector<Dist> dists = DistancesFrom(s);
   std::vector<std::pair<NodeId, Dist>> ranked;
   for (std::size_t i = 0; i < targets_.size(); ++i) {
     if (dists[i] != kInfDist) ranked.push_back({targets_[i], dists[i]});

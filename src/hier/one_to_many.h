@@ -7,15 +7,17 @@
 // This serves the paper's motivating scenario (§1): ranking a set of POIs
 // (restaurants) by network distance from the user in one search instead of
 // |T| point-to-point queries. Works on any SearchGraph (CH or AH); exact on
-// any graph by the standard up-down path argument.
+// any graph by the standard up-down path argument. The bucket machinery is
+// shared with the many-to-many matrix engine (hier/many_to_many.h); this
+// class is the single-source convenience with reusable scratch.
 #pragma once
 
 #include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "hier/many_to_many.h"
 #include "hier/search_graph.h"
-#include "util/indexed_heap.h"
 #include "util/types.h"
 
 namespace ah {
@@ -28,36 +30,23 @@ class OneToMany {
   const std::vector<NodeId>& targets() const { return targets_; }
 
   /// Distances from s to every target, indexed like targets(); kInfDist for
-  /// unreachable ones. The returned reference is invalidated by the next
-  /// call.
-  const std::vector<Dist>& DistancesFrom(NodeId s);
+  /// unreachable ones. Returned by value: the result stays valid across
+  /// later calls (pooled sessions hand these out, so a returned buffer that
+  /// the next query silently rewrote would be an aliasing trap).
+  std::vector<Dist> DistancesFrom(NodeId s);
 
   /// The k nearest targets from s, sorted by distance (ties by target node
   /// id). Unreachable targets are excluded.
   std::vector<std::pair<NodeId, Dist>> KNearest(NodeId s, std::size_t k);
 
   /// Total bucket entries (space diagnostics).
-  std::size_t NumBucketEntries() const { return bucket_entries_.size(); }
+  std::size_t NumBucketEntries() const { return buckets_.NumEntries(); }
 
  private:
-  struct BucketEntry {
-    std::uint32_t target_index;
-    Dist dist;
-  };
-
   const SearchGraph& sg_;
   std::vector<NodeId> targets_;
-
-  // CSR buckets: bucket_first_[v] .. bucket_first_[v+1] entries per node.
-  std::vector<std::uint64_t> bucket_first_;
-  std::vector<BucketEntry> bucket_entries_;
-
-  // Reusable forward-search state.
-  IndexedHeap heap_;
-  std::vector<Dist> dist_;
-  std::vector<std::uint32_t> stamp_;
-  std::uint32_t round_ = 0;
-  std::vector<Dist> result_;
+  TargetBuckets buckets_;
+  UpwardSearchScratch scratch_;
 };
 
 }  // namespace ah

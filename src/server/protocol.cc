@@ -79,6 +79,7 @@ std::string_view ErrorCodeName(ErrorCode code) {
     case ErrorCode::kUnsupportedVersion: return "unsupported-version";
     case ErrorCode::kOverload: return "overload";
     case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kTooLarge: return "too-large";
     case ErrorCode::kInternal: return "internal";
   }
   return "internal";
@@ -171,11 +172,52 @@ ParseResult ParseRequest(std::string_view line, const ParseLimits& limits) {
     }
     return result;
   }
+  if (verb == "m") {
+    if (argc < 2) {
+      return Fail(ErrorCode::kBadRequest,
+                  "usage: m <ns> <nt> <s1> ... <sns> <t1> ... <tnt>");
+    }
+    std::uint64_t ns = 0;
+    std::uint64_t nt = 0;
+    if (!ParseU64(tokens[at], &ns) || ns == 0 || !ParseU64(tokens[at + 1], &nt) ||
+        nt == 0) {
+      return Fail(ErrorCode::kBadRequest,
+                  "matrix side counts must be positive integers");
+    }
+    // Cap before arity: a client asking for an over-cap matrix learns the
+    // policy limit, not a confusing token-count complaint.
+    if (limits.max_matrix_locations == 0) {
+      return Fail(ErrorCode::kTooLarge, "matrix requests are disabled");
+    }
+    if (ns > limits.max_matrix_locations || nt > limits.max_matrix_locations) {
+      return Fail(ErrorCode::kTooLarge,
+                  "matrix side of " + std::to_string(std::max(ns, nt)) +
+                      " exceeds the limit of " +
+                      std::to_string(limits.max_matrix_locations) +
+                      " locations");
+    }
+    if (argc - 2 != ns + nt) {
+      return Fail(ErrorCode::kBadRequest,
+                  "matrix of " + std::to_string(ns) + "x" + std::to_string(nt) +
+                      " needs " + std::to_string(ns + nt) +
+                      " node ids, got " + std::to_string(argc - 2));
+    }
+    req.kind = RequestKind::kMatrix;
+    req.sources.reserve(ns);
+    req.targets.reserve(nt);
+    for (std::uint64_t i = 0; i < ns + nt; ++i) {
+      NodeId node = 0;
+      ParseResult error;
+      if (!ParseNode(tokens[at + 2 + i], limits, &node, &error)) return error;
+      (i < ns ? req.sources : req.targets).push_back(node);
+    }
+    return result;
+  }
   // Everything below is backend-independent: a "@..." selector in front of
   // it is a contradiction, not something to silently ignore.
   if (!backend_prefix.empty()) {
     return Fail(ErrorCode::kBadRequest,
-                "the @<backend> selector only applies to d|p|k|b requests");
+                "the @<backend> selector only applies to d|p|k|b|m requests");
   }
   if (verb == "use") {
     if (argc != 1) return Fail(ErrorCode::kBadRequest, "usage: use <backend>");
@@ -220,7 +262,7 @@ ParseResult ParseRequest(std::string_view line, const ParseLimits& limits) {
   }
   return Fail(ErrorCode::kBadRequest,
               "unknown request '" + std::string(verb) +
-                  "' (expected d|p|k|b|stats|inv|use|upd|reload|q)");
+                  "' (expected d|p|k|b|m|stats|inv|use|upd|reload|q)");
 }
 
 std::string FormatError(ErrorCode code, std::string_view detail) {
@@ -269,6 +311,19 @@ std::string FormatBatch(const std::vector<Dist>& dists) {
   std::string out = "OK b ";
   out.append(std::to_string(dists.size()));
   for (const Dist d : dists) {
+    out.push_back(' ');
+    AppendDist(&out, d);
+  }
+  return out;
+}
+
+std::string FormatMatrix(std::size_t num_sources, std::size_t num_targets,
+                         const std::vector<Dist>& cells) {
+  std::string out = "OK m ";
+  out.append(std::to_string(num_sources));
+  out.push_back(' ');
+  out.append(std::to_string(num_targets));
+  for (const Dist d : cells) {
     out.push_back(' ');
     AppendDist(&out, d);
   }

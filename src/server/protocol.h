@@ -8,6 +8,8 @@
 //   p <s> <t>                       shortest path from s to t
 //   k <s> <k>                       k nearest POIs from s (server POI set)
 //   b <n> <s1> <t1> ... <sn> <tn>   batch of n distance queries
+//   m <ns> <nt> <s1> ... <sns> <t1> ... <tnt>
+//                                   ns × nt distance matrix (many-to-many)
 //   stats                           server counters and latency quantiles
 //   inv                             invalidate (clear) the result cache
 //   q                               end the session
@@ -21,6 +23,7 @@
 //   OK p unreachable | OK p <length> <m> <n1> ... <nm>
 //   OK k <m> <node1> <dist1> ... <nodem> <distm>
 //   OK b <n> <d1> ... <dn>          (unreachable entries print "unreachable")
+//   OK m <ns> <nt> <d11> ... <d1nt> ... <dnsnt>   (row-major by source)
 //   OK stats <key>=<value> ...
 //   OK inv / OK bye
 //   OK use <backend>
@@ -30,7 +33,8 @@
 //
 // "unreachable" is a successful answer about the graph; ERR codes
 // (bad-request, bad-node, bad-backend, bad-arc, unsupported-version,
-// overload, timeout, internal) are request or server failures — clients
+// overload, timeout, too-large, internal) are request or server failures —
+// clients
 // must never conflate the two. Node ids are validated strictly: any
 // non-numeric, negative, or out-of-range id is rejected with an error
 // naming the offending token instead of being silently clamped. Backend
@@ -59,6 +63,7 @@ enum class RequestKind {
   kPath,
   kKNearest,
   kBatch,
+  kMatrix,  ///< Many-to-many distance matrix.
   kStats,
   kInvalidate,
   kUse,     ///< Switch the server default backend.
@@ -76,6 +81,7 @@ enum class ErrorCode {
   kUnsupportedVersion,  ///< AH/<v> prefix with an unknown version
   kOverload,            ///< load shed: admission queue full
   kTimeout,             ///< request deadline expired before execution
+  kTooLarge,            ///< matrix side exceeds the server's location cap
   kInternal,            ///< server-side failure while answering
 };
 
@@ -83,9 +89,9 @@ enum class ErrorCode {
 std::string_view ErrorCodeName(ErrorCode code);
 
 /// A parsed request. Only the fields of the parsed kind are meaningful:
-/// s/t for distance and path, s/k for k-nearest, pairs for batch, backend
-/// for use (and, from the "@..." prefix, any query kind; empty = server
-/// default), s/t/weight for upd.
+/// s/t for distance and path, s/k for k-nearest, pairs for batch,
+/// sources/targets for matrix, backend for use (and, from the "@..."
+/// prefix, any query kind; empty = server default), s/t/weight for upd.
 struct Request {
   RequestKind kind = RequestKind::kQuit;
   NodeId s = 0;
@@ -94,6 +100,8 @@ struct Request {
   Weight weight = 0;
   std::string backend;
   std::vector<std::pair<NodeId, NodeId>> pairs;
+  std::vector<NodeId> sources;
+  std::vector<NodeId> targets;
 };
 
 /// Outcome of parsing one request line: either a Request or a structured
@@ -111,6 +119,9 @@ struct ParseLimits {
   std::size_t num_nodes = 0;
   /// Max pairs in one batch request; 0 disables batching entirely.
   std::size_t max_batch = 4096;
+  /// Max locations per matrix side (sources or targets); violations are
+  /// kTooLarge. 0 disables matrix requests entirely.
+  std::size_t max_matrix_locations = 512;
 };
 
 /// Parses one request line. Leading/trailing whitespace is ignored; an
@@ -125,6 +136,9 @@ std::string FormatPath(const PathResult& path);
 /// `nearest` is (distance, node), sorted ascending by the caller.
 std::string FormatKNearest(const std::vector<std::pair<Dist, NodeId>>& nearest);
 std::string FormatBatch(const std::vector<Dist>& dists);
+/// `cells` is the row-major num_sources × num_targets matrix.
+std::string FormatMatrix(std::size_t num_sources, std::size_t num_targets,
+                         const std::vector<Dist>& cells);
 
 /// The banner a front-end sends on connect: "AH/1 ready <n> nodes <m> arcs".
 std::string Greeting(std::size_t num_nodes, std::size_t num_arcs);

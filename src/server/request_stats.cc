@@ -77,6 +77,7 @@ std::string_view RequestClassName(RequestClass c) {
     case RequestClass::kPath: return "p";
     case RequestClass::kKNearest: return "k";
     case RequestClass::kBatch: return "b";
+    case RequestClass::kMatrix: return "m";
   }
   return "?";
 }

@@ -57,8 +57,9 @@ enum class RequestClass : std::size_t {
   kPath = 1,
   kKNearest = 2,
   kBatch = 3,
+  kMatrix = 4,
 };
-inline constexpr std::size_t kNumRequestClasses = 4;
+inline constexpr std::size_t kNumRequestClasses = 5;
 std::string_view RequestClassName(RequestClass c);
 
 /// Thread-safe counters + per-class latency histograms for one serving

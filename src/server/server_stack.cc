@@ -71,7 +71,8 @@ void ServerStack::SubmitInternal(std::string_view line,
                                  std::optional<std::uint64_t> client,
                                  ReplyCallback done) {
   ParseResult parsed =
-      ParseRequest(line, ParseLimits{registry_->NumNodes(), config_.max_batch});
+      ParseRequest(line, ParseLimits{registry_->NumNodes(), config_.max_batch,
+                                     config_.max_matrix_locations});
   if (!parsed.ok) {
     stats_.RecordError();
     done(FormatError(parsed.code, parsed.message), false);
@@ -259,6 +260,8 @@ std::string ServerStack::Execute(const Request& request,
         return ExecuteKNearest(request.s, request.k, lease);
       case RequestKind::kBatch:
         return ExecuteBatch(request.pairs, lease);
+      case RequestKind::kMatrix:
+        return ExecuteMatrix(request.sources, request.targets, lease);
       default:
         stats_.RecordError();
         return FormatError(ErrorCode::kInternal, "unexecutable request kind");
@@ -387,6 +390,50 @@ std::string ServerStack::ExecuteBatch(
   const std::vector<Dist> dists = CachedDistances(pairs, lease);
   stats_.RecordOk(RequestClass::kBatch, timer.Micros());
   return FormatBatch(dists);
+}
+
+std::string ServerStack::ExecuteMatrix(const std::vector<NodeId>& sources,
+                                       const std::vector<NodeId>& targets,
+                                       ConcurrentEngine::SessionLease& lease) {
+  Timer timer;
+  const std::uint32_t backend_id = lease.epoch().backend_id;
+  const std::uint64_t generation = lease.epoch().generation;
+  const std::size_t num_targets = targets.size();
+
+  // All-pairs cache probe: a fully warm matrix is answered without touching
+  // the index at all. A single miss abandons the probe — recomputing the
+  // whole matrix through the bucket engine is cheaper than per-pair point
+  // queries for the misses.
+  std::vector<Dist> cells(sources.size() * num_targets, kInfDist);
+  bool all_hit = true;
+  for (std::size_t i = 0; all_hit && i < sources.size(); ++i) {
+    for (std::size_t j = 0; j < num_targets; ++j) {
+      CachedResult cached;
+      if (!cache_.Lookup(CacheKey{sources[i], targets[j],
+                                  CachedKind::kDistance, backend_id},
+                         generation, &cached)) {
+        all_hit = false;
+        break;
+      }
+      cells[i * num_targets + j] = cached.dist;
+    }
+  }
+  if (!all_hit) {
+    // Computed on the lease's own pinned epoch, so — unlike the batch
+    // fan-out in CachedDistances — every insert below is tagged with the
+    // generation that actually answered it; no monotonicity check needed.
+    cells = lease.epoch().oracle->DistanceMatrix(sources, targets,
+                                                 engine_.NumThreads());
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      for (std::size_t j = 0; j < num_targets; ++j) {
+        cache_.Insert(CacheKey{sources[i], targets[j], CachedKind::kDistance,
+                               backend_id},
+                      generation, CachedResult{cells[i * num_targets + j], {}});
+      }
+    }
+  }
+  stats_.RecordOk(RequestClass::kMatrix, timer.Micros());
+  return FormatMatrix(sources.size(), num_targets, cells);
 }
 
 std::string ServerStack::StatsLine() const {

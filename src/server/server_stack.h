@@ -64,6 +64,9 @@ struct ServerConfig {
   std::size_t admission_per_client = 64;
   /// Max pairs accepted in one batch request.
   std::size_t max_batch = 4096;
+  /// Max locations per matrix side (`m` requests); 0 disables the verb.
+  /// Over-cap requests are answered ERR too-large.
+  std::size_t max_matrix_locations = 512;
   /// Engine fan-out (0 = WorkerThreads() default).
   std::size_t num_threads = 0;
 };
@@ -150,6 +153,9 @@ class ServerStack {
                               ConcurrentEngine::SessionLease& lease);
   std::string ExecuteBatch(const std::vector<std::pair<NodeId, NodeId>>& pairs,
                            ConcurrentEngine::SessionLease& lease);
+  std::string ExecuteMatrix(const std::vector<NodeId>& sources,
+                            const std::vector<NodeId>& targets,
+                            ConcurrentEngine::SessionLease& lease);
 
   /// Cache-through distances for a pair list: hits from the cache (keyed by
   /// the lease's backend + generation), misses computed (on the lease, or

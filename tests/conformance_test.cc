@@ -118,6 +118,55 @@ TEST_P(ConformanceTest, MatchesDijkstraOracle) {
       << backend << ": paths fell back to distance probes";
 }
 
+/// Deterministic source/target sets for the matrix sweep: every node on tiny
+/// graphs, a seeded sample otherwise. Sources and targets overlap on purpose
+/// (diagonal cells must be 0) and contain repeats on larger graphs (bucket
+/// CSR must handle duplicate targets).
+std::pair<std::vector<NodeId>, std::vector<NodeId>> MatrixLocations(
+    const Graph& g, std::uint64_t seed) {
+  const std::size_t n = g.NumNodes();
+  if (n <= 12) {
+    std::vector<NodeId> all(n);
+    for (NodeId v = 0; v < n; ++v) all[v] = v;
+    return {all, all};
+  }
+  Rng rng(seed);
+  std::vector<NodeId> sources, targets;
+  for (int i = 0; i < 9; ++i) {
+    sources.push_back(static_cast<NodeId>(rng.Uniform(n)));
+    targets.push_back(static_cast<NodeId>(rng.Uniform(n)));
+  }
+  sources.push_back(sources.front());  // duplicate source
+  targets.push_back(targets.front());  // duplicate target
+  targets.push_back(sources.front());  // shared node => zero diagonal cell
+  return {sources, targets};
+}
+
+// The many-to-many surface must agree cell-for-cell with the Dijkstra
+// oracle on every scenario — including disconnected graphs, where
+// cross-component cells are kInfDist, and single-node graphs (1x1 matrix).
+TEST_P(ConformanceTest, MatrixMatchesDijkstraOracle) {
+  const std::string& backend = std::get<0>(GetParam());
+  const Scenario& scenario = std::get<1>(GetParam());
+  const Graph g = scenario.make();
+  const auto [sources, targets] = MatrixLocations(g, 55);
+
+  const std::unique_ptr<DistanceOracle> oracle = MakeOracle(backend, g);
+  const std::vector<Dist> cells =
+      oracle->DistanceMatrix(sources, targets, /*num_threads=*/1);
+  ASSERT_EQ(cells.size(), sources.size() * targets.size()) << backend;
+
+  Dijkstra reference(g);
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    for (std::size_t j = 0; j < targets.size(); ++j) {
+      ASSERT_EQ(cells[i * targets.size() + j],
+                reference.Distance(sources[i], targets[j]))
+          << backend << ": matrix cell (" << sources[i] << ", " << targets[j]
+          << ") on " << scenario.name;
+    }
+  }
+}
+
 std::string ParamName(
     const ::testing::TestParamInfo<ConformanceTest::ParamType>& info) {
   return std::get<0>(info.param) + "_" + std::get<1>(info.param).name;
@@ -179,6 +228,52 @@ TEST(ConformanceConcurrencyTest, SharedIndexServesParallelSessions) {
         EXPECT_TRUE(
             IsValidPath(g, sample_path[w].nodes, ps, pt, sample_path[w].length))
             << backend << ": thread " << w << " infeasible path";
+      }
+    }
+  }
+}
+
+// Four threads share one immutable index and each run their own matrix
+// request concurrently (inner parallelism pinned to 1 so the interleaving
+// under test is the cross-request one). DistanceMatrix is const on the
+// oracle, so concurrent calls must neither race nor perturb each other's
+// answers. Runs under TSan via the dedicated CI job.
+TEST(ConformanceConcurrencyTest, SharedIndexServesParallelMatrixQueries) {
+  const Graph g = testing::MakeRoadGraph(10, 12);
+  Dijkstra reference(g);
+  constexpr std::size_t kThreads = 4;
+  for (const std::string& backend : OracleNames()) {
+    const std::unique_ptr<DistanceOracle> oracle = MakeOracle(backend, g);
+    std::vector<std::vector<NodeId>> sources(kThreads), targets(kThreads);
+    for (std::size_t w = 0; w < kThreads; ++w) {
+      // Distinct per-thread location sets so threads cannot accidentally
+      // pass by reading a sibling's result.
+      Rng rng(100 + w);
+      for (int i = 0; i < 7; ++i) {
+        sources[w].push_back(static_cast<NodeId>(rng.Uniform(g.NumNodes())));
+        targets[w].push_back(static_cast<NodeId>(rng.Uniform(g.NumNodes())));
+      }
+    }
+    std::vector<std::vector<Dist>> got(kThreads);
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (std::size_t w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&, w] {
+        got[w] =
+            oracle->DistanceMatrix(sources[w], targets[w], /*num_threads=*/1);
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+
+    for (std::size_t w = 0; w < kThreads; ++w) {
+      ASSERT_EQ(got[w].size(), sources[w].size() * targets[w].size());
+      for (std::size_t i = 0; i < sources[w].size(); ++i) {
+        for (std::size_t j = 0; j < targets[w].size(); ++j) {
+          ASSERT_EQ(got[w][i * targets[w].size() + j],
+                    reference.Distance(sources[w][i], targets[w][j]))
+              << backend << ": thread " << w << " matrix cell ("
+              << sources[w][i] << ", " << targets[w][j] << ")";
+        }
       }
     }
   }

@@ -114,6 +114,33 @@ TEST(OneToManyTest, KNearestBreaksTiesByNodeId) {
   }
 }
 
+// Regression: DistancesFrom used to return a reference to an internal
+// buffer that the next call silently rewrote — a result held across queries
+// (the natural idiom with pooled sessions) would change under the caller.
+// It now copies out, so earlier results must survive later queries.
+TEST(OneToManyTest, ResultSurvivesSubsequentQueries) {
+  Graph g = testing::MakeRoadGraph(12, 9);
+  ChIndex ch = ChIndex::Build(g);
+  Rng rng(9);
+  std::vector<NodeId> targets;
+  for (int i = 0; i < 10; ++i) {
+    targets.push_back(static_cast<NodeId>(rng.Uniform(g.NumNodes())));
+  }
+  OneToMany otm(ch.search_graph(), targets);
+  const NodeId s1 = 0;
+  const NodeId s2 = static_cast<NodeId>(g.NumNodes() - 1);
+  const std::vector<Dist> first = otm.DistancesFrom(s1);
+  const std::vector<Dist> expected_first = first;  // snapshot before reuse
+  (void)otm.DistancesFrom(s2);
+  (void)otm.KNearest(s2, 3);
+  EXPECT_EQ(first, expected_first);
+  // And the values themselves are still the correct answers for s1.
+  Dijkstra dijkstra(g);
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_EQ(first[i], dijkstra.Distance(s1, targets[i]));
+  }
+}
+
 TEST(OneToManyTest, TargetAtSourceIsZero) {
   Graph g = testing::MakeRoadGraph(10, 4);
   ChIndex ch = ChIndex::Build(g);

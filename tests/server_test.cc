@@ -1,6 +1,8 @@
-// The serving stack: protocol round-trip (including malformed input and the
-// use/upd/reload admin verbs), result-cache correctness with generation
-// tags and TTL (cached answers cross-checked against Dijkstra), admission-
+// The serving stack: protocol round-trip (including malformed input, the
+// use/upd/reload admin verbs, and the `m` matrix verb with its location
+// cap), result-cache correctness with generation tags and TTL (cached
+// answers cross-checked against Dijkstra, matrix replies retiring per-pair
+// entries across a hot swap), admission-
 // control shedding and deadlines under a saturated bounded queue, the
 // latency histogram, a localhost TCP end-to-end smoke test, and a hot swap
 // under live concurrent TCP load. The CI tsan job runs this suite under
@@ -66,6 +68,17 @@ TEST(ProtocolTest, ParsesEveryRequestKind) {
   ASSERT_EQ(r.request.pairs.size(), 2u);
   EXPECT_EQ(r.request.pairs[0], (std::pair<NodeId, NodeId>{0, 1}));
   EXPECT_EQ(r.request.pairs[1], (std::pair<NodeId, NodeId>{2, 3}));
+
+  r = ParseRequest("m 2 3 7 8 0 1 2", kLimits);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.request.kind, RequestKind::kMatrix);
+  EXPECT_EQ(r.request.sources, (std::vector<NodeId>{7, 8}));
+  EXPECT_EQ(r.request.targets, (std::vector<NodeId>{0, 1, 2}));
+  // Backend selector applies to matrix requests too.
+  r = ParseRequest("@ch m 1 1 0 5", kLimits);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.request.kind, RequestKind::kMatrix);
+  EXPECT_EQ(r.request.backend, "ch");
 
   EXPECT_EQ(ParseRequest("stats", kLimits).request.kind, RequestKind::kStats);
   EXPECT_EQ(ParseRequest("inv", kLimits).request.kind,
@@ -159,6 +172,11 @@ TEST(ProtocolTest, MalformedInputYieldsStructuredErrors) {
       {"b 2 0 1 2 3 4", ErrorCode::kBadRequest},
       {"b 9 0 1 0 1 0 1 0 1 0 1 0 1 0 1 0 1 0 1",
        ErrorCode::kBadRequest},               // over max_batch = 8
+      {"m", ErrorCode::kBadRequest},
+      {"m 0 2 1 2", ErrorCode::kBadRequest},     // zero sources
+      {"m 2 0 1 2", ErrorCode::kBadRequest},     // zero targets
+      {"m 2 2 0 1 2", ErrorCode::kBadRequest},   // wrong node count
+      {"m 1 1 0 100", ErrorCode::kBadNode},      // target out of range
       {"stats now", ErrorCode::kBadRequest},
       {"q please", ErrorCode::kBadRequest},
   };
@@ -168,6 +186,25 @@ TEST(ProtocolTest, MalformedInputYieldsStructuredErrors) {
     EXPECT_EQ(r.code, c.code) << "line: '" << c.line << "'";
     EXPECT_FALSE(r.message.empty()) << "line: '" << c.line << "'";
   }
+}
+
+TEST(ProtocolTest, MatrixLocationCapAnswersTooLarge) {
+  // The cap is checked before arity so an over-limit client learns the
+  // policy without shipping the full location list.
+  constexpr ParseLimits tight{/*num_nodes=*/100, /*max_batch=*/8,
+                              /*max_matrix_locations=*/2};
+  ParseResult r = ParseRequest("m 3 1 0", tight);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.code, ErrorCode::kTooLarge);
+  r = ParseRequest("m 1 3 0", tight);
+  EXPECT_EQ(r.code, ErrorCode::kTooLarge);
+  EXPECT_TRUE(ParseRequest("m 2 2 0 1 2 3", tight).ok);  // at the cap
+
+  constexpr ParseLimits disabled{/*num_nodes=*/100, /*max_batch=*/8,
+                                 /*max_matrix_locations=*/0};
+  r = ParseRequest("m 1 1 0 1", disabled);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.code, ErrorCode::kTooLarge);
 }
 
 TEST(ProtocolTest, FormatsDistinguishUnreachableFromErrors) {
@@ -182,6 +219,8 @@ TEST(ProtocolTest, FormatsDistinguishUnreachableFromErrors) {
 
   EXPECT_EQ(FormatBatch({3, kInfDist, 0}), "OK b 3 3 unreachable 0");
   EXPECT_EQ(FormatKNearest({{5, 2}, {9, 7}}), "OK k 2 2 5 7 9");
+  EXPECT_EQ(FormatMatrix(2, 2, {3, kInfDist, 0, 7}),
+            "OK m 2 2 3 unreachable 0 7");
 
   EXPECT_EQ(FormatError(ErrorCode::kBadNode, "node id 7 out of range"),
             "ERR bad-node node id 7 out of range");
@@ -499,6 +538,119 @@ TEST_F(ServerStackTest, BatchAndKNearestMatchReference) {
   std::sort(expected.begin(), expected.end());
   expected.resize(std::min<std::size_t>(3, expected.size()));
   EXPECT_EQ(stack.HandleLine("k 2 3"), FormatKNearest(expected));
+}
+
+std::string MatrixQuery(const std::vector<NodeId>& sources,
+                        const std::vector<NodeId>& targets) {
+  std::string query = "m ";
+  query += std::to_string(sources.size());
+  query += ' ';
+  query += std::to_string(targets.size());
+  for (const NodeId s : sources) {
+    query += ' ';
+    query += std::to_string(s);
+  }
+  for (const NodeId t : targets) {
+    query += ' ';
+    query += std::to_string(t);
+  }
+  return query;
+}
+
+TEST_F(ServerStackTest, MatrixMatchesReferenceAndSeedsThePairCache) {
+  ServerStack stack(MakeOracle("ch", graph_), SmallConfig());
+  Dijkstra reference(graph_);
+  const NodeId n = static_cast<NodeId>(graph_.NumNodes());
+  const std::vector<NodeId> sources = {0, static_cast<NodeId>(n / 2)};
+  const std::vector<NodeId> targets = {static_cast<NodeId>(n - 1), 3};
+  std::vector<Dist> cells;
+  for (const NodeId s : sources) {
+    for (const NodeId t : targets) cells.push_back(reference.Distance(s, t));
+  }
+  const std::string query = MatrixQuery(sources, targets);
+  const std::string expected = FormatMatrix(2, 2, cells);
+
+  EXPECT_EQ(stack.HandleLine(query), expected);
+  const CacheStats cold = stack.cache().Totals();
+  EXPECT_EQ(cold.insertions, 4u);  // one per-pair distance entry per cell
+
+  // A point query on a matrix-covered pair is served from the cache.
+  EXPECT_EQ(stack.HandleLine("d 0 " + std::to_string(n - 1)),
+            FormatDistance(cells[0]));
+  EXPECT_EQ(stack.cache().Totals().hits, cold.hits + 1);
+  EXPECT_EQ(stack.cache().Totals().insertions, cold.insertions);
+
+  // Repeating the matrix request answers entirely from the cache.
+  EXPECT_EQ(stack.HandleLine(query), expected);
+  EXPECT_EQ(stack.cache().Totals().insertions, cold.insertions);
+  EXPECT_EQ(stack.stats().OkCount(), 3u);
+}
+
+TEST_F(ServerStackTest, MatrixCapAndDisabledAnswerTooLarge) {
+  ServerConfig config = SmallConfig();
+  config.max_matrix_locations = 2;
+  ServerStack stack(MakeOracle("dijkstra", graph_), config);
+  EXPECT_TRUE(StartsWith(stack.HandleLine("m 3 1 0 1 2 3"), "ERR too-large"));
+  EXPECT_TRUE(StartsWith(stack.HandleLine("m 2 2 0 1 2 3"), "OK m 2 2"));
+
+  config.max_matrix_locations = 0;  // matrix surface switched off
+  ServerStack disabled(MakeOracle("dijkstra", graph_), config);
+  EXPECT_TRUE(StartsWith(disabled.HandleLine("m 1 1 0 1"), "ERR too-large"));
+  EXPECT_TRUE(StartsWith(disabled.HandleLine("d 0 1"), "OK d"));
+}
+
+// Matrix replies answered through the per-pair cache must be retired by
+// generation tag across a hot swap, exactly like point queries: after
+// upd+reload the same `m` request reflects the new weights, with no
+// Clear() involved.
+TEST_F(ServerStackTest, MatrixCacheEntriesAreRetiredByGenerationOnHotSwap) {
+  auto registry = std::make_shared<IndexRegistry>(
+      graph_, std::vector<std::string>{"ch"});
+  ServerStack stack(registry, SmallConfig());
+
+  ASSERT_GT(graph_.OutArcs(0).size(), 0u);
+  const NodeId via = graph_.OutArcs(0)[0].head;
+  const Weight new_weight =
+      static_cast<Weight>(graph_.OutArcs(0)[0].weight * 1000 + 1);
+  Graph updated = graph_;
+  updated.SetArcWeight(0, via, new_weight);
+  Dijkstra before(graph_);
+  Dijkstra after(updated);
+
+  const NodeId n = static_cast<NodeId>(graph_.NumNodes());
+  const std::vector<NodeId> sources = {0, via};
+  const std::vector<NodeId> targets = {via, static_cast<NodeId>(n - 1)};
+  std::vector<Dist> old_cells, new_cells;
+  for (const NodeId s : sources) {
+    for (const NodeId t : targets) {
+      old_cells.push_back(before.Distance(s, t));
+      new_cells.push_back(after.Distance(s, t));
+    }
+  }
+  ASSERT_NE(old_cells, new_cells) << "weight delta must change some cell";
+  const std::string query = MatrixQuery(sources, targets);
+
+  // Warm the cache pre-swap, and prove the repeat is cache-served.
+  ASSERT_EQ(stack.HandleLine(query), FormatMatrix(2, 2, old_cells));
+  ASSERT_EQ(stack.HandleLine(query), FormatMatrix(2, 2, old_cells));
+  const CacheStats warm = stack.cache().Totals();
+  EXPECT_GT(warm.hits, 0u);
+
+  ASSERT_EQ(stack.HandleLine("upd 0 " + std::to_string(via) + " " +
+                             std::to_string(new_weight)),
+            "OK upd 1");
+  ASSERT_EQ(stack.HandleLine("reload"), "OK reload 1");
+  registry->WaitForRebuild();
+
+  // The stale per-pair entries are dropped on sight by generation tag and
+  // the matrix is recomputed on the new epoch.
+  EXPECT_EQ(stack.HandleLine(query), FormatMatrix(2, 2, new_cells));
+  const CacheStats swapped = stack.cache().Totals();
+  EXPECT_GT(swapped.invalidations, 0u);
+  EXPECT_EQ(swapped.clears, 0u);
+  // And the refreshed entries serve point queries on the new graph.
+  EXPECT_EQ(stack.HandleLine("d 0 " + std::to_string(via)),
+            FormatDistance(new_cells[0]));
 }
 
 // Tie-heavy k-nearest through the protocol: every POI is equidistant from
