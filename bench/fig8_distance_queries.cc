@@ -9,6 +9,7 @@
 // search at all — so its per-query cost is flat across the sets and well
 // below CH (it trades label-building time and space for it).
 #include "bench_common.h"
+#include "bench_json.h"
 #include "ch/ch_index.h"
 #include "core/ah_query.h"
 #include "hl/hl_index.h"
@@ -18,6 +19,7 @@
 int main() {
   using namespace ah;
   using namespace ah::bench;
+  BenchJson json("fig8");
   PrintHeader("Figure 8 — Efficiency of Distance Queries vs. Query Set",
               "avg running time (microsec) per query set Q1..Q10");
 
@@ -111,6 +113,21 @@ int main() {
                               : "-",
                     ch_us > 0 ? TextTable::Num(ch_us / std::max(hl_us, 1e-9), 2)
                               : "-"});
+      // One gate series per (backend, set): avg latency as the quantiles,
+      // 1e6/avg as qps, and the Dijkstra-verified distance sum as the
+      // checksum the perf gate hard-fails on.
+      const struct {
+        const char* name;
+        double us;
+        Dist sum;
+      } gate_series[] = {{"ah", ah_us, ah_sum},
+                         {"ch", ch_us, ch_sum},
+                         {"hl", hl_us, hl_sum}};
+      for (const auto& s : gate_series) {
+        json.AddSeries(d.spec.name + "/" + s.name + "/" +
+                           QuerySetLabel(qs.index),
+                       s.us > 0 ? 1e6 / s.us : 0, s.us, s.us, s.sum);
+      }
     }
     table.Print();
     if (hl_speedup_base > 0) {
@@ -120,6 +137,7 @@ int main() {
     }
     std::fflush(stdout);
   }
+  if (!json.WriteToEnvPath()) return 1;
   std::printf(
       "\nPaper shape check: AH <= CH on all sets and well below CH on\n"
       "Q8-Q10; Dijkstra worst and growing with the set index. HL flat and\n"

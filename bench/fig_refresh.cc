@@ -1,0 +1,252 @@
+// fig_refresh: time-to-fresh-epoch vs delta size — the incremental-repair
+// figure. Road traffic moves arc weights while the topology stays put; the
+// serving question is how fast a live index can be made fresh again. For
+// each backend with a frozen-order rebuild path (ch / ah / hl), this bench
+// perturbs a growing fraction of arcs (perturb/traffic_feed.h, seeded), then
+// rebuilds the index over the updated graph two ways:
+//
+//   scratch — a from-scratch build (greedy ordering + contraction), the
+//             pre-incremental reload cost;
+//   frozen  — DistanceOracle-level frozen-order re-contraction: reuse the
+//             live epoch's node order / hub order and recompute only the
+//             weight-dependent parts (shortcut weights, witness checks,
+//             labels, gateways).
+//
+// Witness-checked contraction is exact for ANY total order, so both builds
+// must answer every probe query identically — the bench fails (exit 1) on
+// any probe-checksum mismatch. The headline number is the speedup column:
+// frozen-order repair is the reason a reload under churn is cheap
+// (target >= 5x on ch/ah at small deltas).
+//
+// Env knobs (on top of bench_common.h's AH_BENCH_SCALE / AH_BENCH_DATASETS):
+//   AH_BENCH_PAIRS    — probe queries per build (default 200).
+//   AH_BENCH_REPS     — rebuild repetitions per cell, best taken (default 2).
+//   AH_BENCH_BACKENDS — comma-separated subset of ch,ah,hl (default: all).
+//   AH_BENCH_JSON     — path for the machine-readable series JSON
+//                       (bench_json.h; the CI perf gate input). The series
+//                       checksum is the probe checksum — identical across
+//                       machines by construction — and "qps" is frozen
+//                       rebuilds/second, so the gate's throughput warning
+//                       tracks repair latency.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_common.h"
+#include "bench_json.h"
+#include "ch/ch_index.h"
+#include "core/ah_index.h"
+#include "core/ah_query.h"
+#include "graph/weight_update.h"
+#include "hl/hl_index.h"
+#include "perturb/traffic_feed.h"
+
+namespace {
+
+using namespace ah;
+using namespace ah::bench;
+
+/// Perturbed-arc fractions the series sweeps (delta size axis).
+constexpr double kDeltaFractions[] = {0.001, 0.01, 0.05};
+
+const char* FractionLabel(double frac) {
+  if (frac == 0.001) return "d0.1pct";
+  if (frac == 0.01) return "d1pct";
+  return "d5pct";
+}
+
+/// Comma-separated AH_BENCH_BACKENDS subset of the incremental backends.
+std::vector<std::string> RefreshBackendsFromEnv() {
+  static const std::vector<std::string> kAll = {"ch", "ah", "hl"};
+  std::vector<std::string> filter;
+  if (const char* raw = std::getenv("AH_BENCH_BACKENDS")) {
+    std::string_view rest(raw);
+    while (!rest.empty()) {
+      const std::size_t comma = rest.find(',');
+      const std::string_view name = rest.substr(0, comma);
+      if (!name.empty()) filter.emplace_back(name);
+      if (comma == std::string_view::npos) break;
+      rest.remove_prefix(comma + 1);
+    }
+  }
+  std::vector<std::string> backends;
+  for (const std::string& name : kAll) {
+    if (filter.empty() ||
+        std::find(filter.begin(), filter.end(), name) != filter.end()) {
+      backends.push_back(name);
+    }
+  }
+  return backends;
+}
+
+std::vector<std::pair<NodeId, NodeId>> ProbePairs(const Graph& g,
+                                                  std::size_t count) {
+  Rng rng(20130624);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  pairs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    pairs.emplace_back(static_cast<NodeId>(rng.Uniform(g.NumNodes())),
+                       static_cast<NodeId>(rng.Uniform(g.NumNodes())));
+  }
+  return pairs;
+}
+
+struct RepairCell {
+  double scratch_seconds = 0;  ///< Best from-scratch build time.
+  double frozen_seconds = 0;   ///< Best frozen-order rebuild time.
+  Dist scratch_checksum = 0;
+  Dist frozen_checksum = 0;
+};
+
+/// Times `build()` (from scratch) and `repair()` (frozen order) over the
+/// updated graph, best of `reps`, and probes both results.
+template <typename Index, typename BuildFn, typename RepairFn,
+          typename ProbeFn>
+RepairCell RunRepairCell(std::size_t reps, const BuildFn& build,
+                         const RepairFn& repair, const ProbeFn& probe) {
+  RepairCell cell;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    Timer timer;
+    Index scratch = build();
+    const double scratch_seconds = timer.Seconds();
+    timer.Restart();
+    Index frozen = repair();
+    const double frozen_seconds = timer.Seconds();
+    if (rep == 0 || scratch_seconds < cell.scratch_seconds) {
+      cell.scratch_seconds = scratch_seconds;
+    }
+    if (rep == 0 || frozen_seconds < cell.frozen_seconds) {
+      cell.frozen_seconds = frozen_seconds;
+    }
+    if (rep == 0) {
+      cell.scratch_checksum = probe(scratch);
+      cell.frozen_checksum = probe(frozen);
+    }
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t pairs = EnvSizeT("AH_BENCH_PAIRS", 200);
+  const std::size_t reps = EnvSizeT("AH_BENCH_REPS", 2);
+  const std::vector<std::string> backends = RefreshBackendsFromEnv();
+  BenchJson json("fig_refresh");
+
+  PrintHeader("fig_refresh — time-to-fresh-epoch vs delta size",
+              "frozen-order re-contraction vs from-scratch rebuild after "
+              "perturbing 0.1% / 1% / 5% of arcs (identical probe answers "
+              "required; speedup = scratch / frozen)");
+
+  std::size_t mismatches = 0;
+  for (const PreparedDataset& d : PrepareDatasets(BenchDatasetCountFromEnv(1))) {
+    const Graph& g = d.graph;
+    const std::vector<std::pair<NodeId, NodeId>> probes = ProbePairs(g, pairs);
+
+    // The live epoch: one from-scratch build per backend, reused as the
+    // frozen-order donor for every delta size (the serving situation — the
+    // order was computed once, long ago, on the original weights).
+    Timer build_timer;
+    ChIndex live_ch = ChIndex::Build(g);
+    std::printf("[build] ch   %.2fs\n", build_timer.Seconds());
+    build_timer.Restart();
+    AhIndex live_ah = AhIndex::Build(g);
+    std::printf("[build] ah   %.2fs\n", build_timer.Seconds());
+    build_timer.Restart();
+    HlIndex live_hl = HlIndex::Build(g);
+    std::printf("[build] hl   %.2fs\n", build_timer.Seconds());
+    std::fflush(stdout);
+
+    TextTable table({"dataset", "backend", "delta", "arcs", "scratch ms",
+                     "frozen ms", "speedup", "checksum"});
+    for (const double frac : kDeltaFractions) {
+      TrafficFeedParams feed_params;
+      feed_params.batch_fraction = frac;
+      TrafficFeed feed(g, feed_params);
+      const std::vector<WeightDelta> batch = feed.NextBatch();
+      Graph updated = g;
+      ApplyWeightDeltas(&updated, batch);
+
+      for (const std::string& backend : backends) {
+        RepairCell cell;
+        if (backend == "ch") {
+          const auto probe = [&](const ChIndex& index) {
+            ChQuery query(index);
+            return TimeQueries(probes, [&](NodeId s, NodeId t) {
+                     return query.Distance(s, t);
+                   }).second;
+          };
+          cell = RunRepairCell<ChIndex>(
+              reps, [&] { return ChIndex::Build(updated); },
+              [&] { return ChIndex::RebuildWithFrozenOrder(updated, live_ch); },
+              probe);
+        } else if (backend == "ah") {
+          const auto probe = [&](const AhIndex& index) {
+            AhQuery query(index);
+            return TimeQueries(probes, [&](NodeId s, NodeId t) {
+                     return query.Distance(s, t);
+                   }).second;
+          };
+          cell = RunRepairCell<AhIndex>(
+              reps, [&] { return AhIndex::Build(updated); },
+              [&] { return AhIndex::RebuildWithFrozenOrder(updated, live_ah); },
+              probe);
+        } else {
+          const auto probe = [&](const HlIndex& index) {
+            return TimeQueries(probes, [&](NodeId s, NodeId t) {
+                     return index.Distance(s, t);
+                   }).second;
+          };
+          cell = RunRepairCell<HlIndex>(
+              reps, [&] { return HlIndex::Build(updated); },
+              [&] { return HlIndex::RebuildWithFrozenOrder(updated, live_hl); },
+              probe);
+        }
+
+        if (cell.frozen_checksum != cell.scratch_checksum) {
+          std::printf("!! %s %s: frozen checksum %llu != scratch %llu\n",
+                      backend.c_str(), FractionLabel(frac),
+                      static_cast<unsigned long long>(cell.frozen_checksum),
+                      static_cast<unsigned long long>(cell.scratch_checksum));
+          ++mismatches;
+        }
+        const double speedup = cell.frozen_seconds > 0
+                                   ? cell.scratch_seconds / cell.frozen_seconds
+                                   : 0;
+        table.AddRow(
+            {d.spec.name, backend, FractionLabel(frac),
+             std::to_string(feed.BatchSize()),
+             TextTable::Num(cell.scratch_seconds * 1e3, 2),
+             TextTable::Num(cell.frozen_seconds * 1e3, 2),
+             TextTable::Num(speedup, 2),
+             TextTable::Int(static_cast<long long>(cell.frozen_checksum))});
+        json.AddSeries(
+            d.spec.name + "/" + backend + "/refresh/" + FractionLabel(frac),
+            cell.frozen_seconds > 0 ? 1.0 / cell.frozen_seconds : 0,
+            cell.frozen_seconds * 1e6, cell.frozen_seconds * 1e6,
+            cell.frozen_checksum,
+            {{"scratch_s", cell.scratch_seconds},
+             {"frozen_s", cell.frozen_seconds},
+             {"speedup", speedup}});
+      }
+    }
+    table.Print();
+    std::fflush(stdout);
+  }
+
+  if (mismatches != 0) {
+    std::printf("\nFAIL: %zu probe-checksum mismatches between frozen-order "
+                "and from-scratch builds\n",
+                mismatches);
+    return 1;
+  }
+  if (!json.WriteToEnvPath()) return 1;
+  std::printf(
+      "\nfrozen-order repair answered every probe identically to the "
+      "from-scratch build at every delta size\n");
+  return 0;
+}

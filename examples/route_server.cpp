@@ -22,7 +22,8 @@
 //   route_server [dimacs-base] [--backends ch,alt,...] [--listen <port>]
 //                [--cache <entries>] [--cache-ttl-ms <n>] [--admission <n>]
 //                [--admission-per-client <n>] [--timeout-ms <n>]
-//                [--matrix-max-locations <n>]
+//                [--matrix-max-locations <n>] [--rebuild-policy frozen|scratch]
+//                [--min-reload-interval-ms <n>]
 //   route_server --smoke    # self-test: TCP round-trip + live-reload swap
 //
 // Demo:
@@ -340,6 +341,9 @@ int main(int argc, char** argv) {
   bool listen = false;
   std::uint16_t port = 0;
   ServerConfig config;
+  IndexRegistry::RebuildPolicy rebuild_policy =
+      IndexRegistry::RebuildPolicy::kFrozenOrder;
+  std::chrono::milliseconds min_reload_interval{0};
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -382,6 +386,21 @@ int main(int argc, char** argv) {
     } else if (arg == "--matrix-max-locations") {
       config.max_matrix_locations = static_cast<std::size_t>(
           std::strtoull(next_value("--matrix-max-locations"), nullptr, 10));
+    } else if (arg == "--rebuild-policy") {
+      const std::string value = next_value("--rebuild-policy");
+      if (value == "frozen") {
+        rebuild_policy = IndexRegistry::RebuildPolicy::kFrozenOrder;
+      } else if (value == "scratch") {
+        rebuild_policy = IndexRegistry::RebuildPolicy::kFromScratch;
+      } else {
+        std::fprintf(stderr,
+                     "--rebuild-policy wants 'frozen' or 'scratch', got %s\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (arg == "--min-reload-interval-ms") {
+      min_reload_interval = std::chrono::milliseconds(
+          std::strtoull(next_value("--min-reload-interval-ms"), nullptr, 10));
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
@@ -421,6 +440,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot build backends: %s\n", e.what());
     return 2;
   }
+  registry->SetRebuildPolicy(rebuild_policy);
+  registry->SetMinReloadInterval(min_reload_interval);
   ServerStack stack(registry, config);
   stack.SetPois(MakePois(stack.NumNodes(), 50, 4));
   std::printf("%zu backend(s) ready in %.2fs; cache %zu entries (ttl %lld "
@@ -460,8 +481,8 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "commands: d|p|k|b|m|use|upd|reload|stats|inv|q (protocol), bench <n> / "
-      "wait (REPL)\n");
+      "commands: d|p|k|b|m|use|upd|updf|reload|stats|inv|q (protocol), "
+      "bench <n> / wait (REPL)\n");
   ReplLoop(stack);
   return 0;
 }

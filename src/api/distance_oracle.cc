@@ -138,6 +138,13 @@ class ChOracle final : public DistanceOracle {
     build_stats_.index_bytes = index_.SizeBytes();
   }
 
+  /// Adopts a prebuilt index (the frozen-order rebuild path).
+  ChOracle(const Graph& g, ChIndex index)
+      : DistanceOracle(g), index_(std::move(index)) {
+    build_stats_.seconds = index_.build_stats().seconds;
+    build_stats_.index_bytes = index_.SizeBytes();
+  }
+
   std::string_view Name() const override { return "ch"; }
   std::unique_ptr<QuerySession> NewSession() const override {
     return std::make_unique<ChSession>(index_);
@@ -150,6 +157,12 @@ class ChOracle final : public DistanceOracle {
   }
   const SearchGraph* UpwardSearchGraph() const override {
     return &index_.search_graph();
+  }
+
+  std::unique_ptr<DistanceOracle> RebuildWithFrozenOrder(
+      const Graph& g) const override {
+    return std::make_unique<ChOracle>(
+        g, ChIndex::RebuildWithFrozenOrder(g, index_));
   }
 
  private:
@@ -302,6 +315,16 @@ class AhOracle final : public DistanceOracle {
     build_stats_.index_bytes = index_.SizeBytes();
   }
 
+  /// Adopts a prebuilt index (the frozen-order rebuild path); the query
+  /// mode carries over from the oracle the rebuild started from.
+  AhOracle(const Graph& g, AhIndex index, const AhQueryOptions& query_options)
+      : DistanceOracle(g),
+        index_(std::move(index)),
+        query_options_(query_options) {
+    build_stats_.seconds = index_.build_stats().total_seconds;
+    build_stats_.index_bytes = index_.SizeBytes();
+  }
+
   std::string_view Name() const override { return "ah"; }
   std::unique_ptr<QuerySession> NewSession() const override {
     return std::make_unique<AhSession>(index_, query_options_);
@@ -316,6 +339,12 @@ class AhOracle final : public DistanceOracle {
   }
   const SearchGraph* UpwardSearchGraph() const override {
     return &index_.search_graph();
+  }
+
+  std::unique_ptr<DistanceOracle> RebuildWithFrozenOrder(
+      const Graph& g) const override {
+    return std::make_unique<AhOracle>(
+        g, AhIndex::RebuildWithFrozenOrder(g, index_), query_options_);
   }
 
  private:
@@ -354,6 +383,19 @@ class HlOracle final : public DistanceOracle {
       : DistanceOracle(g), index_(HlIndex::Build(g)) {
     build_stats_.seconds = index_.build_stats().seconds;
     build_stats_.index_bytes = index_.SizeBytes();
+  }
+
+  /// Adopts a prebuilt index (the frozen-order rebuild path).
+  HlOracle(const Graph& g, HlIndex index)
+      : DistanceOracle(g), index_(std::move(index)) {
+    build_stats_.seconds = index_.build_stats().seconds;
+    build_stats_.index_bytes = index_.SizeBytes();
+  }
+
+  std::unique_ptr<DistanceOracle> RebuildWithFrozenOrder(
+      const Graph& g) const override {
+    return std::make_unique<HlOracle>(
+        g, HlIndex::RebuildWithFrozenOrder(g, index_));
   }
 
   std::string_view Name() const override { return "hl"; }

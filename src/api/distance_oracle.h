@@ -110,6 +110,23 @@ class DistanceOracle {
   /// (hier/many_to_many.h) with custom target lifetimes.
   virtual const SearchGraph* UpwardSearchGraph() const { return nullptr; }
 
+  /// Weights-only incremental rebuild: returns a fresh oracle over `g`
+  /// (same topology as this oracle's graph, new arc weights) that reuses
+  /// this oracle's frozen structural decisions — node order for ch, levels
+  /// + rank for ah, hub order for hl — and recomputes only the
+  /// weight-dependent artifacts. Typically ~10x cheaper than building from
+  /// scratch, and exact: contraction and pruned labeling are correct for
+  /// any fixed order. Returns nullptr when the backend has no cheaper
+  /// frozen-order path (search-only backends, and indexes whose structure
+  /// is weight-dependent: alt/silc/fc) — callers then build from scratch.
+  /// Throws on a topology mismatch. Thread-safe (const); `g` must outlive
+  /// the returned oracle.
+  virtual std::unique_ptr<DistanceOracle> RebuildWithFrozenOrder(
+      const Graph& g) const {
+    (void)g;
+    return nullptr;
+  }
+
   /// Preprocessing cost (zeros for search-only backends).
   virtual const OracleBuildStats& BuildStats() const { return build_stats_; }
 

@@ -1,8 +1,11 @@
 #include "api/index_registry.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
+
+#include "util/timer.h"
 
 namespace ah {
 
@@ -36,6 +39,7 @@ IndexRegistry::IndexRegistry(Graph base,
   base_ = std::make_shared<const Graph>(std::move(base));
   default_backend_ = names_.front();
   current_.resize(names_.size());
+  backend_rebuilds_.resize(names_.size());
   // First generation builds synchronously: a registry is never observable
   // half-built. MakeOracle throws on an unknown name, surfacing it here.
   for (std::size_t i = 0; i < names_.size(); ++i) {
@@ -142,6 +146,36 @@ IndexRegistry::UpdateStatus IndexRegistry::QueueWeightUpdate(NodeId u, NodeId v,
   return UpdateStatus::kQueued;
 }
 
+IndexRegistry::UpdateStatus IndexRegistry::QueueWeightUpdates(
+    std::span<const WeightDelta> deltas, std::size_t* first_bad) {
+  if (is_static_) return UpdateStatus::kStatic;
+  MutexLock lock(mu_);
+  // Validate-all-then-queue-all: a bulk file is one atomic batch, so a bad
+  // record halfway through must not leave a half-ingested pending set.
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    switch (ValidateWeightDelta(*base_, deltas[i])) {
+      case DeltaStatus::kBadNode:
+        if (first_bad != nullptr) *first_bad = i;
+        return UpdateStatus::kBadNode;
+      case DeltaStatus::kBadWeight:
+        if (first_bad != nullptr) *first_bad = i;
+        return UpdateStatus::kBadWeight;
+      case DeltaStatus::kNoSuchArc:
+        if (first_bad != nullptr) *first_bad = i;
+        return UpdateStatus::kNoSuchArc;
+      case DeltaStatus::kOk:
+        break;
+    }
+  }
+  for (const WeightDelta& delta : deltas) {
+    const std::uint64_t arc_key =
+        (static_cast<std::uint64_t>(delta.tail) << 32) |
+        static_cast<std::uint64_t>(delta.head);
+    pending_[arc_key] = delta;
+  }
+  return UpdateStatus::kQueued;
+}
+
 std::size_t IndexRegistry::PendingUpdates() const {
   MutexLock lock(mu_);
   return pending_.size();
@@ -172,6 +206,30 @@ bool IndexRegistry::RebuildInFlight() const {
   return rebuild_in_flight_ || reload_requested_;
 }
 
+void IndexRegistry::SetRebuildPolicy(RebuildPolicy policy) {
+  MutexLock lock(mu_);
+  rebuild_policy_ = policy;
+}
+
+IndexRegistry::RebuildPolicy IndexRegistry::GetRebuildPolicy() const {
+  MutexLock lock(mu_);
+  return rebuild_policy_;
+}
+
+void IndexRegistry::SetMinReloadInterval(std::chrono::milliseconds interval) {
+  {
+    MutexLock lock(mu_);
+    min_reload_interval_ = interval;
+  }
+  // Wake a worker holding off under the previous (longer) interval.
+  cv_.NotifyAll();
+}
+
+void IndexRegistry::SetIncrementalFactoryForTest(IncrementalFactory factory) {
+  MutexLock lock(mu_);
+  incremental_factory_for_test_ = std::move(factory);
+}
+
 IndexRegistry::RegistryStats IndexRegistry::GetStats() const {
   MutexLock lock(mu_);
   RegistryStats stats;
@@ -181,6 +239,7 @@ IndexRegistry::RegistryStats IndexRegistry::GetStats() const {
   stats.pending_updates = pending_.size();
   stats.rebuild_in_flight = rebuild_in_flight_ || reload_requested_;
   stats.last_error = last_error_;
+  stats.backend_rebuilds = backend_rebuilds_;
   return stats;
 }
 
@@ -230,10 +289,25 @@ void IndexRegistry::WorkerLoop() {
   while (true) {
     std::vector<WeightDelta> deltas;
     std::shared_ptr<const Graph> old_base;
+    RebuildPolicy policy;
+    IncrementalFactory incremental_factory;
     {
       MutexLock lock(mu_);
       while (!stop_ && !reload_requested_) cv_.Wait(lock);
       if (stop_) return;
+      // Rate limit: hold the cycle until min_reload_interval_ has elapsed
+      // since the previous cycle started. reload_requested_ stays true, so
+      // WaitForRebuild() callers keep blocking, and requests/deltas arriving
+      // during the hold-off coalesce into this one deferred cycle — a
+      // continuous feed produces a bounded rebuild frequency.
+      while (!stop_) {
+        const auto ready = last_cycle_start_ + min_reload_interval_;
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= ready) break;
+        cv_.WaitFor(lock, ready - now);
+      }
+      if (stop_) return;
+      last_cycle_start_ = std::chrono::steady_clock::now();
       reload_requested_ = false;
       rebuild_in_flight_ = true;
       deltas.reserve(pending_.size());
@@ -243,6 +317,8 @@ void IndexRegistry::WorkerLoop() {
       for (auto& [arc_key, delta] : pending_) deltas.push_back(delta);
       pending_.clear();
       old_base = base_;
+      policy = rebuild_policy_;
+      incremental_factory = incremental_factory_for_test_;
     }
     // Canonical order for application and for the updates_applied_ ledger:
     // never let unordered_map iteration order leak into anything observable.
@@ -252,36 +328,72 @@ void IndexRegistry::WorkerLoop() {
               });
 
     // Everything expensive happens lock-free: copy + delta application,
-    // then one full index build per backend. Queries keep flowing against
-    // the old epochs the whole time.
+    // then one index rebuild per backend. Queries keep flowing against the
+    // old epochs the whole time.
     std::shared_ptr<const Graph> next_base = old_base;
+    DeltaApplyStats apply_stats;
     if (!deltas.empty()) {
       Graph updated = *old_base;
-      ApplyWeightDeltas(&updated, deltas);
+      apply_stats = ApplyWeightDeltas(&updated, deltas);
       next_base = std::make_shared<const Graph>(std::move(updated));
     }
     {
       MutexLock lock(mu_);
       // New weight updates queued from here on validate against (and later
-      // apply on top of) the updated base.
+      // apply on top of) the updated base. The ledger counts what actually
+      // landed in the graph, not the batch size (per-arc queue coalescing
+      // makes them equal today; the apply stats keep it true by contract).
       base_ = next_base;
-      updates_applied_ += deltas.size();
+      updates_applied_ += apply_stats.applied;
     }
     for (std::size_t i = 0; i < names_.size(); ++i) {
+      Timer rebuild_timer;
       auto epoch = std::make_shared<IndexEpoch>();
       epoch->backend = names_[i];
       epoch->backend_id = static_cast<std::uint32_t>(i);
       epoch->graph = next_base;
+      EpochHandle previous;
       {
         ReaderMutexLock lock(epochs_mu_);
-        epoch->generation = current_[i]->generation + 1;
+        previous = current_[i];
       }
-      try {
-        epoch->oracle = MakeOracle(names_[i], *next_base, options_);
-      } catch (const std::exception& e) {
+      epoch->generation = previous->generation + 1;
+
+      // Frozen-order first: queued deltas are weights-only by construction
+      // (graph/weight_update never touches topology), so the live oracle's
+      // structural decisions stay valid on the updated graph. Backends
+      // without an incremental path return nullptr and build from scratch;
+      // an incremental *failure* must never take the backend down — record
+      // it and fall back to a from-scratch build.
+      bool incremental = false;
+      std::unique_ptr<DistanceOracle> oracle;
+      if (policy == RebuildPolicy::kFrozenOrder && previous->oracle) {
+        try {
+          oracle = incremental_factory
+                       ? incremental_factory(*previous->oracle, *next_base)
+                       : previous->oracle->RebuildWithFrozenOrder(*next_base);
+          incremental = oracle != nullptr;
+        } catch (const std::exception& e) {
+          MutexLock lock(mu_);
+          ++backend_rebuilds_[i].fallbacks;
+          last_error_ = names_[i] + " (incremental): " + e.what();
+        }
+      }
+      if (!oracle) {
+        try {
+          oracle = MakeOracle(names_[i], *next_base, options_);
+        } catch (const std::exception& e) {
+          MutexLock lock(mu_);
+          last_error_ = names_[i] + ": " + e.what();
+          continue;  // keep the old epoch serving
+        }
+      }
+      epoch->oracle = std::move(oracle);
+      {
         MutexLock lock(mu_);
-        last_error_ = names_[i] + ": " + e.what();
-        continue;  // keep the old epoch serving
+        BackendRebuildStats& rb = backend_rebuilds_[i];
+        ++(incremental ? rb.incremental : rb.full);
+        rb.last_rebuild_seconds = rebuild_timer.Seconds();
       }
       // Swap this backend in as soon as it is ready — faster backends go
       // live while slower ones are still rebuilding.

@@ -25,9 +25,11 @@
 // reject lifecycle operations (no owned base graph to mutate).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -73,6 +75,26 @@ class IndexRegistry {
     kStatic,     ///< Adopted registry: no owned base graph to mutate.
   };
 
+  /// How the reload worker rebuilds each backend.
+  enum class RebuildPolicy {
+    /// Ask the live oracle for a frozen-order weights-only rebuild
+    /// (DistanceOracle::RebuildWithFrozenOrder); backends without one — and
+    /// any incremental attempt that throws — fall back to a from-scratch
+    /// build. The default: queued deltas are weights-only by construction.
+    kFrozenOrder,
+    /// Always rebuild from scratch (the pre-incremental behavior; also the
+    /// escape hatch if a frozen order has degraded after heavy churn).
+    kFromScratch,
+  };
+
+  /// Per-backend rebuild ledger (RegistryStats::backend_rebuilds).
+  struct BackendRebuildStats {
+    std::uint64_t incremental = 0;  ///< Frozen-order rebuilds published.
+    std::uint64_t full = 0;         ///< From-scratch rebuilds published.
+    std::uint64_t fallbacks = 0;    ///< Incremental attempts that threw.
+    double last_rebuild_seconds = 0;  ///< Duration of the last publication.
+  };
+
   struct RegistryStats {
     std::uint64_t reloads = 0;          ///< Completed reload cycles.
     std::uint64_t swaps = 0;            ///< Epoch publications after the first.
@@ -80,6 +102,8 @@ class IndexRegistry {
     std::size_t pending_updates = 0;    ///< Queued, not yet applied.
     bool rebuild_in_flight = false;
     std::string last_error;             ///< Last failed backend rebuild, if any.
+    /// Indexed like Backends(); empty for adopted (static) registries.
+    std::vector<BackendRebuildStats> backend_rebuilds;
   };
 
   /// Builds every backend in `backends` (distinct MakeOracle names; the
@@ -137,6 +161,16 @@ class IndexRegistry {
   /// traffic feed (or a hostile client) streams updates between reloads.
   UpdateStatus QueueWeightUpdate(NodeId u, NodeId v, Weight w)
       AH_EXCLUDES(mu_);
+
+  /// Atomically queues a batch (the `updf` bulk-ingest path): every delta
+  /// is validated against the base graph first, then either all are queued
+  /// (coalescing per arc like QueueWeightUpdate) or none is. On failure the
+  /// returned status describes the first invalid record and *first_bad
+  /// (when non-null) is its index in `deltas`.
+  UpdateStatus QueueWeightUpdates(std::span<const WeightDelta> deltas,
+                                  std::size_t* first_bad = nullptr)
+      AH_EXCLUDES(mu_);
+
   std::size_t PendingUpdates() const AH_EXCLUDES(mu_);
 
   /// Asks the background worker to apply queued deltas and rebuild + swap
@@ -149,7 +183,27 @@ class IndexRegistry {
   void WaitForRebuild() const AH_EXCLUDES(mu_);
   bool RebuildInFlight() const AH_EXCLUDES(mu_);
 
+  /// Rebuild strategy for subsequent reload cycles (default kFrozenOrder).
+  void SetRebuildPolicy(RebuildPolicy policy) AH_EXCLUDES(mu_);
+  RebuildPolicy GetRebuildPolicy() const AH_EXCLUDES(mu_);
+
+  /// Rate limit: a reload cycle starts no sooner than this interval after
+  /// the previous cycle started (default 0 = unlimited). Deltas and reload
+  /// requests arriving during the hold-off keep coalescing into the one
+  /// deferred cycle, so a continuous feed produces a bounded rebuild
+  /// frequency instead of a rebuild per delta batch.
+  void SetMinReloadInterval(std::chrono::milliseconds interval)
+      AH_EXCLUDES(mu_);
+
   RegistryStats GetStats() const AH_EXCLUDES(mu_);
+
+  /// Test seam: replaces the incremental rebuild step (normally
+  /// `previous.RebuildWithFrozenOrder(g)`) so tests can force a failure and
+  /// observe the from-scratch fallback. Pass nullptr to restore.
+  using IncrementalFactory = std::function<std::unique_ptr<DistanceOracle>(
+      const DistanceOracle& previous, const Graph& g)>;
+  void SetIncrementalFactoryForTest(IncrementalFactory factory)
+      AH_EXCLUDES(mu_);
 
   /// Registers a callback invoked (on the build worker thread, no registry
   /// lock held) after each epoch swap, with the new epoch. ConcurrentEngine
@@ -197,6 +251,13 @@ class IndexRegistry {
   std::uint64_t swaps_ AH_GUARDED_BY(mu_) = 0;
   std::uint64_t updates_applied_ AH_GUARDED_BY(mu_) = 0;
   std::string last_error_ AH_GUARDED_BY(mu_);
+  RebuildPolicy rebuild_policy_ AH_GUARDED_BY(mu_) = RebuildPolicy::kFrozenOrder;
+  std::chrono::milliseconds min_reload_interval_ AH_GUARDED_BY(mu_){0};
+  /// Start of the last reload cycle (rate-limit anchor).
+  std::chrono::steady_clock::time_point last_cycle_start_ AH_GUARDED_BY(mu_);
+  /// Per-backend rebuild ledger, indexed like names_.
+  std::vector<BackendRebuildStats> backend_rebuilds_ AH_GUARDED_BY(mu_);
+  IncrementalFactory incremental_factory_for_test_ AH_GUARDED_BY(mu_);
   std::vector<std::pair<std::uint64_t, SwapListener>> listeners_
       AH_GUARDED_BY(mu_);
   std::uint64_t next_listener_token_ AH_GUARDED_BY(mu_) = 1;

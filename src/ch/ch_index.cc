@@ -1,8 +1,10 @@
 #include "ch/ch_index.h"
 
 #include <numeric>
+#include <stdexcept>
 
 #include "hier/greedy_order.h"
+#include "hier/repair_kernel.h"
 #include "util/serialize.h"
 #include "util/timer.h"
 
@@ -12,6 +14,8 @@ ChIndex ChIndex::Build(const Graph& g, const ChParams& params) {
   Timer timer;
   const std::size_t n = g.NumNodes();
   ContractionEngine engine(n, ArcsOf(g), params.contraction);
+  auto certs = std::make_shared<WitnessCertTable>();
+  engine.RecordWitnessCerts(certs.get());
 
   std::vector<NodeId> all(n);
   std::iota(all.begin(), all.end(), 0);
@@ -23,10 +27,34 @@ ChIndex ChIndex::Build(const Graph& g, const ChParams& params) {
   std::vector<Rank> rank(n, 0);
   for (Rank r = 0; r < order.size(); ++r) rank[order[r]] = r;
 
+  certs->Finalize(n);
+
   ChIndex index;
   index.search_graph_ = SearchGraph(n, engine.EmittedArcs(), std::move(rank));
   index.build_stats_.seconds = timer.Seconds();
   index.build_stats_.shortcuts = engine.NumShortcutsAdded();
+  index.witness_certs_ = std::move(certs);
+  return index;
+}
+
+ChIndex ChIndex::RebuildWithFrozenOrder(const Graph& g, const ChIndex& previous,
+                                        const ChParams& params) {
+  Timer timer;
+  const std::size_t n = g.NumNodes();
+  if (n != previous.NumNodes()) {
+    throw std::invalid_argument(
+        "ChIndex::RebuildWithFrozenOrder: node count changed");
+  }
+  std::vector<Rank> rank(n, 0);
+  for (NodeId v = 0; v < n; ++v) rank[v] = previous.RankOf(v);
+  RepairResult repaired = RepairContraction(
+      g, previous.search_graph(), params.contraction, previous.witness_certs());
+
+  ChIndex index;
+  index.search_graph_ = SearchGraph(n, repaired.arcs, std::move(rank));
+  index.build_stats_.seconds = timer.Seconds();
+  index.build_stats_.shortcuts = repaired.shortcuts;
+  index.witness_certs_ = std::move(repaired.certs);
   return index;
 }
 

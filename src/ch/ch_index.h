@@ -6,11 +6,13 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <vector>
 
 #include "graph/graph.h"
 #include "hier/search_graph.h"
 #include "hier/upward_query.h"
+#include "hier/witness_certs.h"
 #include "routing/path.h"
 
 namespace ah {
@@ -33,12 +35,32 @@ class ChIndex {
   /// Builds the hierarchy; O(n log n)-ish in practice.
   static ChIndex Build(const Graph& g, const ChParams& params = {});
 
+  /// Weights-only rebuild: re-contracts `g` in `previous`'s frozen node
+  /// order, recomputing shortcut weights and witness checks but skipping
+  /// the greedy ordering phase (the dominant build cost). Witness-checked
+  /// contraction is exact for *any* total order, so the result answers
+  /// queries on `g` exactly; `g` must have the same node count as the graph
+  /// `previous` was built on (weight deltas never change topology). Throws
+  /// std::invalid_argument on a node-count mismatch. Deterministic: same
+  /// graph + same previous order ⇒ bit-identical index.
+  static ChIndex RebuildWithFrozenOrder(const Graph& g,
+                                        const ChIndex& previous,
+                                        const ChParams& params = {});
+
   std::size_t NumNodes() const { return search_graph_.NumNodes(); }
   const SearchGraph& search_graph() const { return search_graph_; }
   const ChBuildStats& build_stats() const { return build_stats_; }
   Rank RankOf(NodeId v) const { return search_graph_.RankOf(v); }
 
   std::size_t SizeBytes() const { return search_graph_.SizeBytes(); }
+
+  /// In-memory witness-certificate table for frozen-order repairs (see
+  /// hier/witness_certs.h). Build and RebuildWithFrozenOrder populate it;
+  /// it is never serialized, so a loaded index repairs cert-less once and
+  /// regains its table in the process. May be null.
+  const WitnessCertTable* witness_certs() const {
+    return witness_certs_.get();
+  }
 
   /// Binary persistence (magic "AHCH").
   void Save(std::ostream& out) const;
@@ -47,6 +69,7 @@ class ChIndex {
  private:
   SearchGraph search_graph_;
   ChBuildStats build_stats_;
+  std::shared_ptr<const WitnessCertTable> witness_certs_;
 };
 
 /// Query object holding reusable search state (one per thread).

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
 
 #include "hier/greedy_order.h"
+#include "hier/repair_kernel.h"
 #include "util/parallel.h"
 #include "util/serialize.h"
 #include "util/timer.h"
@@ -84,6 +86,52 @@ AhIndex AhIndex::Build(const Graph& g, const AhParams& params) {
   for (Level lv : index.level_) ++index.build_stats_.nodes_per_level[lv];
 
   if (params.build_gateways && params.gateway_band > 0) {
+    phase.Restart();
+    index.BuildGateways();
+    index.build_stats_.gateway_seconds = phase.Seconds();
+    index.build_stats_.gateway_entries =
+        index.fwd_gw_.size() + index.bwd_gw_.size();
+  }
+  index.build_stats_.total_seconds = total.Seconds();
+  return index;
+}
+
+AhIndex AhIndex::RebuildWithFrozenOrder(const Graph& g,
+                                        const AhIndex& previous) {
+  Timer total;
+  const std::size_t n = g.NumNodes();
+  if (n != previous.NumNodes()) {
+    throw std::invalid_argument(
+        "AhIndex::RebuildWithFrozenOrder: node count changed");
+  }
+  AhIndex index;
+  // Weight-independent structure carries over: params, grids and cell tables
+  // are functions of the coordinates, and the level assignment / rank are
+  // frozen by definition of this rebuild.
+  index.params_ = previous.params_;
+  index.grids_ = previous.grids_;
+  index.coords_ = previous.coords_;
+  index.cells_by_level_ = previous.cells_by_level_;
+  index.level_ = previous.level_;
+
+  std::vector<Rank> rank(n, 0);
+  for (NodeId v = 0; v < n; ++v) rank[v] = previous.search_graph_.RankOf(v);
+  Timer phase;
+  RepairResult repaired =
+      RepairContraction(g, previous.search_graph_, index.params_.contraction,
+                        previous.witness_certs());
+  index.search_graph_ = SearchGraph(n, repaired.arcs, std::move(rank));
+  index.witness_certs_ = std::move(repaired.certs);
+  index.build_stats_.contract_seconds = phase.Seconds();
+  index.build_stats_.shortcuts = repaired.shortcuts;
+
+  index.build_stats_.grid_depth = previous.build_stats_.grid_depth;
+  index.build_stats_.max_level = previous.build_stats_.max_level;
+  index.build_stats_.nodes_per_level = previous.build_stats_.nodes_per_level;
+
+  // Gateway lists hold exact distances, so they are weight-dependent and
+  // must be rebuilt over the fresh search graph.
+  if (index.params_.build_gateways && index.params_.gateway_band > 0) {
     phase.Restart();
     index.BuildGateways();
     index.build_stats_.gateway_seconds = phase.Seconds();

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "graph/graph.h"
 #include "hgrid/grid_hierarchy.h"
 #include "hier/search_graph.h"
+#include "hier/witness_certs.h"
 #include "util/indexed_heap.h"
 #include "util/types.h"
 
@@ -86,6 +88,20 @@ class AhIndex {
  public:
   static AhIndex Build(const Graph& g, const AhParams& params = {});
 
+  /// Weights-only rebuild: re-contracts `g` in `previous`'s frozen AH rank,
+  /// reusing the level assignment, ordering, grid hierarchy and cell tables
+  /// (all weight-independent or frozen by construction) and recomputing only
+  /// the weight-dependent artifacts — shortcut weights, witness checks and
+  /// gateway lists. Contraction is exact for any total order and the
+  /// gateway build is re-run from scratch over the new search graph, so the
+  /// result is exactly the pruned/exact oracle for `g` under the frozen
+  /// structure. `g` must have `previous`'s node count (weight deltas never
+  /// change topology); throws std::invalid_argument otherwise.
+  /// Deterministic at any thread count (the gateway build commits in chunk
+  /// order, same as Build).
+  static AhIndex RebuildWithFrozenOrder(const Graph& g,
+                                        const AhIndex& previous);
+
   std::size_t NumNodes() const { return level_.size(); }
   const SearchGraph& search_graph() const { return search_graph_; }
   const GridHierarchy& grids() const { return grids_; }
@@ -120,6 +136,14 @@ class AhIndex {
   /// Total index footprint (search graph + levels + gateways + grid data).
   std::size_t SizeBytes() const;
 
+  /// In-memory witness-certificate table for frozen-order repairs (see
+  /// hier/witness_certs.h). Null after Build and Load; each
+  /// RebuildWithFrozenOrder emits one, so chained repairs replay the
+  /// previous repair's pruning witnesses instead of re-searching them.
+  const WitnessCertTable* witness_certs() const {
+    return witness_certs_.get();
+  }
+
   /// Binary persistence (magic "AHIX"): build once, serve anywhere. The
   /// grid hierarchy and per-level cell table are recomputed on load (they
   /// are deterministic functions of the stored coordinates and parameters).
@@ -149,6 +173,7 @@ class AhIndex {
   std::vector<Cell> cells_by_level_;  // [(i-1)*n + v] = cell of v in R_i.
   SearchGraph search_graph_;
   AhBuildStats build_stats_;
+  std::shared_ptr<const WitnessCertTable> witness_certs_;
 
   // Flattened gateway lists: slot = v * band + (j - level(v) - 1).
   std::vector<std::uint64_t> fwd_gw_first_;

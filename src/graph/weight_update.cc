@@ -1,5 +1,11 @@
 #include "graph/weight_update.h"
 
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "util/serialize.h"
+
 namespace ah {
 
 DeltaStatus ValidateWeightDelta(const Graph& g, const WeightDelta& delta) {
@@ -13,13 +19,72 @@ DeltaStatus ValidateWeightDelta(const Graph& g, const WeightDelta& delta) {
   return DeltaStatus::kOk;
 }
 
-std::size_t ApplyWeightDeltas(Graph* g, std::span<const WeightDelta> deltas) {
-  std::size_t applied = 0;
-  for (const WeightDelta& delta : deltas) {
+DeltaApplyStats ApplyWeightDeltas(Graph* g,
+                                  std::span<const WeightDelta> deltas) {
+  DeltaApplyStats stats;
+  // Last valid writer per arc: only that delta is applied; earlier valid
+  // deltas to the same arc count as coalesced. The map is looked up per
+  // delta, never iterated, so no hash order reaches the graph.
+  std::unordered_map<std::uint64_t, std::size_t> last_writer;
+  last_writer.reserve(deltas.size());
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    const WeightDelta& delta = deltas[i];
     if (ValidateWeightDelta(*g, delta) != DeltaStatus::kOk) continue;
-    applied += g->SetArcWeight(delta.tail, delta.head, delta.weight);
+    const std::uint64_t arc_key =
+        (static_cast<std::uint64_t>(delta.tail) << 32) |
+        static_cast<std::uint64_t>(delta.head);
+    last_writer[arc_key] = i;
   }
-  return applied;
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    const WeightDelta& delta = deltas[i];
+    if (ValidateWeightDelta(*g, delta) != DeltaStatus::kOk) {
+      ++stats.rejected;
+      continue;
+    }
+    const std::uint64_t arc_key =
+        (static_cast<std::uint64_t>(delta.tail) << 32) |
+        static_cast<std::uint64_t>(delta.head);
+    if (last_writer.at(arc_key) != i) {
+      ++stats.coalesced;
+      continue;
+    }
+    g->SetArcWeight(delta.tail, delta.head, delta.weight);
+    ++stats.applied;
+  }
+  return stats;
+}
+
+void SaveWeightDeltas(std::ostream& out, std::span<const WeightDelta> deltas) {
+  BinaryWriter w(out);
+  w.Magic("AHUD", 1);
+  w.Pod<std::uint64_t>(deltas.size());
+  for (const WeightDelta& delta : deltas) {
+    w.Pod<std::uint32_t>(delta.tail);
+    w.Pod<std::uint32_t>(delta.head);
+    w.Pod<std::uint32_t>(delta.weight);
+  }
+}
+
+std::vector<WeightDelta> LoadWeightDeltas(std::istream& in,
+                                          std::size_t max_deltas) {
+  BinaryReader r(in);
+  r.Magic("AHUD", 1);
+  const std::uint64_t count = r.Pod<std::uint64_t>();
+  if (count > max_deltas) {
+    throw std::length_error("LoadWeightDeltas: batch of " +
+                            std::to_string(count) + " exceeds the cap of " +
+                            std::to_string(max_deltas));
+  }
+  std::vector<WeightDelta> deltas;
+  deltas.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    WeightDelta delta;
+    delta.tail = r.Pod<std::uint32_t>();
+    delta.head = r.Pod<std::uint32_t>();
+    delta.weight = r.Pod<std::uint32_t>();
+    deltas.push_back(delta);
+  }
+  return deltas;
 }
 
 }  // namespace ah

@@ -7,6 +7,8 @@
 // half-applied batch.
 #pragma once
 
+#include <cstddef>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -35,10 +37,32 @@ enum class DeltaStatus {
 /// Checks that `delta` could be applied to `g`.
 DeltaStatus ValidateWeightDelta(const Graph& g, const WeightDelta& delta);
 
-/// Applies deltas in order (later deltas to the same arc win) and returns
-/// the number of arcs updated. Invalid deltas are skipped — callers wanting
+/// Per-delta outcome tallies of one ApplyWeightDeltas batch. Every input
+/// delta lands in exactly one bucket, so applied + coalesced + rejected ==
+/// deltas.size() — the ledger callers (registry `updates_applied`) count
+/// `applied` and can neither over-count a coalesced batch nor under-count a
+/// clean one.
+struct DeltaApplyStats {
+  std::size_t applied = 0;    ///< Deltas that set an arc's final weight.
+  std::size_t coalesced = 0;  ///< Superseded by a later delta to the same arc.
+  std::size_t rejected = 0;   ///< Invalid deltas, skipped.
+};
+
+/// Applies deltas in order (later deltas to the same arc win) and reports
+/// the per-delta outcomes. Invalid deltas are skipped — callers wanting
 /// per-delta errors validate first. `g` must not be referenced by any built
 /// index (see Graph::SetArcWeight).
-std::size_t ApplyWeightDeltas(Graph* g, std::span<const WeightDelta> deltas);
+DeltaApplyStats ApplyWeightDeltas(Graph* g, std::span<const WeightDelta> deltas);
+
+/// Binary persistence of a delta batch (magic "AHUD") — the `updf` bulk
+/// ingest format: magic + version + length-prefixed array of
+/// (tail, head, weight) records in batch order.
+void SaveWeightDeltas(std::ostream& out, std::span<const WeightDelta> deltas);
+
+/// Reads an "AHUD" batch; throws std::runtime_error on bad magic or
+/// truncation and std::length_error when the batch exceeds `max_deltas`
+/// (ingest caps) — servers map the two to distinct wire errors.
+std::vector<WeightDelta> LoadWeightDeltas(
+    std::istream& in, std::size_t max_deltas = std::size_t(1) << 32);
 
 }  // namespace ah

@@ -14,10 +14,10 @@
 #pragma once
 
 #include <cstdint>
-#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
+#include "hier/witness_certs.h"
 #include "util/indexed_heap.h"
 #include "util/types.h"
 
@@ -38,6 +38,15 @@ struct ContractionParams {
   /// the search is inconclusive and the shortcut is added anyway (safe: it
   /// is only redundant, never wrong).
   std::size_t witness_settle_limit = 80;
+  /// Prefilter witness targets with a heap-free hop-bounded check over the
+  /// current overlay (paths of up to three arcs from u, avoiding the
+  /// contracted node) before the Dijkstra search. Any witness the
+  /// prefilter finds would also be found by the search, so add/prune
+  /// decisions are bit-identical either way; the search just starts with
+  /// fewer targets and a tighter bound. Meant for frozen-order repair,
+  /// where most candidates are hinted and the unhinted rest usually have
+  /// shallow witnesses.
+  bool witness_prefilter = false;
 };
 
 /// Extracts the arc list of a Graph as HierArcs (mid = invalid).
@@ -81,6 +90,20 @@ class ContractionEngine {
 
   std::size_t NumShortcutsAdded() const { return shortcuts_added_; }
 
+  /// Witness searches run and nodes settled across them — the dominant cost
+  /// of contraction; frozen-order repair exists to shrink these.
+  std::size_t NumWitnessSearches() const { return witness_searches_; }
+  std::size_t NumWitnessSettled() const { return witness_settled_; }
+
+  /// Directs witness-certificate recording at `sink` (see
+  /// hier/witness_certs.h): every candidate pair a witness *search* prunes
+  /// is recorded as a replayable path for later frozen-order repairs.
+  /// Prefilter prunes carry no parent chain and are not recorded — the
+  /// prefilter itself re-proves them cheaply. The caller owns the sink,
+  /// must keep it alive across Contract calls, and finalizes it when
+  /// contraction is done. Pass nullptr to stop recording.
+  void RecordWitnessCerts(WitnessCertTable* sink) { cert_sink_ = sink; }
+
  private:
   struct OutArcRec {
     NodeId head;
@@ -96,13 +119,45 @@ class ContractionEngine {
   // Inserts or improves u→w; updates both adjacency mirrors.
   bool AddOrImprove(NodeId u, NodeId w, Weight weight, NodeId mid);
 
-  // Shortest u→targets distance check in the active graph minus `excluded`.
-  // Fills witness_dist_ labels; a target's label may stay kInfDist.
-  void RunWitnessSearch(NodeId u, NodeId excluded, Dist bound);
+  // Shortest u→targets distance check in the active graph minus `excluded`,
+  // against the targets_ list (stamped with target_round_) the caller
+  // filled. Fills witness_dist_ labels; a target's label may stay kInfDist.
+  // Consumes targets_: resolved targets are removed as the search runs.
+  void RunWitnessSearch(NodeId u, NodeId excluded);
+
+  // Records the witness path that pruned pair u→w at v's contraction into
+  // cert_sink_, by walking the parent chain the witness search laid down.
+  // Bails out (recording nothing) if w's label did not come from the
+  // current search round — e.g. the prefilter resolved everything.
+  void RecordPruneCert(NodeId v, NodeId u, NodeId w);
+
+  // Prefilter companion of RunWitnessSearch: resolves targets_ that some
+  // overlay path of at most three arcs from u (avoiding `excluded`)
+  // already proves a witness for, marking their cand_ entry pruned and
+  // dropping them from targets_. Unresolved targets stay for the Dijkstra
+  // search.
+  void RunWitnessPrefilter(NodeId u, NodeId excluded);
 
   Dist WitnessDist(NodeId v) const {
     return witness_stamp_[v] == witness_round_ ? witness_dist_[v] : kInfDist;
   }
+
+  // Per-in-neighbor candidate scratch: head, via weight, and whether the
+  // prefilter already proved a witness (computed once, used twice).
+  struct CandRec {
+    NodeId w;
+    Dist via;
+    bool pruned;
+  };
+  // A witness-search target: an unhinted candidate head and its via weight,
+  // resolved either by settling (label final) or by the frontier passing
+  // its via (label provably larger). cand_index points back at the CandRec
+  // so the prefilter can record its verdict.
+  struct Target {
+    NodeId w;
+    Dist via;
+    std::uint32_t cand_index;
+  };
 
   ContractionParams params_;
   std::vector<std::vector<OutArcRec>> out_;
@@ -112,12 +167,25 @@ class ContractionEngine {
   std::vector<HierArc> emitted_;
   std::size_t num_contracted_ = 0;
   std::size_t shortcuts_added_ = 0;
+  std::size_t witness_searches_ = 0;
+  std::size_t witness_settled_ = 0;
 
   // Reusable witness-search state.
   IndexedHeap witness_heap_;
   std::vector<Dist> witness_dist_;
   std::vector<std::uint32_t> witness_stamp_;
   std::uint32_t witness_round_ = 0;
+  // Parent chain of the latest search round, for certificate recording.
+  // Stamped separately from the labels: prefilter labels have no parents.
+  std::vector<NodeId> witness_parent_;
+  std::vector<std::uint32_t> witness_parent_stamp_;
+  WitnessCertTable* cert_sink_ = nullptr;
+  std::vector<NodeId> cert_path_;
+  std::vector<CandRec> cand_;
+  std::vector<NodeId> ring_;  // Prefilter scratch: u's labelled neighbors.
+  std::vector<Target> targets_;
+  std::vector<std::uint32_t> target_stamp_;
+  std::uint32_t target_round_ = 0;
 };
 
 /// Contracts the given nodes, in order, and returns the overlay arcs among

@@ -1,0 +1,65 @@
+#include "hier/witness_certs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace ah {
+
+void WitnessCertTable::Record(NodeId v, NodeId u, NodeId w,
+                              const NodeId* interior, std::size_t count) {
+  assert(first_.empty() && "Record after Finalize");
+  if (pool_.size() + count > std::numeric_limits<std::uint32_t>::max()) {
+    return;  // Pool offset would overflow; dropping a cert is always safe.
+  }
+  WitnessCert cert;
+  cert.u = u;
+  cert.w = w;
+  cert.first = static_cast<std::uint32_t>(pool_.size());
+  cert.count = static_cast<std::uint32_t>(count);
+  pool_.insert(pool_.end(), interior, interior + count);
+  recs_.push_back(Rec{v, cert});
+}
+
+void WitnessCertTable::Finalize(std::size_t n) {
+  assert(first_.empty() && "Finalize called twice");
+  // Records arrive grouped by contracted node (one Contract call / repair
+  // step each), so a counting scatter by v beats a comparison sort; only
+  // the small per-v slices need ordering by (u, w) afterwards.
+  first_.assign(n + 1, 0);
+  for (const Rec& r : recs_) {
+    assert(r.v < n);
+    ++first_[r.v + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) first_[v + 1] += first_[v];
+  std::vector<Rec> sorted(recs_.size());
+  {
+    std::vector<std::uint64_t> cur(first_.begin(), first_.end() - 1);
+    for (const Rec& r : recs_) sorted[cur[r.v]++] = r;
+  }
+  recs_ = std::move(sorted);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::sort(recs_.begin() + first_[v], recs_.begin() + first_[v + 1],
+              [](const Rec& a, const Rec& b) {
+                if (a.cert.u != b.cert.u) return a.cert.u < b.cert.u;
+                return a.cert.w < b.cert.w;
+              });
+  }
+}
+
+const WitnessCert* WitnessCertTable::Find(NodeId v, NodeId u, NodeId w) const {
+  assert(!first_.empty() && "Find before Finalize");
+  if (v + 1 >= first_.size()) return nullptr;
+  const auto lo = recs_.begin() + first_[v];
+  const auto hi = recs_.begin() + first_[v + 1];
+  const auto it =
+      std::lower_bound(lo, hi, std::pair<NodeId, NodeId>(u, w),
+                       [](const Rec& r, const std::pair<NodeId, NodeId>& key) {
+                         if (r.cert.u != key.first) return r.cert.u < key.first;
+                         return r.cert.w < key.second;
+                       });
+  if (it == hi || it->cert.u != u || it->cert.w != w) return nullptr;
+  return &it->cert;
+}
+
+}  // namespace ah

@@ -1,0 +1,96 @@
+// Witness certificates: replayable proofs of shortcut pruning decisions.
+//
+// When contracting v rejects the candidate shortcut u→w, the rejection is
+// justified by a concrete witness path u → … → w that avoids v and is no
+// longer than w(u,v)+w(v,w). Discovering that path costs a Dijkstra
+// witness search (microseconds); after a weights-only graph change the
+// *same* path almost always still justifies the rejection, and re-checking
+// it costs a handful of arc lookups (nanoseconds). A WitnessCertTable
+// therefore stores, per contracted node, the interior nodes of each
+// pruning witness so the frozen-order repair kernel can replay them
+// instead of searching. A replay that fails — the old witness got slower
+// than the candidate — simply falls back to a fresh prefilter + search, so
+// certificates never change a decision; they only accelerate re-deriving
+// it.
+//
+// Replay soundness under a frozen order: a witness used at v's step runs
+// entirely through nodes ranked above v (the active overlay) over arcs
+// that exist by that step. Both facts are functions of the rank
+// permutation and the arc topology, neither of which a weights-only
+// repair changes, so the stored path is still a valid step-time path in
+// the next epoch — only its length must be re-summed.
+//
+// Tables live in memory next to their index and are intentionally NOT
+// serialized: an index loaded from disk repairs cert-less once (every
+// non-topology pair gets the full witness treatment), emits a fresh table
+// in the process, and is back to certificate speed from the second repair
+// on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace ah {
+
+/// One recorded pruning witness for the candidate pair u→w.
+struct WitnessCert {
+  NodeId u = kInvalidNode;  ///< Candidate tail.
+  NodeId w = kInvalidNode;  ///< Candidate head.
+  std::uint32_t first = 0;  ///< Interior-node range start in the pool.
+  std::uint32_t count = 0;  ///< Number of interior nodes (0 = direct arc).
+};
+
+class WitnessCertTable {
+ public:
+  /// Pre-sizes the record and pool storage (e.g. to the previous table's
+  /// counts, the best estimate a repair has).
+  void Reserve(std::size_t num_certs, std::size_t pool_nodes) {
+    recs_.reserve(num_certs);
+    pool_.reserve(pool_nodes);
+  }
+
+  std::size_t PoolSize() const { return pool_.size(); }
+
+  /// Records the witness that pruned pair u→w when v was contracted.
+  /// `interior` lists the witness path's nodes strictly between u and w,
+  /// in path order (may be empty: a single arc u→w can be a witness).
+  /// Records may arrive in any order; Finalize sorts them.
+  void Record(NodeId v, NodeId u, NodeId w, const NodeId* interior,
+              std::size_t count);
+
+  /// Builds the per-node lookup structure. Call exactly once, after the
+  /// last Record and before the first Find. `n` is the node-id space.
+  void Finalize(std::size_t n);
+
+  /// The certificate recorded for pair u→w at v's contraction, or nullptr.
+  /// Only valid after Finalize.
+  const WitnessCert* Find(NodeId v, NodeId u, NodeId w) const;
+
+  /// Interior nodes of `cert`, in path order from u towards w.
+  const NodeId* Interior(const WitnessCert& cert) const {
+    return pool_.data() + cert.first;
+  }
+
+  std::size_t NumCerts() const { return recs_.size(); }
+  std::size_t SizeBytes() const {
+    return recs_.capacity() * sizeof(Rec) +
+           pool_.capacity() * sizeof(NodeId) +
+           first_.capacity() * sizeof(std::uint64_t);
+  }
+
+ private:
+  struct Rec {
+    NodeId v;
+    WitnessCert cert;
+  };
+
+  std::vector<Rec> recs_;
+  std::vector<NodeId> pool_;
+  /// Per-v slice bounds into recs_; size n+1 once finalized, else empty.
+  std::vector<std::uint64_t> first_;
+};
+
+}  // namespace ah

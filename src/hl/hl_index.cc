@@ -128,20 +128,44 @@ const HlLabel* FindLabel(std::span<const HlLabel> labels, Rank hub) {
 
 HlIndex HlIndex::Build(const Graph& g, const HlParams& params) {
   Timer timer;
-  HlIndex index;
   const std::size_t n = g.NumNodes();
 
   // Hub order: importance-descending = the reverse of the greedy
   // contraction order CH builds its hierarchy from (last contracted = most
   // important = rank 0).
+  std::vector<NodeId> hub_of_rank;
   {
     ContractionEngine engine(n, ArcsOf(g), ContractionParams{});
     std::vector<NodeId> all(n);
     std::iota(all.begin(), all.end(), 0);
     const std::vector<NodeId> order =
         ContractGreedySubset(engine, all, GreedyOrderParams{});
-    index.hub_of_rank_.assign(order.rbegin(), order.rend());
+    hub_of_rank.assign(order.rbegin(), order.rend());
   }
+
+  HlIndex index = BuildWithHubOrder(g, std::move(hub_of_rank), params);
+  index.build_stats_.seconds = timer.Seconds();
+  return index;
+}
+
+HlIndex HlIndex::RebuildWithFrozenOrder(const Graph& g, const HlIndex& previous,
+                                        const HlParams& params) {
+  Timer timer;
+  if (g.NumNodes() != previous.NumNodes()) {
+    throw std::invalid_argument(
+        "HlIndex::RebuildWithFrozenOrder: node count changed");
+  }
+  HlIndex index = BuildWithHubOrder(g, previous.hub_of_rank_, params);
+  index.build_stats_.seconds = timer.Seconds();
+  return index;
+}
+
+HlIndex HlIndex::BuildWithHubOrder(const Graph& g,
+                                   std::vector<NodeId> hub_of_rank,
+                                   const HlParams& params) {
+  HlIndex index;
+  const std::size_t n = g.NumNodes();
+  index.hub_of_rank_ = std::move(hub_of_rank);
 
   const std::size_t threads =
       params.build_threads == 0 ? WorkerThreads() : params.build_threads;
@@ -278,7 +302,6 @@ HlIndex HlIndex::Build(const Graph& g, const HlParams& params) {
   index.in_first_[n] = index.in_labels_.size();
   index.out_first_[n] = index.out_labels_.size();
 
-  index.build_stats_.seconds = timer.Seconds();
   index.build_stats_.in_labels = index.in_labels_.size();
   index.build_stats_.out_labels = index.out_labels_.size();
   index.build_stats_.max_live_label_buffers = max_live;

@@ -76,6 +76,16 @@ class HlIndex {
   /// unlike the other indexes, queries never touch the graph again.
   static HlIndex Build(const Graph& g, const HlParams& params = {});
 
+  /// Weights-only rebuild: relabels `g` with `previous`'s frozen hub order,
+  /// skipping the greedy contraction that computes it. Pruned labeling is
+  /// exact for any hub order, so the labels answer queries on `g` exactly;
+  /// like Build, the result is bit-identical at any thread count. `g` must
+  /// have `previous`'s node count (weight deltas never change topology);
+  /// throws std::invalid_argument otherwise.
+  static HlIndex RebuildWithFrozenOrder(const Graph& g,
+                                        const HlIndex& previous,
+                                        const HlParams& params = {});
+
   std::size_t NumNodes() const { return hub_of_rank_.size(); }
   const HlBuildStats& build_stats() const { return build_stats_; }
 
@@ -111,6 +121,14 @@ class HlIndex {
   static HlIndex Load(std::istream& in);
 
  private:
+  /// The round-synchronous parallel labeling over a given hub order — the
+  /// shared tail of Build (fresh greedy order) and RebuildWithFrozenOrder
+  /// (order inherited from a previous index). Sets every field except
+  /// build_stats_.seconds, which the callers time themselves.
+  static HlIndex BuildWithHubOrder(const Graph& g,
+                                   std::vector<NodeId> hub_of_rank,
+                                   const HlParams& params);
+
   std::vector<NodeId> hub_of_rank_;      // rank -> node id
   std::vector<std::uint64_t> in_first_;  // CSR offsets, size n+1
   std::vector<std::uint64_t> out_first_;

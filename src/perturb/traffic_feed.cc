@@ -1,0 +1,40 @@
+#include "perturb/traffic_feed.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ah {
+
+TrafficFeed::TrafficFeed(const Graph& g, const TrafficFeedParams& params)
+    : params_(params), rng_(params.seed) {
+  arcs_.reserve(g.NumArcs());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (const Arc& a : g.OutArcs(v)) {
+      arcs_.push_back(WeightDelta{v, a.head, a.weight});
+    }
+  }
+  batch_size_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(params.batch_fraction *
+                                  static_cast<double>(arcs_.size())));
+}
+
+std::vector<WeightDelta> TrafficFeed::NextBatch() {
+  std::vector<WeightDelta> batch;
+  batch.reserve(batch_size_);
+  if (arcs_.empty()) return batch;
+  for (std::size_t i = 0; i < batch_size_; ++i) {
+    const WeightDelta& base = arcs_[rng_.Uniform(arcs_.size())];
+    // log-uniform factor in [1/speedup, slowdown]: symmetric congestion /
+    // free-flow swings around the base weight.
+    const double lo = std::log(1.0 / params_.speedup_factor);
+    const double hi = std::log(params_.slowdown_factor);
+    const double factor = std::exp(lo + (hi - lo) * rng_.UniformDouble());
+    const double w = static_cast<double>(base.weight) * factor;
+    const Weight clamped = static_cast<Weight>(std::clamp(
+        w, 1.0, static_cast<double>(kMaxWeight - 1)));
+    batch.push_back(WeightDelta{base.tail, base.head, clamped});
+  }
+  return batch;
+}
+
+}  // namespace ah

@@ -1,0 +1,57 @@
+// Synthetic live-traffic feed: the deterministic churn generator behind the
+// incremental-rebuild stress tests and the time-to-fresh-epoch bench.
+//
+// Road-network serving sees arc weights move constantly while the topology
+// stays put (the weights-only update model of graph/weight_update.h). A
+// TrafficFeed replays that pattern synthetically: every batch perturbs a
+// fixed fraction of arcs multiplicatively around their *original* weights —
+// anchoring on the base weight keeps the weight distribution stationary
+// under indefinite churn instead of drifting toward the clamp bounds.
+// Batches are a pure function of (graph, params): bit-identical across runs
+// at any call rate, per the repo's RNG discipline (util/rng.h only).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/weight_update.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace ah {
+
+struct TrafficFeedParams {
+  /// Fraction of the graph's arcs each NextBatch() perturbs (>= 1 arc).
+  /// The ROADMAP live-feed target — 1% of arcs per minute — is one
+  /// 0.01-fraction batch per minute.
+  double batch_fraction = 0.01;
+  /// Multiplicative perturbation range around the base weight: a congested
+  /// rush-hour arc up to slowdown_factor slower, an off-peak arc down to
+  /// 1/speedup_factor of its base cost.
+  double slowdown_factor = 4.0;
+  double speedup_factor = 2.0;
+  std::uint64_t seed = 20130624;  // SIGMOD'13.
+};
+
+class TrafficFeed {
+ public:
+  explicit TrafficFeed(const Graph& g, const TrafficFeedParams& params = {});
+
+  /// The next batch of weight deltas: BatchSize() arcs drawn uniformly
+  /// (with replacement) with new weights in
+  /// [base/speedup_factor, base*slowdown_factor], clamped to valid weights.
+  /// Every delta names an existing arc, so queueing them never fails.
+  std::vector<WeightDelta> NextBatch();
+
+  std::size_t BatchSize() const { return batch_size_; }
+  std::size_t NumArcs() const { return arcs_.size(); }
+
+ private:
+  std::vector<WeightDelta> arcs_;  // (tail, head, *base* weight), arc order
+  std::size_t batch_size_;
+  TrafficFeedParams params_;
+  Rng rng_;
+};
+
+}  // namespace ah

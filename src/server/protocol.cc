@@ -244,6 +244,18 @@ ParseResult ParseRequest(std::string_view line, const ParseLimits& limits) {
     req.weight = static_cast<Weight>(w);
     return result;
   }
+  if (verb == "updf") {
+    if (argc != 1) {
+      return Fail(ErrorCode::kBadRequest, "usage: updf <file>");
+    }
+    if (limits.max_bulk_deltas == 0) {
+      return Fail(ErrorCode::kBadRequest,
+                  "bulk updates are disabled on this server");
+    }
+    req.kind = RequestKind::kUpdateFile;
+    req.path = std::string(tokens[at]);
+    return result;
+  }
   if (verb == "reload" && argc == 0) {
     req.kind = RequestKind::kReload;
     return result;
@@ -262,7 +274,7 @@ ParseResult ParseRequest(std::string_view line, const ParseLimits& limits) {
   }
   return Fail(ErrorCode::kBadRequest,
               "unknown request '" + std::string(verb) +
-                  "' (expected d|p|k|b|m|stats|inv|use|upd|reload|q)");
+                  "' (expected d|p|k|b|m|stats|inv|use|upd|updf|reload|q)");
 }
 
 std::string FormatError(ErrorCode code, std::string_view detail) {

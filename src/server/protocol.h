@@ -16,6 +16,9 @@
 // Admin verbs (the index-lifecycle surface; same line grammar):
 //   use <backend>                   switch the server default backend
 //   upd <u> <v> <w>                 queue weight w for arc u→v (next reload)
+//   updf <file>                     queue a bulk binary delta file (AHUD
+//                                   format, graph/weight_update.h) — all
+//                                   records validated before any is queued
 //   reload                          rebuild + hot-swap all backends async
 //
 // Replies (one line per request):
@@ -28,6 +31,7 @@
 //   OK inv / OK bye
 //   OK use <backend>
 //   OK upd <pending>                (queued updates after this one)
+//   OK updf <queued> <pending>      (records queued from the file; total)
 //   OK reload <pending>             (updates the background rebuild folds in)
 //   ERR <code> <detail>
 //
@@ -39,7 +43,9 @@
 // non-numeric, negative, or out-of-range id is rejected with an error
 // naming the offending token instead of being silently clamped. Backend
 // names in "@..." / "use" are validated by the server against its registry
-// (bad-backend); "upd" arcs must exist in the base graph (bad-arc).
+// (bad-backend); "upd" / "updf" arcs must exist in the base graph (bad-arc).
+// "updf" is atomic: the server validates every record in the file and
+// queues either all of them or none (the reply names the first bad record).
 #pragma once
 
 #include <cstddef>
@@ -66,9 +72,10 @@ enum class RequestKind {
   kMatrix,  ///< Many-to-many distance matrix.
   kStats,
   kInvalidate,
-  kUse,     ///< Switch the server default backend.
-  kUpdate,  ///< Queue one edge-weight delta.
-  kReload,  ///< Trigger the background rebuild + hot swap.
+  kUse,         ///< Switch the server default backend.
+  kUpdate,      ///< Queue one edge-weight delta.
+  kUpdateFile,  ///< Queue a bulk binary delta file (atomic all-or-nothing).
+  kReload,      ///< Trigger the background rebuild + hot swap.
   kQuit,
 };
 
@@ -91,7 +98,8 @@ std::string_view ErrorCodeName(ErrorCode code);
 /// A parsed request. Only the fields of the parsed kind are meaningful:
 /// s/t for distance and path, s/k for k-nearest, pairs for batch,
 /// sources/targets for matrix, backend for use (and, from the "@..."
-/// prefix, any query kind; empty = server default), s/t/weight for upd.
+/// prefix, any query kind; empty = server default), s/t/weight for upd,
+/// path for updf.
 struct Request {
   RequestKind kind = RequestKind::kQuit;
   NodeId s = 0;
@@ -99,6 +107,7 @@ struct Request {
   std::uint32_t k = 0;
   Weight weight = 0;
   std::string backend;
+  std::string path;  ///< Server-side delta file named by updf.
   std::vector<std::pair<NodeId, NodeId>> pairs;
   std::vector<NodeId> sources;
   std::vector<NodeId> targets;
@@ -122,6 +131,10 @@ struct ParseLimits {
   /// Max locations per matrix side (sources or targets); violations are
   /// kTooLarge. 0 disables matrix requests entirely.
   std::size_t max_matrix_locations = 512;
+  /// Max delta records accepted from one updf file; over-cap files are
+  /// answered kTooLarge (enforced server-side when reading the file, since
+  /// the parser only sees the file name). 0 disables the verb.
+  std::size_t max_bulk_deltas = 1 << 20;
 };
 
 /// Parses one request line. Leading/trailing whitespace is ignored; an

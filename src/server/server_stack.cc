@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <future>
+#include <stdexcept>
 #include <utility>
 
+#include "graph/weight_update.h"
 #include "util/timer.h"
 
 namespace ah::server {
@@ -72,7 +75,8 @@ void ServerStack::SubmitInternal(std::string_view line,
                                  ReplyCallback done) {
   ParseResult parsed =
       ParseRequest(line, ParseLimits{registry_->NumNodes(), config_.max_batch,
-                                     config_.max_matrix_locations});
+                                     config_.max_matrix_locations,
+                                     config_.max_bulk_deltas});
   if (!parsed.ok) {
     stats_.RecordError();
     done(FormatError(parsed.code, parsed.message), false);
@@ -93,6 +97,7 @@ void ServerStack::SubmitInternal(std::string_view line,
       return;
     case RequestKind::kUse:
     case RequestKind::kUpdate:
+    case RequestKind::kUpdateFile:
     case RequestKind::kReload:
       done(ExecuteAdmin(req), false);
       return;
@@ -233,6 +238,57 @@ std::string ServerStack::ExecuteAdmin(const Request& request) {
       }
       stats_.RecordError();
       return FormatError(ErrorCode::kInternal, "unhandled update status");
+    case RequestKind::kUpdateFile: {
+      std::ifstream in(request.path, std::ios::binary);
+      if (!in) {
+        stats_.RecordError();
+        return FormatError(ErrorCode::kBadRequest,
+                           "cannot open delta file '" + request.path + "'");
+      }
+      std::vector<WeightDelta> deltas;
+      try {
+        deltas = LoadWeightDeltas(in, config_.max_bulk_deltas);
+      } catch (const std::length_error& e) {
+        stats_.RecordError();
+        return FormatError(ErrorCode::kTooLarge, e.what());
+      } catch (const std::exception& e) {
+        stats_.RecordError();
+        return FormatError(ErrorCode::kBadRequest,
+                           "corrupt delta file '" + request.path +
+                               "': " + e.what());
+      }
+      std::size_t first_bad = 0;
+      const auto BadRecord = [&](ErrorCode code, std::string_view what) {
+        stats_.RecordError();
+        const WeightDelta& d = deltas[first_bad];
+        return FormatError(
+            code, "record " + std::to_string(first_bad) + " (" +
+                      std::to_string(d.tail) + "->" + std::to_string(d.head) +
+                      " w=" + std::to_string(d.weight) + "): " +
+                      std::string(what) + "; no records queued");
+      };
+      switch (registry_->QueueWeightUpdates(deltas, &first_bad)) {
+        case IndexRegistry::UpdateStatus::kQueued:
+          return "OK updf " + std::to_string(deltas.size()) + " " +
+                 std::to_string(registry_->PendingUpdates());
+        case IndexRegistry::UpdateStatus::kNoSuchArc:
+          return BadRecord(ErrorCode::kBadArc,
+                           "no such arc in the base graph");
+        case IndexRegistry::UpdateStatus::kBadNode:
+          return BadRecord(ErrorCode::kBadNode, "endpoint out of range");
+        case IndexRegistry::UpdateStatus::kBadWeight:
+          return BadRecord(ErrorCode::kBadRequest,
+                           "weight must be positive and below " +
+                               std::to_string(kMaxWeight));
+        case IndexRegistry::UpdateStatus::kStatic:
+          stats_.RecordError();
+          return FormatError(
+              ErrorCode::kBadRequest,
+              "this server wraps a static index (no live updates)");
+      }
+      stats_.RecordError();
+      return FormatError(ErrorCode::kInternal, "unhandled update status");
+    }
     case RequestKind::kReload: {
       const std::size_t pending = registry_->PendingUpdates();
       std::string error;
@@ -461,6 +517,25 @@ std::string ServerStack::StatsLine() const {
   AppendKv(&out, "swaps", std::to_string(registry.swaps));
   AppendKv(&out, "rebuild_in_flight",
            registry.rebuild_in_flight ? "1" : "0");
+  // Per-backend rebuild ledger: how many swaps took the cheap frozen-order
+  // path vs a from-scratch build, how often incremental fell back, and the
+  // wall-clock of the last publication (empty for static registries).
+  if (!registry.backend_rebuilds.empty()) {
+    const std::vector<std::string>& names = registry_->Backends();
+    for (std::size_t i = 0;
+         i < names.size() && i < registry.backend_rebuilds.size(); ++i) {
+      const IndexRegistry::BackendRebuildStats& rb =
+          registry.backend_rebuilds[i];
+      AppendKv(&out, "rebuild_" + names[i] + "_incremental",
+               std::to_string(rb.incremental));
+      AppendKv(&out, "rebuild_" + names[i] + "_full",
+               std::to_string(rb.full));
+      AppendKv(&out, "rebuild_" + names[i] + "_fallbacks",
+               std::to_string(rb.fallbacks));
+      AppendKv(&out, "rebuild_" + names[i] + "_last_s",
+               Fixed(rb.last_rebuild_seconds, 3));
+    }
+  }
   AppendKv(&out, "cache_size", std::to_string(cache_.Size()));
   AppendKv(&out, "cache_hits", std::to_string(cache.hits));
   AppendKv(&out, "cache_misses", std::to_string(cache.misses));

@@ -67,6 +67,9 @@ struct ServerConfig {
   /// Max locations per matrix side (`m` requests); 0 disables the verb.
   /// Over-cap requests are answered ERR too-large.
   std::size_t max_matrix_locations = 512;
+  /// Max delta records accepted from one `updf` bulk file; over-cap files
+  /// are answered ERR too-large. 0 disables the verb.
+  std::size_t max_bulk_deltas = 1 << 20;
   /// Engine fan-out (0 = WorkerThreads() default).
   std::size_t num_threads = 0;
 };
@@ -137,7 +140,7 @@ class ServerStack {
   void SubmitInternal(std::string_view line,
                       std::optional<std::uint64_t> client, ReplyCallback done);
 
-  /// Answers the admin verbs (use/upd/reload) inline. Never throws.
+  /// Answers the admin verbs (use/upd/updf/reload) inline. Never throws.
   std::string ExecuteAdmin(const Request& request);
 
   /// Executes an admitted query request on an epoch-pinned session lease,

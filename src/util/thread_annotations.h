@@ -18,6 +18,7 @@
 //     The explicit while loop keeps the guarded read in the annotated scope.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -161,6 +162,14 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  /// Timed wait (releases/reacquires like Wait); returns false on timeout.
+  /// Same no-predicate rule as Wait: re-check the guarded condition in the
+  /// caller's annotated while loop.
+  template <typename Rep, typename Period>
+  bool WaitFor(MutexLock& lock,
+               const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.lock_, timeout) == std::cv_status::no_timeout;
+  }
   void NotifyOne() noexcept { cv_.notify_one(); }
   void NotifyAll() noexcept { cv_.notify_all(); }
 

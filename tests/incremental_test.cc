@@ -1,0 +1,280 @@
+// Incremental (frozen-order) rebuild conformance: after weights-only churn,
+// a repaired index must answer every query exactly like a from-scratch
+// build of the updated graph — for one repair, for chains of repairs
+// (certificate-carrying epochs), and for cert-less repairs of indexes
+// loaded from disk. Also covers the witness-certificate table itself and
+// the structural-mismatch guard that triggers the registry's from-scratch
+// fallback.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "api/distance_oracle.h"
+#include "ch/ch_index.h"
+#include "core/ah_index.h"
+#include "core/ah_query.h"
+#include "graph/builder.h"
+#include "graph/weight_update.h"
+#include "hier/repair_kernel.h"
+#include "hier/witness_certs.h"
+#include "hl/hl_index.h"
+#include "perturb/traffic_feed.h"
+#include "routing/dijkstra.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace ah {
+namespace {
+
+// Perturbs `fraction` of g's arcs (deterministically) and returns the batch.
+std::vector<WeightDelta> Churn(Graph* g, double fraction, std::uint64_t seed) {
+  TrafficFeedParams params;
+  params.batch_fraction = fraction;
+  params.seed = seed;
+  TrafficFeed feed(*g, params);
+  std::vector<WeightDelta> batch = feed.NextBatch();
+  const DeltaApplyStats stats = ApplyWeightDeltas(g, batch);
+  EXPECT_EQ(stats.rejected, 0u);
+  return batch;
+}
+
+template <typename QueryA, typename QueryB>
+void ExpectSameAnswers(const Graph& g, QueryA& repaired, QueryB& scratch,
+                       std::uint64_t seed, int pairs = 80) {
+  Dijkstra dijkstra(g);
+  Rng rng(seed);
+  for (int q = 0; q < pairs; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const Dist ref = dijkstra.Distance(s, t);
+    ASSERT_EQ(scratch.Distance(s, t), ref) << "scratch s=" << s << " t=" << t;
+    ASSERT_EQ(repaired.Distance(s, t), ref) << "repair s=" << s << " t=" << t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WitnessCertTable
+// ---------------------------------------------------------------------------
+
+TEST(WitnessCertTableTest, RecordFinalizeFind) {
+  WitnessCertTable table;
+  const NodeId path1[] = {7, 9};
+  const NodeId path2[] = {3};
+  table.Record(/*v=*/5, /*u=*/1, /*w=*/2, path1, 2);
+  table.Record(/*v=*/5, /*u=*/1, /*w=*/8, path2, 1);
+  table.Record(/*v=*/0, /*u=*/4, /*w=*/6, nullptr, 0);  // Direct-arc witness.
+  table.Finalize(/*n=*/10);
+
+  ASSERT_EQ(table.NumCerts(), 3u);
+  const WitnessCert* c = table.Find(5, 1, 2);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->count, 2u);
+  EXPECT_EQ(table.Interior(*c)[0], 7u);
+  EXPECT_EQ(table.Interior(*c)[1], 9u);
+  c = table.Find(5, 1, 8);
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(c->count, 1u);
+  EXPECT_EQ(table.Interior(*c)[0], 3u);
+  c = table.Find(0, 4, 6);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->count, 0u);
+}
+
+TEST(WitnessCertTableTest, FindMissesReturnNull) {
+  WitnessCertTable table;
+  const NodeId path[] = {2};
+  table.Record(1, 0, 3, path, 1);
+  table.Finalize(4);
+  EXPECT_EQ(table.Find(1, 0, 2), nullptr);  // Wrong head.
+  EXPECT_EQ(table.Find(1, 3, 0), nullptr);  // Reversed pair.
+  EXPECT_EQ(table.Find(2, 0, 3), nullptr);  // Wrong contracted node.
+  EXPECT_NE(table.Find(1, 0, 3), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// CH
+// ---------------------------------------------------------------------------
+
+class IncrementalSeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalSeedTest, ChRepairMatchesScratchAndDijkstra) {
+  Graph g = testing::MakeRoadGraph(16, GetParam());
+  const ChIndex live = ChIndex::Build(g);
+  EXPECT_NE(live.witness_certs(), nullptr);  // Build records certificates.
+  Churn(&g, 0.02, GetParam() ^ 0x9e37);
+
+  const ChIndex repaired = ChIndex::RebuildWithFrozenOrder(g, live);
+  const ChIndex scratch = ChIndex::Build(g);
+  ChQuery rq(repaired);
+  ChQuery sq(scratch);
+  ExpectSameAnswers(g, rq, sq, GetParam() + 1);
+}
+
+TEST_P(IncrementalSeedTest, ChRepairIsDeterministic) {
+  Graph g = testing::MakeRoadGraph(12, GetParam());
+  const ChIndex live = ChIndex::Build(g);
+  Churn(&g, 0.05, GetParam() + 17);
+
+  const ChIndex a = ChIndex::RebuildWithFrozenOrder(g, live);
+  const ChIndex b = ChIndex::RebuildWithFrozenOrder(g, live);
+  // Compare the serialized search graphs (the full index payload);
+  // ChIndex::Save additionally records build wall-clock, which is
+  // legitimately different between runs.
+  std::ostringstream sa, sb;
+  a.search_graph().Save(sa);
+  b.search_graph().Save(sb);
+  EXPECT_EQ(sa.str(), sb.str());  // Bit-identical rebuilt hierarchy.
+}
+
+TEST_P(IncrementalSeedTest, ChChainedRepairsStayExact) {
+  // Repair-of-repair exercises the certificates the repair kernel itself
+  // emits (Build's engine-recorded table only feeds the first repair).
+  Graph g = testing::MakeRoadGraph(14, GetParam());
+  ChIndex live = ChIndex::Build(g);
+  for (int round = 0; round < 3; ++round) {
+    Churn(&g, 0.02, GetParam() + 31 * round);
+    live = ChIndex::RebuildWithFrozenOrder(g, live);
+    EXPECT_NE(live.witness_certs(), nullptr);
+    const ChIndex scratch = ChIndex::Build(g);
+    ChQuery rq(live);
+    ChQuery sq(scratch);
+    ExpectSameAnswers(g, rq, sq, GetParam() + round, /*pairs=*/40);
+  }
+}
+
+TEST_P(IncrementalSeedTest, LoadedChRepairsCertlessAndSelfHeals) {
+  Graph g = testing::MakeRoadGraph(12, GetParam());
+  const ChIndex built = ChIndex::Build(g);
+  std::stringstream buf;
+  built.Save(buf);
+  const ChIndex loaded = ChIndex::Load(buf);
+  EXPECT_EQ(loaded.witness_certs(), nullptr);  // Tables are not serialized.
+
+  Churn(&g, 0.02, GetParam() + 3);
+  const ChIndex repaired = ChIndex::RebuildWithFrozenOrder(g, loaded);
+  EXPECT_NE(repaired.witness_certs(), nullptr);  // Re-emitted by the repair.
+  const ChIndex scratch = ChIndex::Build(g);
+  ChQuery rq(repaired);
+  ChQuery sq(scratch);
+  ExpectSameAnswers(g, rq, sq, GetParam() + 4, /*pairs=*/40);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalSeedTest,
+                         ::testing::Values(1, 2, 77, 4242));
+
+TEST(IncrementalChTest, TopologyMismatchThrows) {
+  const Graph g = testing::MakeRoadGraph(10, 7);
+  const ChIndex live = ChIndex::Build(g);
+
+  // Same node count, different arc set: frozen-order repair must refuse
+  // (the registry then falls back to a from-scratch build).
+  GraphBuilder builder(g.NumNodes());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) builder.AddNode(g.Coord(v));
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (const Arc& a : g.OutArcs(v)) builder.AddArc(v, a.head, a.weight);
+  }
+  builder.AddArc(0, static_cast<NodeId>(g.NumNodes() - 1), 1);
+  const Graph changed = builder.Build();
+  EXPECT_THROW(ChIndex::RebuildWithFrozenOrder(changed, live),
+               std::invalid_argument);
+
+  // Node-count change is rejected before the kernel even runs.
+  const Graph smaller = testing::MakeRoadGraph(9, 7);
+  EXPECT_THROW(ChIndex::RebuildWithFrozenOrder(smaller, live),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// AH and HL
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalAhTest, RepairMatchesScratchAcrossChainedChurn) {
+  Graph g = testing::MakeRoadGraph(12, 11);
+  AhIndex live = AhIndex::Build(g);
+  for (int round = 0; round < 2; ++round) {
+    Churn(&g, 0.02, 100 + round);
+    live = AhIndex::RebuildWithFrozenOrder(g, live);
+    const AhIndex scratch = AhIndex::Build(g);
+    AhQuery rq(live);
+    AhQuery sq(scratch);
+    ExpectSameAnswers(g, rq, sq, 200 + round, /*pairs=*/40);
+  }
+}
+
+TEST(IncrementalHlTest, RelabelMatchesScratch) {
+  Graph g = testing::MakeRoadGraph(12, 13);
+  const HlIndex live = HlIndex::Build(g);
+  Churn(&g, 0.02, 5);
+  const HlIndex repaired = HlIndex::RebuildWithFrozenOrder(g, live);
+  const HlIndex scratch = HlIndex::Build(g);
+  Dijkstra dijkstra(g);
+  Rng rng(6);
+  for (int q = 0; q < 60; ++q) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(g.NumNodes()));
+    const Dist ref = dijkstra.Distance(s, t);
+    ASSERT_EQ(scratch.Distance(s, t), ref);
+    ASSERT_EQ(repaired.Distance(s, t), ref);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Oracle wrappers
+// ---------------------------------------------------------------------------
+
+TEST(OracleFrozenRebuildTest, BackendsWithFrozenPathRebuildExactly) {
+  Graph g = testing::MakeRoadGraph(10, 21);
+  Graph base = g;  // Keep the pre-churn graph alive for the live oracles.
+  for (const char* backend : {"ch", "ah", "hl"}) {
+    const std::unique_ptr<DistanceOracle> live = MakeOracle(backend, base);
+    Graph updated = base;
+    Churn(&updated, 0.03, 77);
+    const std::unique_ptr<DistanceOracle> repaired =
+        live->RebuildWithFrozenOrder(updated);
+    ASSERT_NE(repaired, nullptr) << backend;
+    Dijkstra dijkstra(updated);
+    Rng rng(78);
+    auto session = repaired->NewSession();
+    for (int q = 0; q < 40; ++q) {
+      const NodeId s = static_cast<NodeId>(rng.Uniform(updated.NumNodes()));
+      const NodeId t = static_cast<NodeId>(rng.Uniform(updated.NumNodes()));
+      ASSERT_EQ(session->Distance(s, t), dijkstra.Distance(s, t))
+          << backend << " s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(OracleFrozenRebuildTest, BackendsWithoutFrozenPathReturnNull) {
+  const Graph g = testing::MakeRoadGraph(8, 22);
+  for (const char* backend : {"dijkstra", "alt"}) {
+    const std::unique_ptr<DistanceOracle> live = MakeOracle(backend, g);
+    EXPECT_EQ(live->RebuildWithFrozenOrder(g), nullptr) << backend;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Repair kernel edge cases
+// ---------------------------------------------------------------------------
+
+TEST(RepairKernelTest, ReportsCertReplaysAndEmitsTable) {
+  Graph g = testing::MakeRoadGraph(12, 31);
+  const ChIndex live = ChIndex::Build(g);
+  Churn(&g, 0.02, 32);
+  const RepairResult first = RepairContraction(
+      g, live.search_graph(), ChParams{}.contraction, live.witness_certs());
+  ASSERT_NE(first.certs, nullptr);
+  EXPECT_GT(first.cert_replays, 0u);
+  // With certificates, almost every previously-pruned pair skips its
+  // witness search; without them every such pair searches.
+  const RepairResult certless =
+      RepairContraction(g, live.search_graph(), ChParams{}.contraction);
+  EXPECT_LT(first.witness_searches, certless.witness_searches);
+  EXPECT_EQ(first.arcs.size(), certless.arcs.size());
+}
+
+}  // namespace
+}  // namespace ah

@@ -63,10 +63,14 @@ TEST(WeightUpdateTest, ValidateAndApplyDeltas) {
   EXPECT_EQ(ValidateWeightDelta(g, {0, 0, 9}), DeltaStatus::kNoSuchArc);
 
   Graph updated = g;
-  // Later deltas to the same arc win; invalid deltas are skipped.
+  // Later deltas to the same arc win (the earlier one counts as coalesced);
+  // invalid deltas are rejected — every delta lands in exactly one bucket.
   const std::vector<WeightDelta> deltas = {
       {0, head, 5}, {0, 0, 9}, {0, head, 11}};
-  EXPECT_EQ(ApplyWeightDeltas(&updated, deltas), 2u);
+  const DeltaApplyStats stats = ApplyWeightDeltas(&updated, deltas);
+  EXPECT_EQ(stats.applied, 1u);
+  EXPECT_EQ(stats.coalesced, 1u);
+  EXPECT_EQ(stats.rejected, 1u);
   EXPECT_EQ(updated.ArcWeight(0, head), 11u);
 }
 
@@ -340,6 +344,139 @@ TEST_F(RegistryTest, ConcurrentQueriesStayExactAcrossHotSwap) {
           << name;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental rebuild policy, fallback, and reload coalescing
+// ---------------------------------------------------------------------------
+
+TEST_F(RegistryTest, FrozenOrderPolicyRecordsIncrementalRebuilds) {
+  auto registry = MakeRegistry({"ch"});
+  EXPECT_EQ(registry->GetRebuildPolicy(),
+            IndexRegistry::RebuildPolicy::kFrozenOrder);
+  auto [updated, delta] = UpdatedGraph();
+
+  ASSERT_EQ(registry->QueueWeightUpdate(delta.tail, delta.head, delta.weight),
+            IndexRegistry::UpdateStatus::kQueued);
+  ASSERT_TRUE(registry->RequestReload());
+  registry->WaitForRebuild();
+
+  const IndexRegistry::RegistryStats stats = registry->GetStats();
+  ASSERT_EQ(stats.backend_rebuilds.size(), 1u);
+  EXPECT_EQ(stats.backend_rebuilds[0].incremental, 1u);
+  EXPECT_EQ(stats.backend_rebuilds[0].full, 0u);
+  EXPECT_EQ(stats.backend_rebuilds[0].fallbacks, 0u);
+  EXPECT_GT(stats.backend_rebuilds[0].last_rebuild_seconds, 0.0);
+
+  // The incrementally repaired epoch must answer for the updated graph.
+  Dijkstra after(updated);
+  auto session = registry->Current("ch")->NewSession();
+  const NodeId far = static_cast<NodeId>(graph_.NumNodes() - 1);
+  for (NodeId t = 0; t < far; t += 3) {
+    ASSERT_EQ(session->Distance(0, t), after.Distance(0, t)) << t;
+  }
+}
+
+TEST_F(RegistryTest, FromScratchPolicyRecordsFullRebuilds) {
+  auto registry = MakeRegistry({"ch"});
+  registry->SetRebuildPolicy(IndexRegistry::RebuildPolicy::kFromScratch);
+  ASSERT_TRUE(registry->RequestReload());
+  registry->WaitForRebuild();
+
+  const IndexRegistry::RegistryStats stats = registry->GetStats();
+  ASSERT_EQ(stats.backend_rebuilds.size(), 1u);
+  EXPECT_EQ(stats.backend_rebuilds[0].incremental, 0u);
+  EXPECT_EQ(stats.backend_rebuilds[0].full, 1u);
+  EXPECT_EQ(stats.backend_rebuilds[0].fallbacks, 0u);
+}
+
+TEST_F(RegistryTest, BackendWithoutIncrementalPathBuildsFromScratch) {
+  // dijkstra has no RebuildWithFrozenOrder (returns nullptr): the worker
+  // silently builds from scratch — that is not a fallback (nothing failed).
+  auto registry = MakeRegistry({"dijkstra"});
+  ASSERT_TRUE(registry->RequestReload());
+  registry->WaitForRebuild();
+
+  const IndexRegistry::RegistryStats stats = registry->GetStats();
+  ASSERT_EQ(stats.backend_rebuilds.size(), 1u);
+  EXPECT_EQ(stats.backend_rebuilds[0].incremental, 0u);
+  EXPECT_EQ(stats.backend_rebuilds[0].full, 1u);
+  EXPECT_EQ(stats.backend_rebuilds[0].fallbacks, 0u);
+}
+
+TEST_F(RegistryTest, IncrementalFailureFallsBackWithoutDroppingEpoch) {
+  auto registry = MakeRegistry({"ch"});
+  registry->SetIncrementalFactoryForTest(
+      [](const DistanceOracle&, const Graph&) -> std::unique_ptr<DistanceOracle> {
+        throw std::runtime_error("synthetic incremental failure");
+      });
+  auto [updated, delta] = UpdatedGraph();
+  ASSERT_EQ(registry->QueueWeightUpdate(delta.tail, delta.head, delta.weight),
+            IndexRegistry::UpdateStatus::kQueued);
+  ASSERT_TRUE(registry->RequestReload());
+  registry->WaitForRebuild();
+
+  const IndexRegistry::RegistryStats stats = registry->GetStats();
+  ASSERT_EQ(stats.backend_rebuilds.size(), 1u);
+  EXPECT_EQ(stats.backend_rebuilds[0].incremental, 0u);
+  EXPECT_EQ(stats.backend_rebuilds[0].full, 1u);
+  EXPECT_EQ(stats.backend_rebuilds[0].fallbacks, 1u);
+  EXPECT_NE(stats.last_error.find("incremental"), std::string::npos);
+
+  // The fallback still published a fresh epoch with the deltas applied.
+  EXPECT_EQ(registry->Generation("ch"), 2u);
+  Dijkstra after(updated);
+  auto session = registry->Current("ch")->NewSession();
+  EXPECT_EQ(session->Distance(0, delta.head), after.Distance(0, delta.head));
+
+  // Restoring the real path resumes incremental rebuilds.
+  registry->SetIncrementalFactoryForTest(nullptr);
+  ASSERT_TRUE(registry->RequestReload());
+  registry->WaitForRebuild();
+  EXPECT_EQ(registry->GetStats().backend_rebuilds[0].incremental, 1u);
+}
+
+TEST_F(RegistryTest, QueueWeightUpdatesIsAllOrNothing) {
+  auto registry = MakeRegistry({"dijkstra"});
+  const NodeId head = graph_.OutArcs(0)[0].head;
+  const NodeId n = static_cast<NodeId>(graph_.NumNodes());
+
+  const WeightDelta bad[] = {{0, head, 9}, {n, head, 9}};
+  std::size_t first_bad = 0;
+  EXPECT_EQ(registry->QueueWeightUpdates(bad, &first_bad),
+            IndexRegistry::UpdateStatus::kBadNode);
+  EXPECT_EQ(first_bad, 1u);
+  EXPECT_EQ(registry->PendingUpdates(), 0u);  // Nothing queued on failure.
+
+  const WeightDelta good[] = {{0, head, 9}, {0, head, 12}};
+  EXPECT_EQ(registry->QueueWeightUpdates(good),
+            IndexRegistry::UpdateStatus::kQueued);
+  EXPECT_EQ(registry->PendingUpdates(), 1u);  // Coalesced per arc.
+}
+
+TEST_F(RegistryTest, MinReloadIntervalCoalescesBackToBackRequests) {
+  auto registry = MakeRegistry({"dijkstra"});
+  registry->SetMinReloadInterval(std::chrono::milliseconds(150));
+
+  // First cycle starts immediately (no previous cycle to hold off from).
+  ASSERT_TRUE(registry->RequestReload());
+  registry->WaitForRebuild();
+  ASSERT_EQ(registry->GetStats().reloads, 1u);
+
+  // A burst of requests inside the hold-off window coalesces into exactly
+  // one deferred cycle.
+  const NodeId head = graph_.OutArcs(0)[0].head;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(registry->QueueWeightUpdate(0, head, 100 + i),
+              IndexRegistry::UpdateStatus::kQueued);
+    ASSERT_TRUE(registry->RequestReload());
+  }
+  registry->WaitForRebuild();
+
+  const IndexRegistry::RegistryStats stats = registry->GetStats();
+  EXPECT_EQ(stats.reloads, 2u);          // 5 requests -> 1 extra cycle.
+  EXPECT_EQ(stats.updates_applied, 1u);  // Same arc: deltas coalesced too.
+  EXPECT_EQ(stats.pending_updates, 0u);
 }
 
 }  // namespace

@@ -12,6 +12,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <future>
 #include <memory>
 #include <sstream>
@@ -21,6 +23,7 @@
 
 #include "api/distance_oracle.h"
 #include "api/index_registry.h"
+#include "graph/weight_update.h"
 #include "routing/dijkstra.h"
 #include "routing/path.h"
 #include "server/admission.h"
@@ -101,6 +104,11 @@ TEST(ProtocolTest, ParsesAdminVerbsAndBackendSelector) {
   EXPECT_EQ(r.request.t, 7u);
   EXPECT_EQ(r.request.weight, 42u);
 
+  r = ParseRequest("updf /tmp/deltas.bin", kLimits);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.request.kind, RequestKind::kUpdateFile);
+  EXPECT_EQ(r.request.path, "/tmp/deltas.bin");
+
   EXPECT_EQ(ParseRequest("reload", kLimits).request.kind, RequestKind::kReload);
 
   // Backend selector prefix, alone and after the version token.
@@ -129,6 +137,9 @@ TEST(ProtocolTest, MalformedAdminVerbsAreRejected) {
       {"upd 1 2 -5", ErrorCode::kBadRequest},   // negative weight
       {"upd -1 2 5", ErrorCode::kBadNode},
       {"upd 1 100 5", ErrorCode::kBadNode},     // out of range
+      {"updf", ErrorCode::kBadRequest},         // missing path
+      {"updf a b", ErrorCode::kBadRequest},     // trailing junk
+      {"@ch updf f", ErrorCode::kBadRequest},   // selector on admin verb
       {"reload now", ErrorCode::kBadRequest},
       {"@ d 1 2", ErrorCode::kBadRequest},      // empty selector token
       {"@ch stats", ErrorCode::kBadRequest},    // selector on admin verb
@@ -916,6 +927,101 @@ TEST_F(ServerStackTest, UpdateAndReloadErrorsAreStructured) {
   EXPECT_EQ(stack.HandleLine("reload"), "OK reload 1");
   registry->WaitForRebuild();
   EXPECT_EQ(registry->Generation("dijkstra"), 2u);
+}
+
+// Bulk binary delta ingest: `updf <file>` round-trip through the stack —
+// Save/Load the AHUD container, atomic queueing, reload, and the post-swap
+// answers reflecting every record in the file.
+TEST_F(ServerStackTest, UpdfQueuesBulkDeltasAndReloadAppliesThem) {
+  auto registry = std::make_shared<IndexRegistry>(
+      graph_, std::vector<std::string>{"ch"});
+  ServerStack stack(registry, SmallConfig());
+
+  // Two distinct arcs, made dramatically heavier.
+  ASSERT_GT(graph_.OutArcs(0).size(), 0u);
+  ASSERT_GT(graph_.OutArcs(1).size(), 0u);
+  const std::vector<WeightDelta> deltas = {
+      {0, graph_.OutArcs(0)[0].head,
+       static_cast<Weight>(graph_.OutArcs(0)[0].weight * 1000 + 1)},
+      {1, graph_.OutArcs(1)[0].head,
+       static_cast<Weight>(graph_.OutArcs(1)[0].weight * 1000 + 1)},
+  };
+  Graph updated = graph_;
+  ASSERT_EQ(ApplyWeightDeltas(&updated, deltas).applied, 2u);
+
+  const std::string path = ::testing::TempDir() + "ah_updf_roundtrip.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.is_open());
+    SaveWeightDeltas(out, deltas);
+  }
+  EXPECT_EQ(stack.HandleLine("updf " + path), "OK updf 2 2");
+  EXPECT_EQ(stack.HandleLine("reload"), "OK reload 2");
+  registry->WaitForRebuild();
+
+  Dijkstra after(updated);
+  const NodeId far = static_cast<NodeId>(graph_.NumNodes() - 1);
+  for (NodeId s = 0; s < 2; ++s) {
+    EXPECT_EQ(stack.HandleLine("d " + std::to_string(s) + " " +
+                               std::to_string(far)),
+              FormatDistance(after.Distance(s, far)));
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ServerStackTest, UpdfErrorsAreStructuredAndQueueNothing) {
+  auto registry = std::make_shared<IndexRegistry>(
+      graph_, std::vector<std::string>{"dijkstra"});
+  ServerConfig config = SmallConfig();
+  config.max_bulk_deltas = 2;
+  ServerStack stack(registry, config);
+  const std::string dir = ::testing::TempDir();
+
+  // Missing file.
+  EXPECT_TRUE(StartsWith(stack.HandleLine("updf " + dir + "ah_updf_nope.bin"),
+                         "ERR bad-request"));
+
+  // Corrupt container (wrong magic).
+  const std::string corrupt = dir + "ah_updf_corrupt.bin";
+  {
+    std::ofstream out(corrupt, std::ios::binary);
+    out << "not a delta file";
+  }
+  EXPECT_TRUE(
+      StartsWith(stack.HandleLine("updf " + corrupt), "ERR bad-request"));
+
+  // A batch whose second record names a non-arc: typed bad-arc error that
+  // identifies the record, and nothing from the batch is queued.
+  const std::string badarc = dir + "ah_updf_badarc.bin";
+  {
+    const std::vector<WeightDelta> deltas = {
+        {0, graph_.OutArcs(0)[0].head, 9}, {0, 0, 9}};
+    std::ofstream out(badarc, std::ios::binary);
+    SaveWeightDeltas(out, deltas);
+  }
+  const std::string reply = stack.HandleLine("updf " + badarc);
+  EXPECT_TRUE(StartsWith(reply, "ERR bad-arc")) << reply;
+  EXPECT_NE(reply.find("record 1"), std::string::npos) << reply;
+  EXPECT_EQ(registry->PendingUpdates(), 0u);
+
+  // Over the server's record cap: too-large, nothing queued.
+  const std::string big = dir + "ah_updf_big.bin";
+  {
+    const NodeId head = graph_.OutArcs(0)[0].head;
+    const std::vector<WeightDelta> deltas = {
+        {0, head, 9}, {0, head, 10}, {0, head, 11}};
+    std::ofstream out(big, std::ios::binary);
+    SaveWeightDeltas(out, deltas);
+  }
+  EXPECT_TRUE(StartsWith(stack.HandleLine("updf " + big), "ERR too-large"));
+  EXPECT_EQ(registry->PendingUpdates(), 0u);
+
+  // Static stacks reject the verb like upd/reload.
+  ServerStack fixed(MakeOracle("dijkstra", graph_), SmallConfig());
+  EXPECT_TRUE(
+      StartsWith(fixed.HandleLine("updf " + badarc), "ERR bad-request"));
+
+  for (const std::string& f : {corrupt, badarc, big}) std::remove(f.c_str());
 }
 
 // The acceptance scenario, in-process: continuous traffic on two backends

@@ -18,6 +18,8 @@
 #include "api/concurrent_engine.h"
 #include "api/index_registry.h"
 #include "gen/road_gen.h"
+#include "graph/weight_update.h"
+#include "perturb/traffic_feed.h"
 #include "routing/dijkstra.h"
 #include "util/rng.h"
 
@@ -153,6 +155,87 @@ TEST(StressTier, HotSwapUnderConcurrentLoadAt50kNodes) {
                 new_expected[j])
           << backend << " probe " << j;
     }
+  }
+}
+
+// The live-churn acceptance scenario: a continuous traffic feed perturbs
+// ~1% of arcs per batch while clients keep querying. Reload requests are
+// rate-limited so back-to-back batches coalesce into bounded rebuild
+// cycles, every rebuild takes the frozen-order incremental path (no
+// fallbacks), no query is ever dropped, and after each swap the published
+// epoch answers exactly for the graph snapshot it was built from.
+TEST(StressTier, ContinuousChurnSustainsCoalescedIncrementalReloads) {
+  SKIP_UNLESS_STRESS();
+  Graph g = MakeStressGraph();
+  TrafficFeedParams feed_params;
+  feed_params.batch_fraction = 0.01;  // >= 1% of arcs per batch.
+  TrafficFeed feed(g, feed_params);
+
+  auto registry = std::make_shared<IndexRegistry>(
+      g, std::vector<std::string>{"ch"});
+  registry->SetMinReloadInterval(std::chrono::milliseconds(100));
+  ConcurrentEngine engine(registry, 4);
+
+  // Clients hammer the current epoch for the whole run; zero downtime
+  // means every lease yields a serving epoch and every query completes.
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> answered{0};
+  std::atomic<std::size_t> unreachable{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(1000 + c);
+      const std::size_t n = registry->NumNodes();
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto lease = engine.Lease("ch");
+        const Dist d = lease->Distance(static_cast<NodeId>(rng.Uniform(n)),
+                                       static_cast<NodeId>(rng.Uniform(n)));
+        if (d == kInfDist) unreachable.fetch_add(1, std::memory_order_relaxed);
+        answered.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Feed 8 batches; the rate limit makes several requests land inside a
+  // hold-off window and coalesce.
+  constexpr int kBatches = 8;
+  for (int round = 0; round < kBatches; ++round) {
+    const std::vector<WeightDelta> batch = feed.NextBatch();
+    ASSERT_EQ(registry->QueueWeightUpdates(batch),
+              IndexRegistry::UpdateStatus::kQueued);
+    ASSERT_TRUE(registry->RequestReload());
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  registry->WaitForRebuild();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& client : clients) client.join();
+
+  const IndexRegistry::RegistryStats stats = registry->GetStats();
+  EXPECT_GE(stats.reloads, 1u);
+  EXPECT_LT(stats.reloads, static_cast<std::uint64_t>(kBatches))
+      << "rate limit should coalesce back-to-back reload requests";
+  EXPECT_EQ(stats.pending_updates, 0u);
+  ASSERT_EQ(stats.backend_rebuilds.size(), 1u);
+  EXPECT_EQ(stats.backend_rebuilds[0].incremental, stats.reloads)
+      << "every cycle must take the frozen-order path";
+  EXPECT_EQ(stats.backend_rebuilds[0].fallbacks, 0u);
+  EXPECT_TRUE(stats.last_error.empty()) << stats.last_error;
+  EXPECT_GT(answered.load(), 0u);
+  EXPECT_EQ(unreachable.load(), 0u) << "grid graphs are strongly connected";
+
+  // Conformance: the surviving epoch must answer exactly for the graph
+  // snapshot it was built from (the epoch carries that snapshot).
+  const EpochHandle epoch = registry->Current("ch");
+  ASSERT_NE(epoch, nullptr);
+  EXPECT_EQ(epoch->generation, stats.reloads + 1);
+  Dijkstra reference(*epoch->graph);
+  auto session = epoch->NewSession();
+  Rng rng(99);
+  for (int i = 0; i < 32; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.Uniform(epoch->graph->NumNodes()));
+    const NodeId t = static_cast<NodeId>(rng.Uniform(epoch->graph->NumNodes()));
+    ASSERT_EQ(session->Distance(s, t), reference.Distance(s, t))
+        << "d(" << s << ", " << t << ")";
   }
 }
 

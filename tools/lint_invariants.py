@@ -21,10 +21,13 @@ ordered-commit
     Iterating an unordered_{map,set} and committing the visited order to
     anything observable (output vectors, serialized bytes, applied deltas)
     breaks bit-identical builds. Every range-for / .begin() loop over an
-    unordered container declared in the same file inside a build or
-    serialization path must carry `// lint:ordered-commit <why>` on the
-    line or within the three lines above, justifying why the commit is
-    order-independent (or where it is canonicalized).
+    unordered container declared in the same file — or, for a .cc file, in
+    its companion header (class members like the registry's pending-delta
+    map: the incremental-rebuild commit path drains it into the graph every
+    backend is then rebuilt from) — inside a build or serialization path
+    must carry `// lint:ordered-commit <why>` on the line or within the
+    three lines above, justifying why the commit is order-independent (or
+    where it is canonicalized).
 
 magic-unique
     Every serialized artifact writes a 4-byte magic tag via
@@ -172,9 +175,12 @@ def unordered_decl_names(text: str) -> set[str]:
     """Identifiers declared in this file with an unordered container type.
 
     Declarations may wrap across lines; collapse whitespace first so the
-    regex sees one logical declaration per statement.
+    regex sees one logical declaration per statement. Thread-safety
+    annotations (`AH_GUARDED_BY(mu_)` and friends) sit between the member
+    name and the `;` — strip them so annotated members still parse.
     """
     collapsed = re.sub(r"\s+", " ", text)
+    collapsed = re.sub(r"\bAH_[A-Z_]+\([^()]*\)", "", collapsed)
     return set(UNORDERED_DECL_RE.findall(collapsed))
 
 
@@ -183,6 +189,17 @@ def check_ordered_commit(root: Path) -> list[Finding]:
     for path in source_files(root, BUILD_PATH_DIRS):
         text = path.read_text(errors="replace")
         names = unordered_decl_names(text)
+        # A .cc iterating an unordered member declared in its companion
+        # header is the same hazard — that is exactly the shape of the
+        # incremental-rebuild commit path (the registry worker drains the
+        # header-declared pending-delta map into the next epoch's graph).
+        if path.suffix in (".cc", ".cpp"):
+            for header_suffix in (".h", ".hpp"):
+                header = path.with_suffix(header_suffix)
+                if header.exists():
+                    names |= unordered_decl_names(
+                        header.read_text(errors="replace")
+                    )
         if not names:
             continue
         lines = text.splitlines()

@@ -114,6 +114,42 @@ class LintInvariantsTest(unittest.TestCase):
         )
         self.assertEqual(self.findings("ordered-commit"), [])
 
+    def test_unordered_member_iterated_in_companion_cc_is_caught(self):
+        # The incremental-rebuild commit shape: an annotated unordered
+        # member declared in the header, drained by the .cc worker into
+        # state every backend is rebuilt from.
+        self.write(
+            "src/api/index_registry.h",
+            "class IndexRegistry {\n"
+            "  std::unordered_map<std::uint64_t, WeightDelta> pending_\n"
+            "      AH_GUARDED_BY(mu_);\n"
+            "};\n",
+        )
+        self.write(
+            "src/api/index_registry.cc",
+            "void IndexRegistry::WorkerLoop() {\n"
+            "  for (auto& [key, delta] : pending_) deltas.push_back(delta);\n"
+            "}\n",
+        )
+        found = self.findings("ordered-commit")
+        self.assertEqual(self.checks_of(found), ["ordered-commit"])
+        self.assertTrue(found[0].path.name.endswith(".cc"))
+        self.assertEqual(found[0].line, 2)
+
+    def test_suppressed_member_drain_in_companion_cc_passes(self):
+        self.write(
+            "src/api/index_registry.h",
+            "std::unordered_map<std::uint64_t, WeightDelta> pending_\n"
+            "    AH_GUARDED_BY(mu_);\n",
+        )
+        self.write(
+            "src/api/index_registry.cc",
+            "// lint:ordered-commit drained set is sorted canonically below\n"
+            "for (auto& [key, delta] : pending_) deltas.push_back(delta);\n"
+            "std::sort(deltas.begin(), deltas.end(), ByArc);\n",
+        )
+        self.assertEqual(self.findings("ordered-commit"), [])
+
     def test_ordered_container_iteration_is_fine(self):
         self.write(
             "src/graph/merge.cc",
