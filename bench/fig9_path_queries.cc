@@ -15,6 +15,7 @@
 
 #include "api/distance_oracle.h"
 #include "bench_common.h"
+#include "bench_json.h"
 #include "ch/ch_index.h"
 #include "core/ah_query.h"
 #include "fc/fc_index.h"
@@ -36,6 +37,7 @@ int main() {
   // so the bench stays affordable (averages remain comparable).
   const std::size_t fc_probe_pairs = EnvSizeT("AH_BENCH_FC_PROBE_PAIRS", 10);
 
+  BenchJson json("fig9_path_queries");
   for (const PreparedDataset& d : PrepareDatasets(count)) {
     const Graph& g = d.graph;
     const Workload workload = BenchWorkload(g, pairs);
@@ -143,6 +145,21 @@ int main() {
       if (ah_sum != dij_sum || ch_sum != dij_sum || hl_sum != dij_sum) {
         std::printf("!! checksum mismatch on Q%d\n", qs.index);
       }
+      // Only the always-run backends feed the perf gate — SILC/FC are
+      // size-gated, and a series that appears or vanishes with the dataset
+      // cap is a hard baseline failure.
+      const struct {
+        const char* name;
+        double us;
+        Dist sum;
+      } gate_series[] = {{"ah", ah_us, ah_sum},
+                         {"ch", ch_us, ch_sum},
+                         {"hl", hl_us, hl_sum}};
+      for (const auto& s : gate_series) {
+        json.AddSeries(d.spec.name + "/" + s.name + "/path/" +
+                           QuerySetLabel(qs.index),
+                       s.us > 0 ? 1e6 / s.us : 0, s.us, s.us, s.sum);
+      }
       const double avg_edges =
           qs.pairs.empty() ? 0.0
                            : static_cast<double>(edge_total) /
@@ -168,5 +185,6 @@ int main() {
       "FC probe column shows the O(k*Delta)-distance-query recovery FC\n"
       "needed before shortcut midpoints were stored. HL walks hub parent\n"
       "pointers (one binary search per hop, zero distance probes).\n");
+  if (!json.WriteToEnvPath()) return 1;
   return 0;
 }

@@ -20,20 +20,29 @@
 //
 // Usage:
 //   route_server [dimacs-base] [--backends ch,alt,...] [--listen <port>]
-//                [--cache <entries>] [--cache-ttl-ms <n>] [--admission <n>]
-//                [--admission-per-client <n>] [--timeout-ms <n>]
-//                [--matrix-max-locations <n>] [--rebuild-policy frozen|scratch]
+//                [--protocol v1|v2] [--cache <entries>] [--cache-ttl-ms <n>]
+//                [--admission <n>] [--admission-per-client <n>]
+//                [--timeout-ms <n>] [--matrix-max-locations <n>]
+//                [--rebuild-policy frozen|scratch]
 //                [--min-reload-interval-ms <n>]
 //   route_server --smoke    # self-test: TCP round-trip + live-reload swap
+//                           # + a v2 binary session cross-checked against v1
+//
+// --protocol v2 routes every REPL line through the v2 binary codec — the
+// line is parsed, encoded as a request frame, decoded server-side, executed
+// on the same stack, and the reply frame rendered back to the v1 text — so
+// operators can eyeball binary-protocol behavior without a binary client.
 //
 // Demo:
 //   printf 'd 0 500\nupd 0 1 9\nreload\nwait\nd 0 500\nq\n' |
 //       ./build/examples/route_server --backends ch,alt
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -42,6 +51,7 @@
 #include "gen/road_gen.h"
 #include "graph/dimacs.h"
 #include "routing/dijkstra.h"
+#include "server/binary_protocol.h"
 #include "server/line_client.h"
 #include "server/protocol.h"
 #include "server/server_stack.h"
@@ -111,8 +121,57 @@ void RunBenchCommand(ServerStack& stack, std::size_t count) {
               errors);
 }
 
-void ReplLoop(ServerStack& stack) {
+// One REPL line over the v2 wire codec: parse, encode a request frame,
+// decode it server-side (the same entry TCP v2 connections use), execute,
+// encode the reply frame, and render it back to v1 text. Exercises the
+// full binary round trip in-process.
+std::string HandleLineV2(ServerStack& stack, std::string_view line,
+                         std::uint64_t request_id, bool* close) {
+  ParseResult parsed = ParseRequest(line, stack.Limits());
+  Opcode opcode = Opcode::kQuit;
+  if (parsed.ok) {
+    opcode = OpcodeForKind(parsed.request.kind);
+    const std::string frame = EncodeRequestFrame(
+        opcode, request_id, parsed.request.backend,
+        EncodeRequestBody(parsed.request));
+    FrameHeader header;
+    std::string_view payload;
+    if (TryReadFrame(frame, &header, &payload) != frame.size()) {
+      return FormatError(ErrorCode::kInternal, "request frame round trip");
+    }
+    parsed = DecodeRequest(header, payload, stack.Limits());
+  }
+
+  // SubmitDecoded answers on an engine worker for index-bound requests;
+  // block here like HandleLine does for the text path.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Reply reply;
+  stack.SubmitDecoded(std::move(parsed), 0, [&](Reply r) {
+    std::lock_guard<std::mutex> lock(mu);
+    reply = std::move(r);
+    done = true;
+    cv.notify_one();
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+  }
+  if (close != nullptr) *close = reply.close;
+
+  const std::string frame = EncodeReplyFrame(reply, opcode, request_id);
+  FrameHeader header;
+  std::string_view payload;
+  if (TryReadFrame(frame, &header, &payload) != frame.size()) {
+    return FormatError(ErrorCode::kInternal, "reply frame round trip");
+  }
+  return ReplyFrameToText(header, payload);
+}
+
+void ReplLoop(ServerStack& stack, bool v2) {
   std::string line;
+  std::uint64_t next_id = 0;
   while (std::getline(std::cin, line)) {
     if (line.rfind("bench", 0) == 0) {
       const std::size_t n =
@@ -127,7 +186,8 @@ void ReplLoop(ServerStack& stack) {
       continue;
     }
     bool close = false;
-    const std::string reply = stack.HandleLine(line, &close);
+    const std::string reply = v2 ? HandleLineV2(stack, line, ++next_id, &close)
+                                 : stack.HandleLine(line, &close);
     std::printf("%s\n", reply.c_str());
     if (close) break;
   }
@@ -318,6 +378,61 @@ int RunSmoke(const std::vector<std::string>& backends) {
   SMOKE_CHECK(stack.registry().GetStats().updates_applied == 1,
               "one update applied");
 
+  // ---- v2 binary session ------------------------------------------------
+  // Negotiate on the same port, then replay a query mix (point, batch,
+  // matrix, named backend, k-nearest, path) over both connections: every v2
+  // reply frame must render to exactly the text the v1 connection returns
+  // for the same request. stats is prefix-checked — its counters advance
+  // between the two requests by design.
+  BinaryClient v2;
+  SMOKE_CHECK(v2.Connect(tcp.Port()), "v2 connect + hello");
+  SMOKE_CHECK(v2.nodes() == graph.NumNodes(), "hello node count");
+  SMOKE_CHECK(v2.arcs() == graph.NumArcs(), "hello arc count");
+  const std::vector<std::string> v2_queries = {
+      dist_query,
+      "@" + second + " " + dist_query,
+      "b 3 0 " + std::to_string(far) + " " + std::to_string(far) + " 0 " +
+          std::to_string(mid) + " " + std::to_string(mid),
+      matrix_query,
+      "@" + second + " " + matrix_query,
+      "p 0 " + std::to_string(far),
+      "k 0 3",
+  };
+  for (const std::string& query : v2_queries) {
+    SMOKE_CHECK(client.SendLine(query), "v1 send");
+    SMOKE_CHECK(client.ReadLine(&line), "v1 reply");
+    const ParseResult parsed = ParseRequest(query, stack.Limits());
+    SMOKE_CHECK(parsed.ok, "v2 parse");
+    const std::uint64_t id =
+        v2.SendRequest(OpcodeForKind(parsed.request.kind),
+                       EncodeRequestBody(parsed.request),
+                       parsed.request.backend);
+    SMOKE_CHECK(id != 0, "v2 send");
+    BinaryClient::Frame frame;
+    SMOKE_CHECK(v2.ReadReplyFor(id, &frame), "v2 reply");
+    if (ReplyFrameToText(frame.header, frame.payload) != line) {
+      std::printf("SMOKE FAIL: v2 reply diverges on '%s'\n  v1 '%s'\n  v2 "
+                  "'%s'\n",
+                  query.c_str(), line.c_str(),
+                  ReplyFrameToText(frame.header, frame.payload).c_str());
+      return 1;
+    }
+  }
+  {
+    const std::uint64_t id = v2.SendRequest(Opcode::kStats, {});
+    BinaryClient::Frame frame;
+    SMOKE_CHECK(v2.ReadReplyFor(id, &frame), "v2 stats reply");
+    SMOKE_CHECK(frame.header.status == kStatusOk, "v2 stats ok");
+    const std::string text = ReplyFrameToText(frame.header, frame.payload);
+    SMOKE_CHECK(text.rfind("OK stats ", 0) == 0, "v2 stats render");
+    SMOKE_CHECK(text.find("v2_requests=") != std::string::npos,
+                "stats counts v2 requests");
+    const std::uint64_t quit_id = v2.SendRequest(Opcode::kQuit, {});
+    SMOKE_CHECK(v2.ReadReplyFor(quit_id, &frame), "v2 quit reply");
+    SMOKE_CHECK(frame.header.status == kStatusOk, "v2 quit ok");
+    SMOKE_CHECK(v2.AtEof(), "server closes v2 session after quit");
+  }
+
   SMOKE_CHECK(client.SendLine("q"), "send quit");
   SMOKE_CHECK(client.ReadLine(&line), "read bye");
   SMOKE_CHECK(line == "OK bye", "quit reply");
@@ -325,8 +440,8 @@ int RunSmoke(const std::vector<std::string>& backends) {
 
   tcp.Stop();
   std::printf(
-      "smoke: all scripted replies correct across %zu backend(s), %llu cache "
-      "hits, swap to generation 2 verified\n",
+      "smoke: all scripted replies correct across %zu backend(s) and both "
+      "protocols, %llu cache hits, swap to generation 2 verified\n",
       backends.size(), static_cast<unsigned long long>(cache.hits));
   return 0;
 }
@@ -339,6 +454,7 @@ int main(int argc, char** argv) {
   bool backends_set = false;
   bool smoke = false;
   bool listen = false;
+  bool repl_v2 = false;
   std::uint16_t port = 0;
   ServerConfig config;
   IndexRegistry::RebuildPolicy rebuild_policy =
@@ -362,6 +478,17 @@ int main(int argc, char** argv) {
       if (backends.empty()) {
         std::fprintf(stderr, "%s needs at least one backend name\n",
                      arg.c_str());
+        return 2;
+      }
+    } else if (arg == "--protocol") {
+      const std::string value = next_value("--protocol");
+      if (value == "v1") {
+        repl_v2 = false;
+      } else if (value == "v2") {
+        repl_v2 = true;
+      } else {
+        std::fprintf(stderr, "--protocol wants 'v1' or 'v2', got %s\n",
+                     value.c_str());
         return 2;
       }
     } else if (arg == "--listen") {
@@ -475,14 +602,15 @@ int main(int argc, char** argv) {
         "127.0.0.1 %u\nREPL still active on stdin; 'q' or EOF stops the "
         "server.\n",
         tcp.Port(), tcp.Port());
-    ReplLoop(stack);
+    ReplLoop(stack, repl_v2);
     tcp.Stop();
     return 0;
   }
 
   std::printf(
-      "commands: d|p|k|b|m|use|upd|updf|reload|stats|inv|q (protocol), "
-      "bench <n> / wait (REPL)\n");
-  ReplLoop(stack);
+      "commands: d|p|k|b|m|use|upd|updf|reload|stats|inv|q (protocol %s), "
+      "bench <n> / wait (REPL)\n",
+      repl_v2 ? "v2 frame round trip" : "v1");
+  ReplLoop(stack, repl_v2);
   return 0;
 }

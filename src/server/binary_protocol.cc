@@ -1,0 +1,593 @@
+#include "server/binary_protocol.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace ah::server {
+
+namespace {
+
+ParseResult Fail(ErrorCode code, std::string message) {
+  ParseResult r;
+  r.ok = false;
+  r.code = code;
+  r.message = std::move(message);
+  return r;
+}
+
+/// Range-checks one node id against the served graph, mirroring the text
+/// parser's kBadNode wording so both protocols report the same failure.
+bool CheckNode(std::uint32_t v, const ParseLimits& limits, NodeId* out,
+               ParseResult* error) {
+  if (v >= limits.num_nodes) {
+    *error = Fail(ErrorCode::kBadNode,
+                  "node id " + std::to_string(v) + " out of range [0, " +
+                      std::to_string(limits.num_nodes) + ")");
+    return false;
+  }
+  *out = static_cast<NodeId>(v);
+  return true;
+}
+
+/// A cursor over the opcode body with exact-size enforcement: trailing or
+/// missing bytes are a kBadRequest, never silently tolerated.
+class BodyReader {
+ public:
+  explicit BodyReader(std::string_view body) : body_(body) {}
+
+  bool U32(std::uint32_t* out) {
+    if (body_.size() - at_ < 4) return false;
+    *out = GetU32(body_.data() + at_);
+    at_ += 4;
+    return true;
+  }
+
+  std::size_t Remaining() const { return body_.size() - at_; }
+  std::string_view Rest() const { return body_.substr(at_); }
+
+ private:
+  std::string_view body_;
+  std::size_t at_ = 0;
+};
+
+ParseResult SizeMismatch(std::string_view what) {
+  return Fail(ErrorCode::kBadRequest,
+              "malformed " + std::string(what) + " payload");
+}
+
+}  // namespace
+
+std::uint8_t StatusFromError(ErrorCode code) {
+  return static_cast<std::uint8_t>(static_cast<int>(code) + 1);
+}
+
+bool ErrorFromStatus(std::uint8_t status, ErrorCode* out) {
+  if (status == kStatusOk ||
+      status > StatusFromError(ErrorCode::kInternal)) {
+    return false;
+  }
+  *out = static_cast<ErrorCode>(status - 1);
+  return true;
+}
+
+void PutU32(std::string* out, std::uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xff);
+  b[1] = static_cast<char>((v >> 8) & 0xff);
+  b[2] = static_cast<char>((v >> 16) & 0xff);
+  b[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(b, 4);
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  PutU32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  PutU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void PutU64s(std::string* out, const std::uint64_t* values,
+             std::size_t count) {
+  const std::size_t at = out->size();
+  out->resize(at + 8 * count);
+  char* p = &(*out)[at];
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t v = values[i];
+    // Explicit little-endian byte stores; compilers collapse this to one
+    // 8-byte store on LE targets, and it stays correct on BE ones.
+    p[0] = static_cast<char>(v & 0xff);
+    p[1] = static_cast<char>((v >> 8) & 0xff);
+    p[2] = static_cast<char>((v >> 16) & 0xff);
+    p[3] = static_cast<char>((v >> 24) & 0xff);
+    p[4] = static_cast<char>((v >> 32) & 0xff);
+    p[5] = static_cast<char>((v >> 40) & 0xff);
+    p[6] = static_cast<char>((v >> 48) & 0xff);
+    p[7] = static_cast<char>((v >> 56) & 0xff);
+    p += 8;
+  }
+}
+
+std::uint32_t GetU32(const char* p) {
+  const auto b = [p](int i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]));
+  };
+  return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+std::uint64_t GetU64(const char* p) {
+  return static_cast<std::uint64_t>(GetU32(p)) |
+         (static_cast<std::uint64_t>(GetU32(p + 4)) << 32);
+}
+
+bool TryReadHeader(std::string_view buf, FrameHeader* header) {
+  if (buf.size() < kFrameHeaderBytes) return false;
+  header->len = GetU32(buf.data());
+  header->opcode = static_cast<Opcode>(static_cast<std::uint8_t>(buf[4]));
+  header->status = static_cast<std::uint8_t>(buf[5]);
+  header->backend_len = static_cast<std::uint8_t>(buf[6]);
+  header->request_id = GetU64(buf.data() + 8);
+  return true;
+}
+
+std::size_t TryReadFrame(std::string_view buf, FrameHeader* header,
+                         std::string_view* payload) {
+  if (!TryReadHeader(buf, header) || header->len < kFrameLenMin) return 0;
+  const std::size_t total = 4 + static_cast<std::size_t>(header->len);
+  if (buf.size() < total) return 0;
+  *payload = buf.substr(kFrameHeaderBytes, total - kFrameHeaderBytes);
+  return total;
+}
+
+namespace {
+
+std::string EncodeFrame(Opcode opcode, std::uint8_t status,
+                        std::uint8_t backend_len, std::uint64_t request_id,
+                        std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&out, static_cast<std::uint32_t>(kFrameLenMin + payload.size()));
+  out.push_back(static_cast<char>(opcode));
+  out.push_back(static_cast<char>(status));
+  out.push_back(static_cast<char>(backend_len));
+  out.push_back(0);  // reserved
+  PutU64(&out, request_id);
+  out.append(payload);
+  return out;
+}
+
+}  // namespace
+
+std::string EncodeRequestFrame(Opcode opcode, std::uint64_t request_id,
+                               std::string_view backend,
+                               std::string_view body) {
+  const std::size_t backend_len = std::min<std::size_t>(backend.size(), 255);
+  std::string payload;
+  payload.reserve(backend_len + body.size());
+  payload.append(backend.substr(0, backend_len));
+  payload.append(body);
+  return EncodeFrame(opcode, kStatusOk,
+                     static_cast<std::uint8_t>(backend_len), request_id,
+                     payload);
+}
+
+std::string EncodeRequestBody(const Request& request) {
+  std::string body;
+  switch (request.kind) {
+    case RequestKind::kDistance:
+    case RequestKind::kPath:
+      PutU32(&body, request.s);
+      PutU32(&body, request.t);
+      break;
+    case RequestKind::kKNearest:
+      PutU32(&body, request.s);
+      PutU32(&body, request.k);
+      break;
+    case RequestKind::kBatch:
+      PutU32(&body, static_cast<std::uint32_t>(request.pairs.size()));
+      for (const auto& [s, t] : request.pairs) {
+        PutU32(&body, s);
+        PutU32(&body, t);
+      }
+      break;
+    case RequestKind::kMatrix:
+      PutU32(&body, static_cast<std::uint32_t>(request.sources.size()));
+      PutU32(&body, static_cast<std::uint32_t>(request.targets.size()));
+      for (const NodeId s : request.sources) PutU32(&body, s);
+      for (const NodeId t : request.targets) PutU32(&body, t);
+      break;
+    case RequestKind::kUpdate:
+      PutU32(&body, request.s);
+      PutU32(&body, request.t);
+      PutU32(&body, request.weight);
+      break;
+    case RequestKind::kUpdateFile:
+      body = request.path;
+      break;
+    case RequestKind::kStats:
+    case RequestKind::kInvalidate:
+    case RequestKind::kUse:  // the backend travels in the frame prefix
+    case RequestKind::kReload:
+    case RequestKind::kQuit:
+      break;
+  }
+  return body;
+}
+
+Opcode OpcodeForKind(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kDistance: return Opcode::kDistance;
+    case RequestKind::kPath: return Opcode::kPath;
+    case RequestKind::kKNearest: return Opcode::kKNearest;
+    case RequestKind::kBatch: return Opcode::kBatch;
+    case RequestKind::kMatrix: return Opcode::kMatrix;
+    case RequestKind::kStats: return Opcode::kStats;
+    case RequestKind::kInvalidate: return Opcode::kInvalidate;
+    case RequestKind::kUse: return Opcode::kUse;
+    case RequestKind::kUpdate: return Opcode::kUpdate;
+    case RequestKind::kUpdateFile: return Opcode::kUpdateFile;
+    case RequestKind::kReload: return Opcode::kReload;
+    case RequestKind::kQuit: return Opcode::kQuit;
+  }
+  return Opcode::kQuit;
+}
+
+ParseResult DecodeRequest(const FrameHeader& header, std::string_view payload,
+                          const ParseLimits& limits) {
+  if (payload.size() < header.backend_len) {
+    return Fail(ErrorCode::kBadRequest,
+                "backend-name prefix longer than the payload");
+  }
+  const std::string_view backend = payload.substr(0, header.backend_len);
+  BodyReader body(payload.substr(header.backend_len));
+
+  ParseResult result;
+  result.ok = true;
+  Request& req = result.request;
+  req.backend = std::string(backend);
+
+  switch (header.opcode) {
+    case Opcode::kDistance:
+    case Opcode::kPath: {
+      req.kind = header.opcode == Opcode::kDistance ? RequestKind::kDistance
+                                                    : RequestKind::kPath;
+      std::uint32_t s = 0;
+      std::uint32_t t = 0;
+      if (!body.U32(&s) || !body.U32(&t) || body.Remaining() != 0) {
+        return SizeMismatch(req.kind == RequestKind::kDistance ? "distance"
+                                                               : "path");
+      }
+      ParseResult error;
+      if (!CheckNode(s, limits, &req.s, &error)) return error;
+      if (!CheckNode(t, limits, &req.t, &error)) return error;
+      return result;
+    }
+    case Opcode::kKNearest: {
+      req.kind = RequestKind::kKNearest;
+      std::uint32_t s = 0;
+      std::uint32_t k = 0;
+      if (!body.U32(&s) || !body.U32(&k) || body.Remaining() != 0) {
+        return SizeMismatch("k-nearest");
+      }
+      ParseResult error;
+      if (!CheckNode(s, limits, &req.s, &error)) return error;
+      if (k == 0) {
+        return Fail(ErrorCode::kBadRequest, "k must be a positive integer");
+      }
+      req.k = k;
+      return result;
+    }
+    case Opcode::kBatch: {
+      req.kind = RequestKind::kBatch;
+      std::uint32_t n = 0;
+      if (!body.U32(&n)) return SizeMismatch("batch");
+      if (n == 0) {
+        return Fail(ErrorCode::kBadRequest,
+                    "batch count must be a positive integer");
+      }
+      if (n > limits.max_batch) {
+        return Fail(ErrorCode::kBadRequest,
+                    "batch of " + std::to_string(n) +
+                        " exceeds the limit of " +
+                        std::to_string(limits.max_batch));
+      }
+      if (body.Remaining() != 8 * static_cast<std::size_t>(n)) {
+        return SizeMismatch("batch");
+      }
+      req.pairs.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::uint32_t s = 0;
+        std::uint32_t t = 0;
+        body.U32(&s);
+        body.U32(&t);
+        NodeId sn = 0;
+        NodeId tn = 0;
+        ParseResult error;
+        if (!CheckNode(s, limits, &sn, &error)) return error;
+        if (!CheckNode(t, limits, &tn, &error)) return error;
+        req.pairs.emplace_back(sn, tn);
+      }
+      return result;
+    }
+    case Opcode::kMatrix: {
+      req.kind = RequestKind::kMatrix;
+      std::uint32_t ns = 0;
+      std::uint32_t nt = 0;
+      if (!body.U32(&ns) || !body.U32(&nt)) return SizeMismatch("matrix");
+      if (ns == 0 || nt == 0) {
+        return Fail(ErrorCode::kBadRequest,
+                    "matrix side counts must be positive integers");
+      }
+      if (limits.max_matrix_locations == 0) {
+        return Fail(ErrorCode::kTooLarge, "matrix requests are disabled");
+      }
+      if (ns > limits.max_matrix_locations ||
+          nt > limits.max_matrix_locations) {
+        return Fail(ErrorCode::kTooLarge,
+                    "matrix side of " + std::to_string(std::max(ns, nt)) +
+                        " exceeds the limit of " +
+                        std::to_string(limits.max_matrix_locations) +
+                        " locations");
+      }
+      if (body.Remaining() !=
+          4 * (static_cast<std::size_t>(ns) + static_cast<std::size_t>(nt))) {
+        return SizeMismatch("matrix");
+      }
+      req.sources.reserve(ns);
+      req.targets.reserve(nt);
+      for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(ns) + nt; ++i) {
+        std::uint32_t v = 0;
+        body.U32(&v);
+        NodeId node = 0;
+        ParseResult error;
+        if (!CheckNode(v, limits, &node, &error)) return error;
+        (i < ns ? req.sources : req.targets).push_back(node);
+      }
+      return result;
+    }
+    default:
+      break;
+  }
+
+  // Everything below is backend-independent — a backend prefix on these is
+  // the same contradiction the v1 parser rejects (except kUse, whose
+  // argument *is* the prefix).
+  if (header.opcode != Opcode::kUse && header.backend_len != 0) {
+    return Fail(ErrorCode::kBadRequest,
+                "the backend prefix only applies to d|p|k|b|m requests");
+  }
+  switch (header.opcode) {
+    case Opcode::kUse:
+      if (backend.empty() || body.Remaining() != 0) {
+        return Fail(ErrorCode::kBadRequest,
+                    "use needs a backend-name prefix and an empty body");
+      }
+      req.kind = RequestKind::kUse;
+      return result;
+    case Opcode::kUpdate: {
+      req.kind = RequestKind::kUpdate;
+      std::uint32_t u = 0;
+      std::uint32_t v = 0;
+      std::uint32_t w = 0;
+      if (!body.U32(&u) || !body.U32(&v) || !body.U32(&w) ||
+          body.Remaining() != 0) {
+        return SizeMismatch("update");
+      }
+      ParseResult error;
+      if (!CheckNode(u, limits, &req.s, &error)) return error;
+      if (!CheckNode(v, limits, &req.t, &error)) return error;
+      if (w == 0 || w >= kMaxWeight) {
+        return Fail(ErrorCode::kBadRequest,
+                    "weight '" + std::to_string(w) +
+                        "' must be a positive integer below " +
+                        std::to_string(kMaxWeight));
+      }
+      req.weight = static_cast<Weight>(w);
+      return result;
+    }
+    case Opcode::kUpdateFile:
+      if (limits.max_bulk_deltas == 0) {
+        return Fail(ErrorCode::kBadRequest,
+                    "bulk updates are disabled on this server");
+      }
+      if (body.Remaining() == 0) {
+        return Fail(ErrorCode::kBadRequest, "updf needs a file path");
+      }
+      req.kind = RequestKind::kUpdateFile;
+      req.path = std::string(body.Rest());
+      return result;
+    case Opcode::kStats:
+    case Opcode::kInvalidate:
+    case Opcode::kReload:
+    case Opcode::kQuit:
+      if (body.Remaining() != 0) return SizeMismatch("empty-body");
+      req.kind = header.opcode == Opcode::kStats      ? RequestKind::kStats
+                 : header.opcode == Opcode::kInvalidate
+                     ? RequestKind::kInvalidate
+                 : header.opcode == Opcode::kReload ? RequestKind::kReload
+                                                    : RequestKind::kQuit;
+      return result;
+    default:
+      return Fail(ErrorCode::kBadRequest,
+                  "unknown opcode 0x" + [op = header.opcode] {
+                    char buf[3];
+                    std::snprintf(buf, sizeof(buf), "%02x",
+                                  static_cast<unsigned>(op));
+                    return std::string(buf);
+                  }());
+  }
+}
+
+std::string EncodeReplyFrame(const Reply& reply, Opcode opcode,
+                             std::uint64_t request_id) {
+  if (!reply.ok) {
+    return EncodeFrame(opcode, StatusFromError(reply.code), 0, request_id,
+                       reply.detail);
+  }
+  std::string payload;
+  switch (reply.kind) {
+    case RequestKind::kDistance:
+      PutU64(&payload, reply.dist);
+      break;
+    case RequestKind::kPath:
+      PutU64(&payload, reply.path.length);
+      PutU32(&payload, static_cast<std::uint32_t>(reply.path.nodes.size()));
+      for (const NodeId node : reply.path.nodes) PutU32(&payload, node);
+      break;
+    case RequestKind::kKNearest:
+      PutU32(&payload, static_cast<std::uint32_t>(reply.nearest.size()));
+      for (const auto& [dist, node] : reply.nearest) {
+        PutU32(&payload, node);
+        PutU64(&payload, dist);
+      }
+      break;
+    case RequestKind::kBatch:
+      payload.reserve(4 + 8 * reply.dists.size());
+      PutU32(&payload, static_cast<std::uint32_t>(reply.dists.size()));
+      PutU64s(&payload, reply.dists.data(), reply.dists.size());
+      break;
+    case RequestKind::kMatrix:
+      payload.reserve(8 + 8 * reply.dists.size());
+      PutU32(&payload, static_cast<std::uint32_t>(reply.num_sources));
+      PutU32(&payload, static_cast<std::uint32_t>(reply.num_targets));
+      PutU64s(&payload, reply.dists.data(), reply.dists.size());
+      break;
+    case RequestKind::kStats:
+    case RequestKind::kUse:
+      payload = reply.text;
+      break;
+    case RequestKind::kUpdate:
+    case RequestKind::kReload:
+      PutU64(&payload, reply.value);
+      break;
+    case RequestKind::kUpdateFile:
+      PutU64(&payload, reply.value);
+      PutU64(&payload, reply.value2);
+      break;
+    case RequestKind::kInvalidate:
+    case RequestKind::kQuit:
+      break;
+  }
+  return EncodeFrame(opcode, kStatusOk, 0, request_id, payload);
+}
+
+std::string EncodeHelloFrame(std::size_t num_nodes, std::size_t num_arcs) {
+  std::string payload;
+  PutU32(&payload, static_cast<std::uint32_t>(kBinaryProtocolVersion));
+  PutU64(&payload, static_cast<std::uint64_t>(num_nodes));
+  PutU64(&payload, static_cast<std::uint64_t>(num_arcs));
+  return EncodeFrame(Opcode::kHello, kStatusOk, 0, 0, payload);
+}
+
+std::string EncodeErrorFrame(Opcode opcode, std::uint64_t request_id,
+                             ErrorCode code, std::string_view detail) {
+  return EncodeFrame(opcode, StatusFromError(code), 0, request_id, detail);
+}
+
+std::string ReplyFrameToText(const FrameHeader& header,
+                             std::string_view payload) {
+  ErrorCode code = ErrorCode::kInternal;
+  if (ErrorFromStatus(header.status, &code)) {
+    return FormatError(code, payload);
+  }
+  if (header.status != kStatusOk) {
+    return FormatError(ErrorCode::kInternal, "unknown reply status");
+  }
+  const auto malformed = [&] {
+    return FormatError(ErrorCode::kInternal, "malformed reply payload");
+  };
+  BodyReader body(payload);
+  switch (header.opcode) {
+    case Opcode::kHello: {
+      std::uint32_t version = 0;
+      if (!body.U32(&version) || body.Remaining() != 16) return malformed();
+      const std::uint64_t nodes = GetU64(body.Rest().data());
+      const std::uint64_t arcs = GetU64(body.Rest().data() + 8);
+      return "AHB/" + std::to_string(version) + " ready " +
+             std::to_string(nodes) + " nodes " + std::to_string(arcs) +
+             " arcs";
+    }
+    case Opcode::kDistance: {
+      if (payload.size() != 8) return malformed();
+      return FormatDistance(GetU64(payload.data()));
+    }
+    case Opcode::kPath: {
+      if (payload.size() < 12) return malformed();
+      PathResult path;
+      path.length = GetU64(payload.data());
+      const std::uint32_t m = GetU32(payload.data() + 8);
+      if (payload.size() != 12 + 4 * static_cast<std::size_t>(m)) {
+        return malformed();
+      }
+      path.nodes.reserve(m);
+      for (std::uint32_t i = 0; i < m; ++i) {
+        path.nodes.push_back(GetU32(payload.data() + 12 + 4 * i));
+      }
+      return FormatPath(path);
+    }
+    case Opcode::kKNearest: {
+      std::uint32_t m = 0;
+      if (!body.U32(&m) ||
+          body.Remaining() != 12 * static_cast<std::size_t>(m)) {
+        return malformed();
+      }
+      std::vector<std::pair<Dist, NodeId>> nearest;
+      nearest.reserve(m);
+      const char* p = body.Rest().data();
+      for (std::uint32_t i = 0; i < m; ++i) {
+        const NodeId node = GetU32(p + 12 * i);
+        const Dist dist = GetU64(p + 12 * i + 4);
+        nearest.emplace_back(dist, node);
+      }
+      return FormatKNearest(nearest);
+    }
+    case Opcode::kBatch: {
+      std::uint32_t n = 0;
+      if (!body.U32(&n) ||
+          body.Remaining() != 8 * static_cast<std::size_t>(n)) {
+        return malformed();
+      }
+      std::vector<Dist> dists;
+      dists.reserve(n);
+      const char* p = body.Rest().data();
+      for (std::uint32_t i = 0; i < n; ++i) dists.push_back(GetU64(p + 8 * i));
+      return FormatBatch(dists);
+    }
+    case Opcode::kMatrix: {
+      std::uint32_t ns = 0;
+      std::uint32_t nt = 0;
+      if (!body.U32(&ns) || !body.U32(&nt)) return malformed();
+      const std::size_t cells =
+          static_cast<std::size_t>(ns) * static_cast<std::size_t>(nt);
+      if (body.Remaining() != 8 * cells) return malformed();
+      std::vector<Dist> dists;
+      dists.reserve(cells);
+      const char* p = body.Rest().data();
+      for (std::size_t i = 0; i < cells; ++i) {
+        dists.push_back(GetU64(p + 8 * i));
+      }
+      return FormatMatrix(ns, nt, dists);
+    }
+    case Opcode::kStats:
+      return "OK stats " + std::string(payload);
+    case Opcode::kInvalidate:
+      return "OK inv";
+    case Opcode::kUse:
+      return "OK use " + std::string(payload);
+    case Opcode::kUpdate:
+      if (payload.size() != 8) return malformed();
+      return "OK upd " + std::to_string(GetU64(payload.data()));
+    case Opcode::kUpdateFile:
+      if (payload.size() != 16) return malformed();
+      return "OK updf " + std::to_string(GetU64(payload.data())) + " " +
+             std::to_string(GetU64(payload.data() + 8));
+    case Opcode::kReload:
+      if (payload.size() != 8) return malformed();
+      return "OK reload " + std::to_string(GetU64(payload.data()));
+    case Opcode::kQuit:
+      return "OK bye";
+  }
+  return malformed();
+}
+
+}  // namespace ah::server

@@ -1,16 +1,24 @@
-// Minimal blocking loopback client for the line protocol — the client half
-// of tcp_server.h, used by route_server's --smoke self-test and the TCP
-// end-to-end tests. Plain POSIX sockets, header-only, no external deps.
+// Minimal blocking loopback clients for both wire protocols — the client
+// half of tcp_server.h, used by route_server's --smoke self-test, the TCP
+// end-to-end tests, and the fig_serve bench. LineClient speaks v1 text;
+// BinaryClient negotiates and speaks v2 frames (binary_protocol.h). Plain
+// POSIX sockets, header-only, no external deps.
 #pragma once
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "server/binary_protocol.h"
 
 namespace ah::server {
 
@@ -28,6 +36,10 @@ class LineClient {
   bool Connect(std::uint16_t port) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) return false;
+    // Request lines are tiny; Nagle delaying them behind the server's
+    // delayed ACK costs ~40ms per serialized round trip.
+    const int nodelay = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
@@ -79,6 +91,156 @@ class LineClient {
  private:
   int fd_ = -1;
   std::string buffer_;
+};
+
+/// v2 counterpart: connects, discards the v1 text banner, sends the magic,
+/// and reads the kHello frame. Supports pipelining — send any number of
+/// request frames, then collect replies by id (out-of-order completions
+/// are stashed until asked for).
+class BinaryClient {
+ public:
+  struct Frame {
+    FrameHeader header;
+    std::string payload;
+  };
+
+  BinaryClient() = default;
+  BinaryClient(const BinaryClient&) = delete;
+  BinaryClient& operator=(const BinaryClient&) = delete;
+
+  ~BinaryClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// Connects to 127.0.0.1:port and negotiates v2. On success the hello
+  /// frame's node/arc counts are available via nodes()/arcs().
+  bool Connect(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    const int nodelay = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      return false;
+    }
+    // The server greets every connection with the v1 banner line before
+    // the mode is known; discard it, then switch the wire to v2.
+    std::string banner;
+    if (!ReadBannerLine(&banner)) return false;
+    if (!SendRaw(std::string(kBinaryMagic))) return false;
+    Frame hello;
+    if (!ReadFrame(&hello) || hello.header.opcode != Opcode::kHello ||
+        hello.payload.size() != 20) {
+      return false;
+    }
+    nodes_ = GetU64(hello.payload.data() + 4);
+    arcs_ = GetU64(hello.payload.data() + 12);
+    return true;
+  }
+
+  /// Sends one request frame; the returned id correlates the reply.
+  std::uint64_t SendRequest(Opcode opcode, std::string_view body,
+                            std::string_view backend = {}) {
+    const std::uint64_t id = next_id_++;
+    if (!SendRaw(EncodeRequestFrame(opcode, id, backend, body))) return 0;
+    return id;
+  }
+
+  /// Sends a frame with an explicit id (tests exercising id semantics).
+  bool SendRequestWithId(Opcode opcode, std::uint64_t id,
+                         std::string_view body, std::string_view backend = {}) {
+    return SendRaw(EncodeRequestFrame(opcode, id, backend, body));
+  }
+
+  /// Raw bytes straight onto the wire (tests sending malformed frames).
+  bool SendRaw(const std::string& raw) {
+    std::size_t sent = 0;
+    while (sent < raw.size()) {
+      const ssize_t n =
+          ::send(fd_, raw.data() + sent, raw.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Blocking read of the next complete frame, whatever its id.
+  bool ReadFrame(Frame* out) {
+    while (true) {
+      FrameHeader header;
+      std::string_view payload;
+      const std::size_t total = TryReadFrame(buffer_, &header, &payload);
+      if (total != 0) {
+        out->header = header;
+        out->payload.assign(payload.data(), payload.size());
+        buffer_.erase(0, total);
+        return true;
+      }
+      if (!FillBuffer()) return false;
+    }
+  }
+
+  /// Blocking read of the reply with this id; frames completing ahead of
+  /// it are stashed and handed out when their turn comes.
+  bool ReadReplyFor(std::uint64_t id, Frame* out) {
+    const auto it = stashed_.find(id);
+    if (it != stashed_.end()) {
+      *out = std::move(it->second);
+      stashed_.erase(it);
+      return true;
+    }
+    Frame frame;
+    while (ReadFrame(&frame)) {
+      if (frame.header.request_id == id) {
+        *out = std::move(frame);
+        return true;
+      }
+      stashed_.emplace(frame.header.request_id, std::move(frame));
+    }
+    return false;
+  }
+
+  /// True when the server has closed the connection (blocks; call once no
+  /// further replies are expected).
+  bool AtEof() {
+    if (!buffer_.empty()) return false;
+    char byte;
+    return ::recv(fd_, &byte, 1, 0) == 0;
+  }
+
+  std::uint64_t nodes() const { return nodes_; }
+  std::uint64_t arcs() const { return arcs_; }
+
+ private:
+  bool FillBuffer() {
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+    return true;
+  }
+
+  bool ReadBannerLine(std::string* line) {
+    while (true) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        *line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      if (!FillBuffer()) return false;
+    }
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t nodes_ = 0;
+  std::uint64_t arcs_ = 0;
+  std::unordered_map<std::uint64_t, Frame> stashed_;
 };
 
 }  // namespace ah::server

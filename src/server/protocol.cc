@@ -277,6 +277,29 @@ ParseResult ParseRequest(std::string_view line, const ParseLimits& limits) {
                   "' (expected d|p|k|b|m|stats|inv|use|upd|updf|reload|q)");
 }
 
+std::string FormatReply(const Reply& reply) {
+  if (!reply.ok) return FormatError(reply.code, reply.detail);
+  switch (reply.kind) {
+    case RequestKind::kDistance: return FormatDistance(reply.dist);
+    case RequestKind::kPath: return FormatPath(reply.path);
+    case RequestKind::kKNearest: return FormatKNearest(reply.nearest);
+    case RequestKind::kBatch: return FormatBatch(reply.dists);
+    case RequestKind::kMatrix:
+      return FormatMatrix(reply.num_sources, reply.num_targets, reply.dists);
+    case RequestKind::kStats: return "OK stats " + reply.text;
+    case RequestKind::kInvalidate: return "OK inv";
+    case RequestKind::kUse: return "OK use " + reply.text;
+    case RequestKind::kUpdate: return "OK upd " + std::to_string(reply.value);
+    case RequestKind::kUpdateFile:
+      return "OK updf " + std::to_string(reply.value) + " " +
+             std::to_string(reply.value2);
+    case RequestKind::kReload:
+      return "OK reload " + std::to_string(reply.value);
+    case RequestKind::kQuit: return "OK bye";
+  }
+  return FormatError(ErrorCode::kInternal, "unrenderable reply kind");
+}
+
 std::string FormatError(ErrorCode code, std::string_view detail) {
   std::string out = "ERR ";
   out.append(ErrorCodeName(code));

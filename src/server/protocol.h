@@ -49,6 +49,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -142,6 +143,32 @@ struct ParseLimits {
 /// here (the parser has no registry) — the server maps unknown names to
 /// kBadBackend. Never throws.
 ParseResult ParseRequest(std::string_view line, const ParseLimits& limits);
+
+/// A structured answer, produced once by the ServerStack and rendered per
+/// protocol: FormatReply() emits the v1 text line, binary_protocol.h's
+/// EncodeReplyFrame() packs the same fields into a v2 frame. Only the
+/// fields of the answered kind are meaningful (mirroring Request).
+struct Reply {
+  bool ok = true;
+  RequestKind kind = RequestKind::kQuit;
+  /// The front-end should close the session after delivering this reply.
+  bool close = false;
+  ErrorCode code = ErrorCode::kInternal;  ///< When !ok.
+  std::string detail;                     ///< Error detail when !ok.
+  Dist dist = kInfDist;                   ///< kDistance.
+  PathResult path;                        ///< kPath.
+  std::vector<std::pair<Dist, NodeId>> nearest;  ///< kKNearest (dist, node).
+  std::vector<Dist> dists;  ///< kBatch values / kMatrix row-major cells.
+  std::size_t num_sources = 0;  ///< kMatrix.
+  std::size_t num_targets = 0;  ///< kMatrix.
+  std::string text;    ///< kStats stats line; kUse backend echo.
+  std::uint64_t value = 0;   ///< upd/reload pending; updf queued.
+  std::uint64_t value2 = 0;  ///< updf pending-after-queue.
+};
+
+/// Renders a Reply as its v1 text line — byte-identical to what the
+/// pre-structured server produced (delegates to the Format* helpers below).
+std::string FormatReply(const Reply& reply);
 
 std::string FormatError(ErrorCode code, std::string_view detail);
 std::string FormatDistance(Dist d);

@@ -8,7 +8,10 @@ namespace ah::server {
 ResultCache::ResultCache(std::size_t capacity, std::size_t shards,
                          std::chrono::milliseconds ttl)
     : ttl_(ttl) {
-  const std::size_t shard_count = std::max<std::size_t>(1, shards);
+  // Rounded up to a power of two so the per-lookup shard pick is a mask,
+  // not an integer division — ShardFor sits on the cache-hit hot path.
+  std::size_t shard_count = 1;
+  while (shard_count < std::max<std::size_t>(1, shards)) shard_count <<= 1;
   per_shard_capacity_ =
       capacity == 0 ? 0 : (capacity + shard_count - 1) / shard_count;
   shards_.reserve(shard_count);
@@ -22,6 +25,50 @@ bool ResultCache::Lookup(const CacheKey& key, std::uint64_t generation,
   if (!Enabled()) return false;
   Shard& shard = ShardFor(key);
   MutexLock lock(shard.mu);
+  return LookupInShard(shard, key, generation, out);
+}
+
+std::size_t ResultCache::LookupMany(const std::vector<CacheKey>& keys,
+                                    std::uint64_t generation,
+                                    std::vector<CachedResult>* out,
+                                    std::vector<char>* hits) {
+  if (!Enabled()) return 0;
+  // Group key positions by shard with a counting sort — three linear passes
+  // and two flat allocations, instead of a vector-of-vectors whose inner
+  // reallocations would dominate a warm batch.
+  const std::size_t mask = shards_.size() - 1;
+  std::vector<std::uint32_t> shard_of(keys.size());
+  std::vector<std::uint32_t> bounds(shards_.size() + 1, 0);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    shard_of[i] = static_cast<std::uint32_t>(KeyHash{}(keys[i]) & mask);
+    ++bounds[shard_of[i] + 1];
+  }
+  for (std::size_t s = 1; s <= mask; ++s) bounds[s + 1] += bounds[s];
+  std::vector<std::uint32_t> order(keys.size());
+  {
+    std::vector<std::uint32_t> next(bounds.begin(), bounds.end() - 1);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      order[next[shard_of[i]]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+  std::size_t hit_count = 0;
+  for (std::size_t s = 0; s <= mask; ++s) {
+    if (bounds[s] == bounds[s + 1]) continue;
+    Shard& shard = *shards_[s];
+    MutexLock lock(shard.mu);
+    for (std::uint32_t p = bounds[s]; p < bounds[s + 1]; ++p) {
+      const std::uint32_t i = order[p];
+      if (LookupInShard(shard, keys[i], generation, &(*out)[i])) {
+        (*hits)[i] = 1;
+        ++hit_count;
+      }
+    }
+  }
+  return hit_count;
+}
+
+bool ResultCache::LookupInShard(Shard& shard, const CacheKey& key,
+                                std::uint64_t generation, CachedResult* out) {
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.stats.misses;
@@ -52,14 +99,18 @@ bool ResultCache::Lookup(const CacheKey& key, std::uint64_t generation,
     ++shard.stats.misses;
     return false;
   }
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  if (it->second != shard.lru.begin()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  }
   ++shard.stats.hits;
+  ++it->second->hits;
+  if (it->second->warmed) ++shard.stats.warmup_hits;
   *out = it->second->value;
   return true;
 }
 
 void ResultCache::Insert(const CacheKey& key, std::uint64_t generation,
-                         CachedResult value) {
+                         CachedResult value, bool warmed) {
   if (!Enabled()) return;
   Shard& shard = ShardFor(key);
   MutexLock lock(shard.mu);
@@ -72,10 +123,13 @@ void ResultCache::Insert(const CacheKey& key, std::uint64_t generation,
     it->second->value = std::move(value);
     it->second->generation = generation;
     it->second->expiry = ExpiryFromNow();
+    it->second->warmed = warmed;
+    if (warmed) ++shard.stats.warmup_entries;
     return;
   }
+  if (warmed) ++shard.stats.warmup_entries;
   shard.lru.push_front(
-      Entry{key, std::move(value), generation, ExpiryFromNow()});
+      Entry{key, std::move(value), generation, ExpiryFromNow(), 0, warmed});
   shard.index.emplace(key, shard.lru.begin());
   ++shard.stats.insertions;
   if (shard.lru.size() > per_shard_capacity_) {
@@ -93,6 +147,38 @@ void ResultCache::Clear() {
     shard.index.clear();
     ++shard.stats.clears;
   }
+}
+
+std::vector<CacheKey> ResultCache::HottestEntries(std::uint32_t backend,
+                                                  std::size_t k) const {
+  std::vector<std::pair<std::uint64_t, CacheKey>> hot;
+  if (k == 0) return {};
+  for (const auto& entry : shards_) {
+    const Shard& shard = *entry;
+    MutexLock lock(shard.mu);
+    for (const Entry& e : shard.lru) {
+      if (e.key.backend == backend && e.hits > 0) {
+        hot.emplace_back(e.hits, e.key);
+      }
+    }
+  }
+  const auto hotter = [](const std::pair<std::uint64_t, CacheKey>& a,
+                         const std::pair<std::uint64_t, CacheKey>& b) {
+    if (a.first != b.first) return a.first > b.first;
+    if (a.second.s != b.second.s) return a.second.s < b.second.s;
+    if (a.second.t != b.second.t) return a.second.t < b.second.t;
+    return a.second.kind < b.second.kind;
+  };
+  if (hot.size() > k) {
+    std::partial_sort(hot.begin(), hot.begin() + k, hot.end(), hotter);
+    hot.resize(k);
+  } else {
+    std::sort(hot.begin(), hot.end(), hotter);
+  }
+  std::vector<CacheKey> keys;
+  keys.reserve(hot.size());
+  for (const auto& [hits, key] : hot) keys.push_back(key);
+  return keys;
 }
 
 std::size_t ResultCache::Size() const {
@@ -116,6 +202,8 @@ CacheStats ResultCache::Totals() const {
     totals.evictions += shard.stats.evictions;
     totals.invalidations += shard.stats.invalidations;
     totals.expirations += shard.stats.expirations;
+    totals.warmup_entries += shard.stats.warmup_entries;
+    totals.warmup_hits += shard.stats.warmup_hits;
   }
   // Clear() bumps every shard's clear counter; report calls, not
   // shard-calls.

@@ -60,6 +60,8 @@ struct CacheStats {
   std::uint64_t invalidations = 0;  ///< Stale-generation entries dropped.
   std::uint64_t expirations = 0;    ///< TTL-expired entries dropped.
   std::uint64_t clears = 0;         ///< Clear() calls (the `inv` verb).
+  std::uint64_t warmup_entries = 0;  ///< Warm inserts (post-swap re-primes).
+  std::uint64_t warmup_hits = 0;     ///< Hits answered by a warmed entry.
 
   double HitRate() const {
     const std::uint64_t total = hits + misses;
@@ -72,8 +74,9 @@ class ResultCache {
   using Clock = std::chrono::steady_clock;
 
   /// `capacity` is the total entry budget (0 disables the cache: every
-  /// Lookup misses, Insert is a no-op). `shards` is rounded up to at least
-  /// 1; each shard gets ceil(capacity / shards) entries. `ttl` bounds every
+  /// Lookup misses, Insert is a no-op). `shards` is rounded up to the next
+  /// power of two (at least 1); each shard gets ceil(capacity / shards)
+  /// entries. `ttl` bounds every
   /// entry's lifetime (0 = entries never expire) — the freshness backstop
   /// for deployments that take weight updates without reloading promptly.
   explicit ResultCache(std::size_t capacity, std::size_t shards = 16,
@@ -93,13 +96,34 @@ class ResultCache {
   bool Lookup(const CacheKey& key, std::uint64_t generation,
               CachedResult* out);
 
+  /// Bulk Lookup for batch requests: probes every key with the same
+  /// semantics as Lookup, but groups the keys by shard and locks each
+  /// shard once per call instead of once per key — on a warm batch the
+  /// per-key mutex round trip is the dominant cost. On hit, hits[i] is set
+  /// and out[i] filled; misses leave out[i] untouched. Returns the hit
+  /// count. The vectors must all have keys.size() elements. Thread-safe.
+  std::size_t LookupMany(const std::vector<CacheKey>& keys,
+                         std::uint64_t generation,
+                         std::vector<CachedResult>* out,
+                         std::vector<char>* hits);
+
   /// Inserts or refreshes an entry tagged with `generation`
   /// (most-recently-used position), evicting the shard's least-recently-
   /// used entry when over budget. A refresh never downgrades: if the
   /// existing entry carries a newer generation, the insert is dropped.
-  /// Thread-safe.
+  /// `warmed` marks the value as a post-swap warm-up re-prime (counted as a
+  /// warmup entry; its later hits count as warmup hits) — a normal insert
+  /// or refresh clears the mark. Thread-safe.
   void Insert(const CacheKey& key, std::uint64_t generation,
-              CachedResult value);
+              CachedResult value, bool warmed = false);
+
+  /// The up-to-`k` most-hit keys of one backend, hottest first (ties broken
+  /// by key for determinism), skipping never-hit entries. Each entry keeps
+  /// a small hit counter bumped on Lookup; the registry's warm-up hook uses
+  /// this to decide which retiring entries to re-prime on a fresh epoch.
+  /// Scans every shard — swap-time cost, not query-path cost. Thread-safe.
+  std::vector<CacheKey> HottestEntries(std::uint32_t backend,
+                                       std::size_t k) const;
 
   /// Operator-facing full invalidation (the `inv` verb): drops every entry
   /// of every backend. Hit/miss counters persist; the clear counter
@@ -133,6 +157,11 @@ class ResultCache {
     CachedResult value;
     std::uint64_t generation = 0;
     Clock::time_point expiry = Clock::time_point::max();
+    /// Lookup hits on this key since insertion (survives refreshes) — the
+    /// popularity signal HottestEntries ranks by.
+    std::uint64_t hits = 0;
+    /// Value came from a post-swap warm-up, not a served request.
+    bool warmed = false;
   };
 
   struct Shard {
@@ -143,8 +172,16 @@ class ResultCache {
     CacheStats stats AH_GUARDED_BY(mu);
   };
 
+  /// The Lookup hit/miss/invalidate logic with the shard lock already
+  /// held; shared by Lookup and LookupMany.
+  bool LookupInShard(Shard& shard, const CacheKey& key,
+                     std::uint64_t generation, CachedResult* out)
+      AH_REQUIRES(shard.mu);
+
   Shard& ShardFor(const CacheKey& key) {
-    return *shards_[KeyHash{}(key) % shards_.size()];
+    // shards_.size() is a power of two (see the constructor), so this is a
+    // mask rather than a division.
+    return *shards_[KeyHash{}(key) & (shards_.size() - 1)];
   }
 
   Clock::time_point ExpiryFromNow() const {

@@ -43,6 +43,20 @@ std::string JoinNames(const std::vector<std::string>& names) {
   return out;
 }
 
+Reply ErrorReply(ErrorCode code, std::string detail) {
+  Reply reply;
+  reply.ok = false;
+  reply.code = code;
+  reply.detail = std::move(detail);
+  return reply;
+}
+
+Reply OkReply(RequestKind kind) {
+  Reply reply;
+  reply.kind = kind;
+  return reply;
+}
+
 }  // namespace
 
 ServerStack::ServerStack(std::shared_ptr<IndexRegistry> registry,
@@ -53,13 +67,23 @@ ServerStack::ServerStack(std::shared_ptr<IndexRegistry> registry,
       cache_(config.cache_capacity, config.cache_shards, config.cache_ttl),
       admission_(AdmissionConfig{config.admission_capacity,
                                  config.request_timeout,
-                                 config.admission_per_client}) {}
+                                 config.admission_per_client}) {
+  if (config_.warmup_top_k > 0 && cache_.Enabled()) {
+    registry_->SetWarmupHook(
+        [this](const IndexEpoch& fresh) { WarmCache(fresh); });
+  }
+}
 
 ServerStack::ServerStack(std::unique_ptr<DistanceOracle> oracle,
                          const ServerConfig& config)
     : ServerStack(IndexRegistry::AdoptStatic(std::move(oracle)), config) {}
 
-ServerStack::~ServerStack() { WaitIdle(); }
+ServerStack::~ServerStack() {
+  // Clear the hook first: SetWarmupHook blocks while a warm-up runs, so
+  // after this no registry thread can touch the dying cache.
+  registry_->SetWarmupHook(nullptr);
+  WaitIdle();
+}
 
 void ServerStack::Submit(std::string_view line, ReplyCallback done) {
   SubmitInternal(line, std::nullopt, std::move(done));
@@ -73,33 +97,53 @@ void ServerStack::Submit(std::string_view line, std::uint64_t client_id,
 void ServerStack::SubmitInternal(std::string_view line,
                                  std::optional<std::uint64_t> client,
                                  ReplyCallback done) {
-  ParseResult parsed =
-      ParseRequest(line, ParseLimits{registry_->NumNodes(), config_.max_batch,
-                                     config_.max_matrix_locations,
-                                     config_.max_bulk_deltas});
+  wire_.v1_requests.fetch_add(1, std::memory_order_relaxed);
+  ParseResult parsed = ParseRequest(line, Limits());
+  SubmitParsed(std::move(parsed), client,
+               [done = std::move(done)](Reply reply) {
+                 const bool close = reply.close;
+                 done(FormatReply(reply), close);
+               });
+}
+
+void ServerStack::SubmitDecoded(ParseResult parsed, std::uint64_t client_id,
+                                StructuredCallback done) {
+  wire_.v2_requests.fetch_add(1, std::memory_order_relaxed);
+  SubmitParsed(std::move(parsed), client_id, std::move(done));
+}
+
+void ServerStack::SubmitParsed(ParseResult parsed,
+                               std::optional<std::uint64_t> client,
+                               StructuredCallback done) {
   if (!parsed.ok) {
     stats_.RecordError();
-    done(FormatError(parsed.code, parsed.message), false);
+    done(ErrorReply(parsed.code, std::move(parsed.message)));
     return;
   }
   Request& req = parsed.request;
 
   switch (req.kind) {
-    case RequestKind::kQuit:
-      done("OK bye", true);
+    case RequestKind::kQuit: {
+      Reply reply = OkReply(RequestKind::kQuit);
+      reply.close = true;
+      done(std::move(reply));
       return;
-    case RequestKind::kStats:
-      done("OK stats " + StatsLine(), false);
+    }
+    case RequestKind::kStats: {
+      Reply reply = OkReply(RequestKind::kStats);
+      reply.text = StatsLine();
+      done(std::move(reply));
       return;
+    }
     case RequestKind::kInvalidate:
       cache_.Clear();
-      done("OK inv", false);
+      done(OkReply(RequestKind::kInvalidate));
       return;
     case RequestKind::kUse:
     case RequestKind::kUpdate:
     case RequestKind::kUpdateFile:
     case RequestKind::kReload:
-      done(ExecuteAdmin(req), false);
+      done(ExecuteAdmin(req));
       return;
     default:
       break;
@@ -110,10 +154,9 @@ void ServerStack::SubmitInternal(std::string_view line,
   const EpochHandle epoch = registry_->Current(req.backend);
   if (!epoch) {
     stats_.RecordError();
-    done(FormatError(ErrorCode::kBadBackend,
-                     "unknown backend '" + req.backend + "' (serving: " +
-                         JoinNames(registry_->Backends()) + ")"),
-         false);
+    done(ErrorReply(ErrorCode::kBadBackend,
+                    "unknown backend '" + req.backend + "' (serving: " +
+                        JoinNames(registry_->Backends()) + ")"));
     return;
   }
 
@@ -127,39 +170,36 @@ void ServerStack::SubmitInternal(std::string_view line,
                        epoch->backend_id};
     CachedResult hit;
     if (cache_.Lookup(key, epoch->generation, &hit)) {
-      std::string reply;
+      Reply reply = OkReply(req.kind);
       if (is_distance) {
-        reply = FormatDistance(hit.dist);
+        reply.dist = hit.dist;
       } else {
-        PathResult path;
-        path.length = hit.dist;
-        path.nodes = std::move(hit.nodes);
-        reply = FormatPath(path);
+        reply.path.length = hit.dist;
+        reply.path.nodes = std::move(hit.nodes);
       }
       stats_.RecordOk(
           is_distance ? RequestClass::kDistance : RequestClass::kPath,
           timer.Micros());
-      done(std::move(reply), false);
+      done(std::move(reply));
       return;
     }
   }
 
   if (!admission_.TryAdmit(client)) {
-    done(FormatError(ErrorCode::kOverload,
-                     "server at capacity (" +
-                         std::to_string(admission_.Capacity()) +
-                         " in flight), retry later"),
-         false);
+    done(ErrorReply(ErrorCode::kOverload,
+                    "server at capacity (" +
+                        std::to_string(admission_.Capacity()) +
+                        " in flight), retry later"));
     return;
   }
   const AdmissionController::Deadline deadline = admission_.MakeDeadline();
   engine_.SubmitAsync([this, request = std::move(req), deadline, client,
                        done = std::move(done)]() mutable {
-    std::string reply;
+    Reply reply;
     if (AdmissionController::Expired(deadline)) {
       admission_.CountExpired();
-      reply = FormatError(ErrorCode::kTimeout,
-                          "deadline expired before execution");
+      reply = ErrorReply(ErrorCode::kTimeout,
+                         "deadline expired before execution");
     } else {
       // The lease pins whatever epoch is current at execution time — a swap
       // landing between submit and execution simply answers from the fresh
@@ -169,10 +209,10 @@ void ServerStack::SubmitInternal(std::string_view line,
         reply = Execute(request, lease);
       } catch (const std::exception& e) {
         stats_.RecordError();
-        reply = FormatError(ErrorCode::kInternal, e.what());
+        reply = ErrorReply(ErrorCode::kInternal, e.what());
       }
     }
-    done(std::move(reply), false);
+    done(std::move(reply));
     // Release after the reply is delivered so WaitIdle() implies every
     // callback has finished — front-ends rely on that during teardown.
     admission_.Release(client);
@@ -200,77 +240,86 @@ void ServerStack::SetPois(std::vector<NodeId> pois) {
   pois_ = std::move(pois);
 }
 
-std::string ServerStack::ExecuteAdmin(const Request& request) {
+Reply ServerStack::ExecuteAdmin(const Request& request) {
   switch (request.kind) {
-    case RequestKind::kUse:
+    case RequestKind::kUse: {
       if (!registry_->SetDefaultBackend(request.backend)) {
         stats_.RecordError();
-        return FormatError(ErrorCode::kBadBackend,
-                           "unknown backend '" + request.backend +
-                               "' (serving: " +
-                               JoinNames(registry_->Backends()) + ")");
+        return ErrorReply(ErrorCode::kBadBackend,
+                          "unknown backend '" + request.backend +
+                              "' (serving: " +
+                              JoinNames(registry_->Backends()) + ")");
       }
-      return "OK use " + request.backend;
+      Reply reply = OkReply(RequestKind::kUse);
+      reply.text = request.backend;
+      return reply;
+    }
     case RequestKind::kUpdate:
       switch (registry_->QueueWeightUpdate(request.s, request.t,
                                            request.weight)) {
-        case IndexRegistry::UpdateStatus::kQueued:
-          return "OK upd " + std::to_string(registry_->PendingUpdates());
+        case IndexRegistry::UpdateStatus::kQueued: {
+          Reply reply = OkReply(RequestKind::kUpdate);
+          reply.value = registry_->PendingUpdates();
+          return reply;
+        }
         case IndexRegistry::UpdateStatus::kNoSuchArc:
           stats_.RecordError();
-          return FormatError(ErrorCode::kBadArc,
-                             "no arc " + std::to_string(request.s) + "->" +
-                                 std::to_string(request.t) +
-                                 " in the base graph");
+          return ErrorReply(ErrorCode::kBadArc,
+                            "no arc " + std::to_string(request.s) + "->" +
+                                std::to_string(request.t) +
+                                " in the base graph");
         case IndexRegistry::UpdateStatus::kBadNode:
           stats_.RecordError();
-          return FormatError(ErrorCode::kBadNode, "endpoint out of range");
+          return ErrorReply(ErrorCode::kBadNode, "endpoint out of range");
         case IndexRegistry::UpdateStatus::kBadWeight:
           stats_.RecordError();
-          return FormatError(ErrorCode::kBadRequest,
-                             "weight must be positive and below " +
-                                 std::to_string(kMaxWeight));
+          return ErrorReply(ErrorCode::kBadRequest,
+                            "weight must be positive and below " +
+                                std::to_string(kMaxWeight));
         case IndexRegistry::UpdateStatus::kStatic:
           stats_.RecordError();
-          return FormatError(
+          return ErrorReply(
               ErrorCode::kBadRequest,
               "this server wraps a static index (no live updates)");
       }
       stats_.RecordError();
-      return FormatError(ErrorCode::kInternal, "unhandled update status");
+      return ErrorReply(ErrorCode::kInternal, "unhandled update status");
     case RequestKind::kUpdateFile: {
       std::ifstream in(request.path, std::ios::binary);
       if (!in) {
         stats_.RecordError();
-        return FormatError(ErrorCode::kBadRequest,
-                           "cannot open delta file '" + request.path + "'");
+        return ErrorReply(ErrorCode::kBadRequest,
+                          "cannot open delta file '" + request.path + "'");
       }
       std::vector<WeightDelta> deltas;
       try {
         deltas = LoadWeightDeltas(in, config_.max_bulk_deltas);
       } catch (const std::length_error& e) {
         stats_.RecordError();
-        return FormatError(ErrorCode::kTooLarge, e.what());
+        return ErrorReply(ErrorCode::kTooLarge, e.what());
       } catch (const std::exception& e) {
         stats_.RecordError();
-        return FormatError(ErrorCode::kBadRequest,
-                           "corrupt delta file '" + request.path +
-                               "': " + e.what());
+        return ErrorReply(ErrorCode::kBadRequest,
+                          "corrupt delta file '" + request.path +
+                              "': " + e.what());
       }
       std::size_t first_bad = 0;
       const auto BadRecord = [&](ErrorCode code, std::string_view what) {
         stats_.RecordError();
         const WeightDelta& d = deltas[first_bad];
-        return FormatError(
+        return ErrorReply(
             code, "record " + std::to_string(first_bad) + " (" +
                       std::to_string(d.tail) + "->" + std::to_string(d.head) +
                       " w=" + std::to_string(d.weight) + "): " +
                       std::string(what) + "; no records queued");
       };
       switch (registry_->QueueWeightUpdates(deltas, &first_bad)) {
-        case IndexRegistry::UpdateStatus::kQueued:
-          return "OK updf " + std::to_string(deltas.size()) + " " +
-                 std::to_string(registry_->PendingUpdates());
+        case IndexRegistry::UpdateStatus::kQueued: {
+          Reply reply = OkReply(RequestKind::kUpdateFile);
+          reply.value = deltas.size();
+          reply.value2 = registry_->PendingUpdates();
+          return reply;
+        }
         case IndexRegistry::UpdateStatus::kNoSuchArc:
           return BadRecord(ErrorCode::kBadArc,
                            "no such arc in the base graph");
@@ -282,30 +331,32 @@ std::string ServerStack::ExecuteAdmin(const Request& request) {
                                std::to_string(kMaxWeight));
         case IndexRegistry::UpdateStatus::kStatic:
           stats_.RecordError();
-          return FormatError(
+          return ErrorReply(
               ErrorCode::kBadRequest,
               "this server wraps a static index (no live updates)");
       }
       stats_.RecordError();
-      return FormatError(ErrorCode::kInternal, "unhandled update status");
+      return ErrorReply(ErrorCode::kInternal, "unhandled update status");
     }
     case RequestKind::kReload: {
       const std::size_t pending = registry_->PendingUpdates();
       std::string error;
       if (!registry_->RequestReload(&error)) {
         stats_.RecordError();
-        return FormatError(ErrorCode::kBadRequest, error);
+        return ErrorReply(ErrorCode::kBadRequest, std::move(error));
       }
-      return "OK reload " + std::to_string(pending);
+      Reply reply = OkReply(RequestKind::kReload);
+      reply.value = pending;
+      return reply;
     }
     default:
       stats_.RecordError();
-      return FormatError(ErrorCode::kInternal, "not an admin request");
+      return ErrorReply(ErrorCode::kInternal, "not an admin request");
   }
 }
 
-std::string ServerStack::Execute(const Request& request,
-                                 ConcurrentEngine::SessionLease& lease) {
+Reply ServerStack::Execute(const Request& request,
+                           ConcurrentEngine::SessionLease& lease) {
   try {
     switch (request.kind) {
       case RequestKind::kDistance:
@@ -320,35 +371,39 @@ std::string ServerStack::Execute(const Request& request,
         return ExecuteMatrix(request.sources, request.targets, lease);
       default:
         stats_.RecordError();
-        return FormatError(ErrorCode::kInternal, "unexecutable request kind");
+        return ErrorReply(ErrorCode::kInternal, "unexecutable request kind");
     }
   } catch (const std::exception& e) {
     stats_.RecordError();
-    return FormatError(ErrorCode::kInternal, e.what());
+    return ErrorReply(ErrorCode::kInternal, e.what());
   } catch (...) {
     stats_.RecordError();
-    return FormatError(ErrorCode::kInternal, "unknown failure");
+    return ErrorReply(ErrorCode::kInternal, "unknown failure");
   }
 }
 
-std::string ServerStack::ExecuteDistance(NodeId s, NodeId t,
-                                         ConcurrentEngine::SessionLease& lease) {
+Reply ServerStack::ExecuteDistance(NodeId s, NodeId t,
+                                   ConcurrentEngine::SessionLease& lease) {
   Timer timer;
   const Dist d = lease->Distance(s, t);
   cache_.Insert(CacheKey{s, t, CachedKind::kDistance, lease.epoch().backend_id},
                 lease.epoch().generation, CachedResult{d, {}});
   stats_.RecordOk(RequestClass::kDistance, timer.Micros());
-  return FormatDistance(d);
+  Reply reply = OkReply(RequestKind::kDistance);
+  reply.dist = d;
+  return reply;
 }
 
-std::string ServerStack::ExecutePath(NodeId s, NodeId t,
-                                     ConcurrentEngine::SessionLease& lease) {
+Reply ServerStack::ExecutePath(NodeId s, NodeId t,
+                               ConcurrentEngine::SessionLease& lease) {
   Timer timer;
-  const PathResult path = lease->ShortestPath(s, t);
+  PathResult path = lease->ShortestPath(s, t);
   cache_.Insert(CacheKey{s, t, CachedKind::kPath, lease.epoch().backend_id},
                 lease.epoch().generation, CachedResult{path.length, path.nodes});
   stats_.RecordOk(RequestClass::kPath, timer.Micros());
-  return FormatPath(path);
+  Reply reply = OkReply(RequestKind::kPath);
+  reply.path = std::move(path);
+  return reply;
 }
 
 std::vector<Dist> ServerStack::CachedDistances(
@@ -359,13 +414,28 @@ std::vector<Dist> ServerStack::CachedDistances(
   std::vector<Dist> dists(pairs.size(), kInfDist);
   std::vector<std::size_t> miss_index;
   std::vector<QueryPair> miss_pairs;
-  for (std::size_t i = 0; i < pairs.size(); ++i) {
-    const CacheKey key{pairs[i].first, pairs[i].second, CachedKind::kDistance,
-                       backend_id};
-    CachedResult cached;
-    if (cache_.Lookup(key, generation, &cached)) {
-      dists[i] = cached.dist;
-    } else {
+  if (cache_.Enabled()) {
+    // Bulk probe: one shard lock per shard for the whole batch, not one
+    // per pair — on a warm batch the mutex round trips would otherwise
+    // rival the lookups themselves.
+    std::vector<CacheKey> keys;
+    keys.reserve(pairs.size());
+    for (const auto& [s, t] : pairs) {
+      keys.push_back(CacheKey{s, t, CachedKind::kDistance, backend_id});
+    }
+    std::vector<CachedResult> cached(pairs.size());
+    std::vector<char> hit(pairs.size(), 0);
+    cache_.LookupMany(keys, generation, &cached, &hit);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (hit[i] != 0) {
+        dists[i] = cached[i].dist;
+      } else {
+        miss_index.push_back(i);
+        miss_pairs.push_back(pairs[i]);
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
       miss_index.push_back(i);
       miss_pairs.push_back(pairs[i]);
     }
@@ -404,12 +474,12 @@ std::vector<Dist> ServerStack::CachedDistances(
   return dists;
 }
 
-std::string ServerStack::ExecuteKNearest(NodeId s, std::uint32_t k,
-                                         ConcurrentEngine::SessionLease& lease) {
+Reply ServerStack::ExecuteKNearest(NodeId s, std::uint32_t k,
+                                   ConcurrentEngine::SessionLease& lease) {
   if (pois_.empty()) {
     stats_.RecordError();
-    return FormatError(ErrorCode::kBadRequest,
-                       "no POI set configured on this server");
+    return ErrorReply(ErrorCode::kBadRequest,
+                      "no POI set configured on this server");
   }
   Timer timer;
   // One distance per POI, each answered through the shared result cache so
@@ -436,21 +506,25 @@ std::string ServerStack::ExecuteKNearest(NodeId s, std::uint32_t k,
                     });
   reachable.resize(take);
   stats_.RecordOk(RequestClass::kKNearest, timer.Micros());
-  return FormatKNearest(reachable);
+  Reply reply = OkReply(RequestKind::kKNearest);
+  reply.nearest = std::move(reachable);
+  return reply;
 }
 
-std::string ServerStack::ExecuteBatch(
+Reply ServerStack::ExecuteBatch(
     const std::vector<std::pair<NodeId, NodeId>>& pairs,
     ConcurrentEngine::SessionLease& lease) {
   Timer timer;
-  const std::vector<Dist> dists = CachedDistances(pairs, lease);
+  std::vector<Dist> dists = CachedDistances(pairs, lease);
   stats_.RecordOk(RequestClass::kBatch, timer.Micros());
-  return FormatBatch(dists);
+  Reply reply = OkReply(RequestKind::kBatch);
+  reply.dists = std::move(dists);
+  return reply;
 }
 
-std::string ServerStack::ExecuteMatrix(const std::vector<NodeId>& sources,
-                                       const std::vector<NodeId>& targets,
-                                       ConcurrentEngine::SessionLease& lease) {
+Reply ServerStack::ExecuteMatrix(const std::vector<NodeId>& sources,
+                                 const std::vector<NodeId>& targets,
+                                 ConcurrentEngine::SessionLease& lease) {
   Timer timer;
   const std::uint32_t backend_id = lease.epoch().backend_id;
   const std::uint64_t generation = lease.epoch().generation;
@@ -459,9 +533,11 @@ std::string ServerStack::ExecuteMatrix(const std::vector<NodeId>& sources,
   // All-pairs cache probe: a fully warm matrix is answered without touching
   // the index at all. A single miss abandons the probe — recomputing the
   // whole matrix through the bucket engine is cheaper than per-pair point
-  // queries for the misses.
+  // queries for the misses. Matrices over matrix_cache_max_cells skip the
+  // cache in both directions (see ServerConfig).
   std::vector<Dist> cells(sources.size() * num_targets, kInfDist);
-  bool all_hit = true;
+  const bool use_cache = cells.size() <= config_.matrix_cache_max_cells;
+  bool all_hit = use_cache;
   for (std::size_t i = 0; all_hit && i < sources.size(); ++i) {
     for (std::size_t j = 0; j < num_targets; ++j) {
       CachedResult cached;
@@ -480,7 +556,7 @@ std::string ServerStack::ExecuteMatrix(const std::vector<NodeId>& sources,
     // generation that actually answered it; no monotonicity check needed.
     cells = lease.epoch().oracle->DistanceMatrix(sources, targets,
                                                  engine_.NumThreads());
-    for (std::size_t i = 0; i < sources.size(); ++i) {
+    for (std::size_t i = 0; use_cache && i < sources.size(); ++i) {
       for (std::size_t j = 0; j < num_targets; ++j) {
         cache_.Insert(CacheKey{sources[i], targets[j], CachedKind::kDistance,
                                backend_id},
@@ -489,7 +565,31 @@ std::string ServerStack::ExecuteMatrix(const std::vector<NodeId>& sources,
     }
   }
   stats_.RecordOk(RequestClass::kMatrix, timer.Micros());
-  return FormatMatrix(sources.size(), num_targets, cells);
+  Reply reply = OkReply(RequestKind::kMatrix);
+  reply.num_sources = sources.size();
+  reply.num_targets = num_targets;
+  reply.dists = std::move(cells);
+  return reply;
+}
+
+void ServerStack::WarmCache(const IndexEpoch& fresh) {
+  const std::vector<CacheKey> hottest =
+      cache_.HottestEntries(fresh.backend_id, config_.warmup_top_k);
+  if (hottest.empty()) return;
+  // A private session on the unpublished epoch: the engine (and every
+  // client) is still leasing the old one, so this contends with nothing.
+  const std::unique_ptr<QuerySession> session = fresh.NewSession();
+  for (const CacheKey& key : hottest) {
+    if (key.kind == CachedKind::kDistance) {
+      const Dist d = session->Distance(key.s, key.t);
+      cache_.Insert(key, fresh.generation, CachedResult{d, {}},
+                    /*warmed=*/true);
+    } else {
+      const PathResult path = session->ShortestPath(key.s, key.t);
+      cache_.Insert(key, fresh.generation, CachedResult{path.length, path.nodes},
+                    /*warmed=*/true);
+    }
+  }
 }
 
 std::string ServerStack::StatsLine() const {
@@ -506,6 +606,14 @@ std::string ServerStack::StatsLine() const {
   AppendKv(&out, "qps", Fixed(stats_.Qps(), 1));
   AppendKv(&out, "in_flight", std::to_string(admission_.InFlight()));
   AppendKv(&out, "queue_depth", std::to_string(engine_.AsyncQueueDepth()));
+  AppendKv(&out, "v1_requests",
+           std::to_string(wire_.v1_requests.load(std::memory_order_relaxed)));
+  AppendKv(&out, "v2_requests",
+           std::to_string(wire_.v2_requests.load(std::memory_order_relaxed)));
+  AppendKv(&out, "bytes_in",
+           std::to_string(wire_.bytes_in.load(std::memory_order_relaxed)));
+  AppendKv(&out, "bytes_out",
+           std::to_string(wire_.bytes_out.load(std::memory_order_relaxed)));
   AppendKv(&out, "backend", registry_->DefaultBackend());
   for (const std::string& name : registry_->Backends()) {
     AppendKv(&out, "epoch_" + name,
@@ -544,6 +652,8 @@ std::string ServerStack::StatsLine() const {
   AppendKv(&out, "cache_invalidations", std::to_string(cache.invalidations));
   AppendKv(&out, "cache_expirations", std::to_string(cache.expirations));
   AppendKv(&out, "cache_clears", std::to_string(cache.clears));
+  AppendKv(&out, "warmup_entries", std::to_string(cache.warmup_entries));
+  AppendKv(&out, "warmup_hits", std::to_string(cache.warmup_hits));
   for (std::size_t c = 0; c < kNumRequestClasses; ++c) {
     const auto request_class = static_cast<RequestClass>(c);
     const LatencyHistogram& hist = stats_.Histogram(request_class);

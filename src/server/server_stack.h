@@ -25,6 +25,7 @@
 // use.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -67,17 +68,45 @@ struct ServerConfig {
   /// Max locations per matrix side (`m` requests); 0 disables the verb.
   /// Over-cap requests are answered ERR too-large.
   std::size_t max_matrix_locations = 512;
+  /// Matrices with more cells than this bypass the result cache entirely —
+  /// no per-cell probe, no inserts. Beyond a few thousand cells the
+  /// bucketized matrix engine answers faster than the N^2 cache lookups
+  /// would cost, and inserting one scan's N^2 entries would evict
+  /// genuinely hot point entries. 0 keeps every matrix off the cache.
+  std::size_t matrix_cache_max_cells = 1024;
   /// Max delta records accepted from one `updf` bulk file; over-cap files
   /// are answered ERR too-large. 0 disables the verb.
   std::size_t max_bulk_deltas = 1 << 20;
   /// Engine fan-out (0 = WorkerThreads() default).
   std::size_t num_threads = 0;
+  /// Post-swap cache warm-up: before each rebuilt epoch is published, the
+  /// top-K hottest cache entries of that backend (by per-entry hit count)
+  /// are recomputed on the fresh epoch and re-inserted under its
+  /// generation, so the swap lands with its hottest keys already warm.
+  /// 0 (the default) disables warm-up — swapped-backend entries then retire
+  /// lazily, invalidated on first touch. Runs on the registry's build
+  /// worker thread — swap latency grows by K point queries, typically
+  /// microseconds.
+  std::size_t warmup_top_k = 0;
+};
+
+/// Wire-level counters a front-end maintains alongside the stack's own
+/// request accounting; surfaced in the `stats` reply.
+struct WireStats {
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+  std::atomic<std::uint64_t> v1_requests{0};
+  std::atomic<std::uint64_t> v2_requests{0};
 };
 
 class ServerStack {
  public:
   /// Reply text plus whether the front-end should close the session (quit).
   using ReplyCallback = std::function<void(std::string reply, bool close)>;
+
+  /// Structured-reply callback — the v2 binary front-end's entry shape
+  /// (the frame encoder renders the Reply; reply.close mirrors quit).
+  using StructuredCallback = std::function<void(Reply reply)>;
 
   /// Builds the stack over a registry (shared so operators can also drive
   /// the registry directly, e.g. WaitForRebuild in a REPL). Throws
@@ -106,6 +135,22 @@ class ServerStack {
   void Submit(std::string_view line, std::uint64_t client_id,
               ReplyCallback done);
 
+  /// The v2 binary front-end's entry: an already-decoded request (from
+  /// binary_protocol.h's DecodeRequest — pass a failed ParseResult through
+  /// too, so decode errors are counted and answered like parse errors).
+  /// Same semantics, admission, cache, and stats path as Submit(); only the
+  /// parse/format shell differs. `done` is invoked exactly once, inline or
+  /// from an engine worker. Thread-safe.
+  void SubmitDecoded(ParseResult parsed, std::uint64_t client_id,
+                     StructuredCallback done);
+
+  /// The limits a front-end must decode v2 frames under (same values the
+  /// text parser enforces).
+  ParseLimits Limits() const {
+    return ParseLimits{registry_->NumNodes(), config_.max_batch,
+                       config_.max_matrix_locations, config_.max_bulk_deltas};
+  }
+
   /// Blocking convenience: Submit() + wait. Sets *close for a quit request
   /// when `close` is non-null. Thread-safe (callers on their own threads).
   std::string HandleLine(std::string_view line, bool* close = nullptr);
@@ -133,32 +178,44 @@ class ServerStack {
   ResultCache& cache() { return cache_; }
   AdmissionController& admission() { return admission_; }
   RequestStats& stats() { return stats_; }
+  /// Byte/request counters shared with front-ends (TcpServer adds the
+  /// bytes; the stack adds per-protocol request counts).
+  WireStats& wire() { return wire_; }
   const ServerConfig& config() const { return config_; }
 
  private:
-  /// The shared Submit() body; `client` attributes admission accounting.
+  /// The shared text-path Submit() body; `client` attributes admission.
   void SubmitInternal(std::string_view line,
                       std::optional<std::uint64_t> client, ReplyCallback done);
 
-  /// Answers the admin verbs (use/upd/updf/reload) inline. Never throws.
-  std::string ExecuteAdmin(const Request& request);
+  /// The protocol-independent brain both Submit paths share: inline
+  /// answers, backend resolution, cache fast path, admission, async
+  /// execution. Exactly one `done(Reply)` call.
+  void SubmitParsed(ParseResult parsed, std::optional<std::uint64_t> client,
+                    StructuredCallback done);
 
-  /// Executes an admitted query request on an epoch-pinned session lease,
-  /// formats the reply, and updates cache + stats. Never throws.
-  std::string Execute(const Request& request,
+  /// Answers the admin verbs (use/upd/updf/reload) inline. Never throws.
+  Reply ExecuteAdmin(const Request& request);
+
+  /// Executes an admitted query request on an epoch-pinned session lease
+  /// and updates cache + stats. Never throws.
+  Reply Execute(const Request& request, ConcurrentEngine::SessionLease& lease);
+
+  Reply ExecuteDistance(NodeId s, NodeId t,
+                        ConcurrentEngine::SessionLease& lease);
+  Reply ExecutePath(NodeId s, NodeId t, ConcurrentEngine::SessionLease& lease);
+  Reply ExecuteKNearest(NodeId s, std::uint32_t k,
+                        ConcurrentEngine::SessionLease& lease);
+  Reply ExecuteBatch(const std::vector<std::pair<NodeId, NodeId>>& pairs,
+                     ConcurrentEngine::SessionLease& lease);
+  Reply ExecuteMatrix(const std::vector<NodeId>& sources,
+                      const std::vector<NodeId>& targets,
                       ConcurrentEngine::SessionLease& lease);
 
-  std::string ExecuteDistance(NodeId s, NodeId t,
-                              ConcurrentEngine::SessionLease& lease);
-  std::string ExecutePath(NodeId s, NodeId t,
-                          ConcurrentEngine::SessionLease& lease);
-  std::string ExecuteKNearest(NodeId s, std::uint32_t k,
-                              ConcurrentEngine::SessionLease& lease);
-  std::string ExecuteBatch(const std::vector<std::pair<NodeId, NodeId>>& pairs,
-                           ConcurrentEngine::SessionLease& lease);
-  std::string ExecuteMatrix(const std::vector<NodeId>& sources,
-                            const std::vector<NodeId>& targets,
-                            ConcurrentEngine::SessionLease& lease);
+  /// The registry warm-up hook body: recompute the fresh epoch's backend's
+  /// top-K hottest cache entries on the not-yet-published epoch and insert
+  /// them under its generation, flagged warmed. Runs on the build worker.
+  void WarmCache(const IndexEpoch& fresh);
 
   /// Cache-through distances for a pair list: hits from the cache (keyed by
   /// the lease's backend + generation), misses computed (on the lease, or
@@ -174,6 +231,7 @@ class ServerStack {
   ResultCache cache_;
   AdmissionController admission_;
   RequestStats stats_;
+  WireStats wire_;
   std::vector<NodeId> pois_;
 };
 

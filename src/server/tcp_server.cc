@@ -3,13 +3,17 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
+
+#include "server/binary_protocol.h"
 
 namespace ah::server {
 
@@ -118,13 +122,14 @@ void TcpServer::IoLoop() {
     for (const auto& [fd, conn] : connections_) {
       // A closing connection is only flushed, never read again — polling
       // POLLIN after EOF would spin until its last replies drain. A
-      // connection at its pipelining bound stops being read too
-      // (backpressure): the socket buffer, and eventually the client,
-      // absorb the overflow instead of server memory.
-      short events =
-          conn.closing || conn.pending_lines.size() >= config_.max_pending_lines
-              ? 0
-              : POLLIN;
+      // connection at its pipelining bound (queued v1 lines or in-flight
+      // v2 frames) stops being read too (backpressure): the socket buffer,
+      // and eventually the client, absorb the overflow instead of server
+      // memory.
+      const bool throttled =
+          conn.pending_lines.size() >= config_.max_pending_lines ||
+          conn.inflight_frames >= config_.max_pending_lines;
+      short events = conn.closing || throttled ? 0 : POLLIN;
       if (!conn.outbuf.empty()) events |= POLLOUT;
       fds.push_back(pollfd{fd, events, 0});
       event_conns.emplace_back(fd, conn.id);
@@ -184,6 +189,11 @@ void TcpServer::AcceptNew() {
       ::close(fd);
       continue;
     }
+    // Replies are small and latency-bound; without this, Nagle holding a
+    // reply segment for the peer's delayed ACK adds ~40ms to every
+    // serialized request/reply round trip on an otherwise idle link.
+    const int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
     Connection conn;
     conn.id = next_conn_id_++;
     conn.fd = fd;
@@ -201,6 +211,8 @@ void TcpServer::HandleReadable(Connection& conn) {
     const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
     if (n > 0) {
       conn.inbuf.append(buf, static_cast<std::size_t>(n));
+      stack_.wire().bytes_in.fetch_add(static_cast<std::uint64_t>(n),
+                                       std::memory_order_relaxed);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
@@ -209,6 +221,17 @@ void TcpServer::HandleReadable(Connection& conn) {
     // close once in-flight replies drain.
     conn.closing = true;
     break;
+  }
+
+  if (conn.mode == WireMode::kUndecided && !DecideMode(conn)) {
+    SettleConnection(conn);
+    return;
+  }
+
+  if (conn.mode == WireMode::kBinary) {
+    PumpFrames(conn);
+    SettleConnection(conn);
+    return;
   }
 
   std::size_t begin = 0;
@@ -235,6 +258,28 @@ void TcpServer::HandleReadable(Connection& conn) {
   SettleConnection(conn);
 }
 
+bool TcpServer::DecideMode(Connection& conn) {
+  if (conn.inbuf.size() >= kBinaryMagic.size()) {
+    if (std::string_view(conn.inbuf).substr(0, kBinaryMagic.size()) ==
+        kBinaryMagic) {
+      conn.mode = WireMode::kBinary;
+      conn.inbuf.erase(0, kBinaryMagic.size());
+      conn.outbuf += EncodeHelloFrame(stack_.NumNodes(), stack_.NumArcs());
+    } else {
+      conn.mode = WireMode::kText;
+    }
+    return true;
+  }
+  // Fewer than 4 bytes buffered. Only a proper prefix of the magic is
+  // still ambiguous ("AH" could become "AHB2" or the text "AH/1 ..."
+  // version selector) — anything else is already text.
+  if (kBinaryMagic.substr(0, conn.inbuf.size()) != conn.inbuf) {
+    conn.mode = WireMode::kText;
+    return true;
+  }
+  return false;  // wait for more bytes
+}
+
 void TcpServer::PumpRequests(Connection& conn) {
   // One in-flight request per connection keeps replies in request order
   // without sequence numbers; pipelined lines wait in pending_lines.
@@ -248,12 +293,69 @@ void TcpServer::PumpRequests(Connection& conn) {
   // Submit answers inline on this thread — so there is exactly one
   // reply-delivery path.
   stack_.Submit(line, id, [this, id](std::string reply, bool close) {
+    reply += '\n';
     EnqueueReply(id, std::move(reply), close);
   });
 }
 
+void TcpServer::PumpFrames(Connection& conn) {
+  // Unlike v1's one-at-a-time pumping, every complete buffered frame is
+  // submitted immediately (up to the in-flight cap) — the request id in
+  // each reply frame is the client's correlator, so completion order is
+  // free to differ from arrival order.
+  while (!conn.closing && conn.inflight_frames < config_.max_pending_lines) {
+    if (conn.inbuf.size() < sizeof(std::uint32_t)) return;
+    FrameHeader header;
+    const bool have_header = TryReadHeader(conn.inbuf, &header);
+    const std::uint32_t len = GetU32(conn.inbuf.data());
+    // Both rejections happen before the frame is buffered in full: the
+    // announced length alone convicts it. The error frame echoes the
+    // opcode/id when the 16 header bytes made it, else opcode kHello id 0.
+    const Opcode opcode = have_header ? header.opcode : Opcode::kHello;
+    const std::uint64_t rid = have_header ? header.request_id : 0;
+    if (len < kFrameLenMin) {
+      conn.deferred_error = EncodeErrorFrame(
+          opcode, rid, ErrorCode::kBadRequest,
+          "frame length " + std::to_string(len) + " below the header minimum " +
+              std::to_string(kFrameLenMin));
+      conn.closing = true;
+      conn.inbuf.clear();
+      return;
+    }
+    if (sizeof(std::uint32_t) + static_cast<std::uint64_t>(len) >
+        config_.max_frame_bytes) {
+      conn.deferred_error = EncodeErrorFrame(
+          opcode, rid, ErrorCode::kTooLarge,
+          "frame of " +
+              std::to_string(sizeof(std::uint32_t) +
+                             static_cast<std::uint64_t>(len)) +
+              " bytes exceeds the limit of " +
+              std::to_string(config_.max_frame_bytes));
+      conn.closing = true;
+      conn.inbuf.clear();
+      return;
+    }
+    std::string_view payload;
+    const std::size_t total = TryReadFrame(conn.inbuf, &header, &payload);
+    if (total == 0) return;  // incomplete: wait for more bytes
+    ParseResult parsed = DecodeRequest(header, payload, stack_.Limits());
+    conn.inbuf.erase(0, total);
+    ++conn.inflight_frames;
+    const std::uint64_t id = conn.id;
+    // As in PumpRequests: only the id outlives this scope; the reply is
+    // encoded on the worker thread, keeping the I/O thread out of it.
+    stack_.SubmitDecoded(
+        std::move(parsed), id,
+        [this, id, op = header.opcode, rid = header.request_id](Reply reply) {
+          const bool close = reply.close;
+          EnqueueReply(id, EncodeReplyFrame(reply, op, rid), close);
+        });
+  }
+}
+
 bool TcpServer::SettleConnection(Connection& conn) {
-  const bool quiescent = !conn.awaiting_reply && conn.pending_lines.empty();
+  const bool quiescent = !conn.awaiting_reply && conn.pending_lines.empty() &&
+                         conn.inflight_frames == 0;
   if (quiescent && !conn.deferred_error.empty()) {
     conn.outbuf += conn.deferred_error;
     conn.deferred_error.clear();
@@ -282,6 +384,8 @@ bool TcpServer::FlushWrites(Connection& conn) {
         ::send(conn.fd, conn.outbuf.data(), conn.outbuf.size(), MSG_NOSIGNAL);
     if (n > 0) {
       conn.outbuf.erase(0, static_cast<std::size_t>(n));
+      stack_.wire().bytes_out.fetch_add(static_cast<std::uint64_t>(n),
+                                        std::memory_order_relaxed);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
@@ -315,6 +419,12 @@ void TcpServer::DrainReplies() {
     MutexLock lock(replies_mu_);
     replies.swap(pending_replies_);
   }
+  // Two passes: append every ready reply to its connection's buffer first,
+  // then flush each touched connection once. A pipelined client with many
+  // replies in this drain gets them in one send() instead of one per
+  // reply. Safe to defer the flush: nothing in the first pass closes a
+  // connection, so the fds collected stay valid.
+  std::vector<int> touched;
   for (PendingReply& reply : replies) {
     const auto id_it = conn_fd_by_id_.find(reply.conn_id);
     if (id_it == conn_fd_by_id_.end()) continue;  // connection already closed
@@ -322,15 +432,27 @@ void TcpServer::DrainReplies() {
     if (it == connections_.end()) continue;
     Connection& conn = it->second;
     conn.outbuf += reply.reply;
-    conn.outbuf += '\n';
-    conn.awaiting_reply = false;
+    if (conn.mode == WireMode::kBinary) {
+      if (conn.inflight_frames > 0) --conn.inflight_frames;
+    } else {
+      conn.awaiting_reply = false;
+    }
     if (reply.close) {
       conn.closing = true;
       conn.pending_lines.clear();
+      conn.inbuf.clear();
+    } else if (conn.mode == WireMode::kBinary) {
+      PumpFrames(conn);  // a freed in-flight slot may admit buffered frames
     } else {
       PumpRequests(conn);
     }
-    SettleConnection(conn);
+    touched.push_back(it->first);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (const int fd : touched) {
+    const auto it = connections_.find(fd);
+    if (it != connections_.end()) SettleConnection(it->second);
   }
 }
 

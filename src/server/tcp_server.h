@@ -1,16 +1,27 @@
 // TCP front-end over a ServerStack: one poll()-driven I/O thread, plain
 // POSIX sockets, no external dependencies. The I/O thread never executes a
-// query — it parses nothing and blocks on nothing; complete request lines
-// are handed to ServerStack::Submit and replies come back through a
+// query — it parses nothing heavy and blocks on nothing; complete requests
+// are handed to the ServerStack and replies come back through a
 // self-pipe-woken queue, so slow queries on the engine workers cannot stall
 // accepting connections or reading other clients.
 //
-// Per-connection ordering: requests on one connection are answered in the
-// order they arrive (one in flight per connection; further pipelined lines
-// queue). Concurrency comes from many connections sharing the engine's
-// worker pool. Connections beyond `max_connections` are greeted with an
-// ERR overload reply and closed — front-end load shedding, the same policy
-// admission control applies per request behind it.
+// Both wire protocols share the port. Every connection is greeted with the
+// v1 text banner; its first bytes then pick the mode (binary_protocol.h):
+// the "AHB2" magic switches it to v2 length-prefixed frames for the rest of
+// the session, anything else is v1 newline-delimited text.
+//
+// Ordering differs by mode. v1 keeps one request in flight per connection
+// and answers in arrival order (further pipelined lines queue). v2 frames
+// carry client-chosen request ids, so up to `max_pending_lines` frames per
+// connection execute concurrently on the engine workers and replies are
+// written in completion order — the id, not the position, correlates them.
+// Replies of both modes are coalesced: everything ready in one drain pass
+// is appended to the connection's buffer and flushed with one send when it
+// fits, so a pipelining client costs one syscall per drain, not per reply.
+//
+// Connections beyond `max_connections` are greeted with an ERR overload
+// reply and closed — front-end load shedding, the same policy admission
+// control applies per request behind it.
 #pragma once
 
 #include <atomic>
@@ -37,10 +48,14 @@ struct TcpServerConfig {
   std::size_t max_connections = 64;
   /// A connection sending a longer unterminated line is errored and closed.
   std::size_t max_line_bytes = 1 << 20;
-  /// Backpressure for pipelining clients: a connection stops being read
-  /// while it has this many parsed-but-unanswered lines queued, and one
-  /// that will not drain its replies (outbuf beyond max_outbuf_bytes) is
-  /// closed — so one client cannot grow server memory without limit.
+  /// A v2 connection announcing a frame larger than this is answered with
+  /// an ERR too-large frame and closed before the frame is buffered.
+  std::size_t max_frame_bytes = 4 << 20;
+  /// Backpressure for pipelining clients: a v1 connection stops being read
+  /// while it has this many parsed-but-unanswered lines queued (a v2 one,
+  /// this many frames in flight), and one that will not drain its replies
+  /// (outbuf beyond max_outbuf_bytes) is closed — so one client cannot
+  /// grow server memory without limit.
   std::size_t max_pending_lines = 128;
   std::size_t max_outbuf_bytes = 4 << 20;
 };
@@ -77,21 +92,30 @@ class TcpServer {
   }
 
  private:
+  /// What the connection's first bytes turned out to be. Undecided lasts
+  /// only while the buffered bytes are a proper prefix of the v2 magic.
+  enum class WireMode { kUndecided, kText, kBinary };
+
   struct Connection {
     std::uint64_t id = 0;
     int fd = -1;
+    WireMode mode = WireMode::kUndecided;
     std::string inbuf;
     std::string outbuf;
-    std::deque<std::string> pending_lines;  // parsed-off, not yet submitted
-    /// Error reply held back until every already-parsed request has been
-    /// answered, so the one-reply-per-request stream stays in sync.
+    std::deque<std::string> pending_lines;  // v1: parsed-off, not submitted
+    /// Error reply (already wire-encoded) held back until every
+    /// already-accepted request has been answered, so the
+    /// one-reply-per-request stream stays in sync.
     std::string deferred_error;
-    bool awaiting_reply = false;            // one request in flight per conn
+    bool awaiting_reply = false;            // v1: one request in flight
+    std::size_t inflight_frames = 0;        // v2: submitted, not yet replied
     bool closing = false;                   // close once outbuf drains
   };
 
   struct PendingReply {
     std::uint64_t conn_id = 0;
+    /// Final wire bytes — a newline-terminated v1 line or a complete v2
+    /// frame; DrainReplies appends it verbatim.
     std::string reply;
     bool close = false;
   };
@@ -99,8 +123,16 @@ class TcpServer {
   void IoLoop();
   void AcceptNew();
   void HandleReadable(Connection& conn);
-  /// Submits queued lines while the connection has no request in flight.
+  /// Resolves an undecided connection's mode from its first buffered
+  /// bytes; may emit the v2 hello frame. Returns false while still
+  /// undecided (need more bytes).
+  bool DecideMode(Connection& conn);
+  /// v1: submits queued lines while the connection has no request in
+  /// flight.
   void PumpRequests(Connection& conn);
+  /// v2: decodes and submits every complete buffered frame up to the
+  /// in-flight cap; rejects malformed or oversized frames.
+  void PumpFrames(Connection& conn);
   /// Non-blocking flush of outbuf; returns false if the conn must close.
   bool FlushWrites(Connection& conn);
   /// Emits any deferred error once pending requests are answered, flushes,

@@ -1,10 +1,14 @@
 // The serving stack: protocol round-trip (including malformed input, the
 // use/upd/reload admin verbs, and the `m` matrix verb with its location
-// cap), result-cache correctness with generation tags and TTL (cached
+// cap), the v2 binary codec (request/reply round-trips, validation parity
+// with the text parser, and the ReplyFrameToText equivalence oracle),
+// result-cache correctness with generation tags and TTL (cached
 // answers cross-checked against Dijkstra, matrix replies retiring per-pair
-// entries across a hot swap), admission-
+// entries across a hot swap), post-swap cache warm-up, admission-
 // control shedding and deadlines under a saturated bounded queue, the
-// latency histogram, a localhost TCP end-to-end smoke test, and a hot swap
+// latency histogram, localhost TCP end-to-end smoke tests for both wire
+// protocols (negotiation, partial frames, oversized-frame rejection,
+// pipelined out-of-order v2 replies, mixed v1/v2 clients), and a hot swap
 // under live concurrent TCP load. The CI tsan job runs this suite under
 // -fsanitize=thread.
 
@@ -27,6 +31,7 @@
 #include "routing/dijkstra.h"
 #include "routing/path.h"
 #include "server/admission.h"
+#include "server/binary_protocol.h"
 #include "server/line_client.h"
 #include "server/protocol.h"
 #include "server/request_stats.h"
@@ -1326,6 +1331,642 @@ TEST_F(TcpServerTest, StopWhileBusyIsClean) {
   ASSERT_TRUE(client.Send(burst));
   tcp.Stop();  // replies may or may not have been flushed; must not hang
   EXPECT_FALSE(tcp.Running());
+}
+
+// ---------------------------------------------------------------------------
+// Binary protocol (v2) codec
+// ---------------------------------------------------------------------------
+
+TEST(BinaryProtocolTest, StatusBytesRoundTripEveryErrorCode) {
+  for (const ErrorCode code :
+       {ErrorCode::kBadRequest, ErrorCode::kBadNode, ErrorCode::kBadBackend,
+        ErrorCode::kBadArc, ErrorCode::kUnsupportedVersion,
+        ErrorCode::kOverload, ErrorCode::kTimeout, ErrorCode::kTooLarge,
+        ErrorCode::kInternal}) {
+    const std::uint8_t status = StatusFromError(code);
+    EXPECT_NE(status, kStatusOk);
+    ErrorCode back = ErrorCode::kInternal;
+    ASSERT_TRUE(ErrorFromStatus(status, &back));
+    EXPECT_EQ(back, code);
+  }
+  ErrorCode ignored;
+  EXPECT_FALSE(ErrorFromStatus(kStatusOk, &ignored));
+  EXPECT_FALSE(ErrorFromStatus(255, &ignored));
+}
+
+// Every text request must decode to the identical Request through the v2
+// codec: text -> Request -> body -> frame -> DecodeRequest -> same Request.
+TEST(BinaryProtocolTest, RequestsRoundTripAndMatchTheTextParser) {
+  const char* lines[] = {"d 3 99", "p 0 1",           "k 5 3",
+                         "b 2 0 1 2 3", "m 2 3 7 8 0 1 2", "stats",
+                         "inv",     "reload",          "q",
+                         "upd 1 2 77",  "updf /tmp/deltas.bin"};
+  for (const char* line : lines) {
+    const ParseResult text = ParseRequest(line, kLimits);
+    ASSERT_TRUE(text.ok) << line;
+    const std::string frame = EncodeRequestFrame(
+        OpcodeForKind(text.request.kind), 42, text.request.backend,
+        EncodeRequestBody(text.request));
+    FrameHeader header;
+    std::string_view payload;
+    ASSERT_EQ(TryReadFrame(frame, &header, &payload), frame.size()) << line;
+    EXPECT_EQ(header.request_id, 42u);
+    const ParseResult bin = DecodeRequest(header, payload, kLimits);
+    ASSERT_TRUE(bin.ok) << line << ": " << bin.message;
+    EXPECT_EQ(bin.request.kind, text.request.kind) << line;
+    EXPECT_EQ(bin.request.s, text.request.s) << line;
+    EXPECT_EQ(bin.request.t, text.request.t) << line;
+    EXPECT_EQ(bin.request.k, text.request.k) << line;
+    EXPECT_EQ(bin.request.weight, text.request.weight) << line;
+    EXPECT_EQ(bin.request.backend, text.request.backend) << line;
+    EXPECT_EQ(bin.request.path, text.request.path) << line;
+    EXPECT_EQ(bin.request.pairs, text.request.pairs) << line;
+    EXPECT_EQ(bin.request.sources, text.request.sources) << line;
+    EXPECT_EQ(bin.request.targets, text.request.targets) << line;
+  }
+
+  // The backend selector travels as the payload prefix.
+  const ParseResult text = ParseRequest("@ch d 3 4", kLimits);
+  ASSERT_TRUE(text.ok);
+  const std::string frame = EncodeRequestFrame(
+      Opcode::kDistance, 7, text.request.backend,
+      EncodeRequestBody(text.request));
+  FrameHeader header;
+  std::string_view payload;
+  ASSERT_EQ(TryReadFrame(frame, &header, &payload), frame.size());
+  EXPECT_EQ(header.backend_len, 2u);
+  const ParseResult bin = DecodeRequest(header, payload, kLimits);
+  ASSERT_TRUE(bin.ok);
+  EXPECT_EQ(bin.request.backend, "ch");
+}
+
+// Validation parity: the binary decoder enforces the same limits and rules
+// as the text parser and reports the same error codes.
+TEST(BinaryProtocolTest, DecodeRequestValidatesLikeTheTextParser) {
+  const auto decode = [](const std::string& frame) {
+    FrameHeader header;
+    std::string_view payload;
+    const std::size_t total = TryReadFrame(frame, &header, &payload);
+    EXPECT_EQ(total, frame.size());
+    return DecodeRequest(header, payload, kLimits);
+  };
+  const auto body32 = [](std::initializer_list<std::uint32_t> values) {
+    std::string body;
+    for (const std::uint32_t v : values) PutU32(&body, v);
+    return body;
+  };
+
+  // Node out of range (kLimits.num_nodes == 100), same code as the parser.
+  ParseResult r =
+      decode(EncodeRequestFrame(Opcode::kDistance, 1, {}, body32({3, 100})));
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.code, ErrorCode::kBadNode);
+  EXPECT_EQ(r.message, ParseRequest("d 3 100", kLimits).message);
+
+  // Batch over the cap (kLimits.max_batch == 8).
+  std::string big = body32({9});
+  for (int i = 0; i < 18; ++i) PutU32(&big, 0);
+  r = decode(EncodeRequestFrame(Opcode::kBatch, 2, {}, big));
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.code, ErrorCode::kBadRequest);
+
+  // Truncated and oversized bodies are malformed, not silently padded.
+  r = decode(EncodeRequestFrame(Opcode::kDistance, 3, {}, body32({3})));
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.code, ErrorCode::kBadRequest);
+  r = decode(EncodeRequestFrame(Opcode::kDistance, 4, {}, body32({1, 2, 3})));
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.code, ErrorCode::kBadRequest);
+
+  // A backend prefix on a backend-independent opcode is rejected — the
+  // same contradiction "@ch stats" raises in v1.
+  r = decode(EncodeRequestFrame(Opcode::kStats, 5, "ch", {}));
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.code, ErrorCode::kBadRequest);
+
+  // kUse carries its argument as the prefix; an empty one is an error.
+  r = decode(EncodeRequestFrame(Opcode::kUse, 6, {}, {}));
+  EXPECT_FALSE(r.ok);
+  r = decode(EncodeRequestFrame(Opcode::kUse, 7, "hl", {}));
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.request.kind, RequestKind::kUse);
+  EXPECT_EQ(r.request.backend, "hl");
+
+  // Unknown opcode.
+  r = decode(EncodeRequestFrame(static_cast<Opcode>(0x6f), 8, {}, {}));
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.code, ErrorCode::kBadRequest);
+  EXPECT_NE(r.message.find("0x6f"), std::string::npos);
+}
+
+// The equivalence oracle: a Reply rendered through the v2 frame and back to
+// text must be byte-identical to the v1 line FormatReply produces.
+TEST(BinaryProtocolTest, ReplyFramesRenderToIdenticalTextLines) {
+  std::vector<Reply> replies;
+  {
+    Reply r;
+    r.kind = RequestKind::kDistance;
+    r.dist = 12345;
+    replies.push_back(r);
+    r.dist = kInfDist;  // unreachable sentinel
+    replies.push_back(r);
+  }
+  {
+    Reply r;
+    r.kind = RequestKind::kPath;
+    r.path.length = 9;
+    r.path.nodes = {0, 4, 7};
+    replies.push_back(r);
+  }
+  {
+    Reply r;
+    r.kind = RequestKind::kKNearest;
+    r.nearest = {{5, 2}, {9, 0}};
+    replies.push_back(r);
+  }
+  {
+    Reply r;
+    r.kind = RequestKind::kBatch;
+    r.dists = {1, kInfDist, 3};
+    replies.push_back(r);
+  }
+  {
+    Reply r;
+    r.kind = RequestKind::kMatrix;
+    r.num_sources = 2;
+    r.num_targets = 2;
+    r.dists = {0, 1, 2, 3};
+    replies.push_back(r);
+  }
+  {
+    Reply r;
+    r.kind = RequestKind::kStats;
+    r.text = "v=1 served=3";
+    replies.push_back(r);
+    r.kind = RequestKind::kUse;
+    r.text = "ch";
+    replies.push_back(r);
+  }
+  {
+    Reply r;
+    r.kind = RequestKind::kUpdate;
+    r.value = 4;
+    replies.push_back(r);
+    r.kind = RequestKind::kReload;
+    replies.push_back(r);
+    r.kind = RequestKind::kUpdateFile;
+    r.value2 = 6;
+    replies.push_back(r);
+    r.kind = RequestKind::kInvalidate;
+    replies.push_back(r);
+    r.kind = RequestKind::kQuit;
+    replies.push_back(r);
+  }
+  {
+    Reply r;
+    r.ok = false;
+    r.code = ErrorCode::kBadNode;
+    r.detail = "node id 7 out of range [0, 5)";
+    replies.push_back(r);
+  }
+  for (const Reply& reply : replies) {
+    const Opcode opcode =
+        OpcodeForKind(reply.ok ? reply.kind : RequestKind::kDistance);
+    const std::string frame = EncodeReplyFrame(reply, opcode, 11);
+    FrameHeader header;
+    std::string_view payload;
+    ASSERT_EQ(TryReadFrame(frame, &header, &payload), frame.size());
+    EXPECT_EQ(header.request_id, 11u);
+    EXPECT_EQ(ReplyFrameToText(header, payload), FormatReply(reply));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TCP end-to-end, v2 binary protocol
+// ---------------------------------------------------------------------------
+
+TEST_F(TcpServerTest, V2NegotiationAndQueriesMatchV1ByteForByte) {
+  ServerConfig config;
+  config.num_threads = 2;
+  ServerStack stack(MakeOracle("ch", graph_), config);
+  stack.SetPois({0, 3, 6, 9});
+
+  TcpServer tcp(stack, TcpServerConfig{});
+  ASSERT_TRUE(tcp.Start());
+
+  LineClient v1;
+  ASSERT_TRUE(v1.Connect(tcp.Port()));
+  std::string banner;
+  ASSERT_TRUE(v1.ReadLine(&banner));
+
+  BinaryClient v2;
+  ASSERT_TRUE(v2.Connect(tcp.Port()));
+  EXPECT_EQ(v2.nodes(), stack.NumNodes());
+  EXPECT_EQ(v2.arcs(), stack.NumArcs());
+
+  const NodeId far = static_cast<NodeId>(graph_.NumNodes() - 1);
+  const std::string queries[] = {
+      "d 0 " + std::to_string(far),
+      "p 0 " + std::to_string(far),
+      "k 2 3",
+      "b 3 0 5 5 0 0 0",
+      "m 2 2 0 1 2 3",
+  };
+  for (const std::string& query : queries) {
+    std::string v1_line;
+    ASSERT_TRUE(v1.SendLine(query));
+    ASSERT_TRUE(v1.ReadLine(&v1_line));
+
+    const ParseResult parsed = ParseRequest(query, stack.Limits());
+    ASSERT_TRUE(parsed.ok) << query;
+    const std::uint64_t id =
+        v2.SendRequest(OpcodeForKind(parsed.request.kind),
+                       EncodeRequestBody(parsed.request));
+    ASSERT_NE(id, 0u);
+    BinaryClient::Frame frame;
+    ASSERT_TRUE(v2.ReadReplyFor(id, &frame));
+    EXPECT_EQ(frame.header.status, kStatusOk) << query;
+    EXPECT_EQ(ReplyFrameToText(frame.header, frame.payload), v1_line)
+        << query;
+  }
+
+  // The stats reply sees both protocols' request counters.
+  const std::uint64_t id = v2.SendRequest(Opcode::kStats, {});
+  BinaryClient::Frame frame;
+  ASSERT_TRUE(v2.ReadReplyFor(id, &frame));
+  EXPECT_NE(frame.payload.find("v1_requests="), std::string::npos);
+  EXPECT_NE(frame.payload.find("v2_requests="), std::string::npos);
+  EXPECT_NE(frame.payload.find("bytes_in="), std::string::npos);
+
+  // Quit: one empty OK frame, then the server closes.
+  const std::uint64_t quit_id = v2.SendRequest(Opcode::kQuit, {});
+  ASSERT_TRUE(v2.ReadReplyFor(quit_id, &frame));
+  EXPECT_EQ(frame.header.status, kStatusOk);
+  EXPECT_TRUE(frame.payload.empty());
+  EXPECT_TRUE(v2.AtEof());
+
+  v1.SendLine("q");
+  tcp.Stop();
+}
+
+// A frame delivered one fragment at a time — across many read() boundaries
+// — must decode exactly once, when complete.
+TEST_F(TcpServerTest, V2PartialFramesAcrossReadBoundaries) {
+  ServerConfig config;
+  config.num_threads = 2;
+  ServerStack stack(MakeOracle("dijkstra", graph_), config);
+  Dijkstra reference(graph_);
+  TcpServer tcp(stack, TcpServerConfig{});
+  ASSERT_TRUE(tcp.Start());
+
+  BinaryClient client;
+  ASSERT_TRUE(client.Connect(tcp.Port()));
+
+  std::string body;
+  PutU32(&body, 0);
+  PutU32(&body, 6);
+  const std::string frame = EncodeRequestFrame(Opcode::kDistance, 9, {}, body);
+  for (std::size_t i = 0; i < frame.size(); i += 3) {
+    ASSERT_TRUE(client.SendRaw(frame.substr(i, 3)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  BinaryClient::Frame reply;
+  ASSERT_TRUE(client.ReadReplyFor(9, &reply));
+  EXPECT_EQ(ReplyFrameToText(reply.header, reply.payload),
+            FormatDistance(reference.Distance(0, 6)));
+
+  // Two frames in one send, the second truncated: the first answers, the
+  // rest waits for its missing bytes.
+  std::string two = EncodeRequestFrame(Opcode::kDistance, 10, {}, body);
+  const std::string second =
+      EncodeRequestFrame(Opcode::kDistance, 11, {}, body);
+  two += second.substr(0, 7);
+  ASSERT_TRUE(client.SendRaw(two));
+  ASSERT_TRUE(client.ReadReplyFor(10, &reply));
+  ASSERT_TRUE(client.SendRaw(second.substr(7)));
+  ASSERT_TRUE(client.ReadReplyFor(11, &reply));
+  EXPECT_EQ(ReplyFrameToText(reply.header, reply.payload),
+            FormatDistance(reference.Distance(0, 6)));
+  tcp.Stop();
+}
+
+TEST_F(TcpServerTest, V2OversizedAndMalformedFramesAreRejected) {
+  ServerConfig config;
+  config.num_threads = 2;
+  ServerStack stack(MakeOracle("dijkstra", graph_), config);
+  TcpServerConfig tcp_config;
+  tcp_config.max_frame_bytes = 64;
+  TcpServer tcp(stack, tcp_config);
+  ASSERT_TRUE(tcp.Start());
+
+  // An announced length beyond max_frame_bytes is refused from the header
+  // alone — no payload is ever buffered — with the id echoed back.
+  {
+    BinaryClient client;
+    ASSERT_TRUE(client.Connect(tcp.Port()));
+    std::string header;
+    PutU32(&header, 1000);                               // len
+    header.push_back(static_cast<char>(Opcode::kBatch));  // opcode
+    header.push_back(0);                                  // status
+    header.push_back(0);                                  // backend_len
+    header.push_back(0);                                  // reserved
+    PutU64(&header, 77);                                  // request id
+    ASSERT_TRUE(client.SendRaw(header));
+    BinaryClient::Frame reply;
+    ASSERT_TRUE(client.ReadFrame(&reply));
+    EXPECT_EQ(reply.header.opcode, Opcode::kBatch);
+    EXPECT_EQ(reply.header.request_id, 77u);
+    ErrorCode code = ErrorCode::kInternal;
+    ASSERT_TRUE(ErrorFromStatus(reply.header.status, &code));
+    EXPECT_EQ(code, ErrorCode::kTooLarge);
+    EXPECT_TRUE(client.AtEof());
+  }
+
+  // A length below the 12-byte header remainder can never frame; the
+  // connection is errored and closed.
+  {
+    BinaryClient client;
+    ASSERT_TRUE(client.Connect(tcp.Port()));
+    std::string bogus;
+    PutU32(&bogus, 5);
+    bogus.append(12, '\0');
+    ASSERT_TRUE(client.SendRaw(bogus));
+    BinaryClient::Frame reply;
+    ASSERT_TRUE(client.ReadFrame(&reply));
+    ErrorCode code = ErrorCode::kInternal;
+    ASSERT_TRUE(ErrorFromStatus(reply.header.status, &code));
+    EXPECT_EQ(code, ErrorCode::kBadRequest);
+    EXPECT_TRUE(client.AtEof());
+  }
+
+  // A decode failure inside a well-framed request (unknown opcode) answers
+  // an error frame but keeps the connection open — framing stayed intact.
+  {
+    BinaryClient client;
+    ASSERT_TRUE(client.Connect(tcp.Port()));
+    ASSERT_TRUE(client.SendRequestWithId(static_cast<Opcode>(0x6f), 5, {}));
+    BinaryClient::Frame reply;
+    ASSERT_TRUE(client.ReadReplyFor(5, &reply));
+    ErrorCode code = ErrorCode::kInternal;
+    ASSERT_TRUE(ErrorFromStatus(reply.header.status, &code));
+    EXPECT_EQ(code, ErrorCode::kBadRequest);
+    std::string body;
+    PutU32(&body, 0);
+    PutU32(&body, 1);
+    const std::uint64_t id = client.SendRequest(Opcode::kDistance, body);
+    ASSERT_TRUE(client.ReadReplyFor(id, &reply));
+    EXPECT_EQ(reply.header.status, kStatusOk);
+  }
+  tcp.Stop();
+}
+
+// First bytes that are neither the magic nor sensible text fall back to the
+// v1 path and get a structured v1 error — never a hung connection.
+TEST_F(TcpServerTest, GarbageHelloFallsBackToTextError) {
+  ServerConfig config;
+  config.num_threads = 2;
+  ServerStack stack(MakeOracle("dijkstra", graph_), config);
+  TcpServer tcp(stack, TcpServerConfig{});
+  ASSERT_TRUE(tcp.Start());
+
+  LineClient client;
+  ASSERT_TRUE(client.Connect(tcp.Port()));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  ASSERT_TRUE(client.Send("AHBX garbage hello\n"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_TRUE(StartsWith(line, "ERR bad-request")) << line;
+
+  // The connection stays usable as a v1 session afterwards.
+  Dijkstra reference(graph_);
+  ASSERT_TRUE(client.Send("d 0 3\n"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, FormatDistance(reference.Distance(0, 3)));
+  tcp.Stop();
+}
+
+// v2 pipelining: many frames in flight at once; replies may complete in any
+// order and are matched purely by request id.
+TEST_F(TcpServerTest, V2PipelinedRepliesMatchByRequestId) {
+  ServerConfig config;
+  config.num_threads = 2;
+  ServerStack stack(MakeOracle("dijkstra", graph_), config);
+  Dijkstra reference(graph_);
+  TcpServer tcp(stack, TcpServerConfig{});
+  ASSERT_TRUE(tcp.Start());
+
+  BinaryClient client;
+  ASSERT_TRUE(client.Connect(tcp.Port()));
+
+  constexpr std::uint64_t kInFlight = 32;
+  const NodeId n = static_cast<NodeId>(graph_.NumNodes());
+  std::string burst;
+  for (std::uint64_t i = 0; i < kInFlight; ++i) {
+    std::string body;
+    PutU32(&body, static_cast<std::uint32_t>(i % n));
+    PutU32(&body, static_cast<std::uint32_t>((i * 7) % n));
+    burst += EncodeRequestFrame(Opcode::kDistance, 1000 + i, {}, body);
+  }
+  ASSERT_TRUE(client.SendRaw(burst));
+
+  // Collect in reverse submission order — the stash absorbs whatever
+  // completion order the engine produced.
+  for (std::uint64_t i = kInFlight; i-- > 0;) {
+    BinaryClient::Frame reply;
+    ASSERT_TRUE(client.ReadReplyFor(1000 + i, &reply));
+    EXPECT_EQ(reply.header.opcode, Opcode::kDistance);
+    EXPECT_EQ(ReplyFrameToText(reply.header, reply.payload),
+              FormatDistance(reference.Distance(
+                  static_cast<NodeId>(i % n),
+                  static_cast<NodeId>((i * 7) % n))));
+  }
+  tcp.Stop();
+}
+
+// v1 and v2 clients on the same port, interleaved, answering identically.
+TEST_F(TcpServerTest, MixedProtocolClientsShareOneServer) {
+  ServerConfig config;
+  config.num_threads = 2;
+  ServerStack stack(MakeOracle("ch", graph_), config);
+  Dijkstra reference(graph_);
+  TcpServer tcp(stack, TcpServerConfig{});
+  ASSERT_TRUE(tcp.Start());
+
+  LineClient v1;
+  BinaryClient v2;
+  ASSERT_TRUE(v1.Connect(tcp.Port()));
+  std::string line;
+  ASSERT_TRUE(v1.ReadLine(&line));
+  ASSERT_TRUE(v2.Connect(tcp.Port()));
+
+  for (NodeId t = 0; t < 12; ++t) {
+    ASSERT_TRUE(v1.Send("d 1 " + std::to_string(t) + "\n"));
+    std::string body;
+    PutU32(&body, 1);
+    PutU32(&body, t);
+    const std::uint64_t id = v2.SendRequest(Opcode::kDistance, body);
+    ASSERT_TRUE(v1.ReadLine(&line));
+    BinaryClient::Frame frame;
+    ASSERT_TRUE(v2.ReadReplyFor(id, &frame));
+    const std::string expected = FormatDistance(reference.Distance(1, t));
+    EXPECT_EQ(line, expected);
+    EXPECT_EQ(ReplyFrameToText(frame.header, frame.payload), expected);
+  }
+  tcp.Stop();
+}
+
+// Every opcode in the v2 table gets a direct on-the-wire exercise: each
+// request opcode earns its expected status on a live session, and a
+// client-sent kHello — a server-to-client-only opcode — is rejected as
+// bad-request instead of wedging the framing loop.
+// tools/lint_invariants.py's opcode-coverage check keys on the
+// Opcode::<name> literals here: a new opcode must be exercised in this
+// file and documented in the README's frame table.
+TEST_F(TcpServerTest, V2EveryOpcodeExercisedOnTheWire) {
+  auto registry = std::make_shared<IndexRegistry>(
+      graph_, std::vector<std::string>{"ch"});
+  ServerConfig config;
+  config.num_threads = 2;
+  ServerStack stack(registry, config);
+  stack.SetPois({0, 3, 6, 9});
+  TcpServer tcp(stack, TcpServerConfig{});
+  ASSERT_TRUE(tcp.Start());
+
+  BinaryClient v2;
+  ASSERT_TRUE(v2.Connect(tcp.Port()));
+
+  const NodeId far = static_cast<NodeId>(graph_.NumNodes() - 1);
+  ASSERT_GT(graph_.OutArcs(0).size(), 0u);
+  const NodeId via = graph_.OutArcs(0)[0].head;
+  const Weight heavier =
+      static_cast<Weight>(graph_.OutArcs(0)[0].weight + 1);
+
+  auto pair_body = [](NodeId a, NodeId b) {
+    std::string body;
+    PutU32(&body, a);
+    PutU32(&body, b);
+    return body;
+  };
+  std::string batch_body;
+  PutU32(&batch_body, 1);
+  PutU32(&batch_body, 0);
+  PutU32(&batch_body, far);
+  std::string matrix_body;
+  PutU32(&matrix_body, 1);
+  PutU32(&matrix_body, 1);
+  PutU32(&matrix_body, 0);
+  PutU32(&matrix_body, far);
+  std::string update_body;
+  PutU32(&update_body, 0);
+  PutU32(&update_body, via);
+  PutU32(&update_body, static_cast<std::uint32_t>(heavier));
+
+  struct OpcodeCase {
+    Opcode opcode;
+    std::string body;
+    std::string backend;
+    bool expect_ok;
+  };
+  const std::vector<OpcodeCase> cases = {
+      {Opcode::kDistance, pair_body(0, far), "", true},
+      {Opcode::kPath, pair_body(0, far), "", true},
+      {Opcode::kKNearest, pair_body(0, 2), "", true},
+      {Opcode::kBatch, batch_body, "", true},
+      {Opcode::kMatrix, matrix_body, "", true},
+      {Opcode::kStats, {}, "", true},
+      {Opcode::kInvalidate, {}, "", true},
+      {Opcode::kUse, {}, "ch", true},
+      {Opcode::kUpdate, update_body, "", true},
+      {Opcode::kUpdateFile, "definitely/not/a/delta-file", "", false},
+      {Opcode::kReload, {}, "", true},
+      // kHello is the server's banner frame, never a legal request.
+      {Opcode::kHello, {}, "", false},
+  };
+  for (const OpcodeCase& c : cases) {
+    const std::uint64_t id = v2.SendRequest(c.opcode, c.body, c.backend);
+    ASSERT_NE(id, 0u);
+    BinaryClient::Frame frame;
+    ASSERT_TRUE(v2.ReadReplyFor(id, &frame))
+        << "opcode 0x" << static_cast<int>(c.opcode);
+    EXPECT_EQ(frame.header.opcode, c.opcode);
+    EXPECT_EQ(frame.header.status == kStatusOk, c.expect_ok)
+        << ReplyFrameToText(frame.header, frame.payload);
+  }
+  ErrorCode hello_error = ErrorCode::kInternal;
+  {
+    const std::uint64_t id = v2.SendRequest(Opcode::kHello, {});
+    BinaryClient::Frame frame;
+    ASSERT_TRUE(v2.ReadReplyFor(id, &frame));
+    ASSERT_TRUE(ErrorFromStatus(frame.header.status, &hello_error));
+    EXPECT_EQ(hello_error, ErrorCode::kBadRequest);
+  }
+
+  stack.registry().WaitForRebuild();
+  const std::uint64_t quit_id = v2.SendRequest(Opcode::kQuit, {});
+  BinaryClient::Frame frame;
+  ASSERT_TRUE(v2.ReadReplyFor(quit_id, &frame));
+  EXPECT_EQ(frame.header.status, kStatusOk);
+  EXPECT_TRUE(v2.AtEof());
+  tcp.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Post-swap cache warm-up
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerStackTest, WarmupRePrimesHottestEntriesAcrossSwap) {
+  auto registry = std::make_shared<IndexRegistry>(
+      graph_, std::vector<std::string>{"dijkstra"});
+  ServerConfig config = SmallConfig();
+  config.warmup_top_k = 4;
+  ServerStack stack(registry, config);
+
+  ASSERT_GT(graph_.OutArcs(0).size(), 0u);
+  const NodeId via = graph_.OutArcs(0)[0].head;
+  const Weight new_weight =
+      static_cast<Weight>(graph_.OutArcs(0)[0].weight * 1000 + 1);
+  Graph updated = graph_;
+  updated.SetArcWeight(0, via, new_weight);
+  Dijkstra after(updated);
+
+  // Four hot keys: queried twice so their hit counters rank them.
+  const std::vector<std::pair<NodeId, NodeId>> hot_keys = {
+      {0, via}, {0, 9}, {3, 12}, {via, 0}};
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& [s, t] : hot_keys) {
+      stack.HandleLine("d " + std::to_string(s) + " " + std::to_string(t));
+    }
+  }
+
+  ASSERT_EQ(stack.HandleLine("upd 0 " + std::to_string(via) + " " +
+                             std::to_string(new_weight)),
+            "OK upd 1");
+  ASSERT_EQ(stack.HandleLine("reload"), "OK reload 1");
+  registry->WaitForRebuild();
+
+  // The swap re-primed the hottest entries on the fresh epoch before
+  // publishing it.
+  const CacheStats warmed = stack.cache().Totals();
+  EXPECT_EQ(warmed.warmup_entries, 4u);
+  EXPECT_EQ(warmed.warmup_hits, 0u);
+
+  // Re-querying the hot keys answers from the warmed entries: correct
+  // post-update values, no new insertions, no lazy invalidations.
+  const std::uint64_t insertions_before = warmed.insertions;
+  for (const auto& [s, t] : hot_keys) {
+    EXPECT_EQ(stack.HandleLine("d " + std::to_string(s) + " " +
+                               std::to_string(t)),
+              FormatDistance(after.Distance(s, t)));
+  }
+  const CacheStats served = stack.cache().Totals();
+  EXPECT_EQ(served.insertions, insertions_before);
+  EXPECT_EQ(served.warmup_hits, 4u);
+  EXPECT_EQ(served.invalidations, 0u);
+
+  // The stats line exports the warm-up counters.
+  const std::string stats = stack.StatsLine();
+  EXPECT_NE(stats.find("warmup_entries=4"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("warmup_hits=4"), std::string::npos) << stats;
 }
 
 }  // namespace
